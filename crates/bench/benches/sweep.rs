@@ -1,0 +1,52 @@
+//! Criterion benchmark: end-to-end design-point evaluation — one baseline
+//! and one CS point over a single record, the unit of work the pathfinding
+//! sweep repeats thousands of times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efficsense_core::config::{CsConfig, SystemConfig};
+use efficsense_core::simulate::Simulator;
+use efficsense_signals::{DatasetConfig, EegDataset};
+
+fn bench_sweep_unit(c: &mut Criterion) {
+    let ds = EegDataset::generate(&DatasetConfig {
+        records_per_class: 1,
+        duration_s: 4.0,
+        ..Default::default()
+    });
+    let record = &ds.records[0];
+
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    let baseline = Simulator::new(SystemConfig::baseline(8)).expect("valid");
+    group.bench_function("baseline_record_4s", |b| {
+        b.iter(|| black_box(baseline.run(black_box(&record.samples), record.fs, 1)))
+    });
+    let cs75 = Simulator::new(SystemConfig::compressive(
+        8,
+        CsConfig { m: 75, omp_sparsity: 30, ..Default::default() },
+    ))
+    .expect("valid");
+    group.bench_function("cs_m75_record_4s", |b| {
+        b.iter(|| black_box(cs75.run(black_box(&record.samples), record.fs, 1)))
+    });
+    let cs150 = Simulator::new(SystemConfig::compressive(
+        8,
+        CsConfig { m: 150, omp_sparsity: 50, ..Default::default() },
+    ))
+    .expect("valid");
+    group.bench_function("cs_m150_record_4s", |b| {
+        b.iter(|| black_box(cs150.run(black_box(&record.samples), record.fs, 1)))
+    });
+    group.bench_function("simulator_build_cs_m150", |b| {
+        b.iter(|| {
+            black_box(
+                Simulator::new(SystemConfig::compressive(8, CsConfig::default()))
+                    .expect("valid"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_unit);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Diagnostic: calibration scan of detection accuracy vs LNA noise floor
+//! for both architectures on a dense noise grid — the tool used to tune the
+//! synthetic corpus and decoder so the Fig. 7b trade-off is observable.
+//!
+//! Run: `cargo run --release -p efficsense-bench --bin calibrate`
+use efficsense_core::prelude::*;
+use efficsense_core::sweep::{Metric, Sweep, SweepConfig};
+use efficsense_signals::DatasetConfig;
+
+fn main() {
+    let dataset = EegDataset::generate(&DatasetConfig {
+        records_per_class: 5, duration_s: 8.0, ..Default::default()
+    });
+    let space = DesignSpace {
+        lna_noise_vrms: vec![1e-6, 2e-6, 4e-6, 8e-6, 14e-6, 20e-6],
+        n_bits: vec![8],
+        cs_m: vec![75, 150],
+        cs_s: vec![2],
+        cs_c_hold_f: vec![0.5e-12],
+        ..DesignSpace::paper_defaults()
+    };
+    let results = Sweep::new(SweepConfig { metric: Metric::DetectionAccuracy, ..Default::default() }).run(&space, &dataset);
+    for r in &results {
+        println!("{:<34} acc {:.3}  {:>8.3} µW", r.point.label(), r.metric, r.power_w * 1e6);
+    }
+}

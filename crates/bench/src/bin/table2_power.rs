@@ -1,0 +1,80 @@
+//! Regenerates **Table II / Table III**: evaluates every analytical power
+//! model of the block library over the paper's parameter ranges and prints
+//! the technology/design constants used.
+//!
+//! Run: `cargo run --release -p efficsense-bench --bin table2_power`
+
+use efficsense_bench::{save_figure, uw};
+use efficsense_power::models::{
+    ComparatorModel, CsEncoderLogicModel, DacModel, LeakageModel, LnaModel, PowerModel,
+    SampleHoldModel, SarLogicModel, TransmitterModel,
+};
+use efficsense_power::{DesignParams, TechnologyParams};
+
+fn main() {
+    let tech = TechnologyParams::gpdk045();
+    println!("=== Table III: technology parameters (gpdk045 extraction) ===");
+    println!("  C_logic        = {} fF", tech.c_logic_f * 1e15);
+    println!("  gm/Id          = {} /V", tech.gm_over_id);
+    println!("  cap density    = {} fF/µm²", tech.cap_density_f_per_um2 * 1e15);
+    println!("  C_u,min        = {} fF", tech.c_u_min_f * 1e15);
+    println!("  C_pk           = {} (σ² fraction · µm²)", tech.c_pk_frac_um2);
+    println!("  I_leak         = {} pA", tech.i_leak_a * 1e12);
+    println!("  E_bit          = {} nJ", tech.e_bit_j * 1e9);
+    println!("  V_T            = {} mV", tech.v_t * 1e3);
+    println!("  NEF            = {} (assumed; absent from the table)", tech.nef);
+    println!("  V_eff          = {} mV (assumed; absent from the table)", tech.v_eff * 1e3);
+    println!();
+    println!("=== Table III: design parameters ===");
+    let d8 = DesignParams::paper_defaults(8);
+    println!("  BW_in          = {} Hz", d8.bw_in_hz);
+    println!("  f_sample       = {} Hz (2.1 · BW_in)", d8.f_sample_hz());
+    println!("  f_clk (N=8)    = {} Hz ((N+1) · f_sample)", d8.f_clk_hz());
+    println!("  BW_LNA         = {} Hz (3 · BW_in)", d8.bw_lna_hz());
+    println!("  V_dd = V_FS = V_ref = {} V", d8.v_dd);
+    println!();
+    println!("=== Table II: power model evaluation ===");
+    let mut csv = String::from(
+        "n_bits,lna_noise_uvrms,lna_uw,sh_uw,comparator_uw,sar_logic_uw,dac_uw,tx_uw,cs_logic_uw,leakage_uw\n",
+    );
+    for n_bits in 6..=8u32 {
+        let design = DesignParams::paper_defaults(n_bits);
+        println!("--- N = {n_bits} bits ---");
+        for noise_uv in [1.0, 2.0, 5.0, 10.0, 20.0] {
+            let lna = LnaModel {
+                noise_floor_vrms: noise_uv * 1e-6,
+                c_load_f: 1e-12,
+                gain: 2000.0,
+            };
+            let p_lna = lna.power_w(&tech, &design);
+            let p_sh = SampleHoldModel.power_w(&tech, &design);
+            let p_cmp = ComparatorModel.power_w(&tech, &design);
+            let p_sar = SarLogicModel::default().power_w(&tech, &design);
+            let p_dac = DacModel { c_u_f: tech.c_u_min_f, v_in_rms: 1.0 }.power_w(&tech, &design);
+            let p_tx = TransmitterModel::default().power_w(&tech, &design);
+            let p_cs = CsEncoderLogicModel::new(384).power_w(&tech, &design);
+            let p_leak = LeakageModel { n_switches: 300 }.power_w(&tech, &design);
+            println!(
+                "  vn={noise_uv:>4.1}µV  LNA {:>12}  S&H {:>12}  CMP {:>12}  SAR {:>12}  DAC {:>12}  TX {:>12}  CSlogic {:>12}",
+                uw(p_lna), uw(p_sh), uw(p_cmp), uw(p_sar), uw(p_dac), uw(p_tx), uw(p_cs)
+            );
+            csv.push_str(&format!(
+                "{n_bits},{noise_uv},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                p_lna * 1e6,
+                p_sh * 1e6,
+                p_cmp * 1e6,
+                p_sar * 1e6,
+                p_dac * 1e6,
+                p_tx * 1e6,
+                p_cs * 1e6,
+                p_leak * 1e6
+            ));
+        }
+    }
+    save_figure("table2_power_models.csv", &csv);
+    println!();
+    println!("Headline sanity: TX at N=8 is {} (paper's dominant baseline block)", {
+        let d = DesignParams::paper_defaults(8);
+        uw(TransmitterModel::default().power_w(&tech, &d))
+    });
+}

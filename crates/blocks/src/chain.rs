@@ -1,0 +1,228 @@
+//! Plug-and-play analog block composition.
+//!
+//! The original EffiCSense is a Simulink model library: blocks are dropped
+//! into a diagram and wired in series. [`AnalogBlock`] is this crate's
+//! equivalent — a sample-rate-synchronous processing stage — and
+//! [`AnalogChain`] wires any number of them in series, so users can assemble
+//! custom front-ends (extra filters, gain stages, custom nonlinearities)
+//! without touching the simulator.
+
+use crate::lna::Lna;
+use efficsense_dsp::filter::{Biquad, FirFilter, IirFilter, OnePole};
+
+/// A synchronous analog processing stage (one sample in, one sample out).
+///
+/// Implemented by the block library's LNA and by the DSP crate's filters;
+/// downstream users implement it for custom blocks.
+pub trait AnalogBlock {
+    /// Processes one sample.
+    fn process_sample(&mut self, v: f64) -> f64;
+
+    /// Clears internal state (noise streams may continue).
+    fn reset_state(&mut self);
+}
+
+impl AnalogBlock for Lna {
+    fn process_sample(&mut self, v: f64) -> f64 {
+        self.process(v)
+    }
+    fn reset_state(&mut self) {
+        self.reset();
+    }
+}
+
+impl AnalogBlock for OnePole {
+    fn process_sample(&mut self, v: f64) -> f64 {
+        self.process(v)
+    }
+    fn reset_state(&mut self) {
+        self.reset();
+    }
+}
+
+impl AnalogBlock for Biquad {
+    fn process_sample(&mut self, v: f64) -> f64 {
+        self.process(v)
+    }
+    fn reset_state(&mut self) {
+        self.reset();
+    }
+}
+
+impl AnalogBlock for IirFilter {
+    fn process_sample(&mut self, v: f64) -> f64 {
+        self.process(v)
+    }
+    fn reset_state(&mut self) {
+        self.reset();
+    }
+}
+
+impl AnalogBlock for FirFilter {
+    fn process_sample(&mut self, v: f64) -> f64 {
+        self.process(v)
+    }
+    fn reset_state(&mut self) {
+        // FIR keeps its delay line; re-create taps-preserving state.
+        let taps = self.taps().to_vec();
+        *self = FirFilter::new(taps);
+    }
+}
+
+/// A fixed gain stage (e.g. a PGA setting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gain(
+    /// Linear gain factor.
+    pub f64,
+);
+
+impl AnalogBlock for Gain {
+    fn process_sample(&mut self, v: f64) -> f64 {
+        v * self.0
+    }
+    fn reset_state(&mut self) {}
+}
+
+/// Hard saturation at ±limit (a rail model usable anywhere in a chain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Saturation(
+    /// Absolute clipping level (V).
+    pub f64,
+);
+
+impl AnalogBlock for Saturation {
+    fn process_sample(&mut self, v: f64) -> f64 {
+        v.clamp(-self.0, self.0)
+    }
+    fn reset_state(&mut self) {}
+}
+
+/// A series connection of analog blocks.
+///
+/// ```
+/// use efficsense_blocks::chain::{AnalogBlock, AnalogChain, Gain, Saturation};
+/// let mut chain = AnalogChain::new();
+/// chain.push(Gain(100.0));
+/// chain.push(Saturation(1.0));
+/// assert_eq!(chain.process_sample(0.005), 0.5);
+/// assert_eq!(chain.process_sample(0.05), 1.0); // clipped
+/// ```
+#[derive(Default)]
+pub struct AnalogChain {
+    blocks: Vec<Box<dyn AnalogBlock>>,
+}
+
+impl std::fmt::Debug for AnalogChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AnalogChain({} blocks)", self.blocks.len())
+    }
+}
+
+impl AnalogChain {
+    /// An empty (pass-through) chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a block to the end of the chain.
+    pub fn push<B: AnalogBlock + 'static>(&mut self, block: B) -> &mut Self {
+        self.blocks.push(Box::new(block));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Processes a whole buffer through the chain.
+    pub fn process_buffer(&mut self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|&v| self.process_sample(v)).collect()
+    }
+}
+
+impl AnalogBlock for AnalogChain {
+    fn process_sample(&mut self, v: f64) -> f64 {
+        self.blocks.iter_mut().fold(v, |acc, b| b.process_sample(acc))
+    }
+
+    fn reset_state(&mut self) {
+        for b in &mut self.blocks {
+            b.reset_state();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efficsense_dsp::spectrum::sine;
+    use efficsense_dsp::stats::rms;
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let mut c = AnalogChain::new();
+        assert!(c.is_empty());
+        assert_eq!(c.process_sample(0.7), 0.7);
+    }
+
+    #[test]
+    fn gain_and_saturation_compose() {
+        let mut c = AnalogChain::new();
+        c.push(Gain(10.0)).push(Saturation(2.0)).push(Gain(0.5));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.process_sample(0.1), 0.5); // 0.1→1.0→1.0→0.5
+        assert_eq!(c.process_sample(1.0), 1.0); // 1.0→10→2→1
+    }
+
+    #[test]
+    fn chain_with_filter_attenuates_high_frequency() {
+        let fs = 8192.0;
+        let mut c = AnalogChain::new();
+        c.push(Gain(1.0));
+        c.push(IirFilter::butterworth_lowpass(4, 100.0, fs));
+        let hi = sine(8192, fs, 2000.0, 1.0, 0.0);
+        let y = c.process_buffer(&hi);
+        assert!(rms(&y[2048..]) < 0.02);
+    }
+
+    #[test]
+    fn lna_usable_as_chain_stage() {
+        let fs = 8192.0;
+        let mut c = AnalogChain::new();
+        c.push(Lna::new(100.0, 1e-9, 768.0, 0.0, 10.0, fs, 1));
+        c.push(Saturation(1.0));
+        let x = sine(8192, fs, 50.0, 1e-3, 0.0);
+        let y = c.process_buffer(&x);
+        // Gain 100 on 1 mV → 100 mV (no clipping).
+        assert!((rms(&y[2048..]) / rms(&x[2048..]) - 100.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn reset_clears_filter_state() {
+        let mut c = AnalogChain::new();
+        c.push(OnePole::lowpass(10.0, 1000.0));
+        for _ in 0..100 {
+            c.process_sample(1.0);
+        }
+        c.reset_state();
+        // First sample after reset behaves like a fresh filter.
+        let mut fresh = OnePole::lowpass(10.0, 1000.0);
+        assert_eq!(c.process_sample(1.0), fresh.process(1.0));
+    }
+
+    #[test]
+    fn nested_chains_compose() {
+        let mut inner = AnalogChain::new();
+        inner.push(Gain(2.0));
+        let mut outer = AnalogChain::new();
+        outer.push(inner);
+        outer.push(Gain(3.0));
+        assert_eq!(outer.process_sample(1.0), 6.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! On-chip digital signal conditioning (the "DSP" box of paper Fig. 1a).
+//!
+//! The paper's system diagram includes a DSP block between the ADC and the
+//! transmitter but Table II carries no explicit power row for it (its
+//! baseline case transmits raw samples). To let the framework explore
+//! digital pre-processing trade-offs — e.g. decimating or band-limiting
+//! before transmission to cut TX power — this block provides a behavioural
+//! FIR conditioner plus a standard dynamic-power model:
+//!
+//! `P = α · N_taps · (2·C_logic·W²) · V_dd² · f_sample`
+//!
+//! i.e. each output sample costs `N_taps` multiply-accumulates, a `W`-bit
+//! MAC switching roughly `2·W²` gate capacitances (array multiplier bound).
+
+use efficsense_dsp::filter::FirFilter;
+use efficsense_power::breakdown::BlockKind;
+use efficsense_power::models::PowerModel;
+use efficsense_power::{DesignParams, TechnologyParams};
+
+/// Behavioural digital conditioner: FIR filtering with optional decimation.
+#[derive(Debug, Clone)]
+pub struct DspBlock {
+    filter: FirFilter,
+    /// Output keeps one of every `decimation` samples.
+    pub decimation: usize,
+    /// Datapath word width in bits (usually the ADC resolution).
+    pub word_bits: u32,
+    phase: usize,
+}
+
+impl DspBlock {
+    /// Creates a low-pass/decimate conditioner with `taps` coefficients,
+    /// cutting at `fc` Hz for input rate `fs`, keeping 1-in-`decimation`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decimation == 0` or filter design constraints are violated.
+    pub fn decimator(taps: usize, fc: f64, fs: f64, decimation: usize, word_bits: u32) -> Self {
+        assert!(decimation > 0, "decimation factor must be positive");
+        Self {
+            filter: FirFilter::lowpass(taps, fc, fs),
+            decimation,
+            word_bits,
+            phase: 0,
+        }
+    }
+
+    /// Processes one input sample; returns `Some(output)` on kept phases.
+    pub fn process(&mut self, x: f64) -> Option<f64> {
+        let y = self.filter.process(x);
+        let keep = self.phase == 0;
+        self.phase = (self.phase + 1) % self.decimation;
+        keep.then_some(y)
+    }
+
+    /// Processes a buffer, returning the decimated output.
+    pub fn process_buffer(&mut self, x: &[f64]) -> Vec<f64> {
+        x.iter().filter_map(|&v| self.process(v)).collect()
+    }
+
+    /// Number of filter taps.
+    pub fn taps(&self) -> usize {
+        self.filter.taps().len()
+    }
+
+    /// Output rate relative to input (1/decimation).
+    pub fn rate_ratio(&self) -> f64 {
+        1.0 / self.decimation as f64
+    }
+
+    /// The block's power model.
+    pub fn power_model(&self) -> DspPowerModel {
+        DspPowerModel { n_taps: self.taps(), word_bits: self.word_bits, alpha: 0.4 }
+    }
+}
+
+/// Dynamic-power model of a digital FIR datapath (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DspPowerModel {
+    /// Multiply-accumulates per output sample.
+    pub n_taps: usize,
+    /// Datapath word width (bits).
+    pub word_bits: u32,
+    /// Switching activity factor.
+    pub alpha: f64,
+}
+
+impl PowerModel for DspPowerModel {
+    fn kind(&self) -> BlockKind {
+        BlockKind::SarLogic // accounted with the digital logic group
+    }
+
+    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+        let w = self.word_bits as f64;
+        let c_mac = 2.0 * tech.c_logic_f * w * w;
+        self.alpha
+            * self.n_taps as f64
+            * c_mac
+            * design.v_dd
+            * design.v_dd
+            * design.f_sample_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efficsense_dsp::spectrum::sine;
+    use efficsense_dsp::stats::rms;
+
+    #[test]
+    fn decimation_reduces_rate() {
+        let mut d = DspBlock::decimator(31, 100.0, 1000.0, 4, 8);
+        let y = d.process_buffer(&vec![1.0; 400]);
+        assert_eq!(y.len(), 100);
+        assert!((d.rate_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_blocks_aliasing_band() {
+        let fs = 1000.0;
+        let mut d = DspBlock::decimator(101, 100.0, fs, 4, 8);
+        // 400 Hz would alias to 150 Hz at fs/4 without filtering.
+        let x = sine(4000, fs, 400.0, 1.0, 0.0);
+        let y = d.process_buffer(&x);
+        assert!(rms(&y[200..]) < 0.01);
+    }
+
+    #[test]
+    fn passband_preserved() {
+        let fs = 1000.0;
+        let mut d = DspBlock::decimator(101, 100.0, fs, 2, 8);
+        let x = sine(4000, fs, 20.0, 1.0, 0.0);
+        let y = d.process_buffer(&x);
+        let r = rms(&y[500..]);
+        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "rms {r}");
+    }
+
+    #[test]
+    fn power_scales_with_taps_and_width() {
+        let tech = TechnologyParams::gpdk045();
+        let design = DesignParams::paper_defaults(8);
+        let small = DspPowerModel { n_taps: 16, word_bits: 8, alpha: 0.4 };
+        let long = DspPowerModel { n_taps: 64, word_bits: 8, alpha: 0.4 };
+        let wide = DspPowerModel { n_taps: 16, word_bits: 16, alpha: 0.4 };
+        let p_small = small.power_w(&tech, &design);
+        assert!((long.power_w(&tech, &design) / p_small - 4.0).abs() < 1e-9);
+        assert!((wide.power_w(&tech, &design) / p_small - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dsp_power_is_sub_microwatt_at_paper_rates() {
+        // A 32-tap, 8-bit FIR at 537.6 Hz is a negligible budget item —
+        // consistent with the paper omitting a DSP row from Table II.
+        let tech = TechnologyParams::gpdk045();
+        let design = DesignParams::paper_defaults(8);
+        let p = DspBlock::decimator(32, 100.0, 537.6, 2, 8).power_model().power_w(&tech, &design);
+        assert!(p < 1e-7, "DSP power {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "decimation")]
+    fn rejects_zero_decimation() {
+        let _ = DspBlock::decimator(31, 100.0, 1000.0, 0, 8);
+    }
+}

@@ -1,0 +1,263 @@
+//! Behavioural LNA model (paper Fig. 3).
+//!
+//! Signal path: add input-referred white noise → amplify → single-pole
+//! low-pass at `BW_LNA` → 3rd-order soft nonlinearity → hard clipping at the
+//! supply rails.
+
+use efficsense_dsp::filter::OnePole;
+use efficsense_power::models::LnaModel;
+use efficsense_power::{DesignParams, TechnologyParams};
+use efficsense_signals::noise::Gaussian;
+
+/// Behavioural low-noise amplifier.
+///
+/// `noise_floor_vrms` is the input-referred noise integrated over the LNA
+/// bandwidth; the per-sample white-noise variance injected at the input is
+/// derived from it using the one-pole equivalent noise bandwidth, so the
+/// *output* integrated noise matches the specification irrespective of the
+/// simulation rate.
+#[derive(Debug, Clone)]
+pub struct Lna {
+    /// Closed-loop voltage gain.
+    pub gain: f64,
+    /// Input-referred integrated noise (V rms over `BW_LNA`).
+    pub noise_floor_vrms: f64,
+    /// −3 dB bandwidth (Hz).
+    pub bandwidth_hz: f64,
+    /// Third-order coefficient of the input nonlinearity
+    /// `v → v·(1 − k₃·(v/v_clip)²)` at the output; 0 disables it.
+    pub k3: f64,
+    /// Output clipping level (±V, typically `V_dd/2`).
+    pub v_clip: f64,
+    filter: OnePole,
+    noise: Gaussian,
+    sigma_per_sample: f64,
+}
+
+impl Lna {
+    /// Creates an LNA running at continuous-time proxy rate `f_ct` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless gain, noise floor, bandwidth, `f_ct` and `v_clip` are
+    /// positive.
+    pub fn new(
+        gain: f64,
+        noise_floor_vrms: f64,
+        bandwidth_hz: f64,
+        k3: f64,
+        v_clip: f64,
+        f_ct: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(gain > 0.0, "gain must be positive");
+        assert!(noise_floor_vrms > 0.0, "noise floor must be positive");
+        assert!(bandwidth_hz > 0.0 && f_ct > 0.0, "bandwidth and rate must be positive");
+        assert!(v_clip > 0.0, "clip level must be positive");
+        // One-pole equivalent noise bandwidth is (π/2)·f_c. White noise of
+        // density D over [0, f_ct/2] filtered by the pole integrates to
+        // D·(π/2)·f_c, so per-sample σ² = vn²/( (π/2)·f_c ) · (f_ct/2)
+        // yields exactly vn² integrated at the output (input-referred).
+        let enbw = std::f64::consts::FRAC_PI_2 * bandwidth_hz;
+        let density = noise_floor_vrms * noise_floor_vrms / enbw;
+        let sigma_per_sample = (density * f_ct / 2.0).sqrt();
+        Self {
+            gain,
+            noise_floor_vrms,
+            bandwidth_hz,
+            k3,
+            v_clip,
+            filter: OnePole::lowpass(bandwidth_hz, f_ct),
+            noise: Gaussian::new(seed),
+            sigma_per_sample,
+        }
+    }
+
+    /// Builds the LNA from the paper's design parameters:
+    /// bandwidth `3·BW_in`, clipping at `V_dd/2`.
+    pub fn from_design(
+        design: &DesignParams,
+        gain: f64,
+        noise_floor_vrms: f64,
+        k3: f64,
+        f_ct: f64,
+        seed: u64,
+    ) -> Self {
+        Self::new(
+            gain,
+            noise_floor_vrms,
+            design.bw_lna_hz(),
+            k3,
+            design.v_dd / 2.0,
+            f_ct,
+            seed,
+        )
+    }
+
+    /// Processes one continuous-time-proxy sample (volts in, volts out).
+    pub fn process(&mut self, v_in: f64) -> f64 {
+        let noisy = v_in + self.noise.sample_scaled(self.sigma_per_sample);
+        let amplified = self.filter.process(noisy) * self.gain;
+        let shaped = if self.k3 != 0.0 {
+            let u = amplified / self.v_clip;
+            amplified * (1.0 - self.k3 * u * u)
+        } else {
+            amplified
+        };
+        shaped.clamp(-self.v_clip, self.v_clip)
+    }
+
+    /// Processes a whole buffer.
+    pub fn process_buffer(&mut self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|&v| self.process(v)).collect()
+    }
+
+    /// Resets filter state (noise stream continues).
+    pub fn reset(&mut self) {
+        self.filter.reset();
+    }
+
+    /// The Table II power model bound to this block's design variables.
+    ///
+    /// `c_load_f` is the capacitance the LNA drives: the S&H capacitor in the
+    /// baseline chain, `C_hold` in the CS chain (paper Section III).
+    pub fn power_model(&self, c_load_f: f64) -> LnaModel {
+        LnaModel { noise_floor_vrms: self.noise_floor_vrms, c_load_f, gain: self.gain }
+    }
+
+    /// Convenience: power in watts.
+    pub fn power_w(&self, c_load_f: f64, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+        use efficsense_power::PowerModel as _;
+        self.power_model(c_load_f).power_w(tech, design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efficsense_dsp::spectrum::sine;
+    use efficsense_dsp::stats::{peak, rms, std_dev};
+
+    const F_CT: f64 = 8192.0;
+
+    fn quiet_lna(gain: f64) -> Lna {
+        Lna::new(gain, 1e-9, 768.0, 0.0, 1.0, F_CT, 1)
+    }
+
+    #[test]
+    fn amplifies_in_band_tone() {
+        let mut lna = quiet_lna(100.0);
+        let x = sine(16384, F_CT, 50.0, 1e-3, 0.0);
+        let y = lna.process_buffer(&x);
+        let g = rms(&y[4096..]) / rms(&x[4096..]);
+        assert!((g / 100.0 - 1.0).abs() < 0.02, "gain {g}");
+    }
+
+    #[test]
+    fn bandwidth_attenuates_out_of_band() {
+        let mut lna = quiet_lna(10.0);
+        // ~4x the 768 Hz pole (the discrete one-pole's attenuation saturates
+        // near Nyquist, so stay well inside the proxy band).
+        let x = sine(16384, F_CT, 3000.0, 1e-3, 0.0);
+        let y = lna.process_buffer(&x);
+        let g_out = rms(&y[4096..]) / rms(&x[4096..]);
+        // In-band reference for comparison.
+        let mut lna2 = quiet_lna(10.0);
+        let xin = sine(16384, F_CT, 50.0, 1e-3, 0.0);
+        let yin = lna2.process_buffer(&xin);
+        let g_in = rms(&yin[4096..]) / rms(&xin[4096..]);
+        assert!(g_out < 0.5 * g_in, "out-of-band {g_out} vs in-band {g_in}");
+    }
+
+    #[test]
+    fn output_noise_matches_specification() {
+        // 5 µV input-referred noise, gain 100 → 500 µV rms at the output.
+        let mut lna = Lna::new(100.0, 5e-6, 768.0, 0.0, 1.0, F_CT, 7);
+        let y = lna.process_buffer(&vec![0.0; 200_000]);
+        let measured = std_dev(&y[10_000..]);
+        assert!(
+            (measured / 500e-6 - 1.0).abs() < 0.1,
+            "output noise {measured} vs expected 500e-6"
+        );
+    }
+
+    #[test]
+    fn noise_spec_independent_of_sim_rate() {
+        for f_ct in [4096.0, 16384.0] {
+            let mut lna = Lna::new(100.0, 5e-6, 768.0, 0.0, 1.0, f_ct, 7);
+            let n = (f_ct * 20.0) as usize;
+            let y = lna.process_buffer(&vec![0.0; n]);
+            let measured = std_dev(&y[n / 10..]);
+            assert!(
+                (measured / 500e-6 - 1.0).abs() < 0.15,
+                "f_ct={f_ct}: noise {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn clipping_limits_output() {
+        let mut lna = quiet_lna(1000.0);
+        let x = sine(8192, F_CT, 50.0, 0.1, 0.0); // would be 100 V unclipped
+        let y = lna.process_buffer(&x);
+        assert!(peak(&y) <= 1.0 + 1e-12);
+        // Clipped sine spends time at the rails.
+        let railed = y.iter().filter(|v| v.abs() > 0.999).count();
+        assert!(railed > 100, "railed {railed}");
+    }
+
+    #[test]
+    fn nonlinearity_compresses_large_signals() {
+        let mut linear = Lna::new(10.0, 1e-9, 768.0, 0.0, 10.0, F_CT, 3);
+        let mut nonlin = Lna::new(10.0, 1e-9, 768.0, 0.3, 10.0, F_CT, 3);
+        let x = sine(16384, F_CT, 50.0, 0.5, 0.0);
+        let yl = linear.process_buffer(&x);
+        let yn = nonlin.process_buffer(&x);
+        assert!(rms(&yn[4096..]) < rms(&yl[4096..]));
+    }
+
+    #[test]
+    fn nonlinearity_generates_third_harmonic() {
+        use efficsense_dsp::metrics::thd_db;
+        let mut nonlin = Lna::new(1.0, 1e-12, 3000.0, 0.1, 10.0, F_CT, 3);
+        let f0 = 128.0;
+        let x = sine(32768, F_CT, f0, 1.0, 0.0);
+        let y = nonlin.process_buffer(&x);
+        // k₃·A³/(4·v_clip²) = 0.1/400 → 3rd harmonic ≈ −72 dB.
+        let thd = thd_db(&y[8192..], F_CT, f0, 5);
+        assert!(thd > -80.0 && thd < -60.0, "THD {thd} dB");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Lna::new(100.0, 2e-6, 768.0, 0.0, 1.0, F_CT, 9);
+        let mut b = Lna::new(100.0, 2e-6, 768.0, 0.0, 1.0, F_CT, 9);
+        let x = sine(512, F_CT, 50.0, 1e-3, 0.0);
+        assert_eq!(a.process_buffer(&x), b.process_buffer(&x));
+    }
+
+    #[test]
+    fn power_model_binding_uses_block_parameters() {
+        let lna = Lna::new(1000.0, 2e-6, 768.0, 0.0, 1.0, F_CT, 0);
+        let m = lna.power_model(1e-12);
+        assert_eq!(m.noise_floor_vrms, 2e-6);
+        assert_eq!(m.gain, 1000.0);
+        let tech = TechnologyParams::gpdk045();
+        let design = DesignParams::paper_defaults(8);
+        assert!(lna.power_w(1e-12, &tech, &design) > 0.0);
+    }
+
+    #[test]
+    fn from_design_uses_table_iii_relations() {
+        let design = DesignParams::paper_defaults(8);
+        let lna = Lna::from_design(&design, 500.0, 3e-6, 0.0, F_CT, 1);
+        assert_eq!(lna.bandwidth_hz, 768.0);
+        assert_eq!(lna.v_clip, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise floor")]
+    fn rejects_zero_noise() {
+        let _ = Lna::new(100.0, 0.0, 768.0, 0.0, 1.0, F_CT, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Sample-and-hold model: samples the continuous-time proxy at `f_sample`
+//! with kT/C thermal noise and optional aperture jitter.
+
+use efficsense_dsp::resample::sample_at;
+use efficsense_power::models::SampleHoldModel;
+use efficsense_power::{kt, DesignParams, TechnologyParams};
+use efficsense_signals::noise::Gaussian;
+
+/// Behavioural sample-and-hold.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    /// Output sample rate (Hz).
+    pub fs: f64,
+    /// Sampling capacitor (F) — sets the kT/C noise floor.
+    pub c_sample_f: f64,
+    /// RMS aperture jitter (s); 0 disables it.
+    pub jitter_s: f64,
+    noise: Gaussian,
+}
+
+impl Sampler {
+    /// Creates a sampler at `fs` Hz with sampling capacitor `c_sample_f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fs` and `c_sample_f` are positive and `jitter_s >= 0`.
+    pub fn new(fs: f64, c_sample_f: f64, jitter_s: f64, seed: u64) -> Self {
+        assert!(fs > 0.0, "sample rate must be positive");
+        assert!(c_sample_f > 0.0, "sampling capacitor must be positive");
+        assert!(jitter_s >= 0.0, "jitter must be non-negative");
+        Self { fs, c_sample_f, jitter_s, noise: Gaussian::new(seed) }
+    }
+
+    /// kT/C noise standard deviation (V) of one sample.
+    pub fn ktc_sigma(&self) -> f64 {
+        (kt() / self.c_sample_f).sqrt()
+    }
+
+    /// Samples a continuous-time proxy record (`x` at rate `f_ct`) at this
+    /// sampler's rate, returning the discrete-time samples.
+    pub fn sample(&mut self, x: &[f64], f_ct: f64) -> Vec<f64> {
+        assert!(f_ct > 0.0, "proxy rate must be positive");
+        let duration = x.len() as f64 / f_ct;
+        let n_out = (duration * self.fs).floor() as usize;
+        let sigma = self.ktc_sigma();
+        (0..n_out)
+            .map(|i| {
+                let mut t = i as f64 / self.fs;
+                if self.jitter_s > 0.0 {
+                    t += self.noise.sample_scaled(self.jitter_s);
+                }
+                sample_at(x, f_ct, t.max(0.0)) + self.noise.sample_scaled(sigma)
+            })
+            .collect()
+    }
+
+    /// The Table II power model for the S&H.
+    pub fn power_model(&self) -> SampleHoldModel {
+        SampleHoldModel
+    }
+
+    /// Convenience: power in watts.
+    pub fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+        use efficsense_power::PowerModel as _;
+        self.power_model().power_w(tech, design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efficsense_dsp::spectrum::sine;
+    use efficsense_dsp::stats::std_dev;
+
+    #[test]
+    fn output_length_matches_duration() {
+        let mut s = Sampler::new(537.6, 1e-12, 0.0, 1);
+        let x = vec![0.0; 8192];
+        let y = s.sample(&x, 8192.0); // 1 second
+        assert_eq!(y.len(), 537);
+    }
+
+    #[test]
+    fn ktc_sigma_value() {
+        let s = Sampler::new(537.6, 1e-12, 0.0, 1);
+        // kT/C at 1 pF, 300 K → ~64 µV.
+        let sigma = s.ktc_sigma();
+        assert!((sigma - 64e-6).abs() < 2e-6, "kT/C sigma {sigma}");
+    }
+
+    #[test]
+    fn samples_track_slow_signal() {
+        let f_ct = 8192.0;
+        let mut s = Sampler::new(537.6, 1e-9, 0.0, 2); // big cap → tiny noise
+        let x = sine(16384, f_ct, 10.0, 1.0, 0.0);
+        let y = s.sample(&x, f_ct);
+        let expect = sine(y.len(), 537.6, 10.0, 1.0, 0.0);
+        let err: f64 = y.iter().zip(&expect).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            / y.len() as f64;
+        assert!(err.sqrt() < 0.01, "tracking error {}", err.sqrt());
+    }
+
+    #[test]
+    fn noise_floor_follows_cap_size() {
+        let f_ct = 4096.0;
+        let x = vec![0.0; 40960];
+        let mut small = Sampler::new(537.6, 0.1e-12, 0.0, 3);
+        let mut large = Sampler::new(537.6, 10e-12, 0.0, 3);
+        let ys = small.sample(&x, f_ct);
+        let yl = large.sample(&x, f_ct);
+        let ratio = std_dev(&ys) / std_dev(&yl);
+        assert!((ratio - 10.0).abs() < 1.5, "noise ratio {ratio} (expect 10)");
+    }
+
+    #[test]
+    fn jitter_degrades_fast_signals_only() {
+        let f_ct = 65536.0;
+        let x_fast = sine(65536, f_ct, 200.0, 1.0, 0.0);
+        let jitter = 100e-6; // deliberately huge for visibility
+        let mut jittered = Sampler::new(537.6, 1e-9, jitter, 5);
+        let y = jittered.sample(&x_fast, f_ct);
+        let clean = sine(y.len(), 537.6, 200.0, 1.0, 0.0);
+        let err: Vec<f64> = y.iter().zip(&clean).map(|(a, b)| a - b).collect();
+        // Predicted jitter error rms ≈ 2π·f·σ_t·A/√2.
+        let predicted = std::f64::consts::TAU * 200.0 * jitter / 2f64.sqrt();
+        let measured = std_dev(&err);
+        assert!((measured / predicted - 1.0).abs() < 0.4, "{measured} vs {predicted}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = sine(8192, 8192.0, 20.0, 1.0, 0.0);
+        let mut a = Sampler::new(537.6, 1e-12, 1e-6, 11);
+        let mut b = Sampler::new(537.6, 1e-12, 1e-6, 11);
+        assert_eq!(a.sample(&x, 8192.0), b.sample(&x, 8192.0));
+    }
+
+    #[test]
+    fn power_positive() {
+        let s = Sampler::new(537.6, 1e-12, 0.0, 0);
+        let p = s.power_w(&TechnologyParams::gpdk045(), &DesignParams::paper_defaults(8));
+        assert!(p > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitor")]
+    fn rejects_zero_cap() {
+        let _ = Sampler::new(537.6, 0.0, 0.0, 0);
+    }
+}

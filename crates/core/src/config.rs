@@ -1,0 +1,239 @@
+//! System architecture description (the paper's "Step 1").
+
+use efficsense_blocks::cs_frontend::EncoderImperfections;
+use efficsense_cs::basis::Basis;
+use efficsense_power::{DesignParams, TechnologyParams};
+
+/// The two system architectures compared by the paper (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Classical chain: LNA → S/H → SAR ADC → transmitter.
+    Baseline,
+    /// Passive charge-sharing CS chain: LNA → CS encoder → SAR ADC → TX.
+    CompressiveSensing,
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Architecture::Baseline => f.write_str("baseline"),
+            Architecture::CompressiveSensing => f.write_str("cs"),
+        }
+    }
+}
+
+/// LNA design variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LnaConfig {
+    /// Closed-loop gain.
+    pub gain: f64,
+    /// Input-referred noise floor (V rms over the LNA bandwidth) — the
+    /// paper's 1–20 µV sweep axis.
+    pub noise_floor_vrms: f64,
+    /// Third-order nonlinearity coefficient (0 = linear).
+    pub k3: f64,
+}
+
+impl Default for LnaConfig {
+    fn default() -> Self {
+        Self { gain: 4000.0, noise_floor_vrms: 3e-6, k3: 0.01 }
+    }
+}
+
+/// SAR ADC design variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdcConfig {
+    /// DAC unit capacitor (F).
+    pub c_u_f: f64,
+    /// Comparator input-referred noise (V rms per decision).
+    pub comparator_noise_v: f64,
+    /// Comparator offset (V).
+    pub comparator_offset_v: f64,
+}
+
+impl Default for AdcConfig {
+    fn default() -> Self {
+        Self { c_u_f: 1e-15, comparator_noise_v: 100e-6, comparator_offset_v: 0.0 }
+    }
+}
+
+/// Compressive-sensing front-end design variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsConfig {
+    /// Measurements per frame `M` (Table III: 75 / 150 / 192).
+    pub m: usize,
+    /// Frame length `N_Φ` (Table III: 384).
+    pub n_phi: usize,
+    /// Ones per sensing-matrix column (s-SRBM `s`).
+    pub s: usize,
+    /// Sample capacitor (F).
+    pub c_sample_f: f64,
+    /// Hold capacitor (F).
+    pub c_hold_f: f64,
+    /// Sparsifying basis used by the decoder.
+    pub basis: Basis,
+    /// OMP sparsity budget per frame.
+    pub omp_sparsity: usize,
+    /// Which encoder imperfections to simulate.
+    pub imperfections: EncoderImperfections,
+}
+
+impl Default for CsConfig {
+    fn default() -> Self {
+        Self {
+            m: 150,
+            n_phi: 384,
+            s: 2,
+            c_sample_f: 0.1e-12,
+            c_hold_f: 0.5e-12,
+            basis: Basis::Dct,
+            omp_sparsity: 48,
+            imperfections: EncoderImperfections::realistic(),
+        }
+    }
+}
+
+/// Complete description of one candidate system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Shared Table III design parameters (rates, voltages, resolution).
+    pub design: DesignParams,
+    /// Extracted technology parameters.
+    pub tech: TechnologyParams,
+    /// LNA variables.
+    pub lna: LnaConfig,
+    /// ADC variables.
+    pub adc: AdcConfig,
+    /// CS front-end variables; `None` selects the baseline architecture.
+    pub cs: Option<CsConfig>,
+    /// Continuous-time proxy oversampling relative to `f_sample`.
+    pub ct_oversample: f64,
+    /// Master noise/mismatch seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// Paper-default baseline system at the given resolution.
+    pub fn baseline(n_bits: u32) -> Self {
+        Self {
+            design: DesignParams::paper_defaults(n_bits),
+            tech: TechnologyParams::gpdk045(),
+            lna: LnaConfig::default(),
+            adc: AdcConfig::default(),
+            cs: None,
+            ct_oversample: 8.0,
+            seed: 0xEFF1,
+        }
+    }
+
+    /// Paper-default compressive-sensing system at the given resolution.
+    pub fn compressive(n_bits: u32, cs: CsConfig) -> Self {
+        Self { cs: Some(cs), ..Self::baseline(n_bits) }
+    }
+
+    /// Which architecture this config describes.
+    pub fn architecture(&self) -> Architecture {
+        if self.cs.is_some() {
+            Architecture::CompressiveSensing
+        } else {
+            Architecture::Baseline
+        }
+    }
+
+    /// Continuous-time proxy rate (Hz).
+    pub fn f_ct_hz(&self) -> f64 {
+        self.ct_oversample * self.design.f_sample_hz()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        self.design.validate()?;
+        if self.lna.gain <= 0.0 {
+            return Err("LNA gain must be positive".into());
+        }
+        if self.lna.noise_floor_vrms <= 0.0 {
+            return Err("LNA noise floor must be positive".into());
+        }
+        if self.adc.c_u_f < self.tech.c_u_min_f {
+            return Err(format!(
+                "DAC unit cap {} below technology minimum {}",
+                self.adc.c_u_f, self.tech.c_u_min_f
+            ));
+        }
+        if self.ct_oversample < 2.0 {
+            return Err("continuous-time proxy must oversample by at least 2".into());
+        }
+        if let Some(cs) = &self.cs {
+            if cs.m == 0 || cs.m > cs.n_phi {
+                return Err(format!("need 0 < M <= N_Φ, got M={} N_Φ={}", cs.m, cs.n_phi));
+            }
+            if cs.s == 0 || cs.s > cs.m {
+                return Err(format!("need 0 < s <= M, got s={} M={}", cs.s, cs.m));
+            }
+            if !(cs.c_sample_f > 0.0 && cs.c_hold_f > 0.0) {
+                return Err("CS capacitors must be positive".into());
+            }
+            if cs.omp_sparsity == 0 || cs.omp_sparsity > cs.m {
+                return Err(format!(
+                    "OMP sparsity must be in 1..=M, got {} (M={})",
+                    cs.omp_sparsity, cs.m
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::baseline(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_detection() {
+        assert_eq!(SystemConfig::baseline(8).architecture(), Architecture::Baseline);
+        let cs = SystemConfig::compressive(8, CsConfig::default());
+        assert_eq!(cs.architecture(), Architecture::CompressiveSensing);
+        assert_eq!(Architecture::Baseline.to_string(), "baseline");
+        assert_eq!(Architecture::CompressiveSensing.to_string(), "cs");
+    }
+
+    #[test]
+    fn defaults_validate() {
+        SystemConfig::baseline(6).validate().expect("baseline valid");
+        SystemConfig::baseline(8).validate().expect("baseline valid");
+        SystemConfig::compressive(8, CsConfig::default()).validate().expect("cs valid");
+    }
+
+    #[test]
+    fn f_ct_is_oversampled() {
+        let c = SystemConfig::baseline(8);
+        assert!((c.f_ct_hz() - 8.0 * 537.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_cs() {
+        let mut cfg = SystemConfig::compressive(8, CsConfig { m: 500, ..Default::default() });
+        assert!(cfg.validate().unwrap_err().contains("M <= N_Φ"));
+        cfg = SystemConfig::compressive(8, CsConfig { s: 0, ..Default::default() });
+        assert!(cfg.validate().is_err());
+        cfg = SystemConfig::compressive(8, CsConfig { omp_sparsity: 0, ..Default::default() });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_lna() {
+        let mut cfg = SystemConfig::baseline(8);
+        cfg.lna.noise_floor_vrms = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Result reporting: CSV export and plain-text tables.
+
+use crate::sweep::SweepResult;
+use efficsense_power::BlockKind;
+use std::io::Write;
+
+/// Writes sweep results as CSV (one row per design point).
+///
+/// Columns: label, architecture, lna_noise_uvrms, n_bits, m, s, c_hold_pf,
+/// metric, power_uw, area_units, then one column per block kind (µW).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result<()> {
+    write!(
+        w,
+        "label,architecture,lna_noise_uvrms,n_bits,m,s,c_hold_pf,metric,power_uw,area_units"
+    )?;
+    for k in BlockKind::ALL {
+        write!(w, ",{}_uw", slug(k))?;
+    }
+    writeln!(w)?;
+    for r in results {
+        let p = &r.point;
+        write!(
+            w,
+            "{},{},{:.4},{},{},{},{},{:.6},{:.6},{:.1}",
+            p.label(),
+            p.architecture,
+            p.lna_noise_vrms * 1e6,
+            p.n_bits,
+            p.m.map_or(String::new(), |v| v.to_string()),
+            p.s.map_or(String::new(), |v| v.to_string()),
+            p.c_hold_f.map_or(String::new(), |v| format!("{:.2}", v * 1e12)),
+            r.metric,
+            r.power_w * 1e6,
+            r.area_units
+        )?;
+        for k in BlockKind::ALL {
+            write!(w, ",{:.6}", r.breakdown.get(k) * 1e6)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+fn slug(k: BlockKind) -> &'static str {
+    match k {
+        BlockKind::Lna => "lna",
+        BlockKind::SampleHold => "sh",
+        BlockKind::Comparator => "comparator",
+        BlockKind::SarLogic => "sar_logic",
+        BlockKind::Dac => "dac",
+        BlockKind::Transmitter => "tx",
+        BlockKind::CsEncoderLogic => "cs_logic",
+        BlockKind::Leakage => "leakage",
+    }
+}
+
+/// Formats results as an aligned plain-text table.
+pub fn text_table(results: &[SweepResult]) -> String {
+    let mut s = format!(
+        "{:<28} {:>10} {:>12} {:>12}\n",
+        "design point", "metric", "power (µW)", "area (C_u)"
+    );
+    for r in results {
+        s.push_str(&format!(
+            "{:<28} {:>10.4} {:>12.4} {:>12.0}\n",
+            r.point.label(),
+            r.metric,
+            r.power_w * 1e6,
+            r.area_units
+        ));
+    }
+    s
+}
+
+/// Writes a simple two-column CSV series (for single-axis figures).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_series<W: Write>(
+    mut w: W,
+    x_name: &str,
+    y_name: &str,
+    series: &[(f64, f64)],
+) -> std::io::Result<()> {
+    writeln!(w, "{x_name},{y_name}")?;
+    for (x, y) in series {
+        writeln!(w, "{x:.9},{y:.9}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Architecture;
+    use crate::space::DesignPoint;
+    use efficsense_power::PowerBreakdown;
+
+    fn sample_result() -> SweepResult {
+        let mut b = PowerBreakdown::new();
+        b.add(BlockKind::Lna, 1e-6);
+        b.add(BlockKind::Transmitter, 4.3e-6);
+        SweepResult {
+            point: DesignPoint {
+                architecture: Architecture::CompressiveSensing,
+                lna_noise_vrms: 3e-6,
+                n_bits: 8,
+                m: Some(75),
+                s: Some(2),
+                c_hold_f: Some(1e-12),
+            },
+            metric: 0.993,
+            power_w: 5.3e-6,
+            breakdown: b,
+            area_units: 75000.0,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[sample_result()]).expect("write to vec succeeds");
+        let s = String::from_utf8(buf).expect("valid utf8");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("label,architecture"));
+        assert!(lines[0].contains("lna_uw"));
+        assert!(lines[1].contains("cs_n8"));
+        assert!(lines[1].contains("0.993"));
+    }
+
+    #[test]
+    fn csv_block_columns_match_breakdown() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[sample_result()]).expect("write succeeds");
+        let s = String::from_utf8(buf).expect("valid utf8");
+        let header: Vec<&str> = s.lines().next().expect("header").split(',').collect();
+        let row: Vec<&str> = s.lines().nth(1).expect("row").split(',').collect();
+        assert_eq!(header.len(), row.len());
+        let lna_idx = header.iter().position(|h| *h == "lna_uw").expect("lna column");
+        assert!((row[lna_idx].parse::<f64>().expect("number") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_table_contains_label() {
+        let t = text_table(&[sample_result()]);
+        assert!(t.contains("cs_n8"));
+        assert!(t.contains("metric"));
+    }
+
+    #[test]
+    fn series_roundtrip() {
+        let mut buf = Vec::new();
+        write_series(&mut buf, "x", "y", &[(1.0, 2.0), (3.0, 4.0)]).expect("write succeeds");
+        let s = String::from_utf8(buf).expect("valid utf8");
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.starts_with("x,y\n"));
+    }
+}

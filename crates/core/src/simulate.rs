@@ -1,0 +1,541 @@
+//! End-to-end system simulation (functional + power, simultaneously).
+
+use crate::config::{Architecture, SystemConfig};
+use efficsense_blocks::{ChargeSharingEncoder, Lna, Sampler, SarAdc, Transmitter};
+use efficsense_cs::linalg::Matrix;
+use efficsense_cs::matrix::SensingMatrix;
+use efficsense_cs::recon::{reconstruct_with_dictionary, OmpConfig};
+use efficsense_dsp::resample::{resample_linear, sample_at};
+use efficsense_dsp::stats::rms;
+use efficsense_power::area::AreaModel;
+use efficsense_power::models::SampleHoldModel;
+use efficsense_power::{PowerBreakdown, PowerModel};
+
+/// The result of simulating one record through a candidate system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutput {
+    /// The acquired signal referred back to the sensor input (V), at
+    /// `f_sample`. For the CS architecture this is the reconstruction.
+    pub input_referred: Vec<f64>,
+    /// The clean input resampled to `f_sample` and trimmed to the same
+    /// length — the reference for SNR-style metrics.
+    pub reference: Vec<f64>,
+    /// Output sample rate (Hz).
+    pub fs_out: f64,
+    /// Per-block power estimate of the configuration (W).
+    pub power: PowerBreakdown,
+    /// Total capacitor count in multiples of `C_u,min` (the Fig. 9 x-axis).
+    pub area_units: f64,
+    /// Data words sent to the transmitter for this record.
+    pub words: u64,
+}
+
+impl SimOutput {
+    /// Total power (W).
+    pub fn total_power_w(&self) -> f64 {
+        self.power.total_w()
+    }
+}
+
+/// Executes a [`SystemConfig`] on input records.
+///
+/// The simulator precomputes everything that is fixed per design point
+/// (sensing matrix, effective-matrix dictionary); [`Simulator::run`] then
+/// processes one record. Mismatch draws are fixed per simulator (one "chip"),
+/// noise streams vary with the `noise_seed` so repeated records see fresh
+/// noise.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SystemConfig,
+    /// CS only: the sensing schedule.
+    phi: Option<SensingMatrix>,
+    /// CS only: precomputed decoder dictionary `A = Φ_eff·Ψ`.
+    dictionary: Option<Matrix>,
+    /// CS only: mean over rows of `Σ_j w_rj²` of the effective matrix —
+    /// the per-measurement noise gain used by the discrepancy stopping rule.
+    mean_row_w2: f64,
+}
+
+impl Simulator {
+    /// Builds a simulator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure message for invalid configs.
+    pub fn new(cfg: SystemConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let (phi, dictionary, mean_row_w2) = if let Some(cs) = &cfg.cs {
+            let phi = SensingMatrix::srbm(cs.m, cs.n_phi, cs.s, cfg.seed ^ 0x5EB1);
+            // Leakage-aware decoding: the droop is set by design constants
+            // (τ = C_hold·V_ref/I_leak), so the decoder folds it into the
+            // effective matrix alongside the Eq. (1) weights. Only the
+            // random imperfections (mismatch, kT/C) stay unmodelled.
+            let decay = if cs.imperfections.leakage {
+                let tau = cs.c_hold_f * cfg.design.v_ref / cfg.tech.i_leak_a;
+                (-(1.0 / cfg.design.f_sample_hz()) / tau).exp()
+            } else {
+                1.0
+            };
+            let eff = efficsense_cs::charge_sharing::effective_matrix_decayed(
+                &phi,
+                cs.c_sample_f,
+                cs.c_hold_f,
+                decay,
+            );
+            let psi = cs.basis.matrix(cs.n_phi);
+            let mean_row_w2 = (0..eff.rows())
+                .map(|r| eff.row(r).iter().map(|w| w * w).sum::<f64>())
+                .sum::<f64>()
+                / eff.rows() as f64;
+            let a = eff.matmul(&psi);
+            (Some(phi), Some(a), mean_row_w2)
+        } else {
+            (None, None, 0.0)
+        };
+        Ok(Self { cfg, phi, dictionary, mean_row_w2 })
+    }
+
+    /// The configuration under simulation.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Baseline S&H capacitor (F): the kT/C bound clamped to the technology
+    /// minimum — at biomedical resolutions matching, not noise, sets the cap.
+    fn sh_cap_f(&self) -> f64 {
+        self.cfg.design.c_sample_bound_f().max(self.cfg.tech.c_u_min_f)
+    }
+
+    /// Capacitance loading the LNA: S&H cap (baseline) or `C_hold` (CS).
+    pub fn lna_load_f(&self) -> f64 {
+        match &self.cfg.cs {
+            Some(cs) => cs.c_hold_f,
+            None => self.sh_cap_f(),
+        }
+    }
+
+    /// Simulates one record (`input` at `fs_in` Hz). `noise_seed` decorrelates
+    /// the noise streams between records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is empty, `fs_in <= 0`, or (CS only) the record is
+    /// shorter than one `N_Φ`-sample frame at `f_sample`.
+    pub fn run(&self, input: &[f64], fs_in: f64, noise_seed: u64) -> SimOutput {
+        assert!(!input.is_empty(), "cannot simulate an empty record");
+        assert!(fs_in > 0.0, "input rate must be positive");
+        if let Some(cs) = &self.cfg.cs {
+            let n_samples =
+                (input.len() as f64 / fs_in * self.cfg.design.f_sample_hz()) as usize;
+            assert!(
+                n_samples >= cs.n_phi,
+                "record too short for the CS architecture: {n_samples} samples at f_sample \
+                 but one frame needs N_Φ = {}",
+                cs.n_phi
+            );
+        }
+        let cfg = &self.cfg;
+        let f_ct = cfg.f_ct_hz();
+        let f_s = cfg.design.f_sample_hz();
+        // Step 1: continuous-time proxy.
+        let ct = resample_linear(input, fs_in, f_ct);
+        // Step 2: LNA (fresh instance; noise varies with the record).
+        let mut lna = Lna::from_design(
+            &cfg.design,
+            cfg.lna.gain,
+            cfg.lna.noise_floor_vrms,
+            cfg.lna.k3,
+            f_ct,
+            cfg.seed ^ noise_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let amplified = lna.process_buffer(&ct);
+        // Step 3: architecture-specific acquisition.
+        let (acquired, words, adc_in_rms) = match cfg.architecture() {
+            Architecture::Baseline => self.acquire_baseline(&amplified, f_ct, noise_seed),
+            Architecture::CompressiveSensing => self.acquire_cs(&amplified, f_ct, noise_seed),
+        };
+        // Refer back to the sensor input.
+        let input_referred: Vec<f64> = acquired.iter().map(|v| v / cfg.lna.gain).collect();
+        // Reference: clean input at f_sample, trimmed to the output length.
+        let mut reference: Vec<f64> = (0..input_referred.len())
+            .map(|i| sample_at(input, fs_in, i as f64 / f_s))
+            .collect();
+        reference.truncate(input_referred.len());
+        let power = self.power_breakdown(adc_in_rms);
+        let area_units = self.area_units();
+        SimOutput { input_referred, reference, fs_out: f_s, power, area_units, words }
+    }
+
+    fn acquire_baseline(
+        &self,
+        amplified: &[f64],
+        f_ct: f64,
+        noise_seed: u64,
+    ) -> (Vec<f64>, u64, f64) {
+        let cfg = &self.cfg;
+        let mut sampler = Sampler::new(
+            cfg.design.f_sample_hz(),
+            self.sh_cap_f(),
+            0.0,
+            cfg.seed ^ noise_seed ^ 0x5A5A,
+        );
+        let sampled = sampler.sample(amplified, f_ct);
+        let mut adc = SarAdc::new(
+            cfg.design.n_bits,
+            cfg.design.v_fs,
+            cfg.adc.c_u_f,
+            cfg.adc.comparator_noise_v,
+            cfg.adc.comparator_offset_v,
+            &cfg.tech,
+            cfg.seed,
+        );
+        let shifted_rms = rms(&sampled.iter().map(|v| v + cfg.design.v_fs / 2.0).collect::<Vec<_>>());
+        let out = adc.process_buffer(&sampled);
+        let words = out.len() as u64;
+        (out, words, shifted_rms)
+    }
+
+    fn acquire_cs(&self, amplified: &[f64], f_ct: f64, noise_seed: u64) -> (Vec<f64>, u64, f64) {
+        let cfg = &self.cfg;
+        let cs = cfg.cs.as_ref().expect("CS path requires CS config");
+        let phi = self.phi.as_ref().expect("sensing matrix precomputed");
+        let dict = self.dictionary.as_ref().expect("dictionary precomputed");
+        let f_s = cfg.design.f_sample_hz();
+        // The encoder's own sample caps do the sampling; take ideal instants.
+        let duration = amplified.len() as f64 / f_ct;
+        let n_samples = (duration * f_s).floor() as usize;
+        let sampled: Vec<f64> =
+            (0..n_samples).map(|i| sample_at(amplified, f_ct, i as f64 / f_s)).collect();
+        let mut encoder = ChargeSharingEncoder::new(
+            phi.clone(),
+            cs.c_sample_f,
+            cs.c_hold_f,
+            1.0 / f_s,
+            cs.imperfections,
+            &cfg.tech,
+            &cfg.design,
+            cfg.seed ^ noise_seed.rotate_left(17),
+        );
+        let mut adc = SarAdc::new(
+            cfg.design.n_bits,
+            cfg.design.v_fs,
+            cfg.adc.c_u_f,
+            cfg.adc.comparator_noise_v,
+            cfg.adc.comparator_offset_v,
+            &cfg.tech,
+            cfg.seed,
+        );
+        // Discrepancy-principle stopping (Morozov): the designer knows the
+        // front-end noise level, so the decoder stops fitting once the
+        // residual reaches the expected measurement noise instead of fitting
+        // noise into spurious atoms. Per-measurement noise variance:
+        //   (vn·gain)²·Σw²  (sampled LNA noise through the weights)
+        // + σ_kTC²·Σw²      (per-share sampling noise)
+        // + LSB²/12         (measurement quantisation).
+        let sampled_noise = cfg.lna.noise_floor_vrms * cfg.lna.gain;
+        let ktc_var = if cs.imperfections.ktc_noise {
+            efficsense_power::kt() / cs.c_sample_f
+        } else {
+            0.0
+        };
+        let lsb = cfg.design.lsb();
+        let meas_noise_var = (sampled_noise * sampled_noise + ktc_var) * self.mean_row_w2
+            + lsb * lsb / 12.0;
+        let noise_norm = (meas_noise_var * cs.m as f64).sqrt();
+        let mut out = Vec::with_capacity(n_samples);
+        let mut words = 0u64;
+        let mut rms_acc = 0.0;
+        let mut rms_n = 0usize;
+        for frame in sampled.chunks_exact(cs.n_phi) {
+            let measurements = encoder.encode_frame(frame);
+            // Digitise the measurements.
+            let digitised: Vec<f64> = measurements.iter().map(|&v| adc.process(v)).collect();
+            words += digitised.len() as u64;
+            for &v in &digitised {
+                rms_acc += (v + cfg.design.v_fs / 2.0).powi(2);
+                rms_n += 1;
+            }
+            let y_norm = efficsense_cs::linalg::norm2(&digitised).max(1e-300);
+            let omp = OmpConfig {
+                sparsity: cs.omp_sparsity,
+                residual_tol: (noise_norm / y_norm).clamp(1e-4, 0.9),
+            };
+            // Decode with the nominal dictionary (the decoder does not know
+            // the mismatch/kTC realisation).
+            let xh = reconstruct_with_dictionary(dict, &digitised, cs.basis, &omp);
+            out.extend(xh);
+        }
+        let adc_in_rms = if rms_n > 0 { (rms_acc / rms_n as f64).sqrt() } else { 0.0 };
+        (out, words, adc_in_rms)
+    }
+
+    /// Assembles the Table II power breakdown for this configuration.
+    ///
+    /// `adc_in_rms` is the measured RMS at the converter input (unipolar
+    /// frame), feeding the signal-dependent DAC switching model.
+    pub fn power_breakdown(&self, adc_in_rms: f64) -> PowerBreakdown {
+        let cfg = &self.cfg;
+        let mut b = PowerBreakdown::new();
+        // LNA.
+        let lna = Lna::from_design(
+            &cfg.design,
+            cfg.lna.gain,
+            cfg.lna.noise_floor_vrms,
+            cfg.lna.k3,
+            cfg.f_ct_hz(),
+            0,
+        );
+        b.add(
+            efficsense_power::BlockKind::Lna,
+            lna.power_w(self.lna_load_f(), &cfg.tech, &cfg.design),
+        );
+        // ADC (comparator + SAR logic + DAC).
+        let adc = SarAdc::new(
+            cfg.design.n_bits,
+            cfg.design.v_fs,
+            cfg.adc.c_u_f,
+            cfg.adc.comparator_noise_v,
+            cfg.adc.comparator_offset_v,
+            &cfg.tech,
+            cfg.seed,
+        );
+        b = b.merged(&adc.power_breakdown(adc_in_rms, &cfg.tech, &cfg.design));
+        match &cfg.cs {
+            None => {
+                // S&H plus Nyquist-rate transmission.
+                b.add(
+                    efficsense_power::BlockKind::SampleHold,
+                    SampleHoldModel.power_w(&cfg.tech, &cfg.design),
+                );
+                let tx = Transmitter::baseline(&cfg.design);
+                b.add(efficsense_power::BlockKind::Transmitter, tx.power_w(&cfg.tech, &cfg.design));
+            }
+            Some(cs) => {
+                let phi = self.phi.as_ref().expect("precomputed");
+                let enc = ChargeSharingEncoder::new(
+                    phi.clone(),
+                    cs.c_sample_f,
+                    cs.c_hold_f,
+                    1.0 / cfg.design.f_sample_hz(),
+                    cs.imperfections,
+                    &cfg.tech,
+                    &cfg.design,
+                    cfg.seed,
+                );
+                b = b.merged(&enc.power_breakdown(&cfg.tech, &cfg.design));
+                let tx = Transmitter::compressive(&cfg.design, cs.m, cs.n_phi);
+                b.add(efficsense_power::BlockKind::Transmitter, tx.power_w(&cfg.tech, &cfg.design));
+            }
+        }
+        b
+    }
+
+    /// A human-readable specification sheet of this design point: the
+    /// architecture, its Table III parameters, the estimated per-block power
+    /// at a nominal mid-scale input, area, and data rate.
+    pub fn spec_sheet(&self) -> String {
+        use std::fmt::Write as _;
+        let cfg = &self.cfg;
+        let mut s = String::new();
+        let _ = writeln!(s, "EffiCSense design point — {} architecture", cfg.architecture());
+        let _ = writeln!(s, "--------------------------------------------------");
+        let _ = writeln!(
+            s,
+            "ADC: {} bit SAR @ {:.1} Hz (f_clk {:.1} Hz), V_FS {} V",
+            cfg.design.n_bits,
+            cfg.design.f_sample_hz(),
+            cfg.design.f_clk_hz(),
+            cfg.design.v_fs
+        );
+        let _ = writeln!(
+            s,
+            "LNA: gain {:.0}, noise floor {:.2} µVrms, BW {:.0} Hz",
+            cfg.lna.gain,
+            cfg.lna.noise_floor_vrms * 1e6,
+            cfg.design.bw_lna_hz()
+        );
+        if let Some(cs) = &cfg.cs {
+            let _ = writeln!(
+                s,
+                "CS encoder: M {} / N_Φ {} (s = {}), C_sample {:.2} pF, C_hold {:.2} pF, basis {}",
+                cs.m,
+                cs.n_phi,
+                cs.s,
+                cs.c_sample_f * 1e12,
+                cs.c_hold_f * 1e12,
+                cs.basis
+            );
+            let _ = writeln!(
+                s,
+                "decoder: OMP k = {}, leakage-aware effective matrix",
+                cs.omp_sparsity
+            );
+        }
+        let _ = writeln!(s, "area: {:.0} C_u,min", self.area_units());
+        let _ = writeln!(s, "power @ mid-scale input:");
+        let _ = write!(s, "{}", self.power_breakdown(cfg.design.v_fs / 2.0));
+        s
+    }
+
+    /// Total capacitor count in `C_u,min` multiples (Fig. 9 x-axis).
+    pub fn area_units(&self) -> f64 {
+        let cfg = &self.cfg;
+        let model = match &cfg.cs {
+            None => AreaModel::baseline(&cfg.tech, &cfg.design, cfg.adc.c_u_f),
+            Some(cs) => AreaModel::compressive(
+                &cfg.tech,
+                &cfg.design,
+                cfg.adc.c_u_f,
+                cs.m,
+                cs.s,
+                cs.c_hold_f,
+                cs.c_sample_f,
+            ),
+        };
+        model.total_units(&cfg.tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CsConfig;
+    use efficsense_dsp::metrics::snr_fit_db;
+    use efficsense_dsp::spectrum::sine;
+
+    fn eeg_like_tone(fs: f64, seconds: f64) -> Vec<f64> {
+        // 8 Hz, 100 µV: inside every band of interest.
+        sine((fs * seconds) as usize, fs, 8.0, 100e-6, 0.3)
+    }
+
+    #[test]
+    fn baseline_acquires_tone_with_good_snr() {
+        let mut cfg = SystemConfig::baseline(8);
+        cfg.lna.noise_floor_vrms = 1e-6;
+        let sim = Simulator::new(cfg).expect("valid");
+        let x = eeg_like_tone(173.61, 4.0);
+        let out = sim.run(&x, 173.61, 1);
+        assert_eq!(out.fs_out, 537.6);
+        assert_eq!(out.input_referred.len(), out.reference.len());
+        let snr = snr_fit_db(&out.reference, &out.input_referred);
+        assert!(snr > 20.0, "baseline SNR {snr} dB");
+    }
+
+    #[test]
+    fn baseline_snr_degrades_with_lna_noise() {
+        let x = eeg_like_tone(173.61, 4.0);
+        let snr_at = |noise: f64| {
+            let mut cfg = SystemConfig::baseline(8);
+            cfg.lna.noise_floor_vrms = noise;
+            let sim = Simulator::new(cfg).expect("valid");
+            let out = sim.run(&x, 173.61, 1);
+            snr_fit_db(&out.reference, &out.input_referred)
+        };
+        let quiet = snr_at(1e-6);
+        let noisy = snr_at(20e-6);
+        assert!(quiet > noisy + 10.0, "quiet {quiet} vs noisy {noisy}");
+    }
+
+    #[test]
+    fn cs_reconstructs_tone() {
+        let mut cfg = SystemConfig::compressive(8, CsConfig::default());
+        cfg.lna.noise_floor_vrms = 2e-6;
+        let sim = Simulator::new(cfg).expect("valid");
+        let x = eeg_like_tone(173.61, 4.0);
+        let out = sim.run(&x, 173.61, 1);
+        // 4 s → 2150 samples → 5 full frames of 384.
+        assert_eq!(out.input_referred.len(), 5 * 384);
+        let snr = snr_fit_db(&out.reference, &out.input_referred);
+        assert!(snr > 8.0, "CS reconstruction SNR {snr} dB");
+    }
+
+    #[test]
+    fn cs_sends_fewer_words_than_baseline() {
+        let x = eeg_like_tone(173.61, 4.0);
+        let base = Simulator::new(SystemConfig::baseline(8)).expect("valid").run(&x, 173.61, 0);
+        let cs_cfg = CsConfig { m: 75, ..Default::default() };
+        let cs = Simulator::new(SystemConfig::compressive(8, cs_cfg))
+            .expect("valid")
+            .run(&x, 173.61, 0);
+        assert!(cs.words * 4 < base.words, "cs {} vs baseline {}", cs.words, base.words);
+    }
+
+    #[test]
+    fn cs_transmitter_power_lower_baseline_logic_higher() {
+        let x = eeg_like_tone(173.61, 4.0);
+        let base = Simulator::new(SystemConfig::baseline(8)).expect("valid").run(&x, 173.61, 0);
+        let cs = Simulator::new(SystemConfig::compressive(8, CsConfig { m: 75, ..Default::default() }))
+            .expect("valid")
+            .run(&x, 173.61, 0);
+        use efficsense_power::BlockKind::*;
+        assert!(cs.power.get(Transmitter) < 0.3 * base.power.get(Transmitter));
+        assert!(cs.power.get(CsEncoderLogic) > base.power.get(CsEncoderLogic));
+    }
+
+    #[test]
+    fn cs_area_much_larger() {
+        let base = Simulator::new(SystemConfig::baseline(8)).expect("valid");
+        let cs = Simulator::new(SystemConfig::compressive(8, CsConfig::default())).expect("valid");
+        assert!(cs.area_units() > 10.0 * base.area_units());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x = eeg_like_tone(173.61, 2.0);
+        let sim = Simulator::new(SystemConfig::baseline(8)).expect("valid");
+        assert_eq!(sim.run(&x, 173.61, 7), sim.run(&x, 173.61, 7));
+    }
+
+    #[test]
+    fn different_noise_seeds_differ() {
+        let x = eeg_like_tone(173.61, 2.0);
+        let sim = Simulator::new(SystemConfig::baseline(8)).expect("valid");
+        assert_ne!(
+            sim.run(&x, 173.61, 1).input_referred,
+            sim.run(&x, 173.61, 2).input_referred
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = SystemConfig::baseline(8);
+        cfg.lna.gain = -1.0;
+        assert!(Simulator::new(cfg).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "record too short")]
+    fn cs_rejects_sub_frame_records() {
+        let sim = Simulator::new(SystemConfig::compressive(8, CsConfig::default())).expect("valid");
+        // 0.5 s at 537.6 Hz is only 268 samples < N_Φ = 384.
+        let x = eeg_like_tone(173.61, 0.5);
+        let _ = sim.run(&x, 173.61, 1);
+    }
+
+    #[test]
+    fn spec_sheet_mentions_key_parameters() {
+        let sim =
+            Simulator::new(SystemConfig::compressive(8, CsConfig::default())).expect("valid");
+        let sheet = sim.spec_sheet();
+        assert!(sheet.contains("cs architecture"));
+        assert!(sheet.contains("8 bit SAR"));
+        assert!(sheet.contains("M 150 / N_Φ 384"));
+        assert!(sheet.contains("TOTAL"));
+        let base = Simulator::new(SystemConfig::baseline(6)).expect("valid");
+        let sheet = base.spec_sheet();
+        assert!(sheet.contains("baseline architecture"));
+        assert!(sheet.contains("6 bit SAR"));
+        assert!(!sheet.contains("CS encoder"));
+    }
+
+    #[test]
+    fn power_breakdown_dominated_by_tx_or_lna_baseline() {
+        let sim = Simulator::new(SystemConfig::baseline(8)).expect("valid");
+        let b = sim.power_breakdown(1.0);
+        use efficsense_power::BlockKind::*;
+        let dom = b.dominant().expect("non-empty");
+        assert!(dom == Transmitter || dom == Lna, "dominant {dom}");
+        // Total in the paper's µW regime.
+        assert!((1e-6..1e-4).contains(&b.total_w()), "total {}", b.total_w());
+    }
+}

@@ -1,0 +1,255 @@
+//! Design-space definition and enumeration (the sweep axes of Table III).
+
+use crate::config::{Architecture, CsConfig, SystemConfig};
+
+/// One evaluated point of the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Which architecture this point instantiates.
+    pub architecture: Architecture,
+    /// LNA input-referred noise floor (V rms).
+    pub lna_noise_vrms: f64,
+    /// ADC resolution (bits).
+    pub n_bits: u32,
+    /// CS only: measurements per frame.
+    pub m: Option<usize>,
+    /// CS only: sensing-matrix column sparsity.
+    pub s: Option<usize>,
+    /// CS only: hold capacitor (F).
+    pub c_hold_f: Option<f64>,
+}
+
+impl DesignPoint {
+    /// Instantiates the full system configuration for this point, starting
+    /// from `template` (which carries the fixed parameters).
+    pub fn to_config(&self, template: &SystemConfig) -> SystemConfig {
+        let mut cfg = template.clone();
+        cfg.design.n_bits = self.n_bits;
+        cfg.lna.noise_floor_vrms = self.lna_noise_vrms;
+        cfg.cs = match self.architecture {
+            Architecture::Baseline => None,
+            Architecture::CompressiveSensing => {
+                let base = template.cs.clone().unwrap_or_default();
+                let m = self.m.unwrap_or(base.m);
+                // OMP is only well-posed for supports well below M; cap the
+                // decoder's sparsity budget at 2M/5 (≥ 8) so small-M points
+                // don't overfit measurement noise.
+                let omp_sparsity = base.omp_sparsity.min((2 * m / 5).max(8));
+                Some(CsConfig {
+                    m,
+                    s: self.s.unwrap_or(base.s),
+                    c_hold_f: self.c_hold_f.unwrap_or(base.c_hold_f),
+                    omp_sparsity,
+                    ..base
+                })
+            }
+        };
+        cfg
+    }
+
+    /// A short stable label for reports, e.g. `cs_n8_vn3.0u_m150_s2`.
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "{}_n{}_vn{:.1}u",
+            self.architecture,
+            self.n_bits,
+            self.lna_noise_vrms * 1e6
+        );
+        if let (Some(m), Some(sp)) = (self.m, self.s) {
+            s.push_str(&format!("_m{m}_s{sp}"));
+        }
+        if let Some(ch) = self.c_hold_f {
+            s.push_str(&format!("_ch{:.1}p", ch * 1e12));
+        }
+        s
+    }
+}
+
+/// A grid design space over both architectures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// LNA noise floors to sweep (V rms). Table III: 1–20 µV.
+    pub lna_noise_vrms: Vec<f64>,
+    /// ADC resolutions to sweep. Table III: 6–8 bits.
+    pub n_bits: Vec<u32>,
+    /// Include baseline points.
+    pub include_baseline: bool,
+    /// CS measurement counts. Table III: 75, 150, 192 (with N_Φ = 384).
+    pub cs_m: Vec<usize>,
+    /// CS column sparsities.
+    pub cs_s: Vec<usize>,
+    /// CS hold capacitors (F).
+    pub cs_c_hold_f: Vec<f64>,
+    /// Template carrying all non-swept parameters.
+    pub template: SystemConfig,
+}
+
+impl DesignSpace {
+    /// The paper's Table III search space: noise 1–20 µV (log grid),
+    /// N ∈ {6, 7, 8}, M ∈ {75, 150, 192}, plus s and C_hold axes.
+    pub fn paper_defaults() -> Self {
+        Self {
+            lna_noise_vrms: log_grid(1e-6, 20e-6, 8),
+            n_bits: vec![6, 7, 8],
+            include_baseline: true,
+            cs_m: vec![75, 150, 192],
+            cs_s: vec![2],
+            cs_c_hold_f: vec![0.5e-12],
+            template: SystemConfig::compressive(8, CsConfig::default()),
+        }
+    }
+
+    /// A reduced space for fast CI runs (4 noise points, N ∈ {6, 8},
+    /// M ∈ {75, 192}).
+    pub fn reduced() -> Self {
+        Self {
+            lna_noise_vrms: log_grid(1e-6, 20e-6, 4),
+            n_bits: vec![6, 8],
+            cs_m: vec![75, 192],
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Enumerates every design point (baseline grid first, then CS grid).
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let mut pts = Vec::new();
+        if self.include_baseline {
+            for &vn in &self.lna_noise_vrms {
+                for &n in &self.n_bits {
+                    pts.push(DesignPoint {
+                        architecture: Architecture::Baseline,
+                        lna_noise_vrms: vn,
+                        n_bits: n,
+                        m: None,
+                        s: None,
+                        c_hold_f: None,
+                    });
+                }
+            }
+        }
+        for &vn in &self.lna_noise_vrms {
+            for &n in &self.n_bits {
+                for &m in &self.cs_m {
+                    for &s in &self.cs_s {
+                        for &ch in &self.cs_c_hold_f {
+                            pts.push(DesignPoint {
+                                architecture: Architecture::CompressiveSensing,
+                                lna_noise_vrms: vn,
+                                n_bits: n,
+                                m: Some(m),
+                                s: Some(s),
+                                c_hold_f: Some(ch),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        pts
+    }
+
+    /// Number of points the grid will enumerate.
+    pub fn len(&self) -> usize {
+        let base = if self.include_baseline {
+            self.lna_noise_vrms.len() * self.n_bits.len()
+        } else {
+            0
+        };
+        base + self.lna_noise_vrms.len()
+            * self.n_bits.len()
+            * self.cs_m.len()
+            * self.cs_s.len()
+            * self.cs_c_hold_f.len()
+    }
+
+    /// `true` when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Logarithmically spaced grid of `n` points from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo <= hi` and `n >= 2`.
+pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi >= lo, "need 0 < lo <= hi");
+    assert!(n >= 2, "need at least two grid points");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_grid_endpoints() {
+        let g = log_grid(1e-6, 20e-6, 8);
+        assert_eq!(g.len(), 8);
+        assert!((g[0] - 1e-6).abs() < 1e-12);
+        assert!((g[7] - 20e-6).abs() < 1e-10);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn paper_space_point_count() {
+        let s = DesignSpace::paper_defaults();
+        // 8 noise x 3 bits baseline = 24; 8 x 3 x 3 x 1 x 1 CS = 72.
+        assert_eq!(s.len(), 96);
+        assert_eq!(s.points().len(), 96);
+    }
+
+    #[test]
+    fn reduced_space_is_smaller() {
+        let r = DesignSpace::reduced();
+        assert!(r.len() < DesignSpace::paper_defaults().len());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn points_instantiate_valid_configs() {
+        let s = DesignSpace::reduced();
+        for p in s.points() {
+            let cfg = p.to_config(&s.template);
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", p.label()));
+            assert_eq!(cfg.architecture(), p.architecture);
+            assert_eq!(cfg.design.n_bits, p.n_bits);
+            assert_eq!(cfg.lna.noise_floor_vrms, p.lna_noise_vrms);
+        }
+    }
+
+    #[test]
+    fn cs_points_carry_cs_axes() {
+        let s = DesignSpace::paper_defaults();
+        let cs_points: Vec<_> = s
+            .points()
+            .into_iter()
+            .filter(|p| p.architecture == Architecture::CompressiveSensing)
+            .collect();
+        assert!(cs_points.iter().all(|p| p.m.is_some() && p.s.is_some()));
+        let cfg = cs_points[0].to_config(&s.template);
+        assert_eq!(cfg.cs.as_ref().map(|c| c.n_phi), Some(384));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let s = DesignSpace::paper_defaults();
+        let mut labels: Vec<String> = s.points().iter().map(|p| p.label()).collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid points")]
+    fn log_grid_rejects_single_point() {
+        let _ = log_grid(1.0, 2.0, 1);
+    }
+}

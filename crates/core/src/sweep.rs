@@ -1,0 +1,256 @@
+//! Parallel design-space sweep engine.
+
+use crate::config::Architecture;
+use crate::goal::{DetectionGoal, GoalFunction, SnrGoal};
+use crate::simulate::{SimOutput, Simulator};
+use crate::space::{DesignPoint, DesignSpace};
+use efficsense_power::PowerBreakdown;
+use efficsense_signals::EegDataset;
+
+/// Which quality metrics to compute per design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Reference-based SNR (Fig. 7a).
+    Snr,
+    /// Seizure detection accuracy (Fig. 7b). Trains a detector first.
+    DetectionAccuracy,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Metric to report in [`SweepResult::metric`].
+    pub metric: Metric,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Detector training seed (DetectionAccuracy only).
+    pub detector_seed: u64,
+    /// Detection decision window in seconds (DetectionAccuracy only);
+    /// 0 classifies whole records. Default 2 s — the windowed-segment scheme
+    /// of the EEG deep-learning literature.
+    pub epoch_s: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { metric: Metric::DetectionAccuracy, threads: 0, detector_seed: 0xD0D0, epoch_s: 2.0 }
+    }
+}
+
+/// The evaluation of one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// The evaluated point.
+    pub point: DesignPoint,
+    /// Quality metric (higher is better): dB for SNR, fraction for accuracy.
+    pub metric: f64,
+    /// Total power (W).
+    pub power_w: f64,
+    /// Per-block power breakdown.
+    pub breakdown: PowerBreakdown,
+    /// Capacitor area in `C_u,min` units.
+    pub area_units: f64,
+}
+
+/// Parallel sweep runner.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    config: SweepConfig,
+}
+
+impl Sweep {
+    /// Creates a sweep runner.
+    pub fn new(config: SweepConfig) -> Self {
+        Self { config }
+    }
+
+    /// Evaluates every point of `space` over `dataset`, in parallel.
+    ///
+    /// Each record passes through the simulated front-end; the configured
+    /// metric aggregates the outputs. Results keep the enumeration order of
+    /// [`DesignSpace::points`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space or dataset is empty, or a point fails validation.
+    pub fn run(&self, space: &DesignSpace, dataset: &EegDataset) -> Vec<SweepResult> {
+        assert!(!space.is_empty(), "design space is empty");
+        assert!(!dataset.is_empty(), "dataset is empty");
+        // Train the detector once (shared across threads, read-only).
+        let goal: Box<dyn GoalFunction + Sync> = match self.config.metric {
+            Metric::Snr => Box::new(SnrGoal),
+            Metric::DetectionAccuracy => {
+                let fs = space.template.design.f_sample_hz();
+                let detector = if self.config.epoch_s > 0.0 {
+                    crate::detector::SeizureDetector::train_epoched(
+                        dataset,
+                        fs,
+                        self.config.epoch_s,
+                        self.config.detector_seed,
+                    )
+                } else {
+                    crate::detector::SeizureDetector::train(
+                        dataset,
+                        fs,
+                        self.config.detector_seed,
+                    )
+                };
+                Box::new(DetectionGoal::new(detector))
+            }
+        };
+        let points = space.points();
+        let n_threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.config.threads
+        }
+        .min(points.len());
+        let mut results: Vec<Option<SweepResult>> = vec![None; points.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let goal_ref: &(dyn GoalFunction + Sync) = goal.as_ref();
+        let results_mutex = std::sync::Mutex::new(&mut results);
+        crossbeam::scope(|scope| {
+            for _ in 0..n_threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let r = evaluate_point(&points[i], space, dataset, goal_ref);
+                    let mut guard = results_mutex.lock().expect("no poisoned workers");
+                    guard[i] = Some(r);
+                });
+            }
+        })
+        .expect("sweep workers do not panic");
+        results
+            .into_iter()
+            .map(|r| r.expect("every point evaluated"))
+            .collect()
+    }
+}
+
+/// Evaluates a single design point (exposed for targeted experiments).
+pub fn evaluate_point(
+    point: &DesignPoint,
+    space: &DesignSpace,
+    dataset: &EegDataset,
+    goal: &(dyn GoalFunction + Sync),
+) -> SweepResult {
+    let cfg = point.to_config(&space.template);
+    let sim = Simulator::new(cfg).unwrap_or_else(|e| panic!("{}: {e}", point.label()));
+    let outputs: Vec<(SimOutput, usize)> = dataset
+        .records
+        .iter()
+        .map(|rec| {
+            let out = sim.run(&rec.samples, rec.fs, rec.id as u64 + 1);
+            (out, rec.label())
+        })
+        .collect();
+    let metric = goal.evaluate(&outputs);
+    let breakdown = outputs[0].0.power.clone();
+    let area_units = outputs[0].0.area_units;
+    SweepResult {
+        point: point.clone(),
+        metric,
+        power_w: breakdown.total_w(),
+        breakdown,
+        area_units,
+    }
+}
+
+/// Splits results by architecture: `(baseline, compressive)`.
+pub fn split_by_architecture(results: &[SweepResult]) -> (Vec<&SweepResult>, Vec<&SweepResult>) {
+    let base = results
+        .iter()
+        .filter(|r| r.point.architecture == Architecture::Baseline)
+        .collect();
+    let cs = results
+        .iter()
+        .filter(|r| r.point.architecture == Architecture::CompressiveSensing)
+        .collect();
+    (base, cs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efficsense_signals::DatasetConfig;
+
+    fn tiny_dataset() -> EegDataset {
+        EegDataset::generate(&DatasetConfig {
+            records_per_class: 2,
+            duration_s: 2.0,
+            ..Default::default()
+        })
+    }
+
+    fn tiny_space() -> DesignSpace {
+        DesignSpace {
+            lna_noise_vrms: vec![2e-6, 10e-6],
+            n_bits: vec![8],
+            cs_m: vec![96],
+            cs_s: vec![2],
+            cs_c_hold_f: vec![1e-12],
+            ..DesignSpace::paper_defaults()
+        }
+    }
+
+    #[test]
+    fn snr_sweep_covers_all_points() {
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let sweep = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 2, detector_seed: 0, ..Default::default() });
+        let results = sweep.run(&space, &ds);
+        assert_eq!(results.len(), space.len());
+        // Order preserved.
+        for (r, p) in results.iter().zip(space.points()) {
+            assert_eq!(r.point, p);
+        }
+        assert!(results.iter().all(|r| r.power_w > 0.0 && r.metric.is_finite()));
+    }
+
+    #[test]
+    fn lower_noise_gives_better_snr_and_more_power_baseline() {
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let sweep = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 2, detector_seed: 0, ..Default::default() });
+        let results = sweep.run(&space, &ds);
+        let (base, _) = split_by_architecture(&results);
+        let quiet = base.iter().find(|r| r.point.lna_noise_vrms < 5e-6).expect("quiet point");
+        let noisy = base.iter().find(|r| r.point.lna_noise_vrms > 5e-6).expect("noisy point");
+        assert!(quiet.metric > noisy.metric, "quiet SNR {} vs {}", quiet.metric, noisy.metric);
+        assert!(quiet.power_w > noisy.power_w, "quiet should cost more power");
+    }
+
+    #[test]
+    fn single_threaded_matches_parallel() {
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let one = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 1, detector_seed: 0, ..Default::default() })
+            .run(&space, &ds);
+        let many = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 4, detector_seed: 0, ..Default::default() })
+            .run(&space, &ds);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn split_by_architecture_partitions() {
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let results = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 2, detector_seed: 0, ..Default::default() })
+            .run(&space, &ds);
+        let (base, cs) = split_by_architecture(&results);
+        assert_eq!(base.len() + cs.len(), results.len());
+        assert!(base.iter().all(|r| r.point.architecture == Architecture::Baseline));
+        assert!(cs.iter().all(|r| r.point.architecture == Architecture::CompressiveSensing));
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset is empty")]
+    fn rejects_empty_dataset() {
+        let ds = EegDataset { records: vec![], config: DatasetConfig::default() };
+        let space = tiny_space();
+        let _ = Sweep::new(SweepConfig::default()).run(&space, &ds);
+    }
+}

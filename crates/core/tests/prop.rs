@@ -1,0 +1,158 @@
+//! Property-based tests for the framework layer (configs, design space,
+//! reporting).
+
+use efficsense_core::config::{Architecture, CsConfig, SystemConfig};
+use efficsense_core::report;
+use efficsense_core::space::{log_grid, DesignPoint, DesignSpace};
+use efficsense_core::sweep::SweepResult;
+use efficsense_power::PowerBreakdown;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn log_grid_is_sorted_and_bounded(
+        lo_exp in -7.0f64..-4.0,
+        span in 0.1f64..2.0,
+        n in 2usize..32,
+    ) {
+        let lo = 10f64.powf(lo_exp);
+        let hi = lo * 10f64.powf(span);
+        let g = log_grid(lo, hi, n);
+        prop_assert_eq!(g.len(), n);
+        prop_assert!((g[0] - lo).abs() < 1e-12 * lo);
+        prop_assert!((g[n - 1] - hi).abs() < 1e-9 * hi);
+        for w in g.windows(2) {
+            prop_assert!(w[1] > w[0]);
+            // Log spacing: constant ratio.
+            let r0 = g[1] / g[0];
+            prop_assert!((w[1] / w[0] - r0).abs() < 1e-9 * r0);
+        }
+    }
+
+    #[test]
+    fn design_space_point_count_matches_len(
+        n_noise in 1usize..5,
+        n_bits in 1usize..3,
+        n_m in 1usize..3,
+        include_baseline in any::<bool>(),
+    ) {
+        let space = DesignSpace {
+            lna_noise_vrms: (0..n_noise).map(|i| 1e-6 * (i + 1) as f64).collect(),
+            n_bits: (0..n_bits).map(|i| 6 + i as u32).collect(),
+            include_baseline,
+            cs_m: (0..n_m).map(|i| 75 + 50 * i).collect(),
+            cs_s: vec![2],
+            cs_c_hold_f: vec![0.5e-12],
+            template: SystemConfig::compressive(8, CsConfig::default()),
+        };
+        prop_assert_eq!(space.points().len(), space.len());
+    }
+
+    #[test]
+    fn every_point_yields_valid_config(
+        noise in 1e-6f64..20e-6,
+        bits in 6u32..9,
+        m_idx in 0usize..3,
+    ) {
+        let m = [75, 150, 192][m_idx];
+        let template = SystemConfig::compressive(8, CsConfig::default());
+        for arch in [Architecture::Baseline, Architecture::CompressiveSensing] {
+            let p = DesignPoint {
+                architecture: arch,
+                lna_noise_vrms: noise,
+                n_bits: bits,
+                m: Some(m),
+                s: Some(2),
+                c_hold_f: Some(0.5e-12),
+            };
+            let cfg = p.to_config(&template);
+            prop_assert!(cfg.validate().is_ok(), "{}: {:?}", p.label(), cfg.validate());
+            prop_assert_eq!(cfg.architecture(), arch);
+        }
+    }
+
+    #[test]
+    fn omp_budget_never_exceeds_m(m in 8usize..384) {
+        let template = SystemConfig::compressive(8, CsConfig::default());
+        let p = DesignPoint {
+            architecture: Architecture::CompressiveSensing,
+            lna_noise_vrms: 2e-6,
+            n_bits: 8,
+            m: Some(m),
+            s: Some(2),
+            c_hold_f: Some(0.5e-12),
+        };
+        let cfg = p.to_config(&template);
+        let cs = cfg.cs.expect("cs point");
+        prop_assert!(cs.omp_sparsity <= cs.m, "sparsity {} > M {}", cs.omp_sparsity, cs.m);
+        prop_assert!(cs.omp_sparsity >= 1);
+    }
+
+    #[test]
+    fn csv_roundtrip_for_random_results(
+        rows in proptest::collection::vec(
+            (1e-7f64..1e-4, 0.0f64..1.0, 0.0f64..1e6, 6u32..9),
+            1..20
+        )
+    ) {
+        let results: Vec<SweepResult> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(noise, metric, area, bits))| {
+                let mut b = PowerBreakdown::new();
+                b.add(efficsense_power::BlockKind::Lna, noise * 1e3);
+                SweepResult {
+                    point: DesignPoint {
+                        architecture: if i % 2 == 0 {
+                            Architecture::Baseline
+                        } else {
+                            Architecture::CompressiveSensing
+                        },
+                        lna_noise_vrms: noise,
+                        n_bits: bits,
+                        m: (i % 2 == 1).then_some(75),
+                        s: (i % 2 == 1).then_some(2),
+                        c_hold_f: (i % 2 == 1).then_some(0.5e-12),
+                    },
+                    metric,
+                    power_w: b.total_w(),
+                    breakdown: b,
+                    area_units: area,
+                }
+            })
+            .collect();
+        let mut buf = Vec::new();
+        report::write_csv(&mut buf, &results).expect("writes");
+        let text = String::from_utf8(buf).expect("utf8");
+        // The CSV must have a line per result plus the header.
+        prop_assert_eq!(text.lines().count(), results.len() + 1);
+        // And every row must have exactly the header's column count.
+        let cols = text.lines().next().expect("header").split(',').count();
+        for line in text.lines().skip(1) {
+            prop_assert_eq!(line.split(',').count(), cols);
+        }
+    }
+
+    #[test]
+    fn labels_injective_over_grid(
+        noise_a in 1.0f64..20.0,
+        noise_b in 1.0f64..20.0,
+        bits_a in 6u32..9,
+        bits_b in 6u32..9,
+    ) {
+        let p = |noise: f64, bits: u32| DesignPoint {
+            architecture: Architecture::Baseline,
+            lna_noise_vrms: noise * 1e-6,
+            n_bits: bits,
+            m: None,
+            s: None,
+            c_hold_f: None,
+        };
+        let a = p(noise_a, bits_a);
+        let b = p(noise_b, bits_b);
+        // Labels round noise to 0.1 µV — equality below that is acceptable.
+        if (noise_a - noise_b).abs() > 0.11 || bits_a != bits_b {
+            prop_assert_ne!(a.label(), b.label());
+        }
+    }
+}

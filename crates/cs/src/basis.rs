@@ -1,0 +1,377 @@
+//! Sparsifying bases for reconstruction.
+//!
+//! EEG frames are compressible in frequency-like bases; the decoder models
+//! `x = Ψ·s` with `s` sparse. Provided: orthonormal DCT-II, periodic Haar
+//! and Daubechies-4 wavelets, and the identity (for already-sparse signals).
+
+use crate::linalg::Matrix;
+
+/// An orthonormal sparsifying basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Basis {
+    /// Identity basis (signal itself is sparse).
+    Identity,
+    /// Orthonormal DCT-II — the default for EEG.
+    #[default]
+    Dct,
+    /// Periodic Haar wavelet (maximum depth allowed by the length).
+    Haar,
+    /// Periodic Daubechies-4 wavelet (maximum depth allowed by the length).
+    Db4,
+}
+
+impl Basis {
+    /// Analysis transform `s = Ψᵀ·x` (coefficients of `x` in the basis).
+    pub fn analyze(self, x: &[f64]) -> Vec<f64> {
+        match self {
+            Basis::Identity => x.to_vec(),
+            Basis::Dct => dct_ii(x),
+            Basis::Haar => dwt_analyze(x, &HAAR_H),
+            Basis::Db4 => dwt_analyze(x, &DB4_H),
+        }
+    }
+
+    /// Synthesis transform `x = Ψ·s`.
+    pub fn synthesize(self, s: &[f64]) -> Vec<f64> {
+        match self {
+            Basis::Identity => s.to_vec(),
+            Basis::Dct => dct_iii(s),
+            Basis::Haar => dwt_synthesize(s, &HAAR_H),
+            Basis::Db4 => dwt_synthesize(s, &DB4_H),
+        }
+    }
+
+    /// Dense synthesis matrix `Ψ` (columns are atoms) of size `n × n`.
+    pub fn matrix(self, n: usize) -> Matrix {
+        match self {
+            Basis::Identity => Matrix::identity(n),
+            // DCT entries in closed form — much cheaper than synthesising
+            // n unit vectors (this runs once per design point in sweeps).
+            Basis::Dct => {
+                let nf = n as f64;
+                let w0 = (1.0 / nf).sqrt();
+                let wk = (2.0 / nf).sqrt();
+                let mut psi = Matrix::zeros(n, n);
+                for i in 0..n {
+                    for k in 0..n {
+                        let w = if k == 0 { w0 } else { wk };
+                        psi[(i, k)] = w
+                            * (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k as f64
+                                / (2.0 * nf))
+                                .cos();
+                    }
+                }
+                psi
+            }
+            _ => {
+                let mut psi = Matrix::zeros(n, n);
+                let mut e = vec![0.0; n];
+                for k in 0..n {
+                    e[k] = 1.0;
+                    let atom = self.synthesize(&e);
+                    for (r, &v) in atom.iter().enumerate() {
+                        psi[(r, k)] = v;
+                    }
+                    e[k] = 0.0;
+                }
+                psi
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Basis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Basis::Identity => "identity",
+            Basis::Dct => "dct",
+            Basis::Haar => "haar",
+            Basis::Db4 => "db4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Orthonormal DCT-II (analysis).
+fn dct_ii(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n > 0, "cannot transform an empty signal");
+    let nf = n as f64;
+    (0..n)
+        .map(|k| {
+            let w = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+            let sum: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * nf)).cos())
+                .sum();
+            w * sum
+        })
+        .collect()
+}
+
+/// Orthonormal DCT-III (synthesis; inverse of [`dct_ii`]).
+fn dct_iii(s: &[f64]) -> Vec<f64> {
+    let n = s.len();
+    assert!(n > 0, "cannot transform an empty signal");
+    let nf = n as f64;
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|k| {
+                    let w = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+                    w * s[k]
+                        * (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * nf)).cos()
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Haar scaling filter.
+const HAAR_H: [f64; 2] = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+
+/// Daubechies-4 scaling filter (orthonormal).
+const DB4_H: [f64; 4] = [
+    0.482_962_913_144_690_3,  // (1+√3)/(4√2)
+    0.836_516_303_737_807_9,  // (3+√3)/(4√2)
+    0.224_143_868_042_013_4,  // (3−√3)/(4√2)
+    -0.129_409_522_551_260_37, // (1−√3)/(4√2)
+];
+
+fn wavelet_g<const L: usize>(h: &[f64; L]) -> [f64; L] {
+    // Quadrature mirror: g[i] = (−1)^i · h[L−1−i].
+    let mut g = [0.0; L];
+    for (i, gi) in g.iter_mut().enumerate() {
+        *gi = if i % 2 == 0 { h[L - 1 - i] } else { -h[L - 1 - i] };
+    }
+    g
+}
+
+/// One periodic analysis level: returns (approximation, detail).
+fn dwt_level<const L: usize>(x: &[f64], h: &[f64; L]) -> (Vec<f64>, Vec<f64>) {
+    let n = x.len();
+    debug_assert!(n.is_multiple_of(2));
+    let g = wavelet_g(h);
+    let half = n / 2;
+    let mut a = vec![0.0; half];
+    let mut d = vec![0.0; half];
+    for k in 0..half {
+        let mut sa = 0.0;
+        let mut sd = 0.0;
+        for i in 0..L {
+            let idx = (2 * k + i) % n;
+            sa += h[i] * x[idx];
+            sd += g[i] * x[idx];
+        }
+        a[k] = sa;
+        d[k] = sd;
+    }
+    (a, d)
+}
+
+/// One periodic synthesis level from (approximation, detail).
+fn idwt_level<const L: usize>(a: &[f64], d: &[f64], h: &[f64; L]) -> Vec<f64> {
+    let half = a.len();
+    let n = half * 2;
+    let g = wavelet_g(h);
+    let mut x = vec![0.0; n];
+    // Transpose of the analysis operator (orthonormal → inverse).
+    for k in 0..half {
+        for i in 0..L {
+            let idx = (2 * k + i) % n;
+            x[idx] += h[i] * a[k] + g[i] * d[k];
+        }
+    }
+    x
+}
+
+fn max_levels(n: usize) -> usize {
+    let mut levels = 0;
+    let mut m = n;
+    while m.is_multiple_of(2) && m >= 4 {
+        m /= 2;
+        levels += 1;
+    }
+    levels
+}
+
+/// Full-depth periodic DWT analysis. Coefficient layout:
+/// `[a_deepest | d_deepest | d_(deepest-1) | … | d_1]`.
+fn dwt_analyze<const L: usize>(x: &[f64], h: &[f64; L]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n > 0, "cannot transform an empty signal");
+    let levels = max_levels(n);
+    if levels == 0 {
+        return x.to_vec();
+    }
+    let mut details: Vec<Vec<f64>> = Vec::new();
+    let mut a = x.to_vec();
+    for _ in 0..levels {
+        let (na, d) = dwt_level(&a, h);
+        details.push(d);
+        a = na;
+    }
+    let mut out = a;
+    for d in details.into_iter().rev() {
+        // Deepest detail first (smallest), shallowest last.
+        out.extend(d);
+    }
+    // Reorder: we want [a | d_deep ... d_shallow]; the loop above appended
+    // d_deep last-in-first-out, giving exactly that order.
+    out
+}
+
+/// Inverse of [`dwt_analyze`].
+fn dwt_synthesize<const L: usize>(s: &[f64], h: &[f64; L]) -> Vec<f64> {
+    let n = s.len();
+    assert!(n > 0, "cannot transform an empty signal");
+    let levels = max_levels(n);
+    if levels == 0 {
+        return s.to_vec();
+    }
+    let base = n >> levels;
+    let mut a = s[..base].to_vec();
+    let mut offset = base;
+    for _ in 0..levels {
+        let d = &s[offset..offset + a.len()];
+        a = idwt_level(&a, d, h);
+        offset += a.len() / 2;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::dot;
+
+    fn roundtrip(basis: Basis, n: usize) {
+        let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.013).sin()).collect();
+        let s = basis.analyze(&x);
+        let y = basis.synthesize(&s);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-10, "{basis}: roundtrip error {}", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn roundtrips_power_of_two() {
+        for basis in [Basis::Identity, Basis::Dct, Basis::Haar, Basis::Db4] {
+            roundtrip(basis, 64);
+        }
+    }
+
+    #[test]
+    fn roundtrips_paper_frame_length() {
+        // 384 = 2^7 · 3: DCT is exact, wavelets stop at depth 7.
+        for basis in [Basis::Dct, Basis::Haar, Basis::Db4] {
+            roundtrip(basis, 384);
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_energy() {
+        let n = 128;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let ex = dot(&x, &x);
+        for basis in [Basis::Dct, Basis::Haar, Basis::Db4] {
+            let s = basis.analyze(&x);
+            let es = dot(&s, &s);
+            assert!((ex - es).abs() < 1e-9 * ex, "{basis}: energy {es} vs {ex}");
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_is_single_coefficient() {
+        let x = vec![1.0; 32];
+        let s = Basis::Dct.analyze(&x);
+        assert!((s[0] - 32f64.sqrt()).abs() < 1e-10);
+        assert!(s[1..].iter().all(|v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn dct_sparsifies_cosine() {
+        let n = 128;
+        // A cosine aligned with DCT atom k has one dominant coefficient.
+        let k0 = 9usize;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k0 as f64 / (2.0 * n as f64)).cos())
+            .collect();
+        let s = Basis::Dct.analyze(&x);
+        let peak = s[k0].abs();
+        for (k, v) in s.iter().enumerate() {
+            if k != k0 {
+                assert!(v.abs() < 1e-9 * peak.max(1.0), "leakage at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn haar_of_constant_concentrates_in_approximation() {
+        let x = vec![2.0; 64];
+        let s = Basis::Haar.analyze(&x);
+        // All details are zero; approximation carries everything.
+        let approx_energy: f64 = s[..4].iter().map(|v| v * v).sum();
+        let total: f64 = s.iter().map(|v| v * v).sum();
+        assert!((approx_energy - total).abs() < 1e-12 * total);
+    }
+
+    #[test]
+    fn db4_kills_linear_ramps_in_details() {
+        // Db4 has two vanishing moments: details of a linear ramp vanish
+        // (away from the periodic wrap-around).
+        let n = 64;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let (_, d) = dwt_level(&x, &DB4_H);
+        // Interior detail coefficients are ~0; boundary ones feel the wrap.
+        for &v in &d[1..d.len() - 2] {
+            assert!(v.abs() < 1e-9, "detail {v}");
+        }
+    }
+
+    #[test]
+    fn basis_matrix_is_orthonormal() {
+        for basis in [Basis::Dct, Basis::Haar, Basis::Db4] {
+            let n = 32;
+            let psi = basis.matrix(n);
+            let gram = psi.transpose().matmul(&psi);
+            for i in 0..n {
+                for j in 0..n {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (gram[(i, j)] - expect).abs() < 1e-9,
+                        "{basis}: gram[{i},{j}] = {}",
+                        gram[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_matches_synthesize() {
+        let basis = Basis::Dct;
+        let n = 24;
+        let psi = basis.matrix(n);
+        let s: Vec<f64> = (0..n).map(|i| (i as f64 * 0.71).sin()).collect();
+        let direct = basis.synthesize(&s);
+        let via_matrix = psi.matvec(&s);
+        for (a, b) in direct.iter().zip(&via_matrix) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn odd_length_falls_back_to_identity_for_wavelets() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(Basis::Haar.analyze(&x), x);
+        assert_eq!(Basis::Haar.synthesize(&x), x);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Basis::Dct.to_string(), "dct");
+        assert_eq!(Basis::Db4.to_string(), "db4");
+    }
+}

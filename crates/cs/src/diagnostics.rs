@@ -1,0 +1,126 @@
+//! Sensing-matrix quality diagnostics.
+
+use crate::linalg::{dot, norm2, Matrix};
+
+/// Mutual coherence of a dictionary: the largest absolute normalised inner
+/// product between distinct columns. Lower is better for sparse recovery.
+///
+/// # Panics
+///
+/// Panics if the matrix has fewer than two columns.
+pub fn mutual_coherence(a: &Matrix) -> f64 {
+    assert!(a.cols() >= 2, "coherence needs at least two columns");
+    let cols: Vec<Vec<f64>> = (0..a.cols()).map(|c| a.col(c)).collect();
+    let norms: Vec<f64> = cols.iter().map(|c| norm2(c).max(1e-300)).collect();
+    let mut mu: f64 = 0.0;
+    for i in 0..cols.len() {
+        for j in i + 1..cols.len() {
+            let c = dot(&cols[i], &cols[j]).abs() / (norms[i] * norms[j]);
+            mu = mu.max(c);
+        }
+    }
+    mu
+}
+
+/// Welch lower bound on coherence for an `m × n` dictionary:
+/// `sqrt((n − m) / (m·(n − 1)))`.
+pub fn welch_bound(m: usize, n: usize) -> f64 {
+    assert!(n > 1 && m >= 1, "need n > 1 and m >= 1");
+    if n <= m {
+        return 0.0;
+    }
+    (((n - m) as f64) / ((m * (n - 1)) as f64)).sqrt()
+}
+
+/// Empirical restricted-isometry-like statistic: the min/max ratio of
+/// `‖A·x‖²/‖x‖²` over `trials` random `k`-sparse sign vectors (deterministic
+/// in `seed`). Values near 1 indicate good isometry on sparse vectors.
+pub fn sparse_isometry_spread(a: &Matrix, k: usize, trials: usize, seed: u64) -> (f64, f64) {
+    assert!(k >= 1 && k <= a.cols(), "sparsity out of range");
+    assert!(trials >= 1, "need at least one trial");
+    let mut lo = f64::INFINITY;
+    let mut hi: f64 = 0.0;
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for _ in 0..trials {
+        let mut x = vec![0.0; a.cols()];
+        let mut placed = 0;
+        while placed < k {
+            let idx = (next() as usize) % a.cols();
+            if x[idx] == 0.0 {
+                x[idx] = if next() % 2 == 0 { 1.0 } else { -1.0 };
+                placed += 1;
+            }
+        }
+        let y = a.matvec(&x);
+        let ratio = dot(&y, &y) / dot(&x, &x);
+        lo = lo.min(ratio);
+        hi = hi.max(ratio);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::SensingMatrix;
+
+    #[test]
+    fn identity_has_zero_coherence() {
+        assert_eq!(mutual_coherence(&Matrix::identity(8)), 0.0);
+    }
+
+    #[test]
+    fn duplicated_column_has_unit_coherence() {
+        let mut m = Matrix::zeros(3, 2);
+        m[(0, 0)] = 1.0;
+        m[(0, 1)] = 2.0; // same direction
+        assert!((mutual_coherence(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_coherence_above_welch_bound() {
+        let a = SensingMatrix::gaussian(32, 64, 1).to_dense();
+        let mu = mutual_coherence(&a);
+        let wb = welch_bound(32, 64);
+        assert!(mu >= wb - 1e-12, "mu {mu} < welch {wb}");
+        assert!(mu < 1.0);
+    }
+
+    #[test]
+    fn welch_bound_known_value() {
+        // m = n gives 0; m=1, n=2 gives 1.
+        assert_eq!(welch_bound(4, 4), 0.0);
+        assert!((welch_bound(1, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isometry_spread_identity_is_tight() {
+        let (lo, hi) = sparse_isometry_spread(&Matrix::identity(16), 3, 20, 7);
+        assert!((lo - 1.0).abs() < 1e-12);
+        assert!((hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isometry_spread_gaussian_reasonable() {
+        let a = SensingMatrix::gaussian(48, 96, 3).to_dense();
+        let (lo, hi) = sparse_isometry_spread(&a, 4, 100, 11);
+        assert!(lo > 0.2 && hi < 3.0, "spread [{lo}, {hi}]");
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = SensingMatrix::gaussian(16, 32, 5).to_dense();
+        assert_eq!(
+            sparse_isometry_spread(&a, 3, 50, 9),
+            sparse_isometry_spread(&a, 3, 50, 9)
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Small dense linear algebra kernel.
+//!
+//! Sized for the paper's problem dimensions (frames of a few hundred
+//! samples): row-major matrices, matrix/vector products, Cholesky
+//! factorisation and least-squares solves. No external numeric crates.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must match dimensions");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must match column count");
+        (0..self.rows)
+            .map(|r| dot(self.row(r), x))
+            .collect()
+    }
+
+    /// Transposed product `Aᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "vector length must match row count");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            let row = self.row(r);
+            for (c, &arc) in row.iter().enumerate() {
+                y[c] += arc * xr;
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != b.rows`.
+    pub fn matmul(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let orow = out.row_mut(i);
+                for (j, &bkj) in brow.iter().enumerate() {
+                    orow[j] += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest singular value, estimated by power iteration on `AᵀA`.
+    pub fn spectral_norm_est(&self, iterations: usize) -> f64 {
+        let mut v = vec![1.0; self.cols];
+        let mut lambda = 0.0;
+        for _ in 0..iterations.max(1) {
+            let av = self.matvec(&v);
+            let atav = self.matvec_t(&av);
+            lambda = norm2(&atav);
+            if lambda == 0.0 {
+                return 0.0;
+            }
+            for (vi, ai) in v.iter_mut().zip(&atav) {
+                *vi = ai / lambda;
+            }
+        }
+        lambda.sqrt()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            let row = self.row(r);
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:9.4}")).collect();
+            writeln!(f, "  [{}{}]", shown.join(" "), if self.cols > 8 { " …" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the lengths differ (release truncates).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Error from a failed numerical factorisation or solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolveError {
+    what: String,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear solve failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl SolveError {
+    fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+/// Solves the symmetric positive-definite system `A·x = b` by Cholesky
+/// factorisation.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if `A` is not positive definite (within a small
+/// pivot tolerance).
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b` has the wrong length.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    assert_eq!(b.len(), a.rows(), "rhs length must match");
+    let n = a.rows();
+    // Factor A = L·Lᵀ.
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 1e-300 {
+                    return Err(SolveError::new(format!("non-positive pivot at {i}")));
+                }
+                l[(i, i)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    // Forward substitution L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Backward substitution Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Least-squares solution of an overdetermined `A·x ≈ b` via the normal
+/// equations `AᵀA·x = Aᵀb` with a small ridge for conditioning.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if the normal equations are singular even after
+/// regularisation.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    assert_eq!(b.len(), a.rows(), "rhs length must match row count");
+    let at = a.transpose();
+    let mut ata = at.matmul(a);
+    let atb = a.matvec_t(b);
+    // Tiny ridge keeps near-collinear supports solvable.
+    let ridge = 1e-12 * (ata.frobenius_norm() / ata.rows() as f64).max(1e-300);
+    for i in 0..ata.rows() {
+        ata[(i, i)] += ridge;
+    }
+    cholesky_solve(&ata, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_rows() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.col(2), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let i = Matrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x);
+        assert_eq!(i.matvec_t(&x), x);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn matmul_against_hand_result() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_vec(2, 2, vec![19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2]
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = cholesky_solve(&a, &[10.0, 9.0]).expect("SPD system solves");
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // Overdetermined consistent system.
+        let a = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]);
+        let x_true = [3.0, -2.0];
+        let b = a.matvec(&x_true);
+        let x = least_squares(&a, &b).expect("full-rank LS solves");
+        assert!((x[0] - 3.0).abs() < 1e-8);
+        assert!((x[1] + 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn least_squares_minimises_residual() {
+        let a = Matrix::from_vec(3, 1, vec![1.0, 1.0, 1.0]);
+        let x = least_squares(&a, &[1.0, 2.0, 6.0]).expect("solves");
+        assert!((x[0] - 3.0).abs() < 1e-8); // mean
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = -5.0;
+        a[(2, 2)] = 2.0;
+        let s = a.spectral_norm_est(50);
+        assert!((s - 5.0).abs() < 1e-6, "estimated {s}");
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn from_vec_checks_len() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let m = Matrix::zeros(10, 10);
+        let s = m.to_string();
+        assert!(s.contains("Matrix 10x10"));
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,305 @@
+//! Sensing matrices.
+//!
+//! The paper's encoder uses *s-sparse random binary matrices* (s-SRBM): each
+//! column of the `M × N` matrix Φ has exactly `s` ones at random rows, so
+//! every input sample is added into `s` of the `M` partial sums. Dense
+//! Gaussian and Bernoulli(±1) matrices are provided as classical baselines.
+
+use crate::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A compressive sensing matrix `Φ ∈ R^{M×N}` with efficient `y = Φx`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensingMatrix {
+    /// s-sparse random binary matrix: for each column, the row indices of its
+    /// `s` ones.
+    SparseBinary {
+        /// Number of measurements (rows).
+        m: usize,
+        /// Frame length (columns).
+        n: usize,
+        /// Ones per column.
+        s: usize,
+        /// `cols[j]` lists the `s` destination rows of sample `j`.
+        cols: Vec<Vec<usize>>,
+    },
+    /// Dense matrix (Gaussian or Bernoulli entries).
+    Dense(Matrix),
+}
+
+impl SensingMatrix {
+    /// Generates an `m × n` s-SRBM with exactly `s` ones per column,
+    /// deterministically from `seed`.
+    ///
+    /// ```
+    /// use efficsense_cs::matrix::SensingMatrix;
+    /// let phi = SensingMatrix::srbm(75, 384, 2, 42);
+    /// assert_eq!((phi.m(), phi.n(), phi.sparsity()), (75, 384, Some(2)));
+    /// // Every input sample lands in exactly s partial sums:
+    /// let y = phi.apply(&vec![1.0; 384]);
+    /// assert!((y.iter().sum::<f64>() - 768.0).abs() < 1e-9);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < s <= m <= n`.
+    pub fn srbm(m: usize, n: usize, s: usize, seed: u64) -> Self {
+        assert!(s > 0 && s <= m, "need 0 < s <= m (s={s}, m={m})");
+        assert!(m <= n, "compressive sensing requires m <= n (m={m}, n={n})");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cols = (0..n)
+            .map(|_| {
+                // Sample s distinct rows (reservoir-free: m is small).
+                let mut rows: Vec<usize> = Vec::with_capacity(s);
+                while rows.len() < s {
+                    let r = rng.gen_range(0..m);
+                    if !rows.contains(&r) {
+                        rows.push(r);
+                    }
+                }
+                rows.sort_unstable();
+                rows
+            })
+            .collect();
+        Self::SparseBinary { m, n, s, cols }
+    }
+
+    /// Generates a dense `m × n` matrix with i.i.d. `N(0, 1/m)` entries.
+    pub fn gaussian(m: usize, n: usize, seed: u64) -> Self {
+        assert!(m > 0 && n > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigma = 1.0 / (m as f64).sqrt();
+        let mut mat = Matrix::zeros(m, n);
+        let mut spare: Option<f64> = None;
+        let mut normal = move |rng: &mut StdRng| -> f64 {
+            if let Some(v) = spare.take() {
+                return v;
+            }
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let th = std::f64::consts::TAU * u2;
+            spare = Some(r * th.sin());
+            r * th.cos()
+        };
+        for r in 0..m {
+            for c in 0..n {
+                mat[(r, c)] = normal(&mut rng) * sigma;
+            }
+        }
+        Self::Dense(mat)
+    }
+
+    /// Generates a dense `m × n` Bernoulli(±1/√m) matrix.
+    pub fn bernoulli(m: usize, n: usize, seed: u64) -> Self {
+        assert!(m > 0 && n > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = 1.0 / (m as f64).sqrt();
+        let mut mat = Matrix::zeros(m, n);
+        for r in 0..m {
+            for c in 0..n {
+                mat[(r, c)] = if rng.gen::<bool>() { v } else { -v };
+            }
+        }
+        Self::Dense(mat)
+    }
+
+    /// Number of measurements `M`.
+    pub fn m(&self) -> usize {
+        match self {
+            Self::SparseBinary { m, .. } => *m,
+            Self::Dense(mat) => mat.rows(),
+        }
+    }
+
+    /// Frame length `N`.
+    pub fn n(&self) -> usize {
+        match self {
+            Self::SparseBinary { n, .. } => *n,
+            Self::Dense(mat) => mat.cols(),
+        }
+    }
+
+    /// Ones per column for an s-SRBM, `None` for dense matrices.
+    pub fn sparsity(&self) -> Option<usize> {
+        match self {
+            Self::SparseBinary { s, .. } => Some(*s),
+            Self::Dense(_) => None,
+        }
+    }
+
+    /// For an s-SRBM, the destination rows of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for dense matrices or `j >= n`.
+    pub fn column_rows(&self, j: usize) -> &[usize] {
+        match self {
+            Self::SparseBinary { cols, .. } => &cols[j],
+            Self::Dense(_) => panic!("column_rows is only defined for sparse binary matrices"),
+        }
+    }
+
+    /// Measurement `y = Φ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n(), "input frame length must equal N");
+        match self {
+            Self::SparseBinary { m, cols, .. } => {
+                let mut y = vec![0.0; *m];
+                for (j, rows) in cols.iter().enumerate() {
+                    for &r in rows {
+                        y[r] += x[j];
+                    }
+                }
+                y
+            }
+            Self::Dense(mat) => mat.matvec(x),
+        }
+    }
+
+    /// Dense `M × N` representation.
+    pub fn to_dense(&self) -> Matrix {
+        match self {
+            Self::SparseBinary { m, n, cols, .. } => {
+                let mut mat = Matrix::zeros(*m, *n);
+                for (j, rows) in cols.iter().enumerate() {
+                    for &r in rows {
+                        mat[(r, j)] = 1.0;
+                    }
+                }
+                mat
+            }
+            Self::Dense(mat) => mat.clone(),
+        }
+    }
+
+    /// Number of ones (sparse) or entries (dense) — a proxy for switch count
+    /// in the encoder hardware.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Self::SparseBinary { n, s, .. } => n * s,
+            Self::Dense(mat) => mat.rows() * mat.cols(),
+        }
+    }
+
+    /// Compression ratio `M / N`.
+    pub fn compression_ratio(&self) -> f64 {
+        self.m() as f64 / self.n() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srbm_columns_have_exactly_s_ones() {
+        let phi = SensingMatrix::srbm(75, 384, 2, 1);
+        let d = phi.to_dense();
+        for c in 0..384 {
+            let ones = (0..75).filter(|&r| d[(r, c)] == 1.0).count();
+            assert_eq!(ones, 2, "column {c}");
+        }
+        assert_eq!(phi.nnz(), 768);
+    }
+
+    #[test]
+    fn srbm_apply_matches_dense() {
+        let phi = SensingMatrix::srbm(20, 60, 3, 7);
+        let x: Vec<f64> = (0..60).map(|i| (i as f64 * 0.17).sin()).collect();
+        let fast = phi.apply(&x);
+        let dense = phi.to_dense().matvec(&x);
+        for (a, b) in fast.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn srbm_deterministic_in_seed() {
+        assert_eq!(SensingMatrix::srbm(10, 30, 2, 5), SensingMatrix::srbm(10, 30, 2, 5));
+        assert_ne!(SensingMatrix::srbm(10, 30, 2, 5), SensingMatrix::srbm(10, 30, 2, 6));
+    }
+
+    #[test]
+    fn srbm_rows_within_bounds_and_distinct() {
+        let phi = SensingMatrix::srbm(12, 40, 4, 9);
+        for j in 0..40 {
+            let rows = phi.column_rows(j);
+            assert_eq!(rows.len(), 4);
+            assert!(rows.iter().all(|&r| r < 12));
+            let mut sorted = rows.to_vec();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicate rows in column {j}");
+        }
+    }
+
+    #[test]
+    fn gaussian_statistics() {
+        let phi = SensingMatrix::gaussian(64, 256, 3);
+        let d = phi.to_dense();
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let count = (64 * 256) as f64;
+        for r in 0..64 {
+            for c in 0..256 {
+                sum += d[(r, c)];
+                sumsq += d[(r, c)] * d[(r, c)];
+            }
+        }
+        let mean = sum / count;
+        let var = sumsq / count - mean * mean;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 64.0).abs() < 0.002, "var {var}");
+    }
+
+    #[test]
+    fn bernoulli_entries_are_pm() {
+        let phi = SensingMatrix::bernoulli(16, 32, 11);
+        let d = phi.to_dense();
+        let v = 0.25; // 1/sqrt(16)
+        for r in 0..16 {
+            for c in 0..32 {
+                assert!((d[(r, c)].abs() - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let phi = SensingMatrix::srbm(75, 384, 2, 0);
+        assert_eq!((phi.m(), phi.n()), (75, 384));
+        assert_eq!(phi.sparsity(), Some(2));
+        assert!((phi.compression_ratio() - 75.0 / 384.0).abs() < 1e-12);
+        let g = SensingMatrix::gaussian(4, 8, 0);
+        assert_eq!(g.sparsity(), None);
+    }
+
+    #[test]
+    fn energy_preserved_on_average() {
+        // For unit-norm-ish rows, ||Φx||² should be within a few x of ||x||²·s·m/n scaling.
+        let phi = SensingMatrix::srbm(150, 384, 2, 2);
+        let x = vec![1.0; 384];
+        let y = phi.apply(&x);
+        let total: f64 = y.iter().sum();
+        // Each sample contributes to s=2 sums: total output mass = 2·384.
+        assert!((total - 768.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "m <= n")]
+    fn srbm_rejects_m_greater_than_n() {
+        let _ = SensingMatrix::srbm(100, 50, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame length")]
+    fn apply_rejects_wrong_length() {
+        let phi = SensingMatrix::srbm(10, 20, 2, 0);
+        let _ = phi.apply(&[0.0; 19]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Sparse reconstruction: orthogonal matching pursuit and ISTA.
+
+use crate::basis::Basis;
+use crate::linalg::{least_squares, norm2, Matrix};
+
+/// Configuration of the OMP decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpConfig {
+    /// Maximum number of atoms to select.
+    pub sparsity: usize,
+    /// Stop early when `‖r‖ ≤ residual_tol·‖y‖`.
+    pub residual_tol: f64,
+}
+
+impl OmpConfig {
+    /// A configuration selecting at most `k` atoms with the default residual
+    /// tolerance of 1e-6.
+    pub fn with_sparsity(k: usize) -> Self {
+        Self { sparsity: k, residual_tol: 1e-6 }
+    }
+}
+
+impl Default for OmpConfig {
+    fn default() -> Self {
+        Self::with_sparsity(16)
+    }
+}
+
+/// Orthogonal matching pursuit: greedily solves `y ≈ A·s` with `‖s‖₀ ≤ k`.
+///
+/// Returns the full-length sparse coefficient vector.
+///
+/// ```
+/// use efficsense_cs::linalg::Matrix;
+/// use efficsense_cs::recon::{omp, OmpConfig};
+/// // Identity dictionary: OMP recovers the largest entries exactly.
+/// let a = Matrix::identity(8);
+/// let y = [0.0, 3.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0];
+/// let s = omp(&a, &y, &OmpConfig::with_sparsity(2));
+/// // (a tiny ridge keeps the internal solver conditioned, so ~1e-12 slack)
+/// assert!((s[1] - 3.0).abs() < 1e-9);
+/// assert!((s[4] + 1.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `y.len() != a.rows()` or the config sparsity is 0.
+pub fn omp(a: &Matrix, y: &[f64], cfg: &OmpConfig) -> Vec<f64> {
+    assert_eq!(y.len(), a.rows(), "measurement length must equal row count");
+    assert!(cfg.sparsity > 0, "sparsity must be positive");
+    let n = a.cols();
+    let k_max = cfg.sparsity.min(a.rows()).min(n);
+    let y_norm = norm2(y);
+    if y_norm == 0.0 {
+        return vec![0.0; n];
+    }
+    // Precompute column norms for normalised correlation.
+    let col_norms: Vec<f64> = (0..n).map(|c| norm2(&a.col(c)).max(1e-300)).collect();
+    let mut support: Vec<usize> = Vec::with_capacity(k_max);
+    let mut residual = y.to_vec();
+    let mut coeffs_on_support: Vec<f64> = Vec::new();
+    for _ in 0..k_max {
+        // Select the column most correlated with the residual.
+        let corr = a.matvec_t(&residual);
+        let best = (0..n)
+            .filter(|j| !support.contains(j))
+            .max_by(|&i, &j| {
+                (corr[i].abs() / col_norms[i]).total_cmp(&(corr[j].abs() / col_norms[j]))
+            });
+        let Some(j_star) = best else { break };
+        if corr[j_star].abs() / col_norms[j_star] < 1e-300 {
+            break;
+        }
+        support.push(j_star);
+        // Least squares on the current support.
+        let mut a_s = Matrix::zeros(a.rows(), support.len());
+        for (c, &j) in support.iter().enumerate() {
+            for r in 0..a.rows() {
+                a_s[(r, c)] = a[(r, j)];
+            }
+        }
+        match least_squares(&a_s, y) {
+            Ok(x_s) => {
+                let approx = a_s.matvec(&x_s);
+                for (ri, (yi, ai)) in y.iter().zip(&approx).enumerate() {
+                    residual[ri] = yi - ai;
+                }
+                coeffs_on_support = x_s;
+            }
+            Err(_) => {
+                // Degenerate support column; drop it and stop.
+                support.pop();
+                break;
+            }
+        }
+        if norm2(&residual) <= cfg.residual_tol * y_norm {
+            break;
+        }
+    }
+    let mut s = vec![0.0; n];
+    for (&j, &v) in support.iter().zip(&coeffs_on_support) {
+        s[j] = v;
+    }
+    s
+}
+
+/// Accelerated iterative shrinkage-thresholding (FISTA) for
+/// `min ½‖y−As‖² + λ‖s‖₁`.
+///
+/// A fixed-iteration proximal gradient solver with Nesterov momentum, used
+/// as the OMP ablation baseline.
+///
+/// # Panics
+///
+/// Panics if `y.len() != a.rows()`, `lambda < 0` or `iterations == 0`.
+pub fn ista(a: &Matrix, y: &[f64], lambda: f64, iterations: usize) -> Vec<f64> {
+    assert_eq!(y.len(), a.rows(), "measurement length must equal row count");
+    assert!(lambda >= 0.0, "lambda must be non-negative");
+    assert!(iterations > 0, "need at least one iteration");
+    let l = {
+        let s = a.spectral_norm_est(30);
+        (s * s).max(1e-12) * 1.05 // small margin over the power-iteration estimate
+    };
+    let step = 1.0 / l;
+    let thresh = lambda * step;
+    let n = a.cols();
+    let mut s = vec![0.0; n];
+    let mut z = vec![0.0; n]; // momentum point
+    let mut t = 1.0f64;
+    for _ in 0..iterations {
+        let az = a.matvec(&z);
+        let r: Vec<f64> = y.iter().zip(&az).map(|(yi, ai)| yi - ai).collect();
+        let grad = a.matvec_t(&r);
+        let s_prev = s.clone();
+        for i in 0..n {
+            let v = z[i] + step * grad[i];
+            // Soft threshold.
+            s[i] = v.signum() * (v.abs() - thresh).max(0.0);
+        }
+        let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+        let beta = (t - 1.0) / t_next;
+        for i in 0..n {
+            z[i] = s[i] + beta * (s[i] - s_prev[i]);
+        }
+        t = t_next;
+    }
+    s
+}
+
+/// End-to-end reconstruction: given the (effective) sensing matrix `Φ`,
+/// measurements `y` and a sparsifying basis, recovers the time-domain frame
+/// `x̂ = Ψ·ŝ` with `ŝ = OMP(Φ·Ψ, y)`.
+pub fn reconstruct(phi: &Matrix, y: &[f64], basis: Basis, cfg: &OmpConfig) -> Vec<f64> {
+    let psi = basis.matrix(phi.cols());
+    let a = phi.matmul(&psi);
+    let s = omp(&a, y, cfg);
+    basis.synthesize(&s)
+}
+
+/// Like [`reconstruct`] but reuses a precomputed dictionary `A = Φ·Ψ`
+/// (the per-design-point matrices are constant across frames, so sweeps
+/// build `A` once).
+pub fn reconstruct_with_dictionary(
+    a: &Matrix,
+    y: &[f64],
+    basis: Basis,
+    cfg: &OmpConfig,
+) -> Vec<f64> {
+    let s = omp(a, y, cfg);
+    basis.synthesize(&s)
+}
+
+/// Relative residual `‖y − A·s‖ / ‖y‖` — a decoder self-diagnostic.
+pub fn relative_residual(a: &Matrix, y: &[f64], s: &[f64]) -> f64 {
+    let approx = a.matvec(s);
+    let r: Vec<f64> = y.iter().zip(&approx).map(|(yi, ai)| yi - ai).collect();
+    let ny = norm2(y);
+    if ny == 0.0 {
+        return 0.0;
+    }
+    norm2(&r) / ny
+}
+
+/// Sparsity (number of non-zeros) of a coefficient vector.
+pub fn support_size(s: &[f64]) -> usize {
+    s.iter().filter(|v| **v != 0.0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::SensingMatrix;
+
+    /// Builds a k-sparse DCT-domain signal and its measurements.
+    fn sparse_problem(n: usize, m: usize, k: usize, seed: u64) -> (Vec<f64>, Matrix, Vec<f64>) {
+        let phi = SensingMatrix::gaussian(m, n, seed).to_dense();
+        let mut s = vec![0.0; n];
+        for i in 0..k {
+            s[(i * 37 + 5) % n] = if i % 2 == 0 { 1.0 } else { -0.7 };
+        }
+        let x = Basis::Dct.synthesize(&s);
+        let y = phi.matvec(&x);
+        (x, phi, y)
+    }
+
+    #[test]
+    fn omp_recovers_exactly_sparse_signal() {
+        let (x, phi, y) = sparse_problem(64, 32, 4, 1);
+        let xh = reconstruct(&phi, &y, Basis::Dct, &OmpConfig::with_sparsity(4));
+        let err = x
+            .iter()
+            .zip(&xh)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-8, "recovery error {err}");
+    }
+
+    #[test]
+    fn omp_with_srbm_matrix() {
+        let n = 96;
+        let phi = SensingMatrix::srbm(48, n, 2, 3).to_dense();
+        let mut s = vec![0.0; n];
+        s[3] = 2.0;
+        s[40] = -1.0;
+        s[77] = 0.5;
+        let x = Basis::Dct.synthesize(&s);
+        let y = phi.matvec(&x);
+        let xh = reconstruct(&phi, &y, Basis::Dct, &OmpConfig::with_sparsity(6));
+        let nmse: f64 = x.iter().zip(&xh).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            / x.iter().map(|a| a * a).sum::<f64>();
+        assert!(nmse < 1e-6, "NMSE {nmse}");
+    }
+
+    #[test]
+    fn omp_early_stops_on_small_residual() {
+        let (_, phi, y) = sparse_problem(64, 32, 2, 5);
+        let psi = Basis::Dct.matrix(64);
+        let a = phi.matmul(&psi);
+        let s = omp(&a, &y, &OmpConfig { sparsity: 30, residual_tol: 1e-8 });
+        // Should stop near the true sparsity of 2, not use all 30 atoms.
+        assert!(support_size(&s) <= 4, "support {}", support_size(&s));
+    }
+
+    #[test]
+    fn omp_zero_measurements_give_zero() {
+        let a = Matrix::identity(8);
+        let s = omp(&a, &[0.0; 8], &OmpConfig::with_sparsity(3));
+        assert!(s.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn omp_handles_noise_gracefully() {
+        let (x, phi, mut y) = sparse_problem(64, 32, 3, 9);
+        for (i, v) in y.iter_mut().enumerate() {
+            *v += 0.01 * ((i * 31) as f64).sin();
+        }
+        let xh = reconstruct(&phi, &y, Basis::Dct, &OmpConfig::with_sparsity(3));
+        let nmse: f64 = x.iter().zip(&xh).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            / x.iter().map(|a| a * a).sum::<f64>();
+        assert!(nmse < 0.05, "noisy NMSE {nmse}");
+    }
+
+    #[test]
+    fn ista_recovers_sparse_signal_approximately() {
+        let (x, phi, y) = sparse_problem(64, 40, 3, 2);
+        let psi = Basis::Dct.matrix(64);
+        let a = phi.matmul(&psi);
+        let s = ista(&a, &y, 1e-4, 500);
+        let xh = Basis::Dct.synthesize(&s);
+        let nmse: f64 = x.iter().zip(&xh).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            / x.iter().map(|a| a * a).sum::<f64>();
+        assert!(nmse < 0.01, "ISTA NMSE {nmse}");
+    }
+
+    #[test]
+    fn ista_lambda_controls_sparsity() {
+        let (_, phi, y) = sparse_problem(64, 40, 3, 7);
+        let psi = Basis::Dct.matrix(64);
+        let a = phi.matmul(&psi);
+        let s_small = ista(&a, &y, 1e-5, 200);
+        let s_large = ista(&a, &y, 1e-1, 200);
+        assert!(support_size(&s_large) < support_size(&s_small));
+    }
+
+    #[test]
+    fn relative_residual_diagnostics() {
+        let a = Matrix::identity(4);
+        let y = [1.0, 0.0, 0.0, 0.0];
+        assert_eq!(relative_residual(&a, &y, &[1.0, 0.0, 0.0, 0.0]), 0.0);
+        assert!((relative_residual(&a, &y, &[0.0; 4]) - 1.0).abs() < 1e-12);
+        assert_eq!(relative_residual(&a, &[0.0; 4], &[0.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn reconstruct_with_dictionary_matches_reconstruct() {
+        let (_, phi, y) = sparse_problem(48, 24, 3, 13);
+        let cfg = OmpConfig::with_sparsity(3);
+        let direct = reconstruct(&phi, &y, Basis::Dct, &cfg);
+        let psi = Basis::Dct.matrix(48);
+        let a = phi.matmul(&psi);
+        let cached = reconstruct_with_dictionary(&a, &y, Basis::Dct, &cfg);
+        assert_eq!(direct, cached);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn omp_rejects_zero_sparsity() {
+        let a = Matrix::identity(4);
+        let _ = omp(&a, &[1.0; 4], &OmpConfig { sparsity: 0, residual_tol: 0.0 });
+    }
+}

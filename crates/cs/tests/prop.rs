@@ -1,0 +1,142 @@
+//! Property-based tests for the compressive-sensing substrate.
+
+use efficsense_cs::basis::Basis;
+use efficsense_cs::charge_sharing::{effective_matrix_decayed, share_gains};
+use efficsense_cs::linalg::{cholesky_solve, dot, least_squares, norm2, Matrix};
+use efficsense_cs::matrix::SensingMatrix;
+use efficsense_cs::recon::{omp, support_size, OmpConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bases_roundtrip_any_signal(
+        x in proptest::collection::vec(-5.0f64..5.0, 4..128)
+    ) {
+        for basis in [Basis::Identity, Basis::Dct, Basis::Haar, Basis::Db4] {
+            let s = basis.analyze(&x);
+            let y = basis.synthesize(&s);
+            prop_assert_eq!(y.len(), x.len());
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!((a - b).abs() < 1e-8, "{} roundtrip", basis);
+            }
+        }
+    }
+
+    #[test]
+    fn bases_preserve_energy(
+        x in proptest::collection::vec(-5.0f64..5.0, 8..96)
+    ) {
+        let ex = dot(&x, &x);
+        for basis in [Basis::Dct, Basis::Haar, Basis::Db4] {
+            let s = basis.analyze(&x);
+            let es = dot(&s, &s);
+            prop_assert!((ex - es).abs() < 1e-7 * ex.max(1.0), "{basis}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_random_spd_systems(
+        seed_vals in proptest::collection::vec(-2.0f64..2.0, 9),
+        b in proptest::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        // Build SPD A = G·Gᵀ + I.
+        let g = Matrix::from_vec(3, 3, seed_vals);
+        let mut a = g.matmul(&g.transpose());
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let x = cholesky_solve(&a, &b).expect("SPD by construction");
+        let back = a.matvec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal(
+        data in proptest::collection::vec(-3.0f64..3.0, 12),
+        b in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let a = Matrix::from_vec(6, 2, data);
+        prop_assume!(a.frobenius_norm() > 0.5);
+        if let Ok(x) = least_squares(&a, &b) {
+            let approx = a.matvec(&x);
+            let r: Vec<f64> = b.iter().zip(&approx).map(|(u, v)| u - v).collect();
+            // Normal equations: Aᵀr ≈ 0.
+            let atr = a.matvec_t(&r);
+            for v in atr {
+                prop_assert!(v.abs() < 1e-6, "residual not orthogonal: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn omp_respects_sparsity_budget(
+        m in 8usize..24,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = m * 2;
+        let a = SensingMatrix::gaussian(m, n, seed).to_dense();
+        let y: Vec<f64> = (0..m).map(|i| ((i * 13 + 1) as f64 * 0.37).sin()).collect();
+        let s = omp(&a, &y, &OmpConfig { sparsity: k, residual_tol: 0.0 });
+        prop_assert!(support_size(&s) <= k);
+    }
+
+    #[test]
+    fn omp_never_increases_residual_with_budget(
+        m in 10usize..20,
+        seed in any::<u64>(),
+    ) {
+        let n = m * 2;
+        let a = SensingMatrix::gaussian(m, n, seed).to_dense();
+        let y: Vec<f64> = (0..m).map(|i| ((i * 7 + 3) as f64 * 0.53).cos()).collect();
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8] {
+            let s = omp(&a, &y, &OmpConfig { sparsity: k, residual_tol: 0.0 });
+            let approx = a.matvec(&s);
+            let r: Vec<f64> = y.iter().zip(&approx).map(|(u, v)| u - v).collect();
+            let rn = norm2(&r);
+            prop_assert!(rn <= last + 1e-9, "residual grew with budget k={k}");
+            last = rn;
+        }
+    }
+
+    #[test]
+    fn decayed_effective_matrix_entries_bounded(
+        m in 2usize..10,
+        n in 16usize..48,
+        decay in 0.5f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let phi = SensingMatrix::srbm(m, n, 2.min(m), seed);
+        let eff = effective_matrix_decayed(&phi, 0.1e-12, 0.5e-12, decay);
+        let (a, _) = share_gains(0.1e-12, 0.5e-12);
+        for r in 0..m {
+            for c in 0..n {
+                let w = eff[(r, c)];
+                prop_assert!(w >= 0.0 && w <= a + 1e-15, "weight {w} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_matrix_rows_cols_match(m in 1usize..20, n in 1usize..30, seed in any::<u64>()) {
+        let g = SensingMatrix::gaussian(m, n, seed);
+        prop_assert_eq!((g.m(), g.n()), (m, n));
+        let d = g.to_dense();
+        prop_assert_eq!((d.rows(), d.cols()), (m, n));
+    }
+
+    #[test]
+    fn spectral_norm_bounds_frobenius(
+        data in proptest::collection::vec(-2.0f64..2.0, 24),
+    ) {
+        let a = Matrix::from_vec(4, 6, data);
+        prop_assume!(a.frobenius_norm() > 1e-6);
+        let s = a.spectral_norm_est(60);
+        // ||A||₂ ≤ ||A||_F ≤ √rank·||A||₂
+        prop_assert!(s <= a.frobenius_norm() * (1.0 + 1e-6));
+        prop_assert!(a.frobenius_norm() <= s * 2.0 + 1e-6);
+    }
+}

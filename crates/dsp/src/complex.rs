@@ -1,0 +1,252 @@
+//! Minimal complex-number type used by the FFT and spectral estimators.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// The standard library has no complex type and external numeric crates are
+/// out of scope for this project, so this small value type implements exactly
+/// the operations the DSP kernels need.
+///
+/// ```
+/// use efficsense_dsp::Complex;
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex::new(5.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity (0 + 0i).
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity (1 + 0i).
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit (0 + 1i).
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates `r * e^(i*theta)` from polar coordinates.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Creates `e^(i*theta)`, a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re^2 + im^2` (cheaper than [`Complex::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude (Euclidean norm).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase angle in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, k: f64) -> Complex {
+        self.scale(k)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, k: f64) -> Complex {
+        Complex::new(self.re / k, self.im / k)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(2.0, -3.0);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert_eq!(a - a, Complex::ZERO);
+        assert_eq!(-a, Complex::new(-2.0, 3.0));
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, 4.0);
+        // (1+2i)(3+4i) = 3+4i+6i+8i^2 = -5+10i
+        assert_eq!(a * b, Complex::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(0.7, -1.3);
+        let b = Complex::new(-2.5, 0.4);
+        let c = (a * b) / b;
+        assert!((c.re - a.re).abs() < EPS && (c.im - a.im).abs() < EPS);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 0.6);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.6).abs() < EPS);
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary() {
+        let z = Complex::new(1.5, 2.5);
+        assert_eq!(z.conj(), Complex::new(1.5, -2.5));
+        // z * conj(z) = |z|^2 (purely real)
+        let p = z * z.conj();
+        assert!((p.re - z.norm_sqr()).abs() < EPS);
+        assert!(p.im.abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let z = Complex::cis(k as f64 * 0.41);
+            assert!((z.abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,226 @@
+//! Spectral estimation: periodogram, Welch PSD, band power, test tones.
+
+use crate::fft::{next_pow2, Fft};
+use crate::window::Window;
+
+/// A one-sided power spectral density estimate.
+///
+/// `psd[k]` is the power density in V²/Hz at frequency `k * freq_resolution`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Psd {
+    /// One-sided PSD values, `nfft/2 + 1` bins.
+    pub values: Vec<f64>,
+    /// Bin spacing in Hz.
+    pub freq_resolution: f64,
+}
+
+impl Psd {
+    /// Frequency (Hz) of bin `k`.
+    #[inline]
+    pub fn frequency(&self, k: usize) -> f64 {
+        k as f64 * self.freq_resolution
+    }
+
+    /// Index of the bin closest to frequency `f` (Hz), clamped to range.
+    pub fn bin_of(&self, f: f64) -> usize {
+        let k = (f / self.freq_resolution).round();
+        (k.max(0.0) as usize).min(self.values.len() - 1)
+    }
+
+    /// Integrated power (V²) in the inclusive frequency band `[lo, hi]` Hz.
+    ///
+    /// Rectangle-rule integration of the density over the covered bins.
+    pub fn band_power(&self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "band limits out of order: {lo} > {hi}");
+        let (a, b) = (self.bin_of(lo), self.bin_of(hi));
+        self.values[a..=b].iter().sum::<f64>() * self.freq_resolution
+    }
+
+    /// Total power (V²) over the whole estimate.
+    pub fn total_power(&self) -> f64 {
+        self.values.iter().sum::<f64>() * self.freq_resolution
+    }
+
+    /// Frequency of the largest bin, ignoring DC.
+    pub fn peak_frequency(&self) -> f64 {
+        let (k, _) = self
+            .values
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap_or((0, &0.0));
+        self.frequency(k)
+    }
+}
+
+/// Windowed periodogram PSD of `x` sampled at `fs` Hz.
+///
+/// The signal is zero-padded to the next power of two. The estimate is scaled
+/// so that integrating it over frequency recovers the windowed signal power
+/// (one-sided convention).
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `fs` is not positive.
+pub fn periodogram(x: &[f64], fs: f64, window: Window) -> Psd {
+    assert!(!x.is_empty(), "cannot estimate the PSD of an empty signal");
+    assert!(fs > 0.0, "sample rate must be positive");
+    let n = x.len();
+    let nfft = next_pow2(n);
+    let mut xw = x.to_vec();
+    window.apply(&mut xw);
+    let fft = Fft::new(nfft);
+    let spec = fft.forward_real(&xw);
+    let pg = window.power_gain(n);
+    // U compensates window power loss; n (not nfft) is the data length.
+    let scale = 1.0 / (fs * n as f64 * pg);
+    let half = nfft / 2;
+    let mut values = Vec::with_capacity(half + 1);
+    for (k, z) in spec.iter().take(half + 1).enumerate() {
+        let mut p = z.norm_sqr() * scale;
+        if k != 0 && k != half {
+            p *= 2.0; // fold negative frequencies
+        }
+        values.push(p);
+    }
+    Psd { values, freq_resolution: fs / nfft as f64 }
+}
+
+/// Welch-averaged PSD with `segment_len` samples per segment and 50 % overlap.
+///
+/// Falls back to a single periodogram when the signal is shorter than one
+/// segment.
+///
+/// # Panics
+///
+/// Panics if `x` is empty, `fs <= 0`, or `segment_len == 0`.
+pub fn welch(x: &[f64], fs: f64, segment_len: usize, window: Window) -> Psd {
+    assert!(!x.is_empty(), "cannot estimate the PSD of an empty signal");
+    assert!(fs > 0.0, "sample rate must be positive");
+    assert!(segment_len > 0, "segment length must be positive");
+    if x.len() < segment_len {
+        return periodogram(x, fs, window);
+    }
+    let hop = (segment_len / 2).max(1);
+    let mut acc: Option<Psd> = None;
+    let mut count = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= x.len() {
+        let p = periodogram(&x[start..start + segment_len], fs, window);
+        match &mut acc {
+            None => acc = Some(p),
+            Some(a) => {
+                for (av, pv) in a.values.iter_mut().zip(&p.values) {
+                    *av += pv;
+                }
+            }
+        }
+        count += 1;
+        start += hop;
+    }
+    let mut psd = acc.expect("at least one segment fits");
+    for v in &mut psd.values {
+        *v /= count as f64;
+    }
+    psd
+}
+
+/// Generates `n` samples of `amplitude * sin(2π f t + phase)` at rate `fs`.
+pub fn sine(n: usize, fs: f64, f: f64, amplitude: f64, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| amplitude * (2.0 * std::f64::consts::PI * f * i as f64 / fs + phase).sin())
+        .collect()
+}
+
+/// Picks a coherent test frequency near `target` Hz for an `n`-point record at
+/// rate `fs`, i.e. one that lands exactly on an FFT bin (integer number of
+/// cycles), avoiding spectral leakage in SNDR tests.
+pub fn coherent_frequency(target: f64, fs: f64, n: usize) -> f64 {
+    let nfft = next_pow2(n) as f64;
+    let k = (target * nfft / fs).round().max(1.0);
+    k * fs / nfft
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodogram_total_power_matches_variance() {
+        // White-ish deterministic signal; Parseval should hold within scaling.
+        let n = 4096;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 2654435761usize) as f64 * 1e-9).sin()).collect();
+        let fs = 1000.0;
+        let psd = periodogram(&x, fs, Window::Rect);
+        let pwr: f64 = x.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        let est = psd.total_power();
+        assert!((est - pwr).abs() < 0.02 * pwr, "est {est} vs {pwr}");
+    }
+
+    #[test]
+    fn sine_power_is_half_amplitude_squared() {
+        let fs = 2048.0;
+        let n = 2048;
+        let f = coherent_frequency(100.0, fs, n);
+        let x = sine(n, fs, f, 2.0, 0.3);
+        let psd = periodogram(&x, fs, Window::Hann);
+        let p = psd.band_power(f - 10.0, f + 10.0);
+        assert!((p - 2.0).abs() < 0.05, "sine power should be A^2/2 = 2, got {p}");
+    }
+
+    #[test]
+    fn peak_frequency_finds_tone() {
+        let fs = 1024.0;
+        let f = coherent_frequency(60.0, fs, 1024);
+        let x = sine(1024, fs, f, 1.0, 0.0);
+        let psd = periodogram(&x, fs, Window::Hann);
+        assert!((psd.peak_frequency() - f).abs() <= psd.freq_resolution);
+    }
+
+    #[test]
+    fn welch_reduces_to_periodogram_for_short_input() {
+        let x = sine(100, 1000.0, 50.0, 1.0, 0.0);
+        let a = welch(&x, 1000.0, 256, Window::Hann);
+        let b = periodogram(&x, 1000.0, Window::Hann);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn welch_total_power_consistent() {
+        let fs = 512.0;
+        let x = sine(4096, fs, 32.0, 1.0, 0.0);
+        let psd = welch(&x, fs, 512, Window::Hann);
+        assert!((psd.total_power() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn band_power_partition_sums_to_total() {
+        let fs = 1000.0;
+        let x: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.7).sin() + (i as f64 * 0.11).cos()).collect();
+        let psd = periodogram(&x, fs, Window::Rect);
+        let whole = psd.total_power();
+        // Split exactly between adjacent bins to avoid rounding overlap.
+        let df = psd.freq_resolution;
+        let split = 512;
+        let lo = psd.band_power(0.0, (split - 1) as f64 * df);
+        let hi = psd.band_power(split as f64 * df, fs / 2.0);
+        assert!((lo + hi - whole).abs() < 1e-9 * whole.max(1.0));
+    }
+
+    #[test]
+    fn coherent_frequency_is_on_bin() {
+        let fs = 537.6;
+        let n = 1000;
+        let f = coherent_frequency(64.0, fs, n);
+        let nfft = next_pow2(n) as f64;
+        let cycles = f * nfft / fs;
+        assert!((cycles - cycles.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn periodogram_rejects_empty() {
+        let _ = periodogram(&[], 1.0, Window::Rect);
+    }
+}

@@ -1,0 +1,145 @@
+//! k-nearest-neighbour classifier — the non-parametric baseline.
+
+use crate::{Classifier, TrainConfig};
+
+/// k-nearest-neighbour classifier with Euclidean distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnClassifier {
+    /// Number of neighbours consulted per prediction.
+    pub k: usize,
+    n_classes: usize,
+    train_x: Vec<Vec<f64>>,
+    train_y: Vec<usize>,
+}
+
+impl KnnClassifier {
+    /// Creates a k-NN classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `n_classes == 0`.
+    pub fn new(k: usize, n_classes: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(n_classes > 0, "need at least one class");
+        Self { k, n_classes, train_x: Vec::new(), train_y: Vec::new() }
+    }
+
+    fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], _cfg: &TrainConfig) {
+        assert_eq!(x.len(), y.len(), "feature and label counts must match");
+        assert!(!x.is_empty(), "cannot train on an empty set");
+        assert!(y.iter().all(|&c| c < self.n_classes), "label out of range");
+        self.train_x = x.to_vec();
+        self.train_y = y.to_vec();
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        assert!(!self.train_x.is_empty(), "classifier has not been fitted");
+        let mut dists: Vec<(f64, usize)> = self
+            .train_x
+            .iter()
+            .zip(&self.train_y)
+            .map(|(t, &l)| (Self::dist_sq(x, t), l))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, l) in &dists[..k] {
+            votes[l] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.train_x.is_empty(), "classifier has not been fitted");
+        let mut dists: Vec<(f64, usize)> = self
+            .train_x
+            .iter()
+            .zip(&self.train_y)
+            .map(|(t, &l)| (Self::dist_sq(x, t), l))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let mut p = vec![0.0; self.n_classes];
+        for &(_, l) in &dists[..k] {
+            p[l] += 1.0 / k as f64;
+        }
+        p
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.0, 0.2],
+            vec![5.0, 5.0],
+            vec![5.1, 4.9],
+            vec![4.8, 5.2],
+        ];
+        let y = vec![0, 0, 0, 1, 1, 1];
+        (x, y)
+    }
+
+    #[test]
+    fn nearest_cluster_wins() {
+        let (x, y) = toy();
+        let mut knn = KnnClassifier::new(3, 2);
+        knn.fit(&x, &y, &TrainConfig::default());
+        assert_eq!(knn.predict(&[0.05, 0.05]), 0);
+        assert_eq!(knn.predict(&[5.0, 5.1]), 1);
+    }
+
+    #[test]
+    fn k1_memorises_training_set() {
+        let (x, y) = toy();
+        let mut knn = KnnClassifier::new(1, 2);
+        knn.fit(&x, &y, &TrainConfig::default());
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(knn.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    fn proba_reflects_vote_share() {
+        let (x, y) = toy();
+        let mut knn = KnnClassifier::new(6, 2);
+        knn.fit(&x, &y, &TrainConfig::default());
+        let p = knn.predict_proba(&[2.5, 2.5]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_set_is_clamped() {
+        let (x, y) = toy();
+        let mut knn = KnnClassifier::new(100, 2);
+        knn.fit(&x, &y, &TrainConfig::default());
+        let _ = knn.predict(&[0.0, 0.0]); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "not been fitted")]
+    fn predict_before_fit_panics() {
+        let knn = KnnClassifier::new(1, 2);
+        let _ = knn.predict(&[0.0]);
+    }
+}

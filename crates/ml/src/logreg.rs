@@ -1,0 +1,129 @@
+//! Binary logistic regression (gradient descent), a linear baseline for the
+//! detection goal function.
+
+use crate::{Classifier, TrainConfig};
+
+/// Binary logistic-regression classifier.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogisticRegression {
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model (weights are sized on the first `fit`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sigmoid(z: f64) -> f64 {
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Decision function `w·x + b`.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.w.len(), "feature dimension mismatch");
+        self.b + self.w.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+
+    /// Probability of class 1.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        Self::sigmoid(self.decision(x))
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], cfg: &TrainConfig) {
+        assert_eq!(x.len(), y.len(), "feature and label counts must match");
+        assert!(!x.is_empty(), "cannot train on an empty set");
+        assert!(y.iter().all(|&c| c < 2), "logistic regression is binary");
+        let d = x[0].len();
+        if self.w.len() != d {
+            self.w = vec![0.0; d];
+            self.b = 0.0;
+        }
+        let n = x.len() as f64;
+        for _ in 0..cfg.epochs {
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (xi, &yi) in x.iter().zip(y) {
+                let p = self.probability(xi);
+                let err = p - yi as f64;
+                for (g, v) in gw.iter_mut().zip(xi) {
+                    *g += err * v;
+                }
+                gb += err;
+            }
+            for (w, g) in self.w.iter_mut().zip(&gw) {
+                *w -= cfg.learning_rate * (g / n + cfg.weight_decay * *w);
+            }
+            self.b -= cfg.learning_rate * gb / n;
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        usize::from(self.probability(x) >= 0.5)
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let p = self.probability(x);
+        vec![1.0 - p, p]
+    }
+
+    fn n_classes(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn separates_linear_classes() {
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64 / 50.0 - 1.0])
+            .collect();
+        let y: Vec<usize> = x.iter().map(|v| usize::from(v[0] > 0.1)).collect();
+        let mut lr = LogisticRegression::new();
+        lr.fit(&x, &y, &TrainConfig { epochs: 2000, learning_rate: 0.5, ..Default::default() });
+        let preds: Vec<usize> = x.iter().map(|v| lr.predict(v)).collect();
+        assert!(accuracy(&y, &preds) > 0.95);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let mut lr = LogisticRegression::new();
+        lr.fit(
+            &[vec![0.0], vec![1.0]],
+            &[0, 1],
+            &TrainConfig { epochs: 100, ..Default::default() },
+        );
+        for v in [-100.0, 0.0, 100.0] {
+            let p = lr.probability(&[v]);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        let pp = lr.predict_proba(&[0.5]);
+        assert!((pp[0] + pp[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let y = vec![0, 1];
+        let cfg = TrainConfig { epochs: 50, ..Default::default() };
+        let mut a = LogisticRegression::new();
+        let mut b = LogisticRegression::new();
+        a.fit(&x, &y, &cfg);
+        b.fit(&x, &y, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn rejects_multiclass() {
+        let mut lr = LogisticRegression::new();
+        lr.fit(&[vec![0.0]], &[2], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,147 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "cannot score an empty set");
+    let hits = truth.iter().zip(pred).filter(|(a, b)| a == b).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// A binary confusion matrix (class 1 = positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the confusion matrix from parallel label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or labels outside `{0, 1}`.
+    pub fn from_labels(truth: &[usize], pred: &[usize]) -> Self {
+        assert_eq!(truth.len(), pred.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&t, &p) in truth.iter().zip(pred) {
+            assert!(t < 2 && p < 2, "binary labels required");
+            match (t, p) {
+                (1, 1) => c.tp += 1,
+                (0, 0) => c.tn += 1,
+                (0, 1) => c.fp += 1,
+                (1, 0) => c.fn_ += 1,
+                _ => unreachable!(),
+            }
+        }
+        c
+    }
+
+    /// Sensitivity (recall of the positive class); 0 when undefined.
+    pub fn sensitivity(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Specificity (recall of the negative class); 0 when undefined.
+    pub fn specificity(&self) -> f64 {
+        let d = self.tn + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tn as f64 / d as f64
+        }
+    }
+
+    /// Precision of the positive class; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.tn + self.fp + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// F1 score; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.sensitivity();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let truth = [1, 1, 0, 0, 1, 0];
+        let pred = [1, 0, 0, 1, 1, 0];
+        let c = Confusion::from_labels(&truth, &pred);
+        assert_eq!((c.tp, c.tn, c.fp, c.fn_), (2, 2, 1, 1));
+        assert!((c.sensitivity() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.specificity() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.sensitivity(), 0.0);
+        assert_eq!(c.specificity(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let c = Confusion::from_labels(&[0, 1, 0, 1], &[0, 1, 0, 1]);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Z-score feature normalisation.
+
+/// Per-feature standardisation fitted on a training set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits means and standard deviations over feature rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or rows have inconsistent lengths.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a scaler on no data");
+        let d = x[0].len();
+        assert!(x.iter().all(|r| r.len() == d), "inconsistent feature dimensions");
+        let n = x.len() as f64;
+        let mut means = vec![0.0; d];
+        for row in x {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for row in x {
+            for ((s, v), m) in vars.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let stds = vars.into_iter().map(|v| (v / n).sqrt().max(1e-12)).collect();
+        Self { means, stds }
+    }
+
+    /// Standardises one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the fitted dimension.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.means.len(), "feature dimension mismatch");
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardises a batch of rows.
+    pub fn transform_batch(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform(r)).collect()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_to_zero_mean_unit_std() {
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 1000.0 + 3.0 * i as f64])
+            .collect();
+        let sc = Scaler::fit(&x);
+        let t = sc.transform_batch(&x);
+        for d in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.iter().map(|r| r[d] * r[d]).sum::<f64>() / t.len() as f64;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let x = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let sc = Scaler::fit(&x);
+        let t = sc.transform(&[5.0]);
+        assert!(t[0].is_finite());
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    fn dim_reported() {
+        let sc = Scaler::fit(&[vec![1.0, 2.0, 3.0]]);
+        assert_eq!(sc.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dim() {
+        let sc = Scaler::fit(&[vec![1.0, 2.0]]);
+        let _ = sc.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-block power accounting (the stacked bars of Fig. 4 and Fig. 8).
+
+use std::fmt;
+
+/// Identifies a circuit block in a power breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockKind {
+    /// Low-noise amplifier.
+    Lna,
+    /// Sample-and-hold.
+    SampleHold,
+    /// SAR comparator.
+    Comparator,
+    /// SAR successive-approximation logic.
+    SarLogic,
+    /// Capacitive DAC.
+    Dac,
+    /// Radio/storage transmitter.
+    Transmitter,
+    /// Compressive-sensing encoder logic (shift register + switches).
+    CsEncoderLogic,
+    /// Static leakage of the switch network.
+    Leakage,
+}
+
+impl BlockKind {
+    /// All kinds in display order.
+    pub const ALL: [BlockKind; 8] = [
+        BlockKind::Lna,
+        BlockKind::SampleHold,
+        BlockKind::Comparator,
+        BlockKind::SarLogic,
+        BlockKind::Dac,
+        BlockKind::Transmitter,
+        BlockKind::CsEncoderLogic,
+        BlockKind::Leakage,
+    ];
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BlockKind::Lna => "LNA",
+            BlockKind::SampleHold => "S&H",
+            BlockKind::Comparator => "Comparator",
+            BlockKind::SarLogic => "SAR logic",
+            BlockKind::Dac => "DAC",
+            BlockKind::Transmitter => "Transmitter",
+            BlockKind::CsEncoderLogic => "CS encoder logic",
+            BlockKind::Leakage => "Leakage",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A per-block power breakdown in watts.
+///
+/// ```
+/// use efficsense_power::{BlockKind, PowerBreakdown};
+/// let mut b = PowerBreakdown::new();
+/// b.add(BlockKind::Lna, 1e-6);
+/// b.add(BlockKind::Transmitter, 4.3e-6);
+/// assert!((b.total_w() - 5.3e-6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerBreakdown {
+    entries: Vec<(BlockKind, f64)>,
+}
+
+impl PowerBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `watts` to the entry for `kind` (accumulating duplicates).
+    pub fn add(&mut self, kind: BlockKind, watts: f64) {
+        assert!(watts.is_finite() && watts >= 0.0, "power must be finite and non-negative, got {watts}");
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == kind) {
+            e.1 += watts;
+        } else {
+            self.entries.push((kind, watts));
+        }
+    }
+
+    /// Power of one block, or 0 if absent.
+    pub fn get(&self, kind: BlockKind) -> f64 {
+        self.entries.iter().find(|(k, _)| *k == kind).map_or(0.0, |(_, w)| *w)
+    }
+
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.entries.iter().map(|(_, w)| w).sum()
+    }
+
+    /// Iterator over `(block, watts)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockKind, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Fraction of total power consumed by `kind` (0 when total is 0).
+    pub fn fraction(&self, kind: BlockKind) -> f64 {
+        let t = self.total_w();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.get(kind) / t
+        }
+    }
+
+    /// Element-wise sum with another breakdown.
+    pub fn merged(&self, other: &PowerBreakdown) -> PowerBreakdown {
+        let mut out = self.clone();
+        for (k, w) in other.iter() {
+            out.add(k, w);
+        }
+        out
+    }
+
+    /// The dominant block, or `None` when empty.
+    pub fn dominant(&self) -> Option<BlockKind> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(k, _)| *k)
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<18} {:>12}   {:>6}", "block", "power", "share")?;
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (k, w) in &sorted {
+            writeln!(
+                f,
+                "{:<18} {:>12}   {:>5.1}%",
+                k.to_string(),
+                crate::units::Watts(*w).to_string(),
+                100.0 * self.fraction(*k)
+            )?;
+        }
+        write!(f, "{:<18} {:>12}", "TOTAL", crate::units::Watts(self.total_w()).to_string())
+    }
+}
+
+impl FromIterator<(BlockKind, f64)> for PowerBreakdown {
+    fn from_iter<I: IntoIterator<Item = (BlockKind, f64)>>(iter: I) -> Self {
+        let mut b = PowerBreakdown::new();
+        for (k, w) in iter {
+            b.add(k, w);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut b = PowerBreakdown::new();
+        b.add(BlockKind::Lna, 1.0e-6);
+        b.add(BlockKind::Dac, 2.0e-6);
+        b.add(BlockKind::Lna, 0.5e-6); // accumulates
+        assert!((b.get(BlockKind::Lna) - 1.5e-6).abs() < 1e-18);
+        assert!((b.total_w() - 3.5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn missing_block_is_zero() {
+        let b = PowerBreakdown::new();
+        assert_eq!(b.get(BlockKind::Transmitter), 0.0);
+        assert_eq!(b.fraction(BlockKind::Transmitter), 0.0);
+        assert_eq!(b.dominant(), None);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b: PowerBreakdown = [
+            (BlockKind::Lna, 3.0e-6),
+            (BlockKind::Transmitter, 4.0e-6),
+            (BlockKind::Dac, 1.0e-6),
+        ]
+        .into_iter()
+        .collect();
+        let s: f64 = BlockKind::ALL.iter().map(|&k| b.fraction(k)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(b.dominant(), Some(BlockKind::Transmitter));
+    }
+
+    #[test]
+    fn merged_adds_elementwise() {
+        let a: PowerBreakdown = [(BlockKind::Lna, 1.0)].into_iter().collect();
+        let b: PowerBreakdown = [(BlockKind::Lna, 2.0), (BlockKind::Dac, 3.0)].into_iter().collect();
+        let m = a.merged(&b);
+        assert_eq!(m.get(BlockKind::Lna), 3.0);
+        assert_eq!(m.get(BlockKind::Dac), 3.0);
+    }
+
+    #[test]
+    fn display_contains_blocks_and_total() {
+        let b: PowerBreakdown = [(BlockKind::Lna, 2.44e-6)].into_iter().collect();
+        let s = b.to_string();
+        assert!(s.contains("LNA"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("µW"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_power() {
+        let mut b = PowerBreakdown::new();
+        b.add(BlockKind::Lna, -1.0);
+    }
+}

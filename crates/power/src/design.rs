@@ -1,0 +1,151 @@
+//! Design parameters (Table III, bottom half).
+
+/// System-level design parameters shared by the behavioural and power models.
+///
+/// The derived quantities (`f_sample`, `f_clk`, `bw_lna`) follow the fixed
+/// relations the paper states in Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignParams {
+    /// Input signal bandwidth `BW_in` (Hz). Table III: 256 Hz.
+    pub bw_in_hz: f64,
+    /// ADC resolution `N` in bits. Table III sweeps 6–8.
+    pub n_bits: u32,
+    /// Supply voltage `V_dd` (V). Table III: 2 V.
+    pub v_dd: f64,
+    /// ADC full scale `V_FS` (V). Table III: 2 V.
+    pub v_fs: f64,
+    /// Reference voltage `V_ref` (V). Table III: 2 V.
+    pub v_ref: f64,
+    /// Oversampling margin: `f_sample = osr · BW_in`. Table III: 2.1.
+    pub sample_rate_factor: f64,
+    /// LNA bandwidth margin: `BW_LNA = k · BW_in`. Table III: 3.
+    pub lna_bw_factor: f64,
+}
+
+impl DesignParams {
+    /// Table III defaults with the given ADC resolution.
+    pub fn paper_defaults(n_bits: u32) -> Self {
+        Self {
+            bw_in_hz: 256.0,
+            n_bits,
+            v_dd: 2.0,
+            v_fs: 2.0,
+            v_ref: 2.0,
+            sample_rate_factor: 2.1,
+            lna_bw_factor: 3.0,
+        }
+    }
+
+    /// Sample rate `f_sample = 2.1 · BW_in` (Hz).
+    pub fn f_sample_hz(&self) -> f64 {
+        self.sample_rate_factor * self.bw_in_hz
+    }
+
+    /// SAR conversion clock `f_clk = (N + 1) · f_sample` (Hz).
+    pub fn f_clk_hz(&self) -> f64 {
+        (self.n_bits as f64 + 1.0) * self.f_sample_hz()
+    }
+
+    /// LNA bandwidth `BW_LNA = 3 · BW_in` (Hz).
+    pub fn bw_lna_hz(&self) -> f64 {
+        self.lna_bw_factor * self.bw_in_hz
+    }
+
+    /// Quantisation step `V_FS / 2^N` (V).
+    pub fn lsb(&self) -> f64 {
+        self.v_fs / (1u64 << self.n_bits) as f64
+    }
+
+    /// kT/C-limited sample capacitor (F): `12·kT·2^(2N) / V_FS²`, the
+    /// Sundström bound keeping sampled noise below LSB²/12.
+    pub fn c_sample_bound_f(&self) -> f64 {
+        12.0 * crate::kt() * 4f64.powi(self.n_bits as i32) / (self.v_fs * self.v_fs)
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bw_in_hz <= 0.0 {
+            return Err(format!("input bandwidth must be positive, got {}", self.bw_in_hz));
+        }
+        if !(1..=16).contains(&self.n_bits) {
+            return Err(format!("ADC resolution {} out of supported range 1..=16", self.n_bits));
+        }
+        if !(self.v_dd > 0.0 && self.v_fs > 0.0 && self.v_ref > 0.0) {
+            return Err("supply, full-scale and reference voltages must be positive".into());
+        }
+        if self.sample_rate_factor < 2.0 {
+            return Err(format!(
+                "sample rate factor {} violates Nyquist (must be >= 2)",
+                self.sample_rate_factor
+            ));
+        }
+        if self.lna_bw_factor < 1.0 {
+            return Err(format!(
+                "LNA bandwidth factor {} would band-limit the signal",
+                self.lna_bw_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DesignParams {
+    fn default() -> Self {
+        Self::paper_defaults(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_match_table_iii() {
+        let d = DesignParams::paper_defaults(8);
+        assert!((d.f_sample_hz() - 537.6).abs() < 1e-9);
+        assert!((d.f_clk_hz() - 9.0 * 537.6).abs() < 1e-9);
+        assert!((d.bw_lna_hz() - 768.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lsb_scales_with_bits() {
+        let d6 = DesignParams::paper_defaults(6);
+        let d8 = DesignParams::paper_defaults(8);
+        assert!((d6.lsb() - 2.0 / 64.0).abs() < 1e-12);
+        assert!((d6.lsb() / d8.lsb() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_cap_bound_grows_4x_per_bit() {
+        let d6 = DesignParams::paper_defaults(6);
+        let d7 = DesignParams::paper_defaults(7);
+        assert!((d7.c_sample_bound_f() / d6.c_sample_bound_f() - 4.0).abs() < 1e-9);
+        // For 8 bits at 2 V FS this is sub-fF: noise is not the sizing
+        // constraint at biomedical resolutions — matching is.
+        assert!(DesignParams::paper_defaults(8).c_sample_bound_f() < 1e-14);
+    }
+
+    #[test]
+    fn validate_accepts_paper_values() {
+        for n in 6..=8 {
+            DesignParams::paper_defaults(n).validate().expect("paper values are valid");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let mut d = DesignParams::paper_defaults(8);
+        d.n_bits = 0;
+        assert!(d.validate().is_err());
+        let mut d = DesignParams::paper_defaults(8);
+        d.sample_rate_factor = 1.5;
+        assert!(d.validate().unwrap_err().contains("Nyquist"));
+        let mut d = DesignParams::paper_defaults(8);
+        d.bw_in_hz = -1.0;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! OTA power model for *active* CS integrator front-ends.
+//!
+//! The paper's passive charge-sharing encoder is motivated as replacing
+//! "active integrators and their power-hungry OTAs" (Section III, citing
+//! Chen et al.). To let the framework actually quantify that claim, this
+//! model estimates the power of an OTA-based switched-capacitor integrator
+//! bank: the classic two-bound OTA estimate (slewing + GBW settling) plus a
+//! noise bound, mirroring the LNA model's structure.
+
+use crate::breakdown::BlockKind;
+use crate::design::DesignParams;
+use crate::kt;
+use crate::models::PowerModel;
+use crate::tech::TechnologyParams;
+
+/// Power model of one switched-capacitor integrator OTA.
+///
+/// For an `M`-measurement active CS encoder, `count` integrators run in
+/// parallel (or one is time-multiplexed at `count`× the clock; the bound is
+/// the same to first order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OtaIntegratorModel {
+    /// Number of integrator channels (one per measurement row).
+    pub count: usize,
+    /// Integration (sampling) capacitor per channel (F).
+    pub c_int_f: f64,
+    /// Settling accuracy in bits (drives the GBW requirement).
+    pub settle_bits: u32,
+    /// Output swing used for the slew bound (V).
+    pub v_swing: f64,
+}
+
+impl OtaIntegratorModel {
+    /// A typical active CS encoder: `m` channels with 1 pF integration caps
+    /// settling to the ADC resolution.
+    pub fn for_encoder(m: usize, n_bits: u32) -> Self {
+        Self { count: m, c_int_f: 1e-12, settle_bits: n_bits, v_swing: 1.0 }
+    }
+}
+
+impl PowerModel for OtaIntegratorModel {
+    fn kind(&self) -> BlockKind {
+        BlockKind::CsEncoderLogic
+    }
+
+    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+        assert!(self.count > 0, "need at least one integrator");
+        assert!(self.c_int_f > 0.0, "integration cap must be positive");
+        let f_clk = design.f_sample_hz(); // one charge transfer per input sample
+        // Settling: exponential settling to 2^-(settle_bits+1) within half a
+        // clock period needs GBW ≈ (settle_bits+1)·ln2·f_clk/π.
+        let gbw = (self.settle_bits as f64 + 1.0) * std::f64::consts::LN_2 * f_clk
+            / std::f64::consts::PI
+            * 2.0;
+        let i_gbw = 2.0 * std::f64::consts::PI * gbw * self.c_int_f / tech.gm_over_id;
+        // Slewing: I = C·dV/dt over a quarter period.
+        let i_slew = 4.0 * self.c_int_f * self.v_swing * f_clk;
+        // Noise: integrated kT/C of the switched cap referred to the OTA
+        // input; keep it below a quarter LSB.
+        let lsb = design.v_fs / (1u64 << design.n_bits) as f64;
+        let vn = (lsb / 4.0).max((kt() / self.c_int_f).sqrt());
+        let i_noise = (tech.nef / vn).powi(2)
+            * 2.0
+            * std::f64::consts::PI
+            * 4.0
+            * kt()
+            * design.bw_lna_hz()
+            * tech.v_t;
+        let per_channel = design.v_dd * i_gbw.max(i_slew).max(i_noise);
+        per_channel * self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::CsEncoderLogicModel;
+
+    fn setup() -> (TechnologyParams, DesignParams) {
+        (TechnologyParams::gpdk045(), DesignParams::paper_defaults(8))
+    }
+
+    #[test]
+    fn active_encoder_adds_substantial_power_over_passive() {
+        // The paper's Section III claim: replacing OTA integrators with
+        // passive charge sharing saves encoder power. Both designs share the
+        // matrix logic; the OTA bank is pure overhead of the active one.
+        let (t, d) = setup();
+        let ota = OtaIntegratorModel::for_encoder(150, 8).power_w(&t, &d);
+        let logic = CsEncoderLogicModel::new(384).power_w(&t, &d);
+        let active_total = ota + logic;
+        assert!(ota > 0.3e-6, "OTA bank power {ota} should be a visible budget item");
+        assert!(
+            active_total > 1.5 * logic,
+            "active encoder ({active_total}) should cost well over the passive logic ({logic})"
+        );
+    }
+
+    #[test]
+    fn scales_linearly_with_channel_count() {
+        let (t, d) = setup();
+        let p75 = OtaIntegratorModel::for_encoder(75, 8).power_w(&t, &d);
+        let p150 = OtaIntegratorModel::for_encoder(150, 8).power_w(&t, &d);
+        assert!((p150 / p75 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_settling_bits_cost_power_until_slew_limited() {
+        let (t, d) = setup();
+        let p6 = OtaIntegratorModel { settle_bits: 6, ..OtaIntegratorModel::for_encoder(1, 6) }
+            .power_w(&t, &d);
+        let p12 = OtaIntegratorModel { settle_bits: 12, ..OtaIntegratorModel::for_encoder(1, 12) }
+            .power_w(&t, &d);
+        assert!(p12 >= p6);
+    }
+
+    #[test]
+    fn power_is_positive_and_finite() {
+        let (t, d) = setup();
+        let p = OtaIntegratorModel::for_encoder(192, 8).power_w(&t, &d);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_channels() {
+        let (t, d) = setup();
+        let _ = OtaIntegratorModel { count: 0, ..OtaIntegratorModel::for_encoder(1, 8) }
+            .power_w(&t, &d);
+    }
+}

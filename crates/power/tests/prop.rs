@@ -1,0 +1,113 @@
+//! Property-based tests for the power/area model library.
+
+use efficsense_power::area::AreaModel;
+use efficsense_power::models::{
+    ComparatorModel, CsEncoderLogicModel, DacModel, LnaModel, PowerModel, SampleHoldModel,
+    SarLogicModel, TransmitterModel,
+};
+use efficsense_power::{DesignParams, TechnologyParams};
+use proptest::prelude::*;
+
+fn tech() -> TechnologyParams {
+    TechnologyParams::gpdk045()
+}
+
+proptest! {
+    #[test]
+    fn all_models_nonnegative_finite(
+        bits in 4u32..12,
+        noise in 1e-7f64..1e-4,
+        c_load in 1e-15f64..1e-11,
+        v_in in 0.0f64..2.0,
+        ratio_denominator in 1.0f64..10.0,
+    ) {
+        let t = tech();
+        let d = DesignParams::paper_defaults(bits);
+        let powers = [
+            LnaModel { noise_floor_vrms: noise, c_load_f: c_load, gain: 1000.0 }.power_w(&t, &d),
+            SampleHoldModel.power_w(&t, &d),
+            ComparatorModel.power_w(&t, &d),
+            SarLogicModel::default().power_w(&t, &d),
+            DacModel { c_u_f: 1e-15, v_in_rms: v_in }.power_w(&t, &d),
+            TransmitterModel { compression_ratio: 1.0 / ratio_denominator }.power_w(&t, &d),
+            CsEncoderLogicModel::new(384).power_w(&t, &d),
+        ];
+        for p in powers {
+            prop_assert!(p.is_finite() && p >= 0.0, "power {p}");
+        }
+    }
+
+    #[test]
+    fn lna_power_monotone_nonincreasing_in_noise(
+        c_load in 1e-15f64..1e-11,
+        n1 in 1e-7f64..1e-4,
+        n2 in 1e-7f64..1e-4,
+    ) {
+        let t = tech();
+        let d = DesignParams::paper_defaults(8);
+        let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let p_lo = LnaModel { noise_floor_vrms: lo, c_load_f: c_load, gain: 1000.0 }.power_w(&t, &d);
+        let p_hi = LnaModel { noise_floor_vrms: hi, c_load_f: c_load, gain: 1000.0 }.power_w(&t, &d);
+        prop_assert!(p_lo >= p_hi, "tighter noise must not be cheaper");
+    }
+
+    #[test]
+    fn transmitter_power_linear_in_compression(
+        r1 in 0.01f64..1.0,
+        r2 in 0.01f64..1.0,
+    ) {
+        let t = tech();
+        let d = DesignParams::paper_defaults(8);
+        let p1 = TransmitterModel { compression_ratio: r1 }.power_w(&t, &d);
+        let p2 = TransmitterModel { compression_ratio: r2 }.power_w(&t, &d);
+        prop_assert!((p1 / p2 - r1 / r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digital_powers_monotone_in_bits(b in 4u32..11) {
+        let t = tech();
+        let d1 = DesignParams::paper_defaults(b);
+        let d2 = DesignParams::paper_defaults(b + 1);
+        prop_assert!(SarLogicModel::default().power_w(&t, &d2) > SarLogicModel::default().power_w(&t, &d1));
+        prop_assert!(ComparatorModel.power_w(&t, &d2) > ComparatorModel.power_w(&t, &d1));
+        prop_assert!(TransmitterModel::default().power_w(&t, &d2) > TransmitterModel::default().power_w(&t, &d1));
+    }
+
+    #[test]
+    fn area_model_additive(
+        c1 in 1e-15f64..1e-11,
+        n1 in 1usize..500,
+        c2 in 1e-15f64..1e-11,
+        n2 in 1usize..500,
+    ) {
+        let t = tech();
+        let mut a = AreaModel::new();
+        a.add("x", c1, n1);
+        let first = a.total_units(&t);
+        a.add("y", c2, n2);
+        let both = a.total_units(&t);
+        let expect = first + c2 * n2 as f64 / t.c_u_min_f;
+        prop_assert!((both - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    #[test]
+    fn cs_area_exceeds_baseline_for_any_config(
+        bits in 6u32..9,
+        m in 32usize..256,
+        c_hold in 1e-13f64..1e-11,
+    ) {
+        let t = tech();
+        let d = DesignParams::paper_defaults(bits);
+        let base = AreaModel::baseline(&t, &d, 1e-15).total_units(&t);
+        let cs = AreaModel::compressive(&t, &d, 1e-15, m, 2, c_hold, c_hold / 5.0)
+            .total_units(&t);
+        prop_assert!(cs > base);
+    }
+
+    #[test]
+    fn mismatch_sigma_decreasing_in_cap(c1 in 1e-15f64..1e-11, c2 in 1e-15f64..1e-11) {
+        let t = tech();
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(t.cap_mismatch_sigma(lo) >= t.cap_mismatch_sigma(hi));
+    }
+}

@@ -1,0 +1,234 @@
+//! Labelled dataset container mirroring the Bonn EEG corpus layout.
+
+use crate::eeg::{EegClass, EegGenerator, EegParams};
+use efficsense_dsp::resample::resample_linear;
+
+/// Bonn dataset record duration in seconds.
+pub const BONN_DURATION_S: f64 = 23.6;
+/// Bonn dataset sample rate in Hz.
+pub const BONN_SAMPLE_RATE_HZ: f64 = 173.61;
+
+/// One labelled EEG record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Stable record identifier within its dataset.
+    pub id: usize,
+    /// Diagnostic class.
+    pub class: EegClass,
+    /// Samples in volts.
+    pub samples: Vec<f64>,
+    /// Sample rate in Hz.
+    pub fs: f64,
+}
+
+impl Record {
+    /// Record duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.samples.len() as f64 / self.fs
+    }
+
+    /// Binary seizure label (1 = seizure).
+    pub fn label(&self) -> usize {
+        self.class.label()
+    }
+
+    /// Returns a copy of the record resampled to `fs_out` Hz (the paper's
+    /// "upsample to mimic a continuous-time signal" step).
+    pub fn resampled(&self, fs_out: f64) -> Record {
+        Record {
+            id: self.id,
+            class: self.class,
+            samples: resample_linear(&self.samples, self.fs, fs_out),
+            fs: fs_out,
+        }
+    }
+}
+
+/// Configuration of a synthetic dataset generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Records generated for each of the three classes.
+    ///
+    /// The Bonn corpus has 100 records in each of five sets; collapsing the
+    /// five sets into three classes, the paper's "500 signals" correspond to
+    /// `records_per_class` ≈ 167. Benchmarks default to smaller counts.
+    pub records_per_class: usize,
+    /// Record duration in seconds (Bonn: 23.6 s).
+    pub duration_s: f64,
+    /// Sample rate in Hz (Bonn: 173.61 Hz).
+    pub fs: f64,
+    /// Master seed; every record derives from it deterministically.
+    pub seed: u64,
+    /// Waveform morphology parameters.
+    pub params: EegParams,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            records_per_class: 20,
+            duration_s: BONN_DURATION_S,
+            fs: BONN_SAMPLE_RATE_HZ,
+            seed: 0xEEC5,
+            params: EegParams::default(),
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// Paper-scale configuration: ~500 records of 23.6 s at 173.61 Hz.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self { records_per_class: 167, seed, ..Default::default() }
+    }
+}
+
+/// A labelled synthetic EEG corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EegDataset {
+    /// All records, grouped by class in generation order.
+    pub records: Vec<Record>,
+    /// The configuration that produced the dataset.
+    pub config: DatasetConfig,
+}
+
+impl EegDataset {
+    /// Generates the dataset described by `config`. Deterministic in the seed.
+    pub fn generate(config: &DatasetConfig) -> Self {
+        let mut records = Vec::with_capacity(config.records_per_class * 3);
+        let mut id = 0;
+        for class in EegClass::ALL {
+            // Per-class generator stream so class counts don't perturb each other.
+            let class_seed = config.seed ^ ((class as u64 + 1) << 32);
+            let mut gen = EegGenerator::new(config.params.clone(), class_seed);
+            for _ in 0..config.records_per_class {
+                records.push(Record {
+                    id,
+                    class,
+                    samples: gen.record(class, config.fs, config.duration_s),
+                    fs: config.fs,
+                });
+                id += 1;
+            }
+        }
+        Self { records, config: config.clone() }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterator over records of one class.
+    pub fn by_class(&self, class: EegClass) -> impl Iterator<Item = &Record> {
+        self.records.iter().filter(move |r| r.class == class)
+    }
+
+    /// Splits into (train, test) by taking every `1/test_fraction`-th record
+    /// of each class for test (deterministic, stratified).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < test_fraction < 1`.
+    pub fn split(&self, test_fraction: f64) -> (Vec<&Record>, Vec<&Record>) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test fraction must be in (0, 1)"
+        );
+        let stride = (1.0 / test_fraction).round().max(1.0) as usize;
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for class in EegClass::ALL {
+            for (i, r) in self.by_class(class).enumerate() {
+                if i % stride == stride - 1 {
+                    test.push(r);
+                } else {
+                    train.push(r);
+                }
+            }
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let cfg = DatasetConfig { records_per_class: 7, duration_s: 2.0, ..Default::default() };
+        let ds = EegDataset::generate(&cfg);
+        assert_eq!(ds.len(), 21);
+        for class in EegClass::ALL {
+            assert_eq!(ds.by_class(class).count(), 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = DatasetConfig { records_per_class: 3, duration_s: 1.0, ..Default::default() };
+        assert_eq!(EegDataset::generate(&cfg), EegDataset::generate(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetConfig { records_per_class: 2, duration_s: 1.0, seed: 1, ..Default::default() };
+        let b = DatasetConfig { records_per_class: 2, duration_s: 1.0, seed: 2, ..Default::default() };
+        assert_ne!(EegDataset::generate(&a).records[0].samples, EegDataset::generate(&b).records[0].samples);
+    }
+
+    #[test]
+    fn record_duration_and_label() {
+        let cfg = DatasetConfig { records_per_class: 1, ..Default::default() };
+        let ds = EegDataset::generate(&cfg);
+        let r = &ds.records[0];
+        assert!((r.duration_s() - BONN_DURATION_S).abs() < 0.01);
+        let seizure = ds.by_class(EegClass::Seizure).next().expect("has seizure record");
+        assert_eq!(seizure.label(), 1);
+    }
+
+    #[test]
+    fn resample_changes_rate_keeps_duration() {
+        let cfg = DatasetConfig { records_per_class: 1, duration_s: 2.0, ..Default::default() };
+        let ds = EegDataset::generate(&cfg);
+        let r = ds.records[0].resampled(512.0);
+        assert_eq!(r.fs, 512.0);
+        assert!((r.duration_s() - 2.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn split_is_stratified_and_disjoint() {
+        let cfg = DatasetConfig { records_per_class: 10, duration_s: 1.0, ..Default::default() };
+        let ds = EegDataset::generate(&cfg);
+        let (train, test) = ds.split(0.2);
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(test.len(), 6); // 2 of 10 per class
+        let test_ids: Vec<usize> = test.iter().map(|r| r.id).collect();
+        assert!(train.iter().all(|r| !test_ids.contains(&r.id)));
+        // Each class appears in both halves.
+        for class in EegClass::ALL {
+            assert!(test.iter().any(|r| r.class == class));
+            assert!(train.iter().any(|r| r.class == class));
+        }
+    }
+
+    #[test]
+    fn paper_scale_shape() {
+        let cfg = DatasetConfig::paper_scale(1);
+        assert_eq!(cfg.records_per_class * 3, 501);
+        assert_eq!(cfg.fs, BONN_SAMPLE_RATE_HZ);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn split_rejects_bad_fraction() {
+        let cfg = DatasetConfig { records_per_class: 2, duration_s: 1.0, ..Default::default() };
+        let ds = EegDataset::generate(&cfg);
+        let _ = ds.split(1.5);
+    }
+}

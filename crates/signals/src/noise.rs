@@ -1,0 +1,181 @@
+//! Seeded noise generators: white Gaussian, pink (1/f), and a helper RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Gaussian sample source (Box–Muller over a [`StdRng`]).
+///
+/// `rand` alone provides uniform sampling; the normal transform is done here
+/// to avoid pulling in `rand_distr`.
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Box–Muller: two uniforms -> two normals.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws one `N(0, sigma²)` sample.
+    pub fn sample_scaled(&mut self, sigma: f64) -> f64 {
+        self.sample() * sigma
+    }
+
+    /// Fills a vector with `n` samples of `N(0, sigma²)`.
+    pub fn vector(&mut self, n: usize, sigma: f64) -> Vec<f64> {
+        (0..n).map(|_| self.sample_scaled(sigma)).collect()
+    }
+
+    /// Draws a uniform value in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo == hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Draws a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p
+    }
+}
+
+/// Pink (1/f) noise generator using the Paul Kellet economy filter, which
+/// shapes white Gaussian noise with three cascaded leaky integrators.
+///
+/// The output is approximately unit-variance; scale as needed.
+#[derive(Debug, Clone)]
+pub struct PinkNoise {
+    white: Gaussian,
+    b: [f64; 3],
+}
+
+impl PinkNoise {
+    /// Creates a pink-noise source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { white: Gaussian::new(seed), b: [0.0; 3] }
+    }
+
+    /// Draws the next pink-noise sample (≈ unit variance).
+    pub fn sample(&mut self) -> f64 {
+        let w = self.white.sample();
+        self.b[0] = 0.99765 * self.b[0] + w * 0.0990460;
+        self.b[1] = 0.96300 * self.b[1] + w * 0.2965164;
+        self.b[2] = 0.57000 * self.b[2] + w * 1.0526913;
+        let out = self.b[0] + self.b[1] + self.b[2] + w * 0.1848;
+        out * 0.25 // normalise to roughly unit variance
+    }
+
+    /// Fills a vector with `n` samples scaled by `sigma`.
+    pub fn vector(&mut self, n: usize, sigma: f64) -> Vec<f64> {
+        (0..n).map(|_| self.sample() * sigma).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efficsense_dsp::spectrum::{welch, Psd};
+    use efficsense_dsp::stats::{mean, std_dev};
+    use efficsense_dsp::window::Window;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut g = Gaussian::new(1);
+        let x = g.vector(200_000, 1.0);
+        assert!(mean(&x).abs() < 0.01);
+        assert!((std_dev(&x) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn gaussian_deterministic_for_seed() {
+        let a = Gaussian::new(42).vector(100, 1.0);
+        let b = Gaussian::new(42).vector(100, 1.0);
+        assert_eq!(a, b);
+        let c = Gaussian::new(43).vector(100, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_scaling() {
+        let mut g = Gaussian::new(7);
+        let x = g.vector(100_000, 3.0);
+        assert!((std_dev(&x) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut g = Gaussian::new(5);
+        for _ in 0..1000 {
+            let v = g.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_frequency() {
+        let mut g = Gaussian::new(9);
+        let hits = (0..100_000).filter(|_| g.chance(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+
+    fn slope_db_per_decade(psd: &Psd, f_lo: f64, f_hi: f64) -> f64 {
+        // Power *density* in equal-relative-width bands (divide by bandwidth).
+        let d_lo = psd.band_power(f_lo, f_lo * 1.2) / (0.2 * f_lo);
+        let d_hi = psd.band_power(f_hi, f_hi * 1.2) / (0.2 * f_hi);
+        // dB per decade between the two band centres.
+        10.0 * (d_hi / d_lo).log10() / (f_hi / f_lo).log10()
+    }
+
+    #[test]
+    fn pink_noise_spectrum_falls_off() {
+        let mut p = PinkNoise::new(3);
+        let x = p.vector(1 << 16, 1.0);
+        let psd = welch(&x, 1000.0, 4096, Window::Hann);
+        let slope = slope_db_per_decade(&psd, 2.0, 200.0);
+        // 1/f noise: -10 dB/decade of *power density*; allow generous slack.
+        assert!((-14.0..=-6.0).contains(&slope), "slope {slope} dB/dec");
+    }
+
+    #[test]
+    fn pink_noise_roughly_unit_variance() {
+        let mut p = PinkNoise::new(11);
+        let x = p.vector(100_000, 1.0);
+        let s = std_dev(&x);
+        assert!((0.5..2.0).contains(&s), "pink sigma {s}");
+    }
+
+    #[test]
+    fn pink_noise_deterministic() {
+        let a = PinkNoise::new(1).vector(64, 1.0);
+        let b = PinkNoise::new(1).vector(64, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the synthetic EEG substrate.
+
+use efficsense_dsp::stats::{peak, rms};
+use efficsense_signals::noise::{Gaussian, PinkNoise};
+use efficsense_signals::{DatasetConfig, EegClass, EegDataset, EegGenerator, EegParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn records_always_finite_and_physiological(
+        seed in any::<u64>(),
+        duration in 1.0f64..12.0,
+    ) {
+        let mut gen = EegGenerator::new(EegParams::default(), seed);
+        for class in EegClass::ALL {
+            let x = gen.record(class, 173.61, duration);
+            prop_assert_eq!(x.len(), (173.61 * duration) as usize);
+            prop_assert!(x.iter().all(|v| v.is_finite()));
+            // Scalp EEG never exceeds ~1 mV.
+            prop_assert!(peak(&x) < 1e-3, "peak {} too large", peak(&x));
+            prop_assert!(rms(&x) > 1e-7, "record should not be silent");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let cfg = DatasetConfig {
+            records_per_class: 2,
+            duration_s: 2.0,
+            seed,
+            ..Default::default()
+        };
+        prop_assert_eq!(EegDataset::generate(&cfg), EegDataset::generate(&cfg));
+    }
+
+    #[test]
+    fn split_partitions_dataset(
+        n in 2usize..12,
+        frac_pct in 10u32..50,
+    ) {
+        let cfg = DatasetConfig { records_per_class: n, duration_s: 1.0, ..Default::default() };
+        let ds = EegDataset::generate(&cfg);
+        let (train, test) = ds.split(frac_pct as f64 / 100.0);
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        let mut ids: Vec<usize> = train.iter().chain(test.iter()).map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), ds.len(), "every record exactly once");
+    }
+
+    #[test]
+    fn gaussian_bounded_variance(seed in any::<u64>(), sigma in 0.1f64..10.0) {
+        let mut g = Gaussian::new(seed);
+        let x = g.vector(5000, sigma);
+        let s = efficsense_dsp::stats::std_dev(&x);
+        prop_assert!((s / sigma - 1.0).abs() < 0.15, "σ estimate {s} vs {sigma}");
+    }
+
+    #[test]
+    fn pink_noise_finite_and_nonzero(seed in any::<u64>()) {
+        let mut p = PinkNoise::new(seed);
+        let x = p.vector(2000, 1.0);
+        prop_assert!(x.iter().all(|v| v.is_finite()));
+        prop_assert!(rms(&x) > 0.05);
+    }
+
+    #[test]
+    fn seizure_energy_exceeds_normal_on_average(seed in any::<u64>()) {
+        let params = EegParams {
+            powerline_probability: 0.0,
+            emg_probability: 0.0,
+            blink_probability: 0.0,
+            ..Default::default()
+        };
+        let mut gen = EegGenerator::new(params, seed);
+        let mut seiz = 0.0;
+        let mut norm = 0.0;
+        for _ in 0..4 {
+            seiz += rms(&gen.record(EegClass::Seizure, 173.61, 6.0));
+            norm += rms(&gen.record(EegClass::Normal, 173.61, 6.0));
+        }
+        prop_assert!(seiz > norm, "seizure rms {seiz} vs normal {norm}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Event-driven (level-crossing) acquisition vs Nyquist sampling on EEG —
+//! the comparison of the authors' companion study (paper reference [15]),
+//! built from the same block library.
+//!
+//! Run: `cargo run --release --example event_driven`
+
+use efficsense::blocks::lc_adc::LcAdc;
+use efficsense::dsp::metrics::snr_fit_db;
+use efficsense::power::{BlockKind, DesignParams, TechnologyParams};
+use efficsense::signals::{DatasetConfig, EegClass, EegDataset};
+
+fn main() {
+    let tech = TechnologyParams::gpdk045();
+    let design = DesignParams::paper_defaults(8);
+    let gain = 4000.0;
+    let ds = EegDataset::generate(&DatasetConfig {
+        records_per_class: 3,
+        duration_s: 8.0,
+        ..Default::default()
+    });
+
+    println!(
+        "{:<12} {:>12} {:>14} {:>12} {:>12}",
+        "class", "events/s", "Nyquist wps", "LC SNR dB", "LC TX µW"
+    );
+    for class in [EegClass::Normal, EegClass::Interictal, EegClass::Seizure] {
+        let mut rate_sum = 0.0;
+        let mut snr_sum = 0.0;
+        let mut tx_sum = 0.0;
+        let mut n = 0.0;
+        for r in ds.by_class(class) {
+            // Amplify to ADC scale, as the front-end would.
+            let x: Vec<f64> = r.samples.iter().map(|v| v * gain).collect();
+            let mut adc = LcAdc::new(8, design.v_fs, 0.25);
+            let events = adc.convert(&x);
+            let rate = events.len() as f64 / r.duration_s();
+            let recon = adc.reconstruct(&events, x.len());
+            let b = adc.power_breakdown(rate, &tech, &design);
+            rate_sum += rate;
+            snr_sum += snr_fit_db(&x, &recon).min(60.0);
+            tx_sum += b.get(BlockKind::Transmitter) * 1e6;
+            n += 1.0;
+        }
+        println!(
+            "{:<12} {:>12.1} {:>14.1} {:>12.1} {:>12.3}",
+            class.to_string(),
+            rate_sum / n,
+            design.f_sample_hz(),
+            snr_sum / n,
+            tx_sum / n
+        );
+    }
+    let nyquist_tx = design.f_sample_hz() * design.n_bits as f64 * tech.e_bit_j * 1e6;
+    println!("\nNyquist-rate transmitter power for comparison: {nyquist_tx:.3} µW");
+    println!("Event-driven conversion makes data rate track signal *activity*:");
+    println!("quiet background EEG ships far fewer events than Nyquist words, while");
+    println!("high-amplitude seizures push the event rate (and TX power) back up —");
+    println!("the activity-dependence trade-off of the authors' TBioCAS 2020 study.");
+}

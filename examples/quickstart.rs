@@ -1,0 +1,53 @@
+//! Quickstart: simulate one EEG record through both sensor front-end
+//! architectures and compare signal quality, power and area.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use efficsense::core::config::{CsConfig, SystemConfig};
+use efficsense::core::simulate::Simulator;
+use efficsense::dsp::metrics::snr_fit_db;
+use efficsense::signals::{DatasetConfig, EegDataset};
+
+fn main() {
+    // A small synthetic Bonn-like EEG corpus (deterministic).
+    let dataset = EegDataset::generate(&DatasetConfig {
+        records_per_class: 1,
+        duration_s: 8.0,
+        ..Default::default()
+    });
+    let record = &dataset.records[0];
+    println!(
+        "record #{} ({}): {:.1} s at {} Hz",
+        record.id,
+        record.class,
+        record.duration_s(),
+        record.fs
+    );
+
+    // Architecture 1: classical LNA → S/H → SAR ADC → transmitter.
+    let baseline = Simulator::new(SystemConfig::baseline(8)).expect("valid config");
+    let out_b = baseline.run(&record.samples, record.fs, 1);
+
+    // Architecture 2: passive charge-sharing compressive sensing.
+    let cs_cfg = SystemConfig::compressive(8, CsConfig { m: 96, ..Default::default() });
+    let cs = Simulator::new(cs_cfg).expect("valid config");
+    let out_c = cs.run(&record.samples, record.fs, 1);
+
+    println!("\n=== baseline ===");
+    println!("SNR: {:.1} dB", snr_fit_db(&out_b.reference, &out_b.input_referred));
+    println!("words sent: {}", out_b.words);
+    println!("area: {:.0} C_u,min", out_b.area_units);
+    println!("{}", out_b.power);
+
+    println!("\n=== compressive sensing (M=96, N_Φ=384) ===");
+    println!("SNR: {:.1} dB", snr_fit_db(&out_c.reference, &out_c.input_referred));
+    println!("words sent: {}", out_c.words);
+    println!("area: {:.0} C_u,min", out_c.area_units);
+    println!("{}", out_c.power);
+
+    println!(
+        "\nCS sends {:.1}x fewer words and consumes {:.2}x less power here.",
+        out_b.words as f64 / out_c.words as f64,
+        out_b.total_power_w() / out_c.total_power_w()
+    );
+}

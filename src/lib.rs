@@ -1,0 +1,17 @@
+//! # efficsense
+//!
+//! Facade crate re-exporting the EffiCSense workspace: an architectural
+//! pathfinding framework for energy-constrained mixed-signal sensor
+//! front-ends, reproducing Van Assche et al., DATE 2022.
+//!
+//! See the individual crates for details:
+//! [`dsp`], [`signals`], [`power`], [`cs`], [`blocks`], [`ml`], [`core`].
+#![deny(missing_docs)]
+
+pub use efficsense_blocks as blocks;
+pub use efficsense_core as core;
+pub use efficsense_cs as cs;
+pub use efficsense_dsp as dsp;
+pub use efficsense_ml as ml;
+pub use efficsense_power as power;
+pub use efficsense_signals as signals;

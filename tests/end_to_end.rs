@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: complete acquisition chains on synthetic
+//! EEG, checking the paper's qualitative claims end to end.
+
+use efficsense::core::config::{CsConfig, SystemConfig};
+use efficsense::core::simulate::Simulator;
+use efficsense::dsp::metrics::snr_fit_db;
+use efficsense::power::BlockKind;
+use efficsense::signals::{DatasetConfig, EegClass, EegDataset};
+
+fn dataset() -> EegDataset {
+    EegDataset::generate(&DatasetConfig {
+        records_per_class: 2,
+        duration_s: 6.0,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn baseline_chain_preserves_eeg_morphology() {
+    let ds = dataset();
+    let mut cfg = SystemConfig::baseline(8);
+    cfg.lna.noise_floor_vrms = 1e-6;
+    let sim = Simulator::new(cfg).expect("valid config");
+    for r in &ds.records {
+        let out = sim.run(&r.samples, r.fs, r.id as u64);
+        let snr = snr_fit_db(&out.reference, &out.input_referred);
+        assert!(snr > 10.0, "{}: baseline SNR {snr} dB too low", r.class);
+    }
+}
+
+#[test]
+fn cs_chain_reconstructs_seizure_morphology_best() {
+    // Seizure records are the most compressible (strong low-frequency
+    // rhythm), so CS reconstruction should work at least as well on them.
+    let ds = dataset();
+    let cfg = SystemConfig::compressive(8, CsConfig { m: 150, ..Default::default() });
+    let sim = Simulator::new(cfg).expect("valid config");
+    let mean_snr = |class: EegClass| {
+        let recs: Vec<_> = ds.by_class(class).collect();
+        recs.iter()
+            .map(|r| {
+                let out = sim.run(&r.samples, r.fs, r.id as u64);
+                snr_fit_db(&out.reference, &out.input_referred)
+            })
+            .sum::<f64>()
+            / recs.len() as f64
+    };
+    let seiz = mean_snr(EegClass::Seizure);
+    let norm = mean_snr(EegClass::Normal);
+    assert!(seiz > 5.0, "seizure reconstruction SNR {seiz}");
+    assert!(norm > 0.0, "normal reconstruction SNR {norm}");
+}
+
+#[test]
+fn power_hierarchy_matches_paper_fig8() {
+    // Baseline: transmitter + LNA dominate. CS with M=75: TX collapses.
+    let ds = dataset();
+    let r = &ds.records[0];
+    let base = Simulator::new(SystemConfig::baseline(8)).expect("valid");
+    let out_b = base.run(&r.samples, r.fs, 1);
+    let cs = Simulator::new(SystemConfig::compressive(
+        8,
+        CsConfig { m: 75, ..Default::default() },
+    ))
+    .expect("valid");
+    let out_c = cs.run(&r.samples, r.fs, 1);
+
+    let tx_b = out_b.power.get(BlockKind::Transmitter);
+    let tx_c = out_c.power.get(BlockKind::Transmitter);
+    assert!((tx_c / tx_b - 75.0 / 384.0).abs() < 0.01, "TX scales with M/N_Φ");
+    // Digital overhead appears only in the CS chain.
+    assert_eq!(out_b.power.get(BlockKind::CsEncoderLogic), 0.0);
+    assert!(out_c.power.get(BlockKind::CsEncoderLogic) > 0.1e-6);
+    // The paper's headline direction: at equal (moderate) noise floors the
+    // CS system total is lower.
+    assert!(
+        out_c.total_power_w() < out_b.total_power_w(),
+        "CS {} vs baseline {}",
+        out_c.total_power_w(),
+        out_b.total_power_w()
+    );
+}
+
+#[test]
+fn noise_floor_trade_off_is_monotone_in_power() {
+    let powers: Vec<f64> = [1e-6, 3e-6, 10e-6, 20e-6]
+        .iter()
+        .map(|&vn| {
+            let mut cfg = SystemConfig::baseline(8);
+            cfg.lna.noise_floor_vrms = vn;
+            Simulator::new(cfg).expect("valid").power_breakdown(1.0).total_w()
+        })
+        .collect();
+    for w in powers.windows(2) {
+        assert!(w[1] <= w[0], "total power must fall as tolerated noise rises");
+    }
+}
+
+#[test]
+fn resolution_scales_quantisation_quality() {
+    let ds = dataset();
+    let r = ds.by_class(EegClass::Seizure).next().expect("has seizure");
+    let snr_at_bits = |bits: u32| {
+        let mut cfg = SystemConfig::baseline(bits);
+        // Make quantisation the bottleneck.
+        cfg.lna.noise_floor_vrms = 1e-7;
+        cfg.adc.comparator_noise_v = 0.0;
+        let sim = Simulator::new(cfg).expect("valid");
+        let out = sim.run(&r.samples, r.fs, 3);
+        snr_fit_db(&out.reference, &out.input_referred)
+    };
+    let snr6 = snr_at_bits(6);
+    let snr8 = snr_at_bits(8);
+    assert!(
+        snr8 > snr6 + 6.0,
+        "two extra bits must buy at least ~6 dB (got {snr6} vs {snr8})"
+    );
+}
+
+#[test]
+fn cs_words_scale_with_m() {
+    let ds = dataset();
+    let r = &ds.records[0];
+    let words_at = |m: usize| {
+        let cfg = SystemConfig::compressive(8, CsConfig { m, ..Default::default() });
+        Simulator::new(cfg).expect("valid").run(&r.samples, r.fs, 1).words
+    };
+    let w75 = words_at(75);
+    let w192 = words_at(192);
+    // Same frame count, so words scale exactly with M.
+    assert!((w192 as f64 / w75 as f64 - 192.0 / 75.0).abs() < 1e-9);
+    assert_eq!(w75 % 75, 0, "words are whole frames of M measurements");
+}
+
+#[test]
+fn mismatch_and_leakage_cost_reconstruction_quality() {
+    use efficsense::blocks::cs_frontend::EncoderImperfections;
+    let ds = dataset();
+    let r = ds.by_class(EegClass::Seizure).next().expect("has seizure");
+    let snr_with = |imp: EncoderImperfections| {
+        let mut cfg = SystemConfig::compressive(
+            8,
+            CsConfig { m: 150, imperfections: imp, ..Default::default() },
+        );
+        cfg.lna.noise_floor_vrms = 1e-6;
+        let sim = Simulator::new(cfg).expect("valid");
+        let out = sim.run(&r.samples, r.fs, 5);
+        snr_fit_db(&out.reference, &out.input_referred)
+    };
+    let ideal = snr_with(EncoderImperfections::ideal());
+    let real = snr_with(EncoderImperfections::realistic());
+    assert!(
+        ideal >= real - 0.5,
+        "imperfections must not improve quality (ideal {ideal} vs real {real})"
+    );
+}

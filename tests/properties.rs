@@ -1,0 +1,197 @@
+//! Cross-crate property-based tests (proptest) on the framework's core
+//! invariants.
+
+use efficsense::core::config::Architecture;
+use efficsense::core::pareto::{pareto_front, Objective};
+use efficsense::core::space::DesignPoint;
+use efficsense::core::sweep::SweepResult;
+use efficsense::cs::charge_sharing::{effective_matrix, eq1_weights, share, Accumulator};
+use efficsense::cs::matrix::SensingMatrix;
+use efficsense::power::PowerBreakdown;
+use proptest::prelude::*;
+
+fn cap() -> impl Strategy<Value = f64> {
+    // 10 fF .. 10 pF
+    (1.0f64..1000.0).prop_map(|v| v * 1e-14)
+}
+
+proptest! {
+    #[test]
+    fn share_conserves_charge(
+        c1 in cap(), c2 in cap(),
+        v1 in -2.0f64..2.0, v2 in -2.0f64..2.0,
+    ) {
+        let v = share(v1, c1, v2, c2);
+        let before = c1 * v1 + c2 * v2;
+        let after = (c1 + c2) * v;
+        prop_assert!((before - after).abs() <= 1e-12 * before.abs().max(1e-15));
+    }
+
+    #[test]
+    fn share_output_between_inputs(
+        c1 in cap(), c2 in cap(),
+        v1 in -2.0f64..2.0, v2 in -2.0f64..2.0,
+    ) {
+        let v = share(v1, c1, v2, c2);
+        let lo = v1.min(v2) - 1e-12;
+        let hi = v1.max(v2) + 1e-12;
+        prop_assert!(v >= lo && v <= hi, "share must interpolate, got {v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn eq1_weights_match_behavioural_accumulator(
+        c1 in cap(), c2 in cap(),
+        inputs in proptest::collection::vec(-1.0f64..1.0, 1..40),
+    ) {
+        let mut acc = Accumulator::new(c1, c2);
+        for &v in &inputs {
+            acc.accumulate(v);
+        }
+        let w = eq1_weights(inputs.len(), c1, c2);
+        let analytic: f64 = inputs.iter().zip(&w).map(|(v, w)| v * w).sum();
+        prop_assert!((acc.voltage() - analytic).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_weights_sum_below_one(
+        c1 in cap(), c2 in cap(),
+        n in 1usize..100,
+    ) {
+        let total: f64 = eq1_weights(n, c1, c2).iter().sum();
+        prop_assert!(total > 0.0 && total < 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn srbm_always_has_s_ones_per_column(
+        m in 4usize..40,
+        extra in 0usize..60,
+        s in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let s = s.min(m);
+        let n = m + extra;
+        let phi = SensingMatrix::srbm(m, n, s, seed);
+        let dense = phi.to_dense();
+        for c in 0..n {
+            let ones = (0..m).filter(|&r| dense[(r, c)] == 1.0).count();
+            prop_assert_eq!(ones, s);
+        }
+        prop_assert_eq!(phi.nnz(), n * s);
+    }
+
+    #[test]
+    fn srbm_apply_equals_dense_matvec(
+        m in 4usize..24,
+        extra in 0usize..40,
+        seed in any::<u64>(),
+        scale in 0.1f64..10.0,
+    ) {
+        let n = m + extra;
+        let phi = SensingMatrix::srbm(m, n, 2.min(m), seed);
+        let x: Vec<f64> = (0..n).map(|i| scale * ((i * 37 + 11) % 17) as f64 / 17.0 - 0.5).collect();
+        let fast = phi.apply(&x);
+        let dense = phi.to_dense().matvec(&x);
+        for (a, b) in fast.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn effective_matrix_behavioural_equivalence(
+        m in 2usize..12,
+        frames in 16usize..64,
+        seed in any::<u64>(),
+    ) {
+        let n = frames;
+        let s = 2.min(m);
+        let phi = SensingMatrix::srbm(m, n, s, seed);
+        let (c_s, c_h) = (0.1e-12, 0.5e-12);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 / 13.0 - 0.5).collect();
+        let mut accs = vec![Accumulator::new(c_s, c_h); m];
+        for (j, &v) in x.iter().enumerate() {
+            for &r in phi.column_rows(j) {
+                accs[r].accumulate(v);
+            }
+        }
+        let eff = effective_matrix(&phi, c_s, c_h);
+        let algebraic = eff.matvec(&x);
+        for (acc, alg) in accs.iter().zip(&algebraic) {
+            prop_assert!((acc.voltage() - alg).abs() < 1e-12);
+        }
+    }
+}
+
+fn fake_result(power_uw: f64, metric: f64) -> SweepResult {
+    SweepResult {
+        point: DesignPoint {
+            architecture: Architecture::Baseline,
+            lna_noise_vrms: 1e-6,
+            n_bits: 8,
+            m: None,
+            s: None,
+            c_hold_f: None,
+        },
+        metric,
+        power_w: power_uw * 1e-6,
+        breakdown: PowerBreakdown::new(),
+        area_units: 0.0,
+    }
+}
+
+proptest! {
+    #[test]
+    fn pareto_front_is_sound_and_complete(
+        pts in proptest::collection::vec((0.1f64..100.0, 0.0f64..1.0), 1..40)
+    ) {
+        let results: Vec<SweepResult> =
+            pts.iter().map(|&(p, a)| fake_result(p, a)).collect();
+        let front = pareto_front(&results, Objective::MaximizeMetric);
+        prop_assert!(!front.is_empty());
+        // Soundness: no front member is dominated by any result.
+        for f in &front {
+            for r in &results {
+                let dominates = r.power_w <= f.power_w
+                    && r.metric >= f.metric
+                    && (r.power_w < f.power_w || r.metric > f.metric);
+                prop_assert!(!dominates, "front member dominated");
+            }
+        }
+        // Completeness: every non-dominated point appears (up to duplicates).
+        for r in &results {
+            let dominated = results.iter().any(|o| {
+                o.power_w <= r.power_w
+                    && o.metric >= r.metric
+                    && (o.power_w < r.power_w || o.metric > r.metric)
+            });
+            if !dominated {
+                prop_assert!(
+                    front.iter().any(|f| f.power_w == r.power_w && f.metric == r.metric),
+                    "non-dominated point missing from front"
+                );
+            }
+        }
+        // Front sorted by power and metric simultaneously.
+        for w in front.windows(2) {
+            prop_assert!(w[0].power_w <= w[1].power_w);
+            prop_assert!(w[0].metric <= w[1].metric);
+        }
+    }
+
+    #[test]
+    fn power_breakdown_total_is_sum(
+        entries in proptest::collection::vec((0usize..8, 0.0f64..1e-3), 0..20)
+    ) {
+        use efficsense::power::BlockKind;
+        let mut b = PowerBreakdown::new();
+        let mut expect = 0.0;
+        for (k, w) in entries {
+            b.add(BlockKind::ALL[k], w);
+            expect += w;
+        }
+        prop_assert!((b.total_w() - expect).abs() < 1e-15);
+        let share: f64 = BlockKind::ALL.iter().map(|&k| b.fraction(k)).sum();
+        if expect > 0.0 {
+            prop_assert!((share - 1.0).abs() < 1e-9);
+        }
+    }
+}
