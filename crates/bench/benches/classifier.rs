@@ -1,14 +1,15 @@
-//! Criterion benchmark: the detection goal function — feature extraction,
-//! detector training, and per-record inference.
+//! Benchmark: the detection goal function — feature extraction, detector
+//! training, and per-record inference.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efficsense_bench::harness::{black_box, Harness};
 use efficsense_core::detector::SeizureDetector;
 use efficsense_ml::features::FeatureExtractor;
 use efficsense_ml::mlp::MlpClassifier;
 use efficsense_ml::{Classifier, TrainConfig};
 use efficsense_signals::{DatasetConfig, EegDataset};
 
-fn bench_classifier(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let ds = EegDataset::generate(&DatasetConfig {
         records_per_class: 3,
         duration_s: 4.0,
@@ -17,33 +18,40 @@ fn bench_classifier(c: &mut Criterion) {
     let record = ds.records[0].resampled(537.6);
     let ex = FeatureExtractor::default();
 
-    c.bench_function("ml/feature_extraction_4s", |b| {
+    h.bench_function("ml/feature_extraction_4s", |b| {
         b.iter(|| black_box(ex.extract(black_box(&record.samples), 537.6)))
     });
 
-    let mut group = c.benchmark_group("ml_training");
-    group.sample_size(10);
-    group.bench_function("mlp_fit_100x13", |b| {
+    h.sample_size(10);
+    h.bench_function("ml_training/mlp_fit_100x13", |b| {
         let x: Vec<Vec<f64>> = (0..100)
-            .map(|i| (0..13).map(|j| ((i * 13 + j) as f64 * 0.37).sin()).collect())
+            .map(|i| {
+                (0..13)
+                    .map(|j| ((i * 13 + j) as f64 * 0.37).sin())
+                    .collect()
+            })
             .collect();
         let y: Vec<usize> = (0..100).map(|i| i % 2).collect();
         b.iter(|| {
             let mut mlp = MlpClassifier::new(13, &[16], 2, 7);
-            mlp.fit(&x, &y, &TrainConfig { epochs: 20, ..Default::default() });
+            mlp.fit(
+                &x,
+                &y,
+                &TrainConfig {
+                    epochs: 20,
+                    ..Default::default()
+                },
+            );
             black_box(mlp)
         })
     });
-    group.bench_function("detector_train_small", |b| {
+    h.bench_function("ml_training/detector_train_small", |b| {
         b.iter(|| black_box(SeizureDetector::train(&ds, 537.6, 1)))
     });
-    group.finish();
+    h.default_sample_size();
 
     let det = SeizureDetector::train(&ds, 537.6, 1);
-    c.bench_function("ml/detector_predict_4s", |b| {
+    h.bench_function("ml/detector_predict_4s", |b| {
         b.iter(|| black_box(det.predict(black_box(&record.samples), 537.6)))
     });
 }
-
-criterion_group!(benches, bench_classifier);
-criterion_main!(benches);

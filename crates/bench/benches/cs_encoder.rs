@@ -1,14 +1,15 @@
-//! Criterion benchmark: the passive charge-sharing encoder (frame encode)
-//! and effective-matrix construction — the per-frame analog front-end cost
-//! of every CS design point.
+//! Benchmark: the passive charge-sharing encoder (frame encode) and
+//! effective-matrix construction — the per-frame analog front-end cost of
+//! every CS design point.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efficsense_bench::harness::{black_box, Harness};
 use efficsense_blocks::cs_frontend::{ChargeSharingEncoder, EncoderImperfections};
 use efficsense_cs::charge_sharing::effective_matrix;
 use efficsense_cs::matrix::SensingMatrix;
 use efficsense_power::{DesignParams, TechnologyParams};
 
-fn bench_encoder(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let tech = TechnologyParams::gpdk045();
     let design = DesignParams::paper_defaults(8);
     let frame: Vec<f64> = (0..384).map(|i| (i as f64 * 0.05).sin() * 0.1).collect();
@@ -24,18 +25,18 @@ fn bench_encoder(c: &mut Criterion) {
             &design,
             1,
         );
-        c.bench_function(&format!("cs_encoder/encode_frame_m{m}"), |b| {
+        h.bench_function(&format!("cs_encoder/encode_frame_m{m}"), |b| {
             b.iter(|| black_box(enc.encode_frame(black_box(&frame))))
         });
-        c.bench_function(&format!("cs_encoder/effective_matrix_m{m}"), |b| {
+        h.bench_function(&format!("cs_encoder/effective_matrix_m{m}"), |b| {
             b.iter(|| black_box(effective_matrix(&phi, 0.1e-12, 0.5e-12)))
         });
     }
     let phi = SensingMatrix::srbm(150, 384, 2, 7);
-    c.bench_function("cs_encoder/srbm_apply_m150", |b| {
+    h.bench_function("cs_encoder/srbm_apply_m150", |b| {
         b.iter(|| black_box(phi.apply(black_box(&frame))))
     });
-    c.bench_function("cs_encoder/srbm_generate_m150", |b| {
+    h.bench_function("cs_encoder/srbm_generate_m150", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
@@ -43,6 +44,3 @@ fn bench_encoder(c: &mut Criterion) {
         })
     });
 }
-
-criterion_group!(benches, bench_encoder);
-criterion_main!(benches);

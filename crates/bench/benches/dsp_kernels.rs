@@ -1,7 +1,7 @@
-//! Criterion benchmark: DSP kernels (FFT, Welch PSD, filtering, SNDR) that
-//! every behavioural simulation leans on.
+//! Benchmark: DSP kernels (FFT, Welch PSD, filtering, SNDR) that every
+//! behavioural simulation leans on.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efficsense_bench::harness::{black_box, Harness};
 use efficsense_dsp::fft::Fft;
 use efficsense_dsp::filter::{FirFilter, IirFilter, OnePole};
 use efficsense_dsp::metrics::sndr_db;
@@ -9,9 +9,10 @@ use efficsense_dsp::spectrum::{sine, welch};
 use efficsense_dsp::window::Window;
 use efficsense_dsp::Complex;
 
-fn bench_dsp(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let x = sine(8192, 8192.0, 441.0, 1.0, 0.0);
-    c.bench_function("dsp/fft_8192", |b| {
+    h.bench_function("dsp/fft_8192", |b| {
         let fft = Fft::new(8192);
         let buf: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
         b.iter(|| {
@@ -20,31 +21,28 @@ fn bench_dsp(c: &mut Criterion) {
             black_box(work)
         })
     });
-    c.bench_function("dsp/welch_8192_seg1024", |b| {
+    h.bench_function("dsp/welch_8192_seg1024", |b| {
         b.iter(|| black_box(welch(&x, 8192.0, 1024, Window::Hann)))
     });
-    c.bench_function("dsp/sndr_8192", |b| {
+    h.bench_function("dsp/sndr_8192", |b| {
         b.iter(|| black_box(sndr_db(&x, 8192.0, 441.0)))
     });
-    c.bench_function("dsp/butterworth4_8192", |b| {
+    h.bench_function("dsp/butterworth4_8192", |b| {
         b.iter(|| {
             let mut f = IirFilter::butterworth_lowpass(4, 768.0, 8192.0);
             black_box(f.filter(&x))
         })
     });
-    c.bench_function("dsp/one_pole_8192", |b| {
+    h.bench_function("dsp/one_pole_8192", |b| {
         b.iter(|| {
             let mut f = OnePole::lowpass(768.0, 8192.0);
             black_box(x.iter().map(|&v| f.process(v)).collect::<Vec<_>>())
         })
     });
-    c.bench_function("dsp/fir63_8192", |b| {
+    h.bench_function("dsp/fir63_8192", |b| {
         b.iter(|| {
             let mut f = FirFilter::lowpass(63, 768.0, 8192.0);
             black_box(f.filter(&x))
         })
     });
 }
-
-criterion_group!(benches, bench_dsp);
-criterion_main!(benches);

@@ -1,35 +1,42 @@
-//! Criterion benchmark: evaluation throughput of the Table II power models
-//! (these are evaluated once per design point in a sweep — they must be
-//! essentially free).
+//! Benchmark: evaluation throughput of the Table II power models (these are
+//! evaluated once per design point in a sweep — they must be essentially
+//! free).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efficsense_bench::harness::{black_box, Harness};
 use efficsense_power::models::{
     ComparatorModel, CsEncoderLogicModel, DacModel, LnaModel, PowerModel, SampleHoldModel,
     SarLogicModel, TransmitterModel,
 };
 use efficsense_power::{DesignParams, TechnologyParams};
 
-fn bench_power_models(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let tech = TechnologyParams::gpdk045();
     let design = DesignParams::paper_defaults(8);
-    let lna = LnaModel { noise_floor_vrms: 2e-6, c_load_f: 1e-12, gain: 4000.0 };
-    c.bench_function("power/lna_model", |b| {
-        b.iter(|| black_box(&lna).power_w(black_box(&tech), black_box(&design)))
+    let lna = LnaModel {
+        noise_floor_vrms: 2e-6,
+        c_load_f: 1e-12,
+        gain: 4000.0,
+    };
+    h.bench_function("power/lna_model", |b| {
+        b.iter(|| black_box(&lna).power(black_box(&tech), black_box(&design)))
     });
-    c.bench_function("power/full_table_ii", |b| {
+    h.bench_function("power/full_table_ii", |b| {
         b.iter(|| {
             let mut total = 0.0;
-            total += lna.power_w(&tech, &design);
-            total += SampleHoldModel.power_w(&tech, &design);
-            total += ComparatorModel.power_w(&tech, &design);
-            total += SarLogicModel::default().power_w(&tech, &design);
-            total += DacModel { c_u_f: 1e-15, v_in_rms: 1.0 }.power_w(&tech, &design);
-            total += TransmitterModel::default().power_w(&tech, &design);
-            total += CsEncoderLogicModel::new(384).power_w(&tech, &design);
+            total += lna.power(&tech, &design).value();
+            total += SampleHoldModel.power(&tech, &design).value();
+            total += ComparatorModel.power(&tech, &design).value();
+            total += SarLogicModel::default().power(&tech, &design).value();
+            total += DacModel {
+                c_u_f: 1e-15,
+                v_in_rms: 1.0,
+            }
+            .power(&tech, &design)
+            .value();
+            total += TransmitterModel::default().power(&tech, &design).value();
+            total += CsEncoderLogicModel::new(384).power(&tech, &design).value();
             black_box(total)
         })
     });
 }
-
-criterion_group!(benches, bench_power_models);
-criterion_main!(benches);

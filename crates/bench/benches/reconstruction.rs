@@ -1,17 +1,16 @@
-//! Criterion benchmark: sparse reconstruction (OMP vs ISTA) at the paper's
-//! frame dimensions — the dominant compute cost of a CS design-point
-//! evaluation.
+//! Benchmark: sparse reconstruction (OMP vs ISTA) at the paper's frame
+//! dimensions — the dominant compute cost of a CS design-point evaluation.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use efficsense_bench::harness::{black_box, Harness};
 use efficsense_cs::basis::Basis;
 use efficsense_cs::charge_sharing::effective_matrix;
 use efficsense_cs::matrix::SensingMatrix;
 use efficsense_cs::recon::{ista, omp, OmpConfig};
 
-fn bench_reconstruction(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
+    h.sample_size(10);
     let n = 384;
-    let mut group = c.benchmark_group("reconstruction");
-    group.sample_size(10);
     for &m in &[75usize, 150] {
         let phi = SensingMatrix::srbm(m, n, 2, 3);
         let eff = effective_matrix(&phi, 0.1e-12, 0.5e-12);
@@ -25,20 +24,25 @@ fn bench_reconstruction(c: &mut Criterion) {
             })
             .collect();
         let y = eff.matvec(&x);
-        group.bench_with_input(BenchmarkId::new("omp_k30", m), &m, |b, _| {
-            b.iter(|| black_box(omp(&dict, &y, &OmpConfig { sparsity: 30, residual_tol: 1e-4 })))
+        h.bench_function(&format!("reconstruction/omp_k30/{m}"), |b| {
+            b.iter(|| {
+                black_box(omp(
+                    &dict,
+                    &y,
+                    &OmpConfig {
+                        sparsity: 30,
+                        residual_tol: 1e-4,
+                    },
+                ))
+            })
         });
-        group.bench_with_input(BenchmarkId::new("ista_100it", m), &m, |b, _| {
+        h.bench_function(&format!("reconstruction/ista_100it/{m}"), |b| {
             b.iter(|| black_box(ista(&dict, &y, 1e-4, 100)))
         });
     }
-    group.bench_function("dictionary_build_m150", |b| {
+    h.bench_function("reconstruction/dictionary_build_m150", |b| {
         let phi = SensingMatrix::srbm(150, n, 2, 3);
         let eff = effective_matrix(&phi, 0.1e-12, 0.5e-12);
         b.iter(|| black_box(eff.matmul(&Basis::Dct.matrix(n))))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_reconstruction);
-criterion_main!(benches);

@@ -1,13 +1,15 @@
-//! Criterion benchmark: end-to-end design-point evaluation — one baseline
-//! and one CS point over a single record, the unit of work the pathfinding
-//! sweep repeats thousands of times.
+//! Benchmark: end-to-end design-point evaluation — one baseline and one CS
+//! point over a single record, the unit of work the pathfinding sweep
+//! repeats thousands of times.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use efficsense_bench::harness::{black_box, Harness};
 use efficsense_core::config::{CsConfig, SystemConfig};
 use efficsense_core::simulate::Simulator;
 use efficsense_signals::{DatasetConfig, EegDataset};
 
-fn bench_sweep_unit(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
+    h.sample_size(10);
     let ds = EegDataset::generate(&DatasetConfig {
         records_per_class: 1,
         duration_s: 4.0,
@@ -15,38 +17,39 @@ fn bench_sweep_unit(c: &mut Criterion) {
     });
     let record = &ds.records[0];
 
-    let mut group = c.benchmark_group("simulate");
-    group.sample_size(10);
     let baseline = Simulator::new(SystemConfig::baseline(8)).expect("valid");
-    group.bench_function("baseline_record_4s", |b| {
+    h.bench_function("simulate/baseline_record_4s", |b| {
         b.iter(|| black_box(baseline.run(black_box(&record.samples), record.fs, 1)))
     });
     let cs75 = Simulator::new(SystemConfig::compressive(
         8,
-        CsConfig { m: 75, omp_sparsity: 30, ..Default::default() },
+        CsConfig {
+            m: 75,
+            omp_sparsity: 30,
+            ..Default::default()
+        },
     ))
     .expect("valid");
-    group.bench_function("cs_m75_record_4s", |b| {
+    h.bench_function("simulate/cs_m75_record_4s", |b| {
         b.iter(|| black_box(cs75.run(black_box(&record.samples), record.fs, 1)))
     });
     let cs150 = Simulator::new(SystemConfig::compressive(
         8,
-        CsConfig { m: 150, omp_sparsity: 50, ..Default::default() },
+        CsConfig {
+            m: 150,
+            omp_sparsity: 50,
+            ..Default::default()
+        },
     ))
     .expect("valid");
-    group.bench_function("cs_m150_record_4s", |b| {
+    h.bench_function("simulate/cs_m150_record_4s", |b| {
         b.iter(|| black_box(cs150.run(black_box(&record.samples), record.fs, 1)))
     });
-    group.bench_function("simulator_build_cs_m150", |b| {
+    h.bench_function("simulate/simulator_build_cs_m150", |b| {
         b.iter(|| {
             black_box(
-                Simulator::new(SystemConfig::compressive(8, CsConfig::default()))
-                    .expect("valid"),
+                Simulator::new(SystemConfig::compressive(8, CsConfig::default())).expect("valid"),
             )
         })
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_sweep_unit);
-criterion_main!(benches);

@@ -37,9 +37,17 @@ struct Context {
     frames: Vec<Vec<f64>>,
 }
 
-fn mean_snr(ctx: &Context, decode: &Matrix, basis: Basis, encode: &mut dyn FnMut(&[f64]) -> Vec<f64>) -> f64 {
+fn mean_snr(
+    ctx: &Context,
+    decode: &Matrix,
+    basis: Basis,
+    encode: &mut dyn FnMut(&[f64]) -> Vec<f64>,
+) -> f64 {
     let dict = decode.matmul(&basis.matrix(N_PHI));
-    let omp_cfg = OmpConfig { sparsity: 2 * M / 5, residual_tol: 1e-3 };
+    let omp_cfg = OmpConfig {
+        sparsity: 2 * M / 5,
+        residual_tol: 1e-3,
+    };
     let mut acc = 0.0;
     for frame in &ctx.frames {
         let y = encode(frame);
@@ -74,14 +82,25 @@ fn main() {
     });
     let gain = 4000.0;
     let mut frames = Vec::new();
-    for r in ds.by_class(EegClass::Seizure).chain(ds.by_class(EegClass::Normal)) {
+    for r in ds
+        .by_class(EegClass::Seizure)
+        .chain(ds.by_class(EegClass::Normal))
+    {
         let resampled = r.resampled(design.f_sample_hz());
         for chunk in resampled.samples.chunks_exact(N_PHI) {
             frames.push(chunk.iter().map(|v| v * gain).collect::<Vec<f64>>());
         }
     }
-    let ctx = Context { tech, design, phi, frames };
-    println!("ablations over {} EEG frames (M={M}, N_Φ={N_PHI})\n", ctx.frames.len());
+    let ctx = Context {
+        tech,
+        design,
+        phi,
+        frames,
+    };
+    println!(
+        "ablations over {} EEG frames (M={M}, N_Φ={N_PHI})\n",
+        ctx.frames.len()
+    );
     let mut csv = String::from("ablation,variant,snr_db_or_uw\n");
 
     // 1 + 2: encoding/decoding model fidelity.
@@ -94,10 +113,26 @@ fn main() {
     let leak_eff = effective_matrix_decayed(&ctx.phi, C_S, C_H, decay);
     let binary = ctx.phi.to_dense();
     let cases: Vec<(&str, Matrix, EncoderImperfections)> = vec![
-        ("ideal-mvm encode, eq1 decode", ideal_eff.clone(), EncoderImperfections::ideal()),
-        ("real encode, naive binary decode", binary, EncoderImperfections::realistic()),
-        ("real encode, eq1 decode (no leak model)", ideal_eff.clone(), EncoderImperfections::realistic()),
-        ("real encode, leak-aware decode", leak_eff.clone(), EncoderImperfections::realistic()),
+        (
+            "ideal-mvm encode, eq1 decode",
+            ideal_eff.clone(),
+            EncoderImperfections::ideal(),
+        ),
+        (
+            "real encode, naive binary decode",
+            binary,
+            EncoderImperfections::realistic(),
+        ),
+        (
+            "real encode, eq1 decode (no leak model)",
+            ideal_eff.clone(),
+            EncoderImperfections::realistic(),
+        ),
+        (
+            "real encode, leak-aware decode",
+            leak_eff.clone(),
+            EncoderImperfections::realistic(),
+        ),
     ];
     for (label, decode, imp) in cases {
         let mut enc = passive_encoder(&ctx, imp);
@@ -133,7 +168,14 @@ fn main() {
         let mut snr_ista = 0.0;
         for frame in &ctx.frames {
             let y = enc.encode_frame(frame);
-            let s1 = omp(&dict, &y, &OmpConfig { sparsity: 2 * M / 5, residual_tol: 1e-3 });
+            let s1 = omp(
+                &dict,
+                &y,
+                &OmpConfig {
+                    sparsity: 2 * M / 5,
+                    residual_tol: 1e-3,
+                },
+            );
             let x1 = Basis::Dct.synthesize(&s1);
             snr_omp += snr_fit_db(frame, &x1).min(60.0);
             let lambda = 1e-3 * efficsense_cs::linalg::norm2(&y);
@@ -153,7 +195,10 @@ fn main() {
     for (label, mat) in [
         ("srbm_s2", SensingMatrix::srbm(M, N_PHI, 2, 1).to_dense()),
         ("srbm_s4", SensingMatrix::srbm(M, N_PHI, 4, 1).to_dense()),
-        ("bernoulli", SensingMatrix::bernoulli(M, N_PHI, 1).to_dense()),
+        (
+            "bernoulli",
+            SensingMatrix::bernoulli(M, N_PHI, 1).to_dense(),
+        ),
         ("gaussian", SensingMatrix::gaussian(M, N_PHI, 1).to_dense()),
     ] {
         let mat_clone = mat.clone();
@@ -167,14 +212,39 @@ fn main() {
     println!("\n=== imperfection injection (realistic decode) ===");
     for (label, imp) in [
         ("none", EncoderImperfections::ideal()),
-        ("mismatch", EncoderImperfections { mismatch: true, ktc_noise: false, leakage: false }),
-        ("ktc", EncoderImperfections { mismatch: false, ktc_noise: true, leakage: false }),
-        ("leakage", EncoderImperfections { mismatch: false, ktc_noise: false, leakage: true }),
+        (
+            "mismatch",
+            EncoderImperfections {
+                mismatch: true,
+                ktc_noise: false,
+                leakage: false,
+            },
+        ),
+        (
+            "ktc",
+            EncoderImperfections {
+                mismatch: false,
+                ktc_noise: true,
+                leakage: false,
+            },
+        ),
+        (
+            "leakage",
+            EncoderImperfections {
+                mismatch: false,
+                ktc_noise: false,
+                leakage: true,
+            },
+        ),
         ("all", EncoderImperfections::realistic()),
     ] {
         let mut enc = passive_encoder(&ctx, imp);
         // Decode with the model matching the enabled leakage.
-        let decode = if imp.leakage { leak_eff.clone() } else { ideal_eff.clone() };
+        let decode = if imp.leakage {
+            leak_eff.clone()
+        } else {
+            ideal_eff.clone()
+        };
         let mut encode = |frame: &[f64]| enc.encode_frame(frame);
         let snr = mean_snr(&ctx, &decode, Basis::Dct, &mut encode);
         println!("  {label:<10} {snr:>7.2} dB");
@@ -184,17 +254,29 @@ fn main() {
     // 7: passive vs active encoder power.
     println!("\n=== passive vs active CS encoder power ===");
     let passive = passive_encoder(&ctx, EncoderImperfections::realistic());
-    let p_passive = passive.power_breakdown(&ctx.tech, &ctx.design).total_w();
+    let p_passive = passive
+        .power_breakdown(&ctx.tech, &ctx.design)
+        .total()
+        .value();
     let active = ActiveCsEncoder::new(ctx.phi.clone(), 1e-12, 1e4, true, 1);
-    let p_active = active.power_breakdown(&ctx.tech, &ctx.design).total_w();
-    let p_logic = CsEncoderLogicModel::new(N_PHI).power_w(&ctx.tech, &ctx.design);
-    let p_ota = OtaIntegratorModel::for_encoder(M, 8).power_w(&ctx.tech, &ctx.design);
+    let p_active = active
+        .power_breakdown(&ctx.tech, &ctx.design)
+        .total()
+        .value();
+    let p_logic = CsEncoderLogicModel::new(N_PHI)
+        .power(&ctx.tech, &ctx.design)
+        .value();
+    let p_ota = OtaIntegratorModel::for_encoder(M, 8)
+        .power(&ctx.tech, &ctx.design)
+        .value();
     println!("  passive (switches + logic): {}", uw(p_passive));
     println!("  active (OTA bank + logic):  {}", uw(p_active));
     println!("  — of which OTA integrators: {}", uw(p_ota));
     println!("  — shared matrix logic:      {}", uw(p_logic));
-    println!("  passivity saves {:.1}x encoder power (the paper's Section III claim)",
-        p_active / p_passive);
+    println!(
+        "  passivity saves {:.1}x encoder power (the paper's Section III claim)",
+        p_active / p_passive
+    );
     csv.push_str(&format!("encoder_power,passive,{:.6}\n", p_passive * 1e6));
     csv.push_str(&format!("encoder_power,active,{:.6}\n", p_active * 1e6));
 

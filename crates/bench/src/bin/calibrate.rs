@@ -9,7 +9,9 @@ use efficsense_signals::DatasetConfig;
 
 fn main() {
     let dataset = EegDataset::generate(&DatasetConfig {
-        records_per_class: 5, duration_s: 8.0, ..Default::default()
+        records_per_class: 5,
+        duration_s: 8.0,
+        ..Default::default()
     });
     let space = DesignSpace {
         lna_noise_vrms: vec![1e-6, 2e-6, 4e-6, 8e-6, 14e-6, 20e-6],
@@ -19,8 +21,17 @@ fn main() {
         cs_c_hold_f: vec![0.5e-12],
         ..DesignSpace::paper_defaults()
     };
-    let results = Sweep::new(SweepConfig { metric: Metric::DetectionAccuracy, ..Default::default() }).run(&space, &dataset);
+    let results = Sweep::new(SweepConfig {
+        metric: Metric::DetectionAccuracy,
+        ..Default::default()
+    })
+    .run(&space, &dataset);
     for r in &results {
-        println!("{:<34} acc {:.3}  {:>8.3} µW", r.point.label(), r.metric, r.power_w * 1e6);
+        println!(
+            "{:<34} acc {:.3}  {:>8.3} µW",
+            r.point.label(),
+            r.metric,
+            r.power_w * 1e6
+        );
     }
 }

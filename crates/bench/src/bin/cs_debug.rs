@@ -3,38 +3,106 @@
 //! much reconstruction SNR and detection accuracy.
 //!
 //! Run: `cargo run --release -p efficsense-bench --bin cs_debug`
+use efficsense_blocks::cs_frontend::EncoderImperfections;
 use efficsense_core::config::{CsConfig, SystemConfig};
 use efficsense_core::detector::SeizureDetector;
 use efficsense_core::simulate::Simulator;
-use efficsense_blocks::cs_frontend::EncoderImperfections;
 use efficsense_dsp::metrics::snr_fit_db;
 use efficsense_signals::{DatasetConfig, EegDataset};
 
 fn main() {
-    let ds = EegDataset::generate(&DatasetConfig { records_per_class: 5, duration_s: 8.0, ..Default::default() });
+    let ds = EegDataset::generate(&DatasetConfig {
+        records_per_class: 5,
+        duration_s: 8.0,
+        ..Default::default()
+    });
     let det = SeizureDetector::train(&ds, 537.6, 0xD0D0);
     println!("clean accuracy: {:.3}", det.clean_accuracy(&ds));
     for (label, bits, cmp_noise, imp, leak_only) in [
-        ("ideal enc, 14b, no cmp noise", 14u32, 0.0, EncoderImperfections::ideal(), false),
-        ("ideal enc, 8b", 8, 100e-6, EncoderImperfections::ideal(), false),
-        ("mismatch only, 8b", 8, 100e-6, EncoderImperfections{mismatch:true,ktc_noise:false,leakage:false}, false),
-        ("ktc only, 8b", 8, 100e-6, EncoderImperfections{mismatch:false,ktc_noise:true,leakage:false}, false),
-        ("leak only, 8b", 8, 100e-6, EncoderImperfections{mismatch:false,ktc_noise:false,leakage:true}, false),
-        ("realistic, 8b", 8, 100e-6, EncoderImperfections::realistic(), false),
+        (
+            "ideal enc, 14b, no cmp noise",
+            14u32,
+            0.0,
+            EncoderImperfections::ideal(),
+            false,
+        ),
+        (
+            "ideal enc, 8b",
+            8,
+            100e-6,
+            EncoderImperfections::ideal(),
+            false,
+        ),
+        (
+            "mismatch only, 8b",
+            8,
+            100e-6,
+            EncoderImperfections {
+                mismatch: true,
+                ktc_noise: false,
+                leakage: false,
+            },
+            false,
+        ),
+        (
+            "ktc only, 8b",
+            8,
+            100e-6,
+            EncoderImperfections {
+                mismatch: false,
+                ktc_noise: true,
+                leakage: false,
+            },
+            false,
+        ),
+        (
+            "leak only, 8b",
+            8,
+            100e-6,
+            EncoderImperfections {
+                mismatch: false,
+                ktc_noise: false,
+                leakage: true,
+            },
+            false,
+        ),
+        (
+            "realistic, 8b",
+            8,
+            100e-6,
+            EncoderImperfections::realistic(),
+            false,
+        ),
     ] {
         let _ = leak_only;
-        let mut cfg = SystemConfig::compressive(8, CsConfig { m: 150, omp_sparsity: 50, imperfections: imp, ..Default::default() });
+        let mut cfg = SystemConfig::compressive(
+            8,
+            CsConfig {
+                m: 150,
+                omp_sparsity: 50,
+                imperfections: imp,
+                ..Default::default()
+            },
+        );
         cfg.design.n_bits = bits;
         cfg.lna.noise_floor_vrms = 1e-6;
         cfg.adc.comparator_noise_v = cmp_noise;
         let sim = Simulator::new(cfg).unwrap();
-        let mut snr_sum = 0.0; let mut correct = 0; let mut n = 0;
+        let mut snr_sum = 0.0;
+        let mut correct = 0;
+        let mut n = 0;
         for r in &ds.records {
             let out = sim.run(&r.samples, r.fs, r.id as u64 + 1);
             snr_sum += snr_fit_db(&out.reference, &out.input_referred);
-            if det.predict(&out.input_referred, out.fs_out) == r.label() { correct += 1; }
+            if det.predict(&out.input_referred, out.fs_out) == r.label() {
+                correct += 1;
+            }
             n += 1;
         }
-        println!("{label:<32} mean SNR {:>6.2} dB   acc {:.3}", snr_sum / n as f64, correct as f64 / n as f64);
+        println!(
+            "{label:<32} mean SNR {:>6.2} dB   acc {:.3}",
+            snr_sum / n as f64,
+            correct as f64 / n as f64
+        );
     }
 }

@@ -23,7 +23,10 @@ fn main() {
     let mut last_best = -1.0f64;
     for (cap, cap_label) in caps {
         let feasible = within_area(&results, cap);
-        println!("--- area cap {cap_label} C_u: {} feasible designs ---", feasible.len());
+        println!(
+            "--- area cap {cap_label} C_u: {} feasible designs ---",
+            feasible.len()
+        );
         if feasible.is_empty() {
             continue;
         }

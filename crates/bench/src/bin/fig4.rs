@@ -12,7 +12,15 @@ use efficsense_power::BlockKind;
 
 fn main() {
     println!("=== Fig. 4: LNA noise sweep, baseline system, sine input ===");
-    let noise_grid = efficsense_core::space::log_grid(1e-6, 20e-6, if efficsense_bench::full_scale() { 16 } else { 8 });
+    let noise_grid = efficsense_core::space::log_grid(
+        1e-6,
+        20e-6,
+        if efficsense_bench::full_scale() {
+            16
+        } else {
+            8
+        },
+    );
     // Test tone: 64 Hz (mid-band), 200 µV amplitude — a strong biosignal.
     let fs_in = 4096.0;
     let seconds = 8.0;
@@ -33,34 +41,33 @@ fn main() {
         let out = sim.run(&x, fs_in, 1);
         let sndr = sndr_db(&out.input_referred, out.fs_out, f0);
         let b = &out.power;
-        let adc_total = b.get(BlockKind::Comparator) + b.get(BlockKind::SarLogic) + b.get(BlockKind::Dac);
+        let adc_total =
+            b.get(BlockKind::Comparator) + b.get(BlockKind::SarLogic) + b.get(BlockKind::Dac);
         println!(
             "{:>12.2} {:>10.2} {:>12.3} {:>10.3} {:>10.3} {:>10.4}",
             vn * 1e6,
             sndr,
-            b.total_w() * 1e6,
-            b.get(BlockKind::Lna) * 1e6,
-            b.get(BlockKind::Transmitter) * 1e6,
-            adc_total * 1e6
+            b.total().value() * 1e6,
+            b.get(BlockKind::Lna).value() * 1e6,
+            b.get(BlockKind::Transmitter).value() * 1e6,
+            adc_total.value() * 1e6
         );
         csv.push_str(&format!(
             "{:.3},{:.3},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
             vn * 1e6,
             sndr,
-            b.total_w() * 1e6,
-            b.get(BlockKind::Lna) * 1e6,
-            b.get(BlockKind::SampleHold) * 1e6,
-            b.get(BlockKind::Comparator) * 1e6,
-            b.get(BlockKind::SarLogic) * 1e6,
-            b.get(BlockKind::Dac) * 1e6,
-            b.get(BlockKind::Transmitter) * 1e6
+            b.total().value() * 1e6,
+            b.get(BlockKind::Lna).value() * 1e6,
+            b.get(BlockKind::SampleHold).value() * 1e6,
+            b.get(BlockKind::Comparator).value() * 1e6,
+            b.get(BlockKind::SarLogic).value() * 1e6,
+            b.get(BlockKind::Dac).value() * 1e6,
+            b.get(BlockKind::Transmitter).value() * 1e6
         ));
     }
     save_figure("fig4_lna_noise_sweep.csv", &csv);
     println!();
-    println!(
-        "Expected shape (paper): SNDR falls and LNA power collapses as the tolerated"
-    );
+    println!("Expected shape (paper): SNDR falls and LNA power collapses as the tolerated");
     println!(
         "noise floor rises; the transmitter ({}) becomes the power floor.",
         uw(4.3008e-6)

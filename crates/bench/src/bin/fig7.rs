@@ -15,7 +15,12 @@ use efficsense_core::sweep::{split_by_architecture, Metric};
 fn front_csv(results: &[&SweepResult]) -> String {
     let mut s = String::from("power_uw,metric,label\n");
     for r in results {
-        s.push_str(&format!("{:.6},{:.6},{}\n", r.power_w * 1e6, r.metric, r.point.label()));
+        s.push_str(&format!(
+            "{:.6},{:.6},{}\n",
+            r.power_w * 1e6,
+            r.metric,
+            r.point.label()
+        ));
     }
     s
 }
@@ -28,13 +33,26 @@ fn report_fronts(name: &str, results: &[SweepResult]) -> (Vec<SweepResult>, Vec<
     let cs_front = pareto_front(&cs_owned, Objective::MaximizeMetric);
     println!("--- {name}: baseline Pareto front ---");
     for r in &base_front {
-        println!("  {:>10}  metric {:.4}  [{}]", uw(r.power_w), r.metric, r.point.label());
+        println!(
+            "  {:>10}  metric {:.4}  [{}]",
+            uw(r.power_w),
+            r.metric,
+            r.point.label()
+        );
     }
     println!("--- {name}: CS Pareto front ---");
     for r in &cs_front {
-        println!("  {:>10}  metric {:.4}  [{}]", uw(r.power_w), r.metric, r.point.label());
+        println!(
+            "  {:>10}  metric {:.4}  [{}]",
+            uw(r.power_w),
+            r.metric,
+            r.point.label()
+        );
     }
-    save_figure(&format!("{name}_baseline_front.csv"), &front_csv(&base_front));
+    save_figure(
+        &format!("{name}_baseline_front.csv"),
+        &front_csv(&base_front),
+    );
     save_figure(&format!("{name}_cs_front.csv"), &front_csv(&cs_front));
     (base_owned, cs_owned)
 }
@@ -44,10 +62,22 @@ fn main() {
     let snr_results = sweep_cached(Metric::Snr);
     let (snr_base, snr_cs) = report_fronts("fig7a", &snr_results);
     // The paper's observation: the baseline wins at high SNR, CS at low power.
-    let best_base_snr = snr_base.iter().map(|r| r.metric).fold(f64::NEG_INFINITY, f64::max);
-    let best_cs_snr = snr_cs.iter().map(|r| r.metric).fold(f64::NEG_INFINITY, f64::max);
-    let min_base_p = snr_base.iter().map(|r| r.power_w).fold(f64::INFINITY, f64::min);
-    let min_cs_p = snr_cs.iter().map(|r| r.power_w).fold(f64::INFINITY, f64::min);
+    let best_base_snr = snr_base
+        .iter()
+        .map(|r| r.metric)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let best_cs_snr = snr_cs
+        .iter()
+        .map(|r| r.metric)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min_base_p = snr_base
+        .iter()
+        .map(|r| r.power_w)
+        .fold(f64::INFINITY, f64::min);
+    let min_cs_p = snr_cs
+        .iter()
+        .map(|r| r.power_w)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "  max SNR: baseline {best_base_snr:.1} dB vs CS {best_cs_snr:.1} dB (paper: baseline wins)"
     );
@@ -82,9 +112,7 @@ fn main() {
                 c.point.label()
             );
             let saving = b.power_w / c.power_w;
-            println!(
-                "  power saving: {saving:.2}x (paper: 3.6x — 8.8 µW baseline vs 2.44 µW CS)"
-            );
+            println!("  power saving: {saving:.2}x (paper: 3.6x — 8.8 µW baseline vs 2.44 µW CS)");
             let summary = format!(
                 "quantity,value\nbaseline_power_uw,{:.4}\nbaseline_accuracy,{:.4}\ncs_power_uw,{:.4}\ncs_accuracy,{:.4}\npower_saving_x,{:.4}\n",
                 b.power_w * 1e6,

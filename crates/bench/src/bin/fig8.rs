@@ -35,7 +35,10 @@ fn main() {
     println!("=== Fig. 8: power distribution at the optimal design points ===");
     let results = sweep_cached(Metric::DetectionAccuracy);
     let (base, cs) = split_by_architecture(&results);
-    assert!(!base.is_empty() && !cs.is_empty(), "sweep must cover both architectures");
+    assert!(
+        !base.is_empty() && !cs.is_empty(),
+        "sweep must cover both architectures"
+    );
     let opt_base = pick(&results, base);
     let opt_cs = pick(&results, cs);
 
@@ -60,8 +63,8 @@ fn main() {
         csv.push_str(&format!(
             "{},{:.6},{:.6}\n",
             k,
-            opt_base.breakdown.get(k) * 1e6,
-            opt_cs.breakdown.get(k) * 1e6
+            opt_base.breakdown.get(k).value() * 1e6,
+            opt_cs.breakdown.get(k).value() * 1e6
         ));
     }
     csv.push_str(&format!(
@@ -75,12 +78,12 @@ fn main() {
     println!("Paper's expected shape: the CS optimum saves most of its power in the");
     println!("transmitter (fewer samples) and the LNA (higher tolerated noise floor),");
     println!("at the cost of a marginal CS-encoder-logic increase.");
-    let tx_saving = opt_base.breakdown.get(BlockKind::Transmitter)
-        - opt_cs.breakdown.get(BlockKind::Transmitter);
-    let lna_saving =
-        opt_base.breakdown.get(BlockKind::Lna) - opt_cs.breakdown.get(BlockKind::Lna);
-    let cs_cost = opt_cs.breakdown.get(BlockKind::CsEncoderLogic)
-        - opt_base.breakdown.get(BlockKind::CsEncoderLogic);
+    let tx_saving = opt_base.breakdown.get(BlockKind::Transmitter).value()
+        - opt_cs.breakdown.get(BlockKind::Transmitter).value();
+    let lna_saving = opt_base.breakdown.get(BlockKind::Lna).value()
+        - opt_cs.breakdown.get(BlockKind::Lna).value();
+    let cs_cost = opt_cs.breakdown.get(BlockKind::CsEncoderLogic).value()
+        - opt_base.breakdown.get(BlockKind::CsEncoderLogic).value();
     println!(
         "measured: TX saving {}, LNA saving {}, CS logic cost {}",
         uw(tx_saving),
@@ -95,7 +98,7 @@ fn main() {
     let dataset = EegDataset::generate(&efficsense_bench::dataset_config());
     let space = efficsense_bench::design_space();
     let fs = space.template.design.f_sample_hz();
-    let detector = efficsense_core::detector::SeizureDetector::train_epoched(
+    let detector = SeizureDetector::train_epoched(
         &dataset,
         fs,
         SweepConfig::default().epoch_s,
@@ -107,7 +110,12 @@ fn main() {
         let outputs: Vec<(Vec<f64>, usize)> = dataset
             .records
             .iter()
-            .map(|r| (sim.run(&r.samples, r.fs, r.id as u64 + 1).input_referred, r.label()))
+            .map(|r| {
+                (
+                    sim.run(&r.samples, r.fs, r.id as u64 + 1).input_referred,
+                    r.label(),
+                )
+            })
             .collect();
         let conf = detector.confusion(&outputs, fs);
         println!(

@@ -25,15 +25,27 @@ fn main() {
 
     let (base, cs) = split_by_architecture(&results);
     let stats = |rs: &[&efficsense_core::sweep::SweepResult]| {
-        let min = rs.iter().map(|r| r.area_units).fold(f64::INFINITY, f64::min);
+        let min = rs
+            .iter()
+            .map(|r| r.area_units)
+            .fold(f64::INFINITY, f64::min);
         let max = rs.iter().map(|r| r.area_units).fold(0.0f64, f64::max);
-        let best = rs.iter().map(|r| r.metric).fold(f64::NEG_INFINITY, f64::max);
+        let best = rs
+            .iter()
+            .map(|r| r.metric)
+            .fold(f64::NEG_INFINITY, f64::max);
         (min, max, best)
     };
     let (bmin, bmax, bacc) = stats(&base);
     let (cmin, cmax, cacc) = stats(&cs);
-    println!("  baseline: area {bmin:.0}–{bmax:.0} C_u, best accuracy {:.1} %", bacc * 100.0);
-    println!("  CS      : area {cmin:.0}–{cmax:.0} C_u, best accuracy {:.1} %", cacc * 100.0);
+    println!(
+        "  baseline: area {bmin:.0}–{bmax:.0} C_u, best accuracy {:.1} %",
+        bacc * 100.0
+    );
+    println!(
+        "  CS      : area {cmin:.0}–{cmax:.0} C_u, best accuracy {:.1} %",
+        cacc * 100.0
+    );
     println!(
         "  area ratio (CS/baseline, min designs): {:.0}x — the paper's message that",
         cmin / bmin

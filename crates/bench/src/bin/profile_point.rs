@@ -8,14 +8,30 @@ use efficsense_signals::{DatasetConfig, EegDataset};
 use std::time::Instant;
 
 fn main() {
-    let ds = EegDataset::generate(&DatasetConfig { records_per_class: 1, duration_s: 23.6, ..Default::default() });
+    let ds = EegDataset::generate(&DatasetConfig {
+        records_per_class: 1,
+        duration_s: 23.6,
+        ..Default::default()
+    });
     let r = &ds.records[0];
     let t0 = Instant::now();
-    let sim = Simulator::new(SystemConfig::compressive(8, CsConfig { m: 150, omp_sparsity: 60, ..Default::default() })).unwrap();
+    let sim = Simulator::new(SystemConfig::compressive(
+        8,
+        CsConfig {
+            m: 150,
+            omp_sparsity: 60,
+            ..Default::default()
+        },
+    ))
+    .unwrap();
     println!("simulator build: {:?}", t0.elapsed());
     let t0 = Instant::now();
     let out = sim.run(&r.samples, r.fs, 1);
-    println!("cs m150 23.6s record: {:?} ({} frames)", t0.elapsed(), out.words / 150);
+    println!(
+        "cs m150 23.6s record: {:?} ({} frames)",
+        t0.elapsed(),
+        out.words / 150
+    );
     let t0 = Instant::now();
     let sim_b = Simulator::new(SystemConfig::baseline(8)).unwrap();
     let _ = sim_b.run(&r.samples, r.fs, 1);

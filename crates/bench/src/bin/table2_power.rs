@@ -16,14 +16,26 @@ fn main() {
     println!("=== Table III: technology parameters (gpdk045 extraction) ===");
     println!("  C_logic        = {} fF", tech.c_logic_f * 1e15);
     println!("  gm/Id          = {} /V", tech.gm_over_id);
-    println!("  cap density    = {} fF/µm²", tech.cap_density_f_per_um2 * 1e15);
+    println!(
+        "  cap density    = {} fF/µm²",
+        tech.cap_density_f_per_um2 * 1e15
+    );
     println!("  C_u,min        = {} fF", tech.c_u_min_f * 1e15);
-    println!("  C_pk           = {} (σ² fraction · µm²)", tech.c_pk_frac_um2);
+    println!(
+        "  C_pk           = {} (σ² fraction · µm²)",
+        tech.c_pk_frac_um2
+    );
     println!("  I_leak         = {} pA", tech.i_leak_a * 1e12);
     println!("  E_bit          = {} nJ", tech.e_bit_j * 1e9);
     println!("  V_T            = {} mV", tech.v_t * 1e3);
-    println!("  NEF            = {} (assumed; absent from the table)", tech.nef);
-    println!("  V_eff          = {} mV (assumed; absent from the table)", tech.v_eff * 1e3);
+    println!(
+        "  NEF            = {} (assumed; absent from the table)",
+        tech.nef
+    );
+    println!(
+        "  V_eff          = {} mV (assumed; absent from the table)",
+        tech.v_eff * 1e3
+    );
     println!();
     println!("=== Table III: design parameters ===");
     let d8 = DesignParams::paper_defaults(8);
@@ -46,14 +58,21 @@ fn main() {
                 c_load_f: 1e-12,
                 gain: 2000.0,
             };
-            let p_lna = lna.power_w(&tech, &design);
-            let p_sh = SampleHoldModel.power_w(&tech, &design);
-            let p_cmp = ComparatorModel.power_w(&tech, &design);
-            let p_sar = SarLogicModel::default().power_w(&tech, &design);
-            let p_dac = DacModel { c_u_f: tech.c_u_min_f, v_in_rms: 1.0 }.power_w(&tech, &design);
-            let p_tx = TransmitterModel::default().power_w(&tech, &design);
-            let p_cs = CsEncoderLogicModel::new(384).power_w(&tech, &design);
-            let p_leak = LeakageModel { n_switches: 300 }.power_w(&tech, &design);
+            let p_lna = lna.power(&tech, &design).value();
+            let p_sh = SampleHoldModel.power(&tech, &design).value();
+            let p_cmp = ComparatorModel.power(&tech, &design).value();
+            let p_sar = SarLogicModel::default().power(&tech, &design).value();
+            let p_dac = DacModel {
+                c_u_f: tech.c_u_min_f,
+                v_in_rms: 1.0,
+            }
+            .power(&tech, &design)
+            .value();
+            let p_tx = TransmitterModel::default().power(&tech, &design).value();
+            let p_cs = CsEncoderLogicModel::new(384).power(&tech, &design).value();
+            let p_leak = LeakageModel { n_switches: 300 }
+                .power(&tech, &design)
+                .value();
             println!(
                 "  vn={noise_uv:>4.1}µV  LNA {:>12}  S&H {:>12}  CMP {:>12}  SAR {:>12}  DAC {:>12}  TX {:>12}  CSlogic {:>12}",
                 uw(p_lna), uw(p_sh), uw(p_cmp), uw(p_sar), uw(p_dac), uw(p_tx), uw(p_cs)
@@ -73,8 +92,11 @@ fn main() {
     }
     save_figure("table2_power_models.csv", &csv);
     println!();
-    println!("Headline sanity: TX at N=8 is {} (paper's dominant baseline block)", {
-        let d = DesignParams::paper_defaults(8);
-        uw(TransmitterModel::default().power_w(&tech, &d))
-    });
+    println!(
+        "Headline sanity: TX at N=8 is {} (paper's dominant baseline block)",
+        {
+            let d = DesignParams::paper_defaults(8);
+            uw(TransmitterModel::default().power(&tech, &d).value())
+        }
+    );
 }

@@ -39,7 +39,10 @@ impl Scale {
 /// Reads the requested scale: `EFFICSENSE_FULL=1` → full,
 /// `EFFICSENSE_SCALE=medium|full|reduced` otherwise (default reduced).
 pub fn scale() -> Scale {
-    if std::env::var("EFFICSENSE_FULL").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("EFFICSENSE_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         return Scale::Full;
     }
     match std::env::var("EFFICSENSE_SCALE").as_deref() {
@@ -58,10 +61,15 @@ pub fn full_scale() -> bool {
 pub fn dataset_config() -> DatasetConfig {
     match scale() {
         Scale::Full => DatasetConfig::paper_scale(0xEEC5),
-        Scale::Medium => DatasetConfig { records_per_class: 34, ..Default::default() },
-        Scale::Reduced => {
-            DatasetConfig { records_per_class: 5, duration_s: 8.0, ..Default::default() }
-        }
+        Scale::Medium => DatasetConfig {
+            records_per_class: 34,
+            ..Default::default()
+        },
+        Scale::Reduced => DatasetConfig {
+            records_per_class: 5,
+            duration_s: 8.0,
+            ..Default::default()
+        },
     }
 }
 
@@ -106,7 +114,7 @@ pub fn uw(p_w: f64) -> String {
 /// and workload scale, so `fig8`/`fig9`/`fig10` reuse `fig7`'s results.
 pub fn sweep_cached(metric: efficsense_core::sweep::Metric) -> Vec<SweepResult> {
     use efficsense_core::sweep::Metric;
-    let scale = crate::scale().name();
+    let scale = scale().name();
     let name = match metric {
         Metric::Snr => format!("sweep_snr_{scale}.csv"),
         Metric::DetectionAccuracy => format!("sweep_accuracy_{scale}.csv"),
@@ -114,7 +122,11 @@ pub fn sweep_cached(metric: efficsense_core::sweep::Metric) -> Vec<SweepResult> 
     let path = figures_dir().join(&name);
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Some(results) = parse_results(&text) {
-            println!("  loaded {} cached design points from {}", results.len(), path.display());
+            println!(
+                "  loaded {} cached design points from {}",
+                results.len(),
+                path.display()
+            );
             return results;
         }
     }
@@ -126,7 +138,11 @@ pub fn sweep_cached(metric: efficsense_core::sweep::Metric) -> Vec<SweepResult> 
         dataset.len(),
         scale
     );
-    let results = Sweep::new(SweepConfig { metric, ..Default::default() }).run(&space, &dataset);
+    let results = Sweep::new(SweepConfig {
+        metric,
+        ..Default::default()
+    })
+    .run(&space, &dataset);
     let mut buf = Vec::new();
     efficsense_core::report::write_csv(&mut buf, &results).expect("write to vec succeeds");
     std::fs::write(&path, &buf).expect("can write sweep cache");
@@ -142,7 +158,11 @@ pub fn parse_results(text: &str) -> Option<Vec<SweepResult>> {
     let mut lines = text.lines();
     let header: Vec<&str> = lines.next()?.split(',').collect();
     let idx = |name: &str| header.iter().position(|h| *h == name);
-    let (i_arch, i_noise, i_bits) = (idx("architecture")?, idx("lna_noise_uvrms")?, idx("n_bits")?);
+    let (i_arch, i_noise, i_bits) = (
+        idx("architecture")?,
+        idx("lna_noise_uvrms")?,
+        idx("n_bits")?,
+    );
     let (i_m, i_s, i_ch) = (idx("m")?, idx("s")?, idx("c_hold_pf")?);
     let (i_metric, i_power, i_area) = (idx("metric")?, idx("power_uw")?, idx("area_units")?);
     let block_cols: Vec<(usize, BlockKind)> = [
@@ -175,7 +195,7 @@ pub fn parse_results(text: &str) -> Option<Vec<SweepResult>> {
         let mut breakdown = PowerBreakdown::new();
         for &(i, k) in &block_cols {
             let w: f64 = f[i].parse().ok()?;
-            breakdown.add(k, w * 1e-6);
+            breakdown.add(k, efficsense_power::Watts::micro(w));
         }
         out.push(SweepResult {
             point: DesignPoint {
@@ -196,6 +216,173 @@ pub fn parse_results(text: &str) -> Option<Vec<SweepResult>> {
         None
     } else {
         Some(out)
+    }
+}
+
+/// Minimal wall-clock timing harness for the `harness = false` benches.
+///
+/// Calibrates an iteration count per benchmark so each sample lasts roughly
+/// 20 ms, then reports per-iteration min/median/mean over the sample set.
+/// The first non-flag CLI argument acts as a substring filter, so
+/// `cargo bench -- encoder` narrows the run exactly as before.
+pub mod harness {
+    pub use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    const DEFAULT_SAMPLES: usize = 20;
+    const SAMPLE_TARGET_NS: u128 = 20_000_000;
+
+    /// Summary statistics over one benchmark's timing samples.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Stats {
+        /// Fastest per-iteration sample.
+        pub min: Duration,
+        /// Median per-iteration sample.
+        pub median: Duration,
+        /// Mean per-iteration cost across samples.
+        pub mean: Duration,
+        /// Number of timed samples.
+        pub samples: usize,
+        /// Iterations timed per sample.
+        pub iters_per_sample: u64,
+    }
+
+    /// Measurement loop handle passed to each registered benchmark closure.
+    pub struct Bencher {
+        samples: usize,
+        result: Option<Stats>,
+    }
+
+    impl Bencher {
+        /// Calibrates the iteration count from one warm-up run, then times
+        /// batches of the routine and records per-iteration statistics.
+        pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+            let t0 = Instant::now();
+            black_box(routine());
+            let once = t0.elapsed().max(Duration::from_nanos(1));
+            let iters = (SAMPLE_TARGET_NS / once.as_nanos()).clamp(1, 1_000_000_000) as u64;
+            let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+            for _ in 0..self.samples {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                per_iter.push(t.elapsed() / iters as u32);
+            }
+            per_iter.sort_unstable();
+            let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+            self.result = Some(Stats {
+                min: per_iter[0],
+                median: per_iter[per_iter.len() / 2],
+                mean,
+                samples: per_iter.len(),
+                iters_per_sample: iters,
+            });
+        }
+    }
+
+    fn fmt(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns")
+        } else if ns < 1_000_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.3} s", ns as f64 / 1e9)
+        }
+    }
+
+    /// Registers and runs benchmarks, honouring the CLI substring filter.
+    pub struct Harness {
+        filter: Option<String>,
+        samples: usize,
+    }
+
+    impl Default for Harness {
+        fn default() -> Self {
+            Self::from_args()
+        }
+    }
+
+    impl Harness {
+        /// Builds a harness from the process arguments; flags such as
+        /// `--bench` (added by cargo) are ignored.
+        pub fn from_args() -> Self {
+            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+            Self {
+                filter,
+                samples: DEFAULT_SAMPLES,
+            }
+        }
+
+        /// Overrides the per-benchmark sample count (use a small count for
+        /// slow workloads, as criterion groups did).
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.samples = n.max(2);
+            self
+        }
+
+        /// Restores the default sample count.
+        pub fn default_sample_size(&mut self) -> &mut Self {
+            self.samples = DEFAULT_SAMPLES;
+            self
+        }
+
+        /// Runs one benchmark's measurement loop and prints a report line,
+        /// unless the name fails the CLI filter.
+        pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+            if let Some(flt) = &self.filter {
+                if !name.contains(flt.as_str()) {
+                    return self;
+                }
+            }
+            let mut b = Bencher {
+                samples: self.samples,
+                result: None,
+            };
+            f(&mut b);
+            match b.result {
+                Some(s) => println!(
+                    "{name:<44} median {:>10}  min {:>10}  mean {:>10}  ({} samples × {} iters)",
+                    fmt(s.median),
+                    fmt(s.min),
+                    fmt(s.mean),
+                    s.samples,
+                    s.iters_per_sample
+                ),
+                None => println!("{name:<44} (no measurement recorded)"),
+            }
+            self
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bencher_records_statistics() {
+            let mut b = Bencher {
+                samples: 3,
+                result: None,
+            };
+            b.iter(|| black_box(2u64 + 2));
+            let s = b.result.expect("stats recorded");
+            assert_eq!(s.samples, 3);
+            assert!(s.iters_per_sample >= 1);
+            assert!(s.min <= s.median);
+            assert!(s.min <= s.mean);
+        }
+
+        #[test]
+        fn duration_formatting_scales() {
+            assert_eq!(fmt(Duration::from_nanos(12)), "12 ns");
+            assert_eq!(fmt(Duration::from_micros(12)), "12.00 µs");
+            assert_eq!(fmt(Duration::from_millis(12)), "12.00 ms");
+            assert_eq!(fmt(Duration::from_secs(12)), "12.000 s");
+        }
     }
 }
 
@@ -228,8 +415,8 @@ mod tests {
         use efficsense_core::config::Architecture;
         use efficsense_core::space::DesignPoint;
         let mut breakdown = PowerBreakdown::new();
-        breakdown.add(BlockKind::Lna, 1.5e-6);
-        breakdown.add(BlockKind::Transmitter, 4.3e-6);
+        breakdown.add(BlockKind::Lna, efficsense_power::Watts(1.5e-6));
+        breakdown.add(BlockKind::Transmitter, efficsense_power::Watts(4.3e-6));
         let original = vec![SweepResult {
             point: DesignPoint {
                 architecture: Architecture::CompressiveSensing,
@@ -256,7 +443,8 @@ mod tests {
         assert!((a.point.lna_noise_vrms - b.point.lna_noise_vrms).abs() < 1e-10);
         assert!((a.metric - b.metric).abs() < 1e-5);
         assert!((a.power_w - b.power_w).abs() < 1e-11);
-        assert!((a.breakdown.get(BlockKind::Lna) - b.breakdown.get(BlockKind::Lna)).abs() < 1e-11);
+        let lna_err = a.breakdown.get(BlockKind::Lna) - b.breakdown.get(BlockKind::Lna);
+        assert!(lna_err.value().abs() < 1e-11);
         assert!((a.area_units - b.area_units).abs() < 1.0);
     }
 

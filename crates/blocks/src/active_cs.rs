@@ -34,7 +34,10 @@ impl ActiveCsEncoder {
     ///
     /// Panics if `phi` is not an s-SRBM, or parameters are non-physical.
     pub fn new(phi: SensingMatrix, c_int_f: f64, dc_gain: f64, ktc_noise: bool, seed: u64) -> Self {
-        assert!(phi.sparsity().is_some(), "active encoder requires an s-SRBM schedule");
+        assert!(
+            phi.sparsity().is_some(),
+            "active encoder requires an s-SRBM schedule"
+        );
         assert!(c_int_f > 0.0, "integration cap must be positive");
         assert!(dc_gain > 1.0, "OTA gain must exceed unity");
         let m = phi.m();
@@ -69,10 +72,18 @@ impl ActiveCsEncoder {
             *v = 0.0;
         }
         let leak = 1.0 - 1.0 / self.dc_gain;
-        let sigma = if self.ktc_noise { (kt() / self.c_int_f).sqrt() } else { 0.0 };
+        let sigma = if self.ktc_noise {
+            (kt() / self.c_int_f).sqrt()
+        } else {
+            0.0
+        };
         for (j, &x) in frame.iter().enumerate() {
             for &r in self.phi.column_rows(j) {
-                let sampled = if sigma > 0.0 { x + self.noise.sample_scaled(sigma) } else { x };
+                let sampled = if sigma > 0.0 {
+                    x + self.noise.sample_scaled(sigma)
+                } else {
+                    x
+                };
                 // Integrator: previous value leaks by the finite-gain factor.
                 self.acc[r] = self.acc[r] * leak + sampled;
             }
@@ -117,9 +128,9 @@ impl ActiveCsEncoder {
             settle_bits: design.n_bits,
             v_swing: design.v_fs / 2.0,
         };
-        b.add(ota.kind(), ota.power_w(tech, design));
+        b.add(ota.kind(), ota.power(tech, design));
         let logic = CsEncoderLogicModel::new(self.n_phi());
-        b.add(logic.kind(), logic.power_w(tech, design));
+        b.add(logic.kind(), logic.power(tech, design));
         b
     }
 }
@@ -198,8 +209,8 @@ mod tests {
         let design = DesignParams::paper_defaults(8);
         let enc = ActiveCsEncoder::new(phi(), 1e-12, 1e4, false, 1);
         let b = enc.power_breakdown(&tech, &design);
-        let passive_logic = CsEncoderLogicModel::new(64).power_w(&tech, &design);
-        assert!(b.total_w() > passive_logic);
+        let passive_logic = CsEncoderLogicModel::new(64).power(&tech, &design);
+        assert!(b.total() > passive_logic);
     }
 
     #[test]
@@ -207,9 +218,12 @@ mod tests {
         let x = vec![0.0; 64];
         let mut noisy = ActiveCsEncoder::new(phi(), 1e-13, 1e9, true, 5);
         let y = noisy.encode_frame(&x);
-        assert!(y.iter().any(|v| *v != 0.0));
+        assert!(y.iter().any(|v| !efficsense_dsp::approx::is_zero(*v)));
         let mut quiet = ActiveCsEncoder::new(phi(), 1e-13, 1e9, false, 5);
-        assert!(quiet.encode_frame(&x).iter().all(|v| *v == 0.0));
+        assert!(quiet
+            .encode_frame(&x)
+            .iter()
+            .all(|v| efficsense_dsp::approx::is_zero(*v)));
     }
 
     #[test]

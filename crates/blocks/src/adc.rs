@@ -50,14 +50,20 @@ impl SarAdc {
         tech: &TechnologyParams,
         seed: u64,
     ) -> Self {
-        assert!((1..=16).contains(&n_bits), "resolution {n_bits} out of range 1..=16");
+        assert!(
+            (1..=16).contains(&n_bits),
+            "resolution {n_bits} out of range 1..=16"
+        );
         assert!(v_fs > 0.0, "full scale must be positive");
         assert!(
             c_u_f >= tech.c_u_min_f,
             "unit cap {c_u_f} below technology minimum {}",
             tech.c_u_min_f
         );
-        assert!(comparator_noise_v >= 0.0, "comparator noise must be non-negative");
+        assert!(
+            comparator_noise_v >= 0.0,
+            "comparator noise must be non-negative"
+        );
         let mut rng = Gaussian::new(seed ^ 0xADC0_ADC0);
         let sigma_unit = tech.cap_mismatch_sigma(c_u_f);
         // Bit i holds 2^i unit caps; its relative mismatch shrinks as 1/√2^i.
@@ -207,10 +213,13 @@ impl SarAdc {
         let mut b = PowerBreakdown::new();
         let comp = ComparatorModel;
         let logic = SarLogicModel::default();
-        let dac = DacModel { c_u_f: self.c_u_f, v_in_rms };
-        b.add(comp.kind(), comp.power_w(tech, design));
-        b.add(logic.kind(), logic.power_w(tech, design));
-        b.add(dac.kind(), dac.power_w(tech, design));
+        let dac = DacModel {
+            c_u_f: self.c_u_f,
+            v_in_rms,
+        };
+        b.add(comp.kind(), comp.power(tech, design));
+        b.add(logic.kind(), logic.power(tech, design));
+        b.add(dac.kind(), dac.power(tech, design));
         b
     }
 }
@@ -228,11 +237,7 @@ mod tests {
         for k in -100..=100 {
             let v = k as f64 * 0.009;
             let out = adc.process(v);
-            assert!(
-                (out - v).abs() <= lsb,
-                "error {} at {v}",
-                (out - v).abs()
-            );
+            assert!((out - v).abs() <= lsb, "error {} at {v}", (out - v).abs());
         }
     }
 
@@ -278,7 +283,10 @@ mod tests {
         let mut noisy = SarAdc::new(8, 2.0, 1e-15, 0.02, 0.0, &tech, 1);
         let y = noisy.process_buffer(&x);
         let e = enob(&y, fs, f0);
-        assert!(e < 7.0, "noisy comparator ENOB {e} should drop well below 8");
+        assert!(
+            e < 7.0,
+            "noisy comparator ENOB {e} should drop well below 8"
+        );
     }
 
     #[test]
@@ -335,7 +343,10 @@ mod tests {
         let hist = adc.histogram_dnl_lsb(32);
         let worst_hist = hist.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         let worst_direct = adc.dnl_lsb().iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        assert!(worst_hist > 0.3 * worst_direct, "{worst_hist} vs {worst_direct}");
+        assert!(
+            worst_hist > 0.3 * worst_direct,
+            "{worst_hist} vs {worst_direct}"
+        );
     }
 
     #[test]
@@ -346,7 +357,10 @@ mod tests {
         // +100 mV offset moves codes up by ~12.8 LSB at mid-scale.
         let c0 = plain.quantize(0.0);
         let c1 = offset.quantize(0.0);
-        assert!((c1 as i64 - c0 as i64 - 13).unsigned_abs() <= 1, "{c0} vs {c1}");
+        assert!(
+            (c1 as i64 - c0 as i64 - 13).unsigned_abs() <= 1,
+            "{c0} vs {c1}"
+        );
     }
 
     #[test]
@@ -364,9 +378,9 @@ mod tests {
         let design = DesignParams::paper_defaults(8);
         let adc = SarAdc::ideal(8, 2.0);
         let b = adc.power_breakdown(0.5, &tech, &design);
-        assert!(b.get(efficsense_power::BlockKind::Comparator) > 0.0);
-        assert!(b.get(efficsense_power::BlockKind::SarLogic) > 0.0);
-        assert!(b.get(efficsense_power::BlockKind::Dac) > 0.0);
+        assert!(b.get(efficsense_power::BlockKind::Comparator).value() > 0.0);
+        assert!(b.get(efficsense_power::BlockKind::SarLogic).value() > 0.0);
+        assert!(b.get(efficsense_power::BlockKind::Dac).value() > 0.0);
     }
 
     #[test]

@@ -148,7 +148,9 @@ impl AnalogChain {
 
 impl AnalogBlock for AnalogChain {
     fn process_sample(&mut self, v: f64) -> f64 {
-        self.blocks.iter_mut().fold(v, |acc, b| b.process_sample(acc))
+        self.blocks
+            .iter_mut()
+            .fold(v, |acc, b| b.process_sample(acc))
     }
 
     fn reset_state(&mut self) {

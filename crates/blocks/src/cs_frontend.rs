@@ -36,12 +36,20 @@ pub struct EncoderImperfections {
 impl EncoderImperfections {
     /// All imperfections enabled (the realistic default).
     pub fn realistic() -> Self {
-        Self { mismatch: true, ktc_noise: true, leakage: true }
+        Self {
+            mismatch: true,
+            ktc_noise: true,
+            leakage: true,
+        }
     }
 
     /// All imperfections disabled (ideal charge-sharing math).
     pub fn ideal() -> Self {
-        Self { mismatch: false, ktc_noise: false, leakage: false }
+        Self {
+            mismatch: false,
+            ktc_noise: false,
+            leakage: false,
+        }
     }
 }
 
@@ -94,7 +102,10 @@ impl ChargeSharingEncoder {
         let s = phi
             .sparsity()
             .expect("charge-sharing encoder requires an s-SRBM schedule");
-        assert!(c_sample_f > 0.0 && c_hold_f > 0.0, "capacitances must be positive");
+        assert!(
+            c_sample_f > 0.0 && c_hold_f > 0.0,
+            "capacitances must be positive"
+        );
         assert!(sample_period_s > 0.0, "sample period must be positive");
         let m = phi.m();
         let mut rng = Gaussian::new(seed ^ 0xC5C5_C5C5);
@@ -106,10 +117,12 @@ impl ChargeSharingEncoder {
                 nominal
             }
         };
-        let hold_caps: Vec<f64> =
-            (0..m).map(|_| draw(c_hold_f, &mut rng, imperfections.mismatch)).collect();
-        let sample_caps: Vec<f64> =
-            (0..s).map(|_| draw(c_sample_f, &mut rng, imperfections.mismatch)).collect();
+        let hold_caps: Vec<f64> = (0..m)
+            .map(|_| draw(c_hold_f, &mut rng, imperfections.mismatch))
+            .collect();
+        let sample_caps: Vec<f64> = (0..s)
+            .map(|_| draw(c_sample_f, &mut rng, imperfections.mismatch))
+            .collect();
         let tau_s = if imperfections.leakage {
             c_hold_f * design.v_ref / tech.i_leak_a
         } else {
@@ -167,7 +180,7 @@ impl ChargeSharingEncoder {
         let ktc = self.ktc_sigma();
         for (j, &x) in frame.iter().enumerate() {
             // Leakage droop of all held charge over one sample period.
-            if droop != 1.0 {
+            if !efficsense_dsp::approx::total_eq(droop, 1.0) {
                 for v in &mut self.hold_v {
                     *v *= droop;
                 }
@@ -243,9 +256,11 @@ impl ChargeSharingEncoder {
     ) -> PowerBreakdown {
         let mut b = PowerBreakdown::new();
         let logic = CsEncoderLogicModel::new(self.n_phi());
-        b.add(logic.kind(), logic.power_w(tech, design));
-        let leak = LeakageModel { n_switches: self.switch_count() };
-        b.add(leak.kind(), leak.power_w(tech, design));
+        b.add(logic.kind(), logic.power(tech, design));
+        let leak = LeakageModel {
+            n_switches: self.switch_count(),
+        };
+        b.add(leak.kind(), leak.power(tech, design));
         b
     }
 }
@@ -272,7 +287,9 @@ mod tests {
     }
 
     fn test_frame(n: usize) -> Vec<f64> {
-        (0..n).map(|i| ((i * 13 % 29) as f64 - 14.0) / 28.0).collect()
+        (0..n)
+            .map(|i| ((i * 13 % 29) as f64 - 14.0) / 28.0)
+            .collect()
     }
 
     #[test]
@@ -300,7 +317,11 @@ mod tests {
     fn mismatch_perturbs_measurements_slightly() {
         let mut ideal = setup(EncoderImperfections::ideal(), 3);
         let mut real = setup(
-            EncoderImperfections { mismatch: true, ktc_noise: false, leakage: false },
+            EncoderImperfections {
+                mismatch: true,
+                ktc_noise: false,
+                leakage: false,
+            },
             3,
         );
         let x = test_frame(64);
@@ -326,7 +347,11 @@ mod tests {
             c_s,
             c_h,
             1.0 / design.f_sample_hz(),
-            EncoderImperfections { mismatch: false, ktc_noise: true, leakage: false },
+            EncoderImperfections {
+                mismatch: false,
+                ktc_noise: true,
+                leakage: false,
+            },
             &tech,
             &design,
             5,
@@ -350,7 +375,7 @@ mod tests {
     fn ktc_noise_disabled_means_silent_zero_input() {
         let mut enc = setup(EncoderImperfections::ideal(), 5);
         let y = enc.encode_frame(&vec![0.0; 64]);
-        assert!(y.iter().all(|v| *v == 0.0));
+        assert!(y.iter().all(|v| efficsense_dsp::approx::is_zero(*v)));
     }
 
     #[test]
@@ -366,7 +391,11 @@ mod tests {
                 0.2e-12,
                 1.0e-12,
                 period,
-                EncoderImperfections { mismatch: false, ktc_noise: false, leakage: leak },
+                EncoderImperfections {
+                    mismatch: false,
+                    ktc_noise: false,
+                    leakage: leak,
+                },
                 &tech,
                 &design,
                 seed,
@@ -405,8 +434,8 @@ mod tests {
         let tech = TechnologyParams::gpdk045();
         let design = DesignParams::paper_defaults(8);
         let b = enc.power_breakdown(&tech, &design);
-        assert!(b.get(efficsense_power::BlockKind::CsEncoderLogic) > 0.0);
-        assert!(b.get(efficsense_power::BlockKind::Leakage) > 0.0);
+        assert!(b.get(efficsense_power::BlockKind::CsEncoderLogic).value() > 0.0);
+        assert!(b.get(efficsense_power::BlockKind::Leakage).value() > 0.0);
         // Logic dominates leakage by orders of magnitude.
         assert!(
             b.get(efficsense_power::BlockKind::CsEncoderLogic)

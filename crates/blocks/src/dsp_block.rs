@@ -15,6 +15,7 @@
 use efficsense_dsp::filter::FirFilter;
 use efficsense_power::breakdown::BlockKind;
 use efficsense_power::models::PowerModel;
+use efficsense_power::Watts;
 use efficsense_power::{DesignParams, TechnologyParams};
 
 /// Behavioural digital conditioner: FIR filtering with optional decimation.
@@ -71,7 +72,11 @@ impl DspBlock {
 
     /// The block's power model.
     pub fn power_model(&self) -> DspPowerModel {
-        DspPowerModel { n_taps: self.taps(), word_bits: self.word_bits, alpha: 0.4 }
+        DspPowerModel {
+            n_taps: self.taps(),
+            word_bits: self.word_bits,
+            alpha: 0.4,
+        }
     }
 }
 
@@ -91,15 +96,17 @@ impl PowerModel for DspPowerModel {
         BlockKind::SarLogic // accounted with the digital logic group
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         let w = self.word_bits as f64;
         let c_mac = 2.0 * tech.c_logic_f * w * w;
-        self.alpha
-            * self.n_taps as f64
-            * c_mac
-            * design.v_dd
-            * design.v_dd
-            * design.f_sample_hz()
+        Watts(
+            self.alpha
+                * self.n_taps as f64
+                * c_mac
+                * design.v_dd
+                * design.v_dd
+                * design.f_sample_hz(),
+        )
     }
 }
 
@@ -134,19 +141,34 @@ mod tests {
         let x = sine(4000, fs, 20.0, 1.0, 0.0);
         let y = d.process_buffer(&x);
         let r = rms(&y[500..]);
-        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "rms {r}");
+        assert!(
+            (r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05,
+            "rms {r}"
+        );
     }
 
     #[test]
     fn power_scales_with_taps_and_width() {
         let tech = TechnologyParams::gpdk045();
         let design = DesignParams::paper_defaults(8);
-        let small = DspPowerModel { n_taps: 16, word_bits: 8, alpha: 0.4 };
-        let long = DspPowerModel { n_taps: 64, word_bits: 8, alpha: 0.4 };
-        let wide = DspPowerModel { n_taps: 16, word_bits: 16, alpha: 0.4 };
-        let p_small = small.power_w(&tech, &design);
-        assert!((long.power_w(&tech, &design) / p_small - 4.0).abs() < 1e-9);
-        assert!((wide.power_w(&tech, &design) / p_small - 4.0).abs() < 1e-9);
+        let small = DspPowerModel {
+            n_taps: 16,
+            word_bits: 8,
+            alpha: 0.4,
+        };
+        let long = DspPowerModel {
+            n_taps: 64,
+            word_bits: 8,
+            alpha: 0.4,
+        };
+        let wide = DspPowerModel {
+            n_taps: 16,
+            word_bits: 16,
+            alpha: 0.4,
+        };
+        let p_small = small.power(&tech, &design);
+        assert!((long.power(&tech, &design) / p_small - 4.0).abs() < 1e-9);
+        assert!((wide.power(&tech, &design) / p_small - 4.0).abs() < 1e-9);
     }
 
     #[test]
@@ -155,7 +177,10 @@ mod tests {
         // consistent with the paper omitting a DSP row from Table II.
         let tech = TechnologyParams::gpdk045();
         let design = DesignParams::paper_defaults(8);
-        let p = DspBlock::decimator(32, 100.0, 537.6, 2, 8).power_model().power_w(&tech, &design);
+        let p = DspBlock::decimator(32, 100.0, 537.6, 2, 8)
+            .power_model()
+            .power(&tech, &design)
+            .value();
         assert!(p < 1e-7, "DSP power {p}");
     }
 

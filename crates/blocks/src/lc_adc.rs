@@ -11,6 +11,7 @@
 
 use efficsense_power::breakdown::BlockKind;
 use efficsense_power::models::PowerModel;
+use efficsense_power::Watts;
 use efficsense_power::{DesignParams, PowerBreakdown, TechnologyParams};
 
 /// One level-crossing event.
@@ -42,10 +43,19 @@ impl LcAdc {
     ///
     /// Panics unless `1 <= n_bits <= 16`, `v_fs > 0`, `hysteresis_lsb >= 0`.
     pub fn new(n_bits: u32, v_fs: f64, hysteresis_lsb: f64) -> Self {
-        assert!((1..=16).contains(&n_bits), "resolution {n_bits} out of range");
+        assert!(
+            (1..=16).contains(&n_bits),
+            "resolution {n_bits} out of range"
+        );
         assert!(v_fs > 0.0, "full scale must be positive");
         assert!(hysteresis_lsb >= 0.0, "hysteresis must be non-negative");
-        Self { n_bits, v_fs, hysteresis_lsb, level: 0, initialised: false }
+        Self {
+            n_bits,
+            v_fs,
+            hysteresis_lsb,
+            level: 0,
+            initialised: false,
+        }
     }
 
     /// Level spacing (V).
@@ -62,7 +72,10 @@ impl LcAdc {
             if !self.initialised {
                 self.level = (v / lsb).round() as i64;
                 self.initialised = true;
-                events.push(LcEvent { index: i, level: self.level });
+                events.push(LcEvent {
+                    index: i,
+                    level: self.level,
+                });
                 continue;
             }
             loop {
@@ -74,7 +87,10 @@ impl LcAdc {
                 } else {
                     break;
                 }
-                events.push(LcEvent { index: i, level: self.level });
+                events.push(LcEvent {
+                    index: i,
+                    level: self.level,
+                });
             }
         }
         events
@@ -117,8 +133,10 @@ impl LcAdc {
     ) -> PowerBreakdown {
         assert!(event_rate_hz >= 0.0, "event rate must be non-negative");
         let mut b = PowerBreakdown::new();
-        let comp = LcComparatorModel { n_bits: self.n_bits };
-        b.add(comp.kind(), comp.power_w(tech, design));
+        let comp = LcComparatorModel {
+            n_bits: self.n_bits,
+        };
+        b.add(comp.kind(), comp.power(tech, design));
         // Per-event logic: level counter update (~2N gates).
         let logic = 0.4
             * (2.0 * self.n_bits as f64)
@@ -126,11 +144,11 @@ impl LcAdc {
             * design.v_dd
             * design.v_dd
             * event_rate_hz;
-        b.add(BlockKind::SarLogic, logic);
+        b.add(BlockKind::SarLogic, Watts(logic));
         // Each event ships a timestamp+direction word of ~N bits.
         b.add(
             BlockKind::Transmitter,
-            event_rate_hz * self.n_bits as f64 * tech.e_bit_j,
+            Watts(event_rate_hz * self.n_bits as f64 * tech.e_bit_j),
         );
         b
     }
@@ -149,7 +167,7 @@ impl PowerModel for LcComparatorModel {
         BlockKind::Comparator
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         // Noise requirement: vn <= LSB/4 over the signal bandwidth; use the
         // same NEF current bound as the LNA, times two comparators.
         let lsb = design.v_fs / (1u64 << self.n_bits) as f64;
@@ -161,7 +179,7 @@ impl PowerModel for LcComparatorModel {
             * efficsense_power::kt()
             * design.bw_lna_hz()
             * tech.v_t;
-        2.0 * design.v_dd * i
+        Watts(2.0 * design.v_dd * i)
     }
 }
 
@@ -176,7 +194,11 @@ mod tests {
         let mut adc = LcAdc::new(8, 2.0, 0.1);
         let flat = vec![0.001; 10_000];
         let events = adc.convert(&flat);
-        assert!(events.len() <= 2, "flat input must be nearly silent, got {}", events.len());
+        assert!(
+            events.len() <= 2,
+            "flat input must be nearly silent, got {}",
+            events.len()
+        );
     }
 
     #[test]
@@ -215,12 +237,17 @@ mod tests {
         let mut rng = Gaussian::new(3);
         let lsb = 2.0 / 256.0;
         // Noise straddling a level boundary.
-        let x: Vec<f64> = (0..20_000).map(|_| lsb / 2.0 + rng.sample_scaled(lsb * 0.2)).collect();
+        let x: Vec<f64> = (0..20_000)
+            .map(|_| lsb / 2.0 + rng.sample_scaled(lsb * 0.2))
+            .collect();
         let mut crisp = LcAdc::new(8, 2.0, 0.0);
         let mut damped = LcAdc::new(8, 2.0, 1.0);
         let n_crisp = crisp.convert(&x).len();
         let n_damped = damped.convert(&x).len();
-        assert!(n_damped * 2 < n_crisp, "hysteresis must cut chatter: {n_crisp} vs {n_damped}");
+        assert!(
+            n_damped * 2 < n_crisp,
+            "hysteresis must cut chatter: {n_crisp} vs {n_damped}"
+        );
     }
 
     #[test]
@@ -244,7 +271,7 @@ mod tests {
         // fewer bits than Nyquist sampling.
         let design = DesignParams::paper_defaults(8);
         let fs = 4300.8; // CT proxy rate
-        // Mostly-flat signal with one small, slow burst (a bursty biosignal).
+                         // Mostly-flat signal with one small, slow burst (a bursty biosignal).
         let mut x = vec![0.0; (fs * 4.0) as usize];
         for (i, v) in x.iter_mut().enumerate().skip(2000).take(2000) {
             *v = 0.05 * ((i as f64) * 0.01).sin();
@@ -263,8 +290,12 @@ mod tests {
     fn comparator_power_grows_with_resolution() {
         let tech = TechnologyParams::gpdk045();
         let design8 = DesignParams::paper_defaults(8);
-        let p8 = LcComparatorModel { n_bits: 8 }.power_w(&tech, &design8);
-        let p10 = LcComparatorModel { n_bits: 10 }.power_w(&tech, &design8);
+        let p8 = LcComparatorModel { n_bits: 8 }
+            .power(&tech, &design8)
+            .value();
+        let p10 = LcComparatorModel { n_bits: 10 }
+            .power(&tech, &design8)
+            .value();
         // Two fewer LSBs → 4x tighter noise → 16x the current.
         assert!((p10 / p8 - 16.0).abs() < 0.01);
     }

@@ -6,6 +6,7 @@
 
 use efficsense_dsp::filter::OnePole;
 use efficsense_power::models::LnaModel;
+use efficsense_power::Watts;
 use efficsense_power::{DesignParams, TechnologyParams};
 use efficsense_signals::noise::Gaussian;
 
@@ -52,7 +53,10 @@ impl Lna {
     ) -> Self {
         assert!(gain > 0.0, "gain must be positive");
         assert!(noise_floor_vrms > 0.0, "noise floor must be positive");
-        assert!(bandwidth_hz > 0.0 && f_ct > 0.0, "bandwidth and rate must be positive");
+        assert!(
+            bandwidth_hz > 0.0 && f_ct > 0.0,
+            "bandwidth and rate must be positive"
+        );
         assert!(v_clip > 0.0, "clip level must be positive");
         // One-pole equivalent noise bandwidth is (π/2)·f_c. White noise of
         // density D over [0, f_ct/2] filtered by the pole integrates to
@@ -98,7 +102,7 @@ impl Lna {
     pub fn process(&mut self, v_in: f64) -> f64 {
         let noisy = v_in + self.noise.sample_scaled(self.sigma_per_sample);
         let amplified = self.filter.process(noisy) * self.gain;
-        let shaped = if self.k3 != 0.0 {
+        let shaped = if !efficsense_dsp::approx::is_zero(self.k3) {
             let u = amplified / self.v_clip;
             amplified * (1.0 - self.k3 * u * u)
         } else {
@@ -122,13 +126,17 @@ impl Lna {
     /// `c_load_f` is the capacitance the LNA drives: the S&H capacitor in the
     /// baseline chain, `C_hold` in the CS chain (paper Section III).
     pub fn power_model(&self, c_load_f: f64) -> LnaModel {
-        LnaModel { noise_floor_vrms: self.noise_floor_vrms, c_load_f, gain: self.gain }
+        LnaModel {
+            noise_floor_vrms: self.noise_floor_vrms,
+            c_load_f,
+            gain: self.gain,
+        }
     }
 
-    /// Convenience: power in watts.
-    pub fn power_w(&self, c_load_f: f64, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    /// Convenience: the amplifier power draw for a given load.
+    pub fn power(&self, c_load_f: f64, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         use efficsense_power::PowerModel as _;
-        self.power_model(c_load_f).power_w(tech, design)
+        self.power_model(c_load_f).power(tech, design)
     }
 }
 
@@ -244,7 +252,7 @@ mod tests {
         assert_eq!(m.gain, 1000.0);
         let tech = TechnologyParams::gpdk045();
         let design = DesignParams::paper_defaults(8);
-        assert!(lna.power_w(1e-12, &tech, &design) > 0.0);
+        assert!(lna.power(1e-12, &tech, &design).value() > 0.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use efficsense_dsp::resample::sample_at;
 use efficsense_power::models::SampleHoldModel;
+use efficsense_power::Watts;
 use efficsense_power::{kt, DesignParams, TechnologyParams};
 use efficsense_signals::noise::Gaussian;
 
@@ -28,7 +29,12 @@ impl Sampler {
         assert!(fs > 0.0, "sample rate must be positive");
         assert!(c_sample_f > 0.0, "sampling capacitor must be positive");
         assert!(jitter_s >= 0.0, "jitter must be non-negative");
-        Self { fs, c_sample_f, jitter_s, noise: Gaussian::new(seed) }
+        Self {
+            fs,
+            c_sample_f,
+            jitter_s,
+            noise: Gaussian::new(seed),
+        }
     }
 
     /// kT/C noise standard deviation (V) of one sample.
@@ -59,10 +65,10 @@ impl Sampler {
         SampleHoldModel
     }
 
-    /// Convenience: power in watts.
-    pub fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    /// Convenience: the S&H power draw.
+    pub fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         use efficsense_power::PowerModel as _;
-        self.power_model().power_w(tech, design)
+        self.power_model().power(tech, design)
     }
 }
 
@@ -95,7 +101,11 @@ mod tests {
         let x = sine(16384, f_ct, 10.0, 1.0, 0.0);
         let y = s.sample(&x, f_ct);
         let expect = sine(y.len(), 537.6, 10.0, 1.0, 0.0);
-        let err: f64 = y.iter().zip(&expect).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        let err: f64 = y
+            .iter()
+            .zip(&expect)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
             / y.len() as f64;
         assert!(err.sqrt() < 0.01, "tracking error {}", err.sqrt());
     }
@@ -109,7 +119,10 @@ mod tests {
         let ys = small.sample(&x, f_ct);
         let yl = large.sample(&x, f_ct);
         let ratio = std_dev(&ys) / std_dev(&yl);
-        assert!((ratio - 10.0).abs() < 1.5, "noise ratio {ratio} (expect 10)");
+        assert!(
+            (ratio - 10.0).abs() < 1.5,
+            "noise ratio {ratio} (expect 10)"
+        );
     }
 
     #[test]
@@ -124,7 +137,10 @@ mod tests {
         // Predicted jitter error rms ≈ 2π·f·σ_t·A/√2.
         let predicted = std::f64::consts::TAU * 200.0 * jitter / 2f64.sqrt();
         let measured = std_dev(&err);
-        assert!((measured / predicted - 1.0).abs() < 0.4, "{measured} vs {predicted}");
+        assert!(
+            (measured / predicted - 1.0).abs() < 0.4,
+            "{measured} vs {predicted}"
+        );
     }
 
     #[test]
@@ -138,7 +154,12 @@ mod tests {
     #[test]
     fn power_positive() {
         let s = Sampler::new(537.6, 1e-12, 0.0, 0);
-        let p = s.power_w(&TechnologyParams::gpdk045(), &DesignParams::paper_defaults(8));
+        let p = s
+            .power(
+                &TechnologyParams::gpdk045(),
+                &DesignParams::paper_defaults(8),
+            )
+            .value();
         assert!(p > 0.0);
     }
 

@@ -5,6 +5,7 @@
 //! produces, which is where compressive sensing earns its headline saving.
 
 use efficsense_power::models::TransmitterModel;
+use efficsense_power::Watts;
 use efficsense_power::{DesignParams, PowerModel, TechnologyParams};
 
 /// Bit-accounting transmitter.
@@ -28,7 +29,11 @@ impl Transmitter {
     pub fn new(bits_per_word: u32, words_per_second: f64) -> Self {
         assert!(bits_per_word > 0, "word size must be positive");
         assert!(words_per_second > 0.0, "word rate must be positive");
-        Self { bits_per_word, words_per_second, words_sent: 0 }
+        Self {
+            bits_per_word,
+            words_per_second,
+            words_sent: 0,
+        }
     }
 
     /// Baseline configuration: every ADC sample is transmitted.
@@ -39,7 +44,10 @@ impl Transmitter {
     /// Compressive-sensing configuration: `m` words per `n_phi`-sample frame.
     pub fn compressive(design: &DesignParams, m: usize, n_phi: usize) -> Self {
         assert!(m > 0 && n_phi >= m, "need 0 < m <= n_phi");
-        Self::new(design.n_bits, design.f_sample_hz() * m as f64 / n_phi as f64)
+        Self::new(
+            design.n_bits,
+            design.f_sample_hz() * m as f64 / n_phi as f64,
+        )
     }
 
     /// Records the transmission of `words` data words.
@@ -75,12 +83,14 @@ impl Transmitter {
 
     /// The Table II power model for this transmitter.
     pub fn power_model(&self, design: &DesignParams) -> TransmitterModel {
-        TransmitterModel { compression_ratio: self.compression_ratio(design) }
+        TransmitterModel {
+            compression_ratio: self.compression_ratio(design),
+        }
     }
 
-    /// Convenience: average power in watts.
-    pub fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
-        self.power_model(design).power_w(tech, design)
+    /// Convenience: the average transmit power.
+    pub fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
+        self.power_model(design).power(tech, design)
     }
 }
 
@@ -123,8 +133,8 @@ mod tests {
     #[test]
     fn cs_power_matches_ratio() {
         let (t, d) = setup();
-        let base = Transmitter::baseline(&d).power_w(&t, &d);
-        let cs = Transmitter::compressive(&d, 96, 384).power_w(&t, &d);
+        let base = Transmitter::baseline(&d).power(&t, &d).value();
+        let cs = Transmitter::compressive(&d, 96, 384).power(&t, &d).value();
         assert!((cs / base - 0.25).abs() < 1e-12);
     }
 
@@ -132,7 +142,7 @@ mod tests {
     fn paper_headline_baseline_tx_power() {
         // 537.6 Hz · 8 bit · 1 nJ ≈ 4.3 µW.
         let (t, d) = setup();
-        let p = Transmitter::baseline(&d).power_w(&t, &d);
+        let p = Transmitter::baseline(&d).power(&t, &d).value();
         assert!((p - 4.3008e-6).abs() < 1e-9, "{p}");
     }
 

@@ -36,7 +36,11 @@ pub struct LnaConfig {
 
 impl Default for LnaConfig {
     fn default() -> Self {
-        Self { gain: 4000.0, noise_floor_vrms: 3e-6, k3: 0.01 }
+        Self {
+            gain: 4000.0,
+            noise_floor_vrms: 3e-6,
+            k3: 0.01,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ pub struct AdcConfig {
 
 impl Default for AdcConfig {
     fn default() -> Self {
-        Self { c_u_f: 1e-15, comparator_noise_v: 100e-6, comparator_offset_v: 0.0 }
+        Self {
+            c_u_f: 1e-15,
+            comparator_noise_v: 100e-6,
+            comparator_offset_v: 0.0,
+        }
     }
 }
 
@@ -128,7 +136,10 @@ impl SystemConfig {
 
     /// Paper-default compressive-sensing system at the given resolution.
     pub fn compressive(n_bits: u32, cs: CsConfig) -> Self {
-        Self { cs: Some(cs), ..Self::baseline(n_bits) }
+        Self {
+            cs: Some(cs),
+            ..Self::baseline(n_bits)
+        }
     }
 
     /// Which architecture this config describes.
@@ -169,7 +180,10 @@ impl SystemConfig {
         }
         if let Some(cs) = &self.cs {
             if cs.m == 0 || cs.m > cs.n_phi {
-                return Err(format!("need 0 < M <= N_Φ, got M={} N_Φ={}", cs.m, cs.n_phi));
+                return Err(format!(
+                    "need 0 < M <= N_Φ, got M={} N_Φ={}",
+                    cs.m, cs.n_phi
+                ));
             }
             if cs.s == 0 || cs.s > cs.m {
                 return Err(format!("need 0 < s <= M, got s={} M={}", cs.s, cs.m));
@@ -200,7 +214,10 @@ mod tests {
 
     #[test]
     fn architecture_detection() {
-        assert_eq!(SystemConfig::baseline(8).architecture(), Architecture::Baseline);
+        assert_eq!(
+            SystemConfig::baseline(8).architecture(),
+            Architecture::Baseline
+        );
         let cs = SystemConfig::compressive(8, CsConfig::default());
         assert_eq!(cs.architecture(), Architecture::CompressiveSensing);
         assert_eq!(Architecture::Baseline.to_string(), "baseline");
@@ -209,9 +226,15 @@ mod tests {
 
     #[test]
     fn defaults_validate() {
-        SystemConfig::baseline(6).validate().expect("baseline valid");
-        SystemConfig::baseline(8).validate().expect("baseline valid");
-        SystemConfig::compressive(8, CsConfig::default()).validate().expect("cs valid");
+        SystemConfig::baseline(6)
+            .validate()
+            .expect("baseline valid");
+        SystemConfig::baseline(8)
+            .validate()
+            .expect("baseline valid");
+        SystemConfig::compressive(8, CsConfig::default())
+            .validate()
+            .expect("cs valid");
     }
 
     #[test]
@@ -222,11 +245,29 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_cs() {
-        let mut cfg = SystemConfig::compressive(8, CsConfig { m: 500, ..Default::default() });
+        let mut cfg = SystemConfig::compressive(
+            8,
+            CsConfig {
+                m: 500,
+                ..Default::default()
+            },
+        );
         assert!(cfg.validate().unwrap_err().contains("M <= N_Φ"));
-        cfg = SystemConfig::compressive(8, CsConfig { s: 0, ..Default::default() });
+        cfg = SystemConfig::compressive(
+            8,
+            CsConfig {
+                s: 0,
+                ..Default::default()
+            },
+        );
         assert!(cfg.validate().is_err());
-        cfg = SystemConfig::compressive(8, CsConfig { omp_sparsity: 0, ..Default::default() });
+        cfg = SystemConfig::compressive(
+            8,
+            CsConfig {
+                omp_sparsity: 0,
+                ..Default::default()
+            },
+        );
         assert!(cfg.validate().is_err());
     }
 

@@ -60,7 +60,10 @@ impl SeizureDetector {
     /// without it any front-end imperfection is out-of-distribution and
     /// accuracy collapses instead of degrading smoothly with signal quality.
     fn train_impl(dataset: &EegDataset, target_fs: f64, epoch_s: f64, seed: u64) -> Self {
-        assert!(!dataset.is_empty(), "cannot train a detector on an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot train a detector on an empty dataset"
+        );
         let extractor = FeatureExtractor::default();
         let mut x = Vec::with_capacity(dataset.len() * 8);
         let mut y = Vec::with_capacity(dataset.len() * 8);
@@ -71,14 +74,14 @@ impl SeizureDetector {
         // noise/mismatch/leakage.
         let base_cfg = crate::config::CsConfig::default();
         let make_pipeline = |m: usize| {
-            let cfg = crate::config::CsConfig { m, ..base_cfg.clone() };
+            let cfg = crate::config::CsConfig {
+                m,
+                ..base_cfg.clone()
+            };
             let phi =
                 efficsense_cs::matrix::SensingMatrix::srbm(cfg.m, cfg.n_phi, cfg.s, 0x7EAC_4E11);
-            let eff = efficsense_cs::charge_sharing::effective_matrix(
-                &phi,
-                cfg.c_sample_f,
-                cfg.c_hold_f,
-            );
+            let eff =
+                efficsense_cs::charge_sharing::effective_matrix(&phi, cfg.c_sample_f, cfg.c_hold_f);
             let dict = eff.matmul(&cfg.basis.matrix(cfg.n_phi));
             let omp = efficsense_cs::recon::OmpConfig {
                 sparsity: 2 * cfg.m / 5,
@@ -87,16 +90,20 @@ impl SeizureDetector {
             (cfg, eff, dict, omp)
         };
         let pipelines: Vec<_> = [75usize, 150].iter().map(|&m| make_pipeline(m)).collect();
-        let cs_recon = |clean: &[f64], p: &(crate::config::CsConfig, efficsense_cs::Matrix, efficsense_cs::Matrix, efficsense_cs::recon::OmpConfig)| -> Vec<f64> {
+        let cs_recon = |clean: &[f64],
+                        p: &(
+            crate::config::CsConfig,
+            efficsense_cs::Matrix,
+            efficsense_cs::Matrix,
+            efficsense_cs::recon::OmpConfig,
+        )|
+         -> Vec<f64> {
             let (cfg, eff, dict, omp) = p;
             let mut out = Vec::with_capacity(clean.len());
             for frame in clean.chunks_exact(cfg.n_phi) {
                 let meas = eff.matvec(frame);
                 out.extend(efficsense_cs::recon::reconstruct_with_dictionary(
-                    dict,
-                    &meas,
-                    cfg.basis,
-                    omp,
+                    dict, &meas, cfg.basis, omp,
                 ));
             }
             out
@@ -147,9 +154,20 @@ impl SeizureDetector {
         classifier.fit(
             &xs,
             &y,
-            &TrainConfig { epochs, learning_rate: 5e-3, batch_size: 32, weight_decay: 1e-4 },
+            &TrainConfig {
+                epochs,
+                learning_rate: 5e-3,
+                batch_size: 32,
+                weight_decay: 1e-4,
+            },
         );
-        Self { extractor, scaler, classifier, train_fs: target_fs, epoch_s }
+        Self {
+            extractor,
+            scaler,
+            classifier,
+            train_fs: target_fs,
+            epoch_s,
+        }
     }
 
     /// Splits a signal into this detector's decision windows (the whole
@@ -287,8 +305,11 @@ mod tests {
             .iter()
             .map(|r| {
                 let s = r.resampled(537.6);
-                let noisy: Vec<f64> =
-                    s.samples.iter().map(|v| v + rng.sample_scaled(200e-6)).collect();
+                let noisy: Vec<f64> = s
+                    .samples
+                    .iter()
+                    .map(|v| v + rng.sample_scaled(200e-6))
+                    .collect();
                 (noisy, r.label())
             })
             .collect();
@@ -329,7 +350,10 @@ mod tests {
         let a = SeizureDetector::train(&ds, 537.6, 7);
         let b = SeizureDetector::train(&ds, 537.6, 7);
         let r = ds.records[3].resampled(537.6);
-        assert_eq!(a.probability(&r.samples, 537.6), b.probability(&r.samples, 537.6));
+        assert_eq!(
+            a.probability(&r.samples, 537.6),
+            b.probability(&r.samples, 537.6)
+        );
     }
 
     #[test]
@@ -347,8 +371,15 @@ mod tests {
         let win = (2.0 * 537.6) as usize;
         let expected: usize = outputs.iter().map(|(s, _)| (s.len() / win).max(1)).sum();
         assert_eq!(decisions, expected, "one decision per full 2-s window");
-        assert!(decisions > ds.len(), "epoching must multiply the decision count");
-        assert!(conf.accuracy() > 0.9, "clean epoched accuracy {}", conf.accuracy());
+        assert!(
+            decisions > ds.len(),
+            "epoching must multiply the decision count"
+        );
+        assert!(
+            conf.accuracy() > 0.9,
+            "clean epoched accuracy {}",
+            conf.accuracy()
+        );
     }
 
     #[test]
@@ -362,7 +393,11 @@ mod tests {
             .iter()
             .map(|r| {
                 let s = r.resampled(537.6);
-                let v: Vec<f64> = s.samples.iter().map(|u| u + rng.sample_scaled(12e-6)).collect();
+                let v: Vec<f64> = s
+                    .samples
+                    .iter()
+                    .map(|u| u + rng.sample_scaled(12e-6))
+                    .collect();
                 (v, r.label())
             })
             .collect();
@@ -387,7 +422,10 @@ mod tests {
             .map(|w| det.predict_window(w, 537.6))
             .sum();
         let wins = r.samples.chunks_exact(n).count();
-        assert_eq!(det.predict(&r.samples, 537.6), usize::from(2 * votes >= wins));
+        assert_eq!(
+            det.predict(&r.samples, 537.6),
+            usize::from(2 * votes >= wins)
+        );
     }
 
     #[test]

@@ -79,8 +79,7 @@ impl GoalFunction for PrdGoal {
         assert!(!outputs.is_empty(), "cannot score an empty evaluation set");
         let mut acc = 0.0;
         for (o, _) in outputs {
-            acc += efficsense_dsp::metrics::prd_percent(&o.reference, &o.input_referred)
-                .min(1e3);
+            acc += efficsense_dsp::metrics::prd_percent(&o.reference, &o.input_referred).min(1e3);
         }
         -(acc / outputs.len() as f64)
     }
@@ -150,10 +149,16 @@ mod tests {
         let slightly: Vec<f64> = x.iter().map(|v| v + 0.001).collect();
         let badly: Vec<f64> = x.iter().map(|v| v + 0.3).collect();
         // Add a non-constant error so the offset fit can't absorb it all.
-        let slightly: Vec<f64> =
-            slightly.iter().enumerate().map(|(i, v)| v + 1e-3 * (i as f64 * 0.7).sin()).collect();
-        let badly: Vec<f64> =
-            badly.iter().enumerate().map(|(i, v)| v + 0.2 * (i as f64 * 0.7).sin()).collect();
+        let slightly: Vec<f64> = slightly
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 1e-3 * (i as f64 * 0.7).sin())
+            .collect();
+        let badly: Vec<f64> = badly
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.2 * (i as f64 * 0.7).sin())
+            .collect();
         let good = SnrGoal.evaluate(&[(fake_output(x.clone(), slightly), 0)]);
         let bad = SnrGoal.evaluate(&[(fake_output(x, badly), 0)]);
         assert!(good > bad + 20.0, "good {good} vs bad {bad}");
@@ -173,8 +178,16 @@ mod tests {
     #[test]
     fn prd_goal_orders_like_snr() {
         let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
-        let close: Vec<f64> = x.iter().enumerate().map(|(i, v)| v + 0.01 * (i as f64).cos()).collect();
-        let far: Vec<f64> = x.iter().enumerate().map(|(i, v)| v + 0.3 * (i as f64).cos()).collect();
+        let close: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.01 * (i as f64).cos())
+            .collect();
+        let far: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.3 * (i as f64).cos())
+            .collect();
         let g_close = PrdGoal.evaluate(&[(fake_output(x.clone(), close), 0)]);
         let g_far = PrdGoal.evaluate(&[(fake_output(x, far), 0)]);
         assert!(g_close > g_far, "lower PRD must score higher");

@@ -1,6 +1,7 @@
 //! Pareto-front extraction and constrained architecture selection.
 
 use crate::sweep::SweepResult;
+use efficsense_dsp::approx::total_eq;
 
 /// Optimisation objective paired with power minimisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,16 +34,13 @@ pub fn pareto_front(results: &[SweepResult], _objective: Objective) -> Vec<&Swee
         }
     }
     front.sort_by(|a, b| a.power_w.total_cmp(&b.power_w));
-    front.dedup_by(|a, b| a.power_w == b.power_w && a.metric == b.metric);
+    front.dedup_by(|a, b| total_eq(a.power_w, b.power_w) && total_eq(a.metric, b.metric));
     front
 }
 
 /// The minimum-power point meeting `min_metric` (the paper's "optimal design
 /// solution": lowest power with accuracy ≥ 98 %).
-pub fn optimal_under_constraint(
-    results: &[SweepResult],
-    min_metric: f64,
-) -> Option<&SweepResult> {
+pub fn optimal_under_constraint(results: &[SweepResult], min_metric: f64) -> Option<&SweepResult> {
     results
         .iter()
         .filter(|r| r.metric >= min_metric)
@@ -101,7 +99,9 @@ pub fn pareto_front_3d(results: &[SweepResult]) -> Vec<&SweepResult> {
     }
     front.sort_by(|a, b| a.power_w.total_cmp(&b.power_w));
     front.dedup_by(|a, b| {
-        a.power_w == b.power_w && a.metric == b.metric && a.area_units == b.area_units
+        total_eq(a.power_w, b.power_w)
+            && total_eq(a.metric, b.metric)
+            && total_eq(a.area_units, b.area_units)
     });
     front
 }
@@ -145,7 +145,11 @@ mod tests {
 
     #[test]
     fn front_sorted_by_power() {
-        let results = vec![res(5.0, 0.99, 0.0), res(1.0, 0.90, 0.0), res(3.0, 0.95, 0.0)];
+        let results = vec![
+            res(5.0, 0.99, 0.0),
+            res(1.0, 0.90, 0.0),
+            res(3.0, 0.95, 0.0),
+        ];
         let front = pareto_front(&results, Objective::MaximizeMetric);
         for w in front.windows(2) {
             assert!(w[0].power_w <= w[1].power_w);
@@ -217,8 +221,10 @@ mod tests {
             .iter()
             .map(|r| (r.power_w, r.metric))
             .collect();
-        let f3: Vec<(f64, f64)> =
-            pareto_front_3d(&results).iter().map(|r| (r.power_w, r.metric)).collect();
+        let f3: Vec<(f64, f64)> = pareto_front_3d(&results)
+            .iter()
+            .map(|r| (r.power_w, r.metric))
+            .collect();
         for p in &f2 {
             assert!(f3.contains(p), "3-D front must contain the 2-D front");
         }

@@ -32,13 +32,14 @@ pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result
             p.n_bits,
             p.m.map_or(String::new(), |v| v.to_string()),
             p.s.map_or(String::new(), |v| v.to_string()),
-            p.c_hold_f.map_or(String::new(), |v| format!("{:.2}", v * 1e12)),
+            p.c_hold_f
+                .map_or(String::new(), |v| format!("{:.2}", v * 1e12)),
             r.metric,
             r.power_w * 1e6,
             r.area_units
         )?;
         for k in BlockKind::ALL {
-            write!(w, ",{:.6}", r.breakdown.get(k) * 1e6)?;
+            write!(w, ",{:.6}", r.breakdown.get(k).value() * 1e6)?;
         }
         writeln!(w)?;
     }
@@ -103,8 +104,8 @@ mod tests {
 
     fn sample_result() -> SweepResult {
         let mut b = PowerBreakdown::new();
-        b.add(BlockKind::Lna, 1e-6);
-        b.add(BlockKind::Transmitter, 4.3e-6);
+        b.add(BlockKind::Lna, efficsense_power::Watts(1e-6));
+        b.add(BlockKind::Transmitter, efficsense_power::Watts(4.3e-6));
         SweepResult {
             point: DesignPoint {
                 architecture: Architecture::CompressiveSensing,
@@ -142,7 +143,10 @@ mod tests {
         let header: Vec<&str> = s.lines().next().expect("header").split(',').collect();
         let row: Vec<&str> = s.lines().nth(1).expect("row").split(',').collect();
         assert_eq!(header.len(), row.len());
-        let lna_idx = header.iter().position(|h| *h == "lna_uw").expect("lna column");
+        let lna_idx = header
+            .iter()
+            .position(|h| *h == "lna_uw")
+            .expect("lna column");
         assert!((row[lna_idx].parse::<f64>().expect("number") - 1.0).abs() < 1e-9);
     }
 

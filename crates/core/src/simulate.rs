@@ -1,6 +1,6 @@
 //! End-to-end system simulation (functional + power, simultaneously).
 
-use crate::config::{Architecture, SystemConfig};
+use crate::config::{CsConfig, SystemConfig};
 use efficsense_blocks::{ChargeSharingEncoder, Lna, Sampler, SarAdc, Transmitter};
 use efficsense_cs::linalg::Matrix;
 use efficsense_cs::matrix::SensingMatrix;
@@ -32,8 +32,9 @@ pub struct SimOutput {
 
 impl SimOutput {
     /// Total power (W).
+    #[must_use]
     pub fn total_power_w(&self) -> f64 {
-        self.power.total_w()
+        self.power.total().value()
     }
 }
 
@@ -47,12 +48,31 @@ impl SimOutput {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     cfg: SystemConfig,
-    /// CS only: the sensing schedule.
-    phi: Option<SensingMatrix>,
-    /// CS only: precomputed decoder dictionary `A = Φ_eff·Ψ`.
-    dictionary: Option<Matrix>,
-    /// CS only: mean over rows of `Σ_j w_rj²` of the effective matrix —
-    /// the per-measurement noise gain used by the discrepancy stopping rule.
+    arch: ArchState,
+}
+
+/// Architecture-specific precomputed state. Splitting this out of
+/// [`Simulator`] (instead of a trio of `Option`s) lets the CS paths borrow
+/// their state without `expect`-style unwrapping.
+#[derive(Debug, Clone)]
+enum ArchState {
+    /// Nyquist baseline: nothing to precompute per design point.
+    Baseline,
+    /// Compressive sensing: sensing schedule and decoder dictionary.
+    Cs(CsState),
+}
+
+#[derive(Debug, Clone)]
+struct CsState {
+    /// The CS design variables (copied out of the config so the CS paths
+    /// never have to re-unwrap `cfg.cs`).
+    cs: CsConfig,
+    /// The sensing schedule.
+    phi: SensingMatrix,
+    /// Precomputed decoder dictionary `A = Φ_eff·Ψ`.
+    dictionary: Matrix,
+    /// Mean over rows of `Σ_j w_rj²` of the effective matrix — the
+    /// per-measurement noise gain used by the discrepancy stopping rule.
     mean_row_w2: f64,
 }
 
@@ -64,7 +84,7 @@ impl Simulator {
     /// Returns the validation failure message for invalid configs.
     pub fn new(cfg: SystemConfig) -> Result<Self, String> {
         cfg.validate()?;
-        let (phi, dictionary, mean_row_w2) = if let Some(cs) = &cfg.cs {
+        let arch = if let Some(cs) = &cfg.cs {
             let phi = SensingMatrix::srbm(cs.m, cs.n_phi, cs.s, cfg.seed ^ 0x5EB1);
             // Leakage-aware decoding: the droop is set by design constants
             // (τ = C_hold·V_ref/I_leak), so the decoder folds it into the
@@ -88,11 +108,16 @@ impl Simulator {
                 .sum::<f64>()
                 / eff.rows() as f64;
             let a = eff.matmul(&psi);
-            (Some(phi), Some(a), mean_row_w2)
+            ArchState::Cs(CsState {
+                cs: cs.clone(),
+                phi,
+                dictionary: a,
+                mean_row_w2,
+            })
         } else {
-            (None, None, 0.0)
+            ArchState::Baseline
         };
-        Ok(Self { cfg, phi, dictionary, mean_row_w2 })
+        Ok(Self { cfg, arch })
     }
 
     /// The configuration under simulation.
@@ -103,7 +128,11 @@ impl Simulator {
     /// Baseline S&H capacitor (F): the kT/C bound clamped to the technology
     /// minimum — at biomedical resolutions matching, not noise, sets the cap.
     fn sh_cap_f(&self) -> f64 {
-        self.cfg.design.c_sample_bound_f().max(self.cfg.tech.c_u_min_f)
+        self.cfg
+            .design
+            .c_sample_bound()
+            .value()
+            .max(self.cfg.tech.c_u_min_f)
     }
 
     /// Capacitance loading the LNA: S&H cap (baseline) or `C_hold` (CS).
@@ -124,14 +153,13 @@ impl Simulator {
     pub fn run(&self, input: &[f64], fs_in: f64, noise_seed: u64) -> SimOutput {
         assert!(!input.is_empty(), "cannot simulate an empty record");
         assert!(fs_in > 0.0, "input rate must be positive");
-        if let Some(cs) = &self.cfg.cs {
-            let n_samples =
-                (input.len() as f64 / fs_in * self.cfg.design.f_sample_hz()) as usize;
+        if let ArchState::Cs(state) = &self.arch {
+            let n_samples = (input.len() as f64 / fs_in * self.cfg.design.f_sample_hz()) as usize;
             assert!(
-                n_samples >= cs.n_phi,
+                n_samples >= state.cs.n_phi,
                 "record too short for the CS architecture: {n_samples} samples at f_sample \
                  but one frame needs N_Φ = {}",
-                cs.n_phi
+                state.cs.n_phi
             );
         }
         let cfg = &self.cfg;
@@ -149,13 +177,18 @@ impl Simulator {
             cfg.seed ^ noise_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let amplified = lna.process_buffer(&ct);
+        efficsense_dsp::approx::debug_assert_all_finite(&amplified, "simulate: LNA output");
         // Step 3: architecture-specific acquisition.
-        let (acquired, words, adc_in_rms) = match cfg.architecture() {
-            Architecture::Baseline => self.acquire_baseline(&amplified, f_ct, noise_seed),
-            Architecture::CompressiveSensing => self.acquire_cs(&amplified, f_ct, noise_seed),
+        let (acquired, words, adc_in_rms) = match &self.arch {
+            ArchState::Baseline => self.acquire_baseline(&amplified, f_ct, noise_seed),
+            ArchState::Cs(state) => self.acquire_cs(state, &amplified, f_ct, noise_seed),
         };
         // Refer back to the sensor input.
         let input_referred: Vec<f64> = acquired.iter().map(|v| v / cfg.lna.gain).collect();
+        efficsense_dsp::approx::debug_assert_all_finite(
+            &input_referred,
+            "simulate: input-referred output",
+        );
         // Reference: clean input at f_sample, trimmed to the output length.
         let mut reference: Vec<f64> = (0..input_referred.len())
             .map(|i| sample_at(input, fs_in, i as f64 / f_s))
@@ -163,7 +196,14 @@ impl Simulator {
         reference.truncate(input_referred.len());
         let power = self.power_breakdown(adc_in_rms);
         let area_units = self.area_units();
-        SimOutput { input_referred, reference, fs_out: f_s, power, area_units, words }
+        SimOutput {
+            input_referred,
+            reference,
+            fs_out: f_s,
+            power,
+            area_units,
+            words,
+        }
     }
 
     fn acquire_baseline(
@@ -189,23 +229,33 @@ impl Simulator {
             &cfg.tech,
             cfg.seed,
         );
-        let shifted_rms = rms(&sampled.iter().map(|v| v + cfg.design.v_fs / 2.0).collect::<Vec<_>>());
+        let shifted_rms = rms(&sampled
+            .iter()
+            .map(|v| v + cfg.design.v_fs / 2.0)
+            .collect::<Vec<_>>());
         let out = adc.process_buffer(&sampled);
         let words = out.len() as u64;
         (out, words, shifted_rms)
     }
 
-    fn acquire_cs(&self, amplified: &[f64], f_ct: f64, noise_seed: u64) -> (Vec<f64>, u64, f64) {
+    fn acquire_cs(
+        &self,
+        state: &CsState,
+        amplified: &[f64],
+        f_ct: f64,
+        noise_seed: u64,
+    ) -> (Vec<f64>, u64, f64) {
         let cfg = &self.cfg;
-        let cs = cfg.cs.as_ref().expect("CS path requires CS config");
-        let phi = self.phi.as_ref().expect("sensing matrix precomputed");
-        let dict = self.dictionary.as_ref().expect("dictionary precomputed");
+        let cs = &state.cs;
+        let phi = &state.phi;
+        let dict = &state.dictionary;
         let f_s = cfg.design.f_sample_hz();
         // The encoder's own sample caps do the sampling; take ideal instants.
         let duration = amplified.len() as f64 / f_ct;
         let n_samples = (duration * f_s).floor() as usize;
-        let sampled: Vec<f64> =
-            (0..n_samples).map(|i| sample_at(amplified, f_ct, i as f64 / f_s)).collect();
+        let sampled: Vec<f64> = (0..n_samples)
+            .map(|i| sample_at(amplified, f_ct, i as f64 / f_s))
+            .collect();
         let mut encoder = ChargeSharingEncoder::new(
             phi.clone(),
             cs.c_sample_f,
@@ -239,8 +289,8 @@ impl Simulator {
             0.0
         };
         let lsb = cfg.design.lsb();
-        let meas_noise_var = (sampled_noise * sampled_noise + ktc_var) * self.mean_row_w2
-            + lsb * lsb / 12.0;
+        let meas_noise_var =
+            (sampled_noise * sampled_noise + ktc_var) * state.mean_row_w2 + lsb * lsb / 12.0;
         let noise_norm = (meas_noise_var * cs.m as f64).sqrt();
         let mut out = Vec::with_capacity(n_samples);
         let mut words = 0u64;
@@ -265,7 +315,11 @@ impl Simulator {
             let xh = reconstruct_with_dictionary(dict, &digitised, cs.basis, &omp);
             out.extend(xh);
         }
-        let adc_in_rms = if rms_n > 0 { (rms_acc / rms_n as f64).sqrt() } else { 0.0 };
+        let adc_in_rms = if rms_n > 0 {
+            (rms_acc / rms_n as f64).sqrt()
+        } else {
+            0.0
+        };
         (out, words, adc_in_rms)
     }
 
@@ -287,7 +341,7 @@ impl Simulator {
         );
         b.add(
             efficsense_power::BlockKind::Lna,
-            lna.power_w(self.lna_load_f(), &cfg.tech, &cfg.design),
+            lna.power(self.lna_load_f(), &cfg.tech, &cfg.design),
         );
         // ADC (comparator + SAR logic + DAC).
         let adc = SarAdc::new(
@@ -300,20 +354,23 @@ impl Simulator {
             cfg.seed,
         );
         b = b.merged(&adc.power_breakdown(adc_in_rms, &cfg.tech, &cfg.design));
-        match &cfg.cs {
-            None => {
+        match &self.arch {
+            ArchState::Baseline => {
                 // S&H plus Nyquist-rate transmission.
                 b.add(
                     efficsense_power::BlockKind::SampleHold,
-                    SampleHoldModel.power_w(&cfg.tech, &cfg.design),
+                    SampleHoldModel.power(&cfg.tech, &cfg.design),
                 );
                 let tx = Transmitter::baseline(&cfg.design);
-                b.add(efficsense_power::BlockKind::Transmitter, tx.power_w(&cfg.tech, &cfg.design));
+                b.add(
+                    efficsense_power::BlockKind::Transmitter,
+                    tx.power(&cfg.tech, &cfg.design),
+                );
             }
-            Some(cs) => {
-                let phi = self.phi.as_ref().expect("precomputed");
+            ArchState::Cs(state) => {
+                let cs = &state.cs;
                 let enc = ChargeSharingEncoder::new(
-                    phi.clone(),
+                    state.phi.clone(),
                     cs.c_sample_f,
                     cs.c_hold_f,
                     1.0 / cfg.design.f_sample_hz(),
@@ -324,7 +381,10 @@ impl Simulator {
                 );
                 b = b.merged(&enc.power_breakdown(&cfg.tech, &cfg.design));
                 let tx = Transmitter::compressive(&cfg.design, cs.m, cs.n_phi);
-                b.add(efficsense_power::BlockKind::Transmitter, tx.power_w(&cfg.tech, &cfg.design));
+                b.add(
+                    efficsense_power::BlockKind::Transmitter,
+                    tx.power(&cfg.tech, &cfg.design),
+                );
             }
         }
         b
@@ -337,7 +397,11 @@ impl Simulator {
         use std::fmt::Write as _;
         let cfg = &self.cfg;
         let mut s = String::new();
-        let _ = writeln!(s, "EffiCSense design point — {} architecture", cfg.architecture());
+        let _ = writeln!(
+            s,
+            "EffiCSense design point — {} architecture",
+            cfg.architecture()
+        );
         let _ = writeln!(s, "--------------------------------------------------");
         let _ = writeln!(
             s,
@@ -452,21 +516,39 @@ mod tests {
     #[test]
     fn cs_sends_fewer_words_than_baseline() {
         let x = eeg_like_tone(173.61, 4.0);
-        let base = Simulator::new(SystemConfig::baseline(8)).expect("valid").run(&x, 173.61, 0);
-        let cs_cfg = CsConfig { m: 75, ..Default::default() };
+        let base = Simulator::new(SystemConfig::baseline(8))
+            .expect("valid")
+            .run(&x, 173.61, 0);
+        let cs_cfg = CsConfig {
+            m: 75,
+            ..Default::default()
+        };
         let cs = Simulator::new(SystemConfig::compressive(8, cs_cfg))
             .expect("valid")
             .run(&x, 173.61, 0);
-        assert!(cs.words * 4 < base.words, "cs {} vs baseline {}", cs.words, base.words);
+        assert!(
+            cs.words * 4 < base.words,
+            "cs {} vs baseline {}",
+            cs.words,
+            base.words
+        );
     }
 
     #[test]
     fn cs_transmitter_power_lower_baseline_logic_higher() {
         let x = eeg_like_tone(173.61, 4.0);
-        let base = Simulator::new(SystemConfig::baseline(8)).expect("valid").run(&x, 173.61, 0);
-        let cs = Simulator::new(SystemConfig::compressive(8, CsConfig { m: 75, ..Default::default() }))
+        let base = Simulator::new(SystemConfig::baseline(8))
             .expect("valid")
             .run(&x, 173.61, 0);
+        let cs = Simulator::new(SystemConfig::compressive(
+            8,
+            CsConfig {
+                m: 75,
+                ..Default::default()
+            },
+        ))
+        .expect("valid")
+        .run(&x, 173.61, 0);
         use efficsense_power::BlockKind::*;
         assert!(cs.power.get(Transmitter) < 0.3 * base.power.get(Transmitter));
         assert!(cs.power.get(CsEncoderLogic) > base.power.get(CsEncoderLogic));
@@ -514,8 +596,7 @@ mod tests {
 
     #[test]
     fn spec_sheet_mentions_key_parameters() {
-        let sim =
-            Simulator::new(SystemConfig::compressive(8, CsConfig::default())).expect("valid");
+        let sim = Simulator::new(SystemConfig::compressive(8, CsConfig::default())).expect("valid");
         let sheet = sim.spec_sheet();
         assert!(sheet.contains("cs architecture"));
         assert!(sheet.contains("8 bit SAR"));
@@ -536,6 +617,7 @@ mod tests {
         let dom = b.dominant().expect("non-empty");
         assert!(dom == Transmitter || dom == Lna, "dominant {dom}");
         // Total in the paper's µW regime.
-        assert!((1e-6..1e-4).contains(&b.total_w()), "total {}", b.total_w());
+        let total = b.total().value();
+        assert!((1e-6..1e-4).contains(&total), "total {total}");
     }
 }

@@ -217,7 +217,8 @@ mod tests {
         let s = DesignSpace::reduced();
         for p in s.points() {
             let cfg = p.to_config(&s.template);
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", p.label()));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.label()));
             assert_eq!(cfg.architecture(), p.architecture);
             assert_eq!(cfg.design.n_bits, p.n_bits);
             assert_eq!(cfg.lna.noise_floor_vrms, p.lna_noise_vrms);

@@ -33,7 +33,12 @@ pub struct SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        Self { metric: Metric::DetectionAccuracy, threads: 0, detector_seed: 0xD0D0, epoch_s: 2.0 }
+        Self {
+            metric: Metric::DetectionAccuracy,
+            threads: 0,
+            detector_seed: 0xD0D0,
+            epoch_s: 2.0,
+        }
     }
 }
 
@@ -89,44 +94,58 @@ impl Sweep {
                         self.config.detector_seed,
                     )
                 } else {
-                    crate::detector::SeizureDetector::train(
-                        dataset,
-                        fs,
-                        self.config.detector_seed,
-                    )
+                    crate::detector::SeizureDetector::train(dataset, fs, self.config.detector_seed)
                 };
                 Box::new(DetectionGoal::new(detector))
             }
         };
         let points = space.points();
         let n_threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         } else {
             self.config.threads
         }
         .min(points.len());
-        let mut results: Vec<Option<SweepResult>> = vec![None; points.len()];
         let next = std::sync::atomic::AtomicUsize::new(0);
         let goal_ref: &(dyn GoalFunction + Sync) = goal.as_ref();
-        let results_mutex = std::sync::Mutex::new(&mut results);
-        crossbeam::scope(|scope| {
-            for _ in 0..n_threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= points.len() {
-                        break;
-                    }
-                    let r = evaluate_point(&points[i], space, dataset, goal_ref);
-                    let mut guard = results_mutex.lock().expect("no poisoned workers");
-                    guard[i] = Some(r);
-                });
+        // Workers claim indices from a shared counter (cheap dynamic load
+        // balancing — point costs vary wildly with M and N) and keep their
+        // results thread-local; the merge happens once, after the joins.
+        let mut indexed: Vec<(usize, SweepResult)> = Vec::with_capacity(points.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= points.len() {
+                                break;
+                            }
+                            local.push((i, evaluate_point(&points[i], space, dataset, goal_ref)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(mut local) => indexed.append(&mut local),
+                    // A worker panic is a bug in a model; re-raise it on the
+                    // caller thread instead of silently dropping points.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
-        })
-        .expect("sweep workers do not panic");
-        results
-            .into_iter()
-            .map(|r| r.expect("every point evaluated"))
-            .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        debug_assert_eq!(
+            indexed.len(),
+            points.len(),
+            "every point claimed exactly once"
+        );
+        indexed.into_iter().map(|(_, r)| r).collect()
     }
 }
 
@@ -138,7 +157,12 @@ pub fn evaluate_point(
     goal: &(dyn GoalFunction + Sync),
 ) -> SweepResult {
     let cfg = point.to_config(&space.template);
-    let sim = Simulator::new(cfg).unwrap_or_else(|e| panic!("{}: {e}", point.label()));
+    // An invalid point is a bug in the caller's DesignSpace, not a runtime
+    // condition — the documented panic is the API here.
+    let sim = match Simulator::new(cfg) {
+        Ok(sim) => sim,
+        Err(e) => panic!("{}: {e}", point.label()), // lint:allow(no-panic)
+    };
     let outputs: Vec<(SimOutput, usize)> = dataset
         .records
         .iter()
@@ -153,7 +177,7 @@ pub fn evaluate_point(
     SweepResult {
         point: point.clone(),
         metric,
-        power_w: breakdown.total_w(),
+        power_w: breakdown.total().value(),
         breakdown,
         area_units,
     }
@@ -200,37 +224,73 @@ mod tests {
     fn snr_sweep_covers_all_points() {
         let ds = tiny_dataset();
         let space = tiny_space();
-        let sweep = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 2, detector_seed: 0, ..Default::default() });
+        let sweep = Sweep::new(SweepConfig {
+            metric: Metric::Snr,
+            threads: 2,
+            detector_seed: 0,
+            ..Default::default()
+        });
         let results = sweep.run(&space, &ds);
         assert_eq!(results.len(), space.len());
         // Order preserved.
         for (r, p) in results.iter().zip(space.points()) {
             assert_eq!(r.point, p);
         }
-        assert!(results.iter().all(|r| r.power_w > 0.0 && r.metric.is_finite()));
+        assert!(results
+            .iter()
+            .all(|r| r.power_w > 0.0 && r.metric.is_finite()));
     }
 
     #[test]
     fn lower_noise_gives_better_snr_and_more_power_baseline() {
         let ds = tiny_dataset();
         let space = tiny_space();
-        let sweep = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 2, detector_seed: 0, ..Default::default() });
+        let sweep = Sweep::new(SweepConfig {
+            metric: Metric::Snr,
+            threads: 2,
+            detector_seed: 0,
+            ..Default::default()
+        });
         let results = sweep.run(&space, &ds);
         let (base, _) = split_by_architecture(&results);
-        let quiet = base.iter().find(|r| r.point.lna_noise_vrms < 5e-6).expect("quiet point");
-        let noisy = base.iter().find(|r| r.point.lna_noise_vrms > 5e-6).expect("noisy point");
-        assert!(quiet.metric > noisy.metric, "quiet SNR {} vs {}", quiet.metric, noisy.metric);
-        assert!(quiet.power_w > noisy.power_w, "quiet should cost more power");
+        let quiet = base
+            .iter()
+            .find(|r| r.point.lna_noise_vrms < 5e-6)
+            .expect("quiet point");
+        let noisy = base
+            .iter()
+            .find(|r| r.point.lna_noise_vrms > 5e-6)
+            .expect("noisy point");
+        assert!(
+            quiet.metric > noisy.metric,
+            "quiet SNR {} vs {}",
+            quiet.metric,
+            noisy.metric
+        );
+        assert!(
+            quiet.power_w > noisy.power_w,
+            "quiet should cost more power"
+        );
     }
 
     #[test]
     fn single_threaded_matches_parallel() {
         let ds = tiny_dataset();
         let space = tiny_space();
-        let one = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 1, detector_seed: 0, ..Default::default() })
-            .run(&space, &ds);
-        let many = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 4, detector_seed: 0, ..Default::default() })
-            .run(&space, &ds);
+        let one = Sweep::new(SweepConfig {
+            metric: Metric::Snr,
+            threads: 1,
+            detector_seed: 0,
+            ..Default::default()
+        })
+        .run(&space, &ds);
+        let many = Sweep::new(SweepConfig {
+            metric: Metric::Snr,
+            threads: 4,
+            detector_seed: 0,
+            ..Default::default()
+        })
+        .run(&space, &ds);
         assert_eq!(one, many);
     }
 
@@ -238,18 +298,30 @@ mod tests {
     fn split_by_architecture_partitions() {
         let ds = tiny_dataset();
         let space = tiny_space();
-        let results = Sweep::new(SweepConfig { metric: Metric::Snr, threads: 2, detector_seed: 0, ..Default::default() })
-            .run(&space, &ds);
+        let results = Sweep::new(SweepConfig {
+            metric: Metric::Snr,
+            threads: 2,
+            detector_seed: 0,
+            ..Default::default()
+        })
+        .run(&space, &ds);
         let (base, cs) = split_by_architecture(&results);
         assert_eq!(base.len() + cs.len(), results.len());
-        assert!(base.iter().all(|r| r.point.architecture == Architecture::Baseline));
-        assert!(cs.iter().all(|r| r.point.architecture == Architecture::CompressiveSensing));
+        assert!(base
+            .iter()
+            .all(|r| r.point.architecture == Architecture::Baseline));
+        assert!(cs
+            .iter()
+            .all(|r| r.point.architecture == Architecture::CompressiveSensing));
     }
 
     #[test]
     #[should_panic(expected = "dataset is empty")]
     fn rejects_empty_dataset() {
-        let ds = EegDataset { records: vec![], config: DatasetConfig::default() };
+        let ds = EegDataset {
+            records: vec![],
+            config: DatasetConfig::default(),
+        };
         let space = tiny_space();
         let _ = Sweep::new(SweepConfig::default()).run(&space, &ds);
     }

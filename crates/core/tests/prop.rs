@@ -1,41 +1,44 @@
-//! Property-based tests for the framework layer (configs, design space,
-//! reporting).
+//! Property-style tests for the framework layer (configs, design space,
+//! reporting), run as seeded Monte-Carlo loops.
 
 use efficsense_core::config::{Architecture, CsConfig, SystemConfig};
 use efficsense_core::report;
 use efficsense_core::space::{log_grid, DesignPoint, DesignSpace};
 use efficsense_core::sweep::SweepResult;
+use efficsense_power::units::Watts;
 use efficsense_power::PowerBreakdown;
-use proptest::prelude::*;
+use efficsense_rng::Rng64;
 
-proptest! {
-    #[test]
-    fn log_grid_is_sorted_and_bounded(
-        lo_exp in -7.0f64..-4.0,
-        span in 0.1f64..2.0,
-        n in 2usize..32,
-    ) {
-        let lo = 10f64.powf(lo_exp);
-        let hi = lo * 10f64.powf(span);
-        let g = log_grid(lo, hi, n);
-        prop_assert_eq!(g.len(), n);
-        prop_assert!((g[0] - lo).abs() < 1e-12 * lo);
-        prop_assert!((g[n - 1] - hi).abs() < 1e-9 * hi);
-        for w in g.windows(2) {
-            prop_assert!(w[1] > w[0]);
+const CASES: u64 = 96;
+
+#[test]
+fn log_grid_is_sorted_and_bounded() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x10C0 + case);
+        let lo = 10f64.powf(g.uniform(-7.0, -4.0));
+        let hi = lo * 10f64.powf(g.uniform(0.1, 2.0));
+        let n = g.range(2, 32);
+        let grid = log_grid(lo, hi, n);
+        assert_eq!(grid.len(), n, "case {case}");
+        assert!((grid[0] - lo).abs() < 1e-12 * lo, "case {case}");
+        assert!((grid[n - 1] - hi).abs() < 1e-9 * hi, "case {case}");
+        let r0 = grid[1] / grid[0];
+        for w in grid.windows(2) {
+            assert!(w[1] > w[0], "case {case}");
             // Log spacing: constant ratio.
-            let r0 = g[1] / g[0];
-            prop_assert!((w[1] / w[0] - r0).abs() < 1e-9 * r0);
+            assert!((w[1] / w[0] - r0).abs() < 1e-9 * r0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn design_space_point_count_matches_len(
-        n_noise in 1usize..5,
-        n_bits in 1usize..3,
-        n_m in 1usize..3,
-        include_baseline in any::<bool>(),
-    ) {
+#[test]
+fn design_space_point_count_matches_len() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x59AC + case);
+        let n_noise = g.range(1, 5);
+        let n_bits = g.range(1, 3);
+        let n_m = g.range(1, 3);
+        let include_baseline = g.flip();
         let space = DesignSpace {
             lna_noise_vrms: (0..n_noise).map(|i| 1e-6 * (i + 1) as f64).collect(),
             n_bits: (0..n_bits).map(|i| 6 + i as u32).collect(),
@@ -45,16 +48,17 @@ proptest! {
             cs_c_hold_f: vec![0.5e-12],
             template: SystemConfig::compressive(8, CsConfig::default()),
         };
-        prop_assert_eq!(space.points().len(), space.len());
+        assert_eq!(space.points().len(), space.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn every_point_yields_valid_config(
-        noise in 1e-6f64..20e-6,
-        bits in 6u32..9,
-        m_idx in 0usize..3,
-    ) {
-        let m = [75, 150, 192][m_idx];
+#[test]
+fn every_point_yields_valid_config() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0xC0F6 + case);
+        let noise = g.uniform(1e-6, 20e-6);
+        let bits = g.range(6, 9) as u32;
+        let m = [75, 150, 192][g.index(3)];
         let template = SystemConfig::compressive(8, CsConfig::default());
         for arch in [Architecture::Baseline, Architecture::CompressiveSensing] {
             let p = DesignPoint {
@@ -66,13 +70,21 @@ proptest! {
                 c_hold_f: Some(0.5e-12),
             };
             let cfg = p.to_config(&template);
-            prop_assert!(cfg.validate().is_ok(), "{}: {:?}", p.label(), cfg.validate());
-            prop_assert_eq!(cfg.architecture(), arch);
+            assert!(
+                cfg.validate().is_ok(),
+                "case {case} {}: {:?}",
+                p.label(),
+                cfg.validate()
+            );
+            assert_eq!(cfg.architecture(), arch, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn omp_budget_never_exceeds_m(m in 8usize..384) {
+#[test]
+fn omp_budget_never_exceeds_m() {
+    for case in 0..CASES {
+        let m = Rng64::new(0x09B0 + case).range(8, 384);
         let template = SystemConfig::compressive(8, CsConfig::default());
         let p = DesignPoint {
             architecture: Architecture::CompressiveSensing,
@@ -84,23 +96,29 @@ proptest! {
         };
         let cfg = p.to_config(&template);
         let cs = cfg.cs.expect("cs point");
-        prop_assert!(cs.omp_sparsity <= cs.m, "sparsity {} > M {}", cs.omp_sparsity, cs.m);
-        prop_assert!(cs.omp_sparsity >= 1);
+        assert!(
+            cs.omp_sparsity <= cs.m,
+            "case {case}: sparsity {} > M {}",
+            cs.omp_sparsity,
+            cs.m
+        );
+        assert!(cs.omp_sparsity >= 1, "case {case}");
     }
+}
 
-    #[test]
-    fn csv_roundtrip_for_random_results(
-        rows in proptest::collection::vec(
-            (1e-7f64..1e-4, 0.0f64..1.0, 0.0f64..1e6, 6u32..9),
-            1..20
-        )
-    ) {
-        let results: Vec<SweepResult> = rows
-            .iter()
-            .enumerate()
-            .map(|(i, &(noise, metric, area, bits))| {
+#[test]
+fn csv_roundtrip_for_random_results() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0xC57A + case);
+        let n_rows = g.range(1, 20);
+        let results: Vec<SweepResult> = (0..n_rows)
+            .map(|i| {
+                let noise = g.uniform(1e-7, 1e-4);
+                let metric = g.f64();
+                let area = g.uniform(0.0, 1e6);
+                let bits = g.range(6, 9) as u32;
                 let mut b = PowerBreakdown::new();
-                b.add(efficsense_power::BlockKind::Lna, noise * 1e3);
+                b.add(efficsense_power::BlockKind::Lna, Watts(noise * 1e3));
                 SweepResult {
                     point: DesignPoint {
                         architecture: if i % 2 == 0 {
@@ -115,7 +133,7 @@ proptest! {
                         c_hold_f: (i % 2 == 1).then_some(0.5e-12),
                     },
                     metric,
-                    power_w: b.total_w(),
+                    power_w: b.total().value(),
                     breakdown: b,
                     area_units: area,
                 }
@@ -125,21 +143,23 @@ proptest! {
         report::write_csv(&mut buf, &results).expect("writes");
         let text = String::from_utf8(buf).expect("utf8");
         // The CSV must have a line per result plus the header.
-        prop_assert_eq!(text.lines().count(), results.len() + 1);
+        assert_eq!(text.lines().count(), results.len() + 1, "case {case}");
         // And every row must have exactly the header's column count.
         let cols = text.lines().next().expect("header").split(',').count();
         for line in text.lines().skip(1) {
-            prop_assert_eq!(line.split(',').count(), cols);
+            assert_eq!(line.split(',').count(), cols, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn labels_injective_over_grid(
-        noise_a in 1.0f64..20.0,
-        noise_b in 1.0f64..20.0,
-        bits_a in 6u32..9,
-        bits_b in 6u32..9,
-    ) {
+#[test]
+fn labels_injective_over_grid() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x1AB1 + case);
+        let noise_a = g.uniform(1.0, 20.0);
+        let noise_b = g.uniform(1.0, 20.0);
+        let bits_a = g.range(6, 9) as u32;
+        let bits_b = g.range(6, 9) as u32;
         let p = |noise: f64, bits: u32| DesignPoint {
             architecture: Architecture::Baseline,
             lna_noise_vrms: noise * 1e-6,
@@ -152,7 +172,7 @@ proptest! {
         let b = p(noise_b, bits_b);
         // Labels round noise to 0.1 µV — equality below that is acceptable.
         if (noise_a - noise_b).abs() > 0.11 || bits_a != bits_b {
-            prop_assert_ne!(a.label(), b.label());
+            assert_ne!(a.label(), b.label(), "case {case}");
         }
     }
 }

@@ -99,11 +99,18 @@ fn dct_ii(x: &[f64]) -> Vec<f64> {
     let nf = n as f64;
     (0..n)
         .map(|k| {
-            let w = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+            let w = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
             let sum: f64 = x
                 .iter()
                 .enumerate()
-                .map(|(i, &v)| v * (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * nf)).cos())
+                .map(|(i, &v)| {
+                    v * (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * nf))
+                        .cos()
+                })
                 .sum();
             w * sum
         })
@@ -119,9 +126,14 @@ fn dct_iii(s: &[f64]) -> Vec<f64> {
         .map(|i| {
             (0..n)
                 .map(|k| {
-                    let w = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+                    let w = if k == 0 {
+                        (1.0 / nf).sqrt()
+                    } else {
+                        (2.0 / nf).sqrt()
+                    };
                     w * s[k]
-                        * (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * nf)).cos()
+                        * (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k as f64 / (2.0 * nf))
+                            .cos()
                 })
                 .sum()
         })
@@ -129,13 +141,16 @@ fn dct_iii(s: &[f64]) -> Vec<f64> {
 }
 
 /// Haar scaling filter.
-const HAAR_H: [f64; 2] = [std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2];
+const HAAR_H: [f64; 2] = [
+    std::f64::consts::FRAC_1_SQRT_2,
+    std::f64::consts::FRAC_1_SQRT_2,
+];
 
 /// Daubechies-4 scaling filter (orthonormal).
 const DB4_H: [f64; 4] = [
-    0.482_962_913_144_690_3,  // (1+√3)/(4√2)
-    0.836_516_303_737_807_9,  // (3+√3)/(4√2)
-    0.224_143_868_042_013_4,  // (3−√3)/(4√2)
+    0.482_962_913_144_690_3,   // (1+√3)/(4√2)
+    0.836_516_303_737_807_9,   // (3+√3)/(4√2)
+    0.224_143_868_042_013_4,   // (3−√3)/(4√2)
     -0.129_409_522_551_260_37, // (1−√3)/(4√2)
 ];
 
@@ -143,7 +158,11 @@ fn wavelet_g<const L: usize>(h: &[f64; L]) -> [f64; L] {
     // Quadrature mirror: g[i] = (−1)^i · h[L−1−i].
     let mut g = [0.0; L];
     for (i, gi) in g.iter_mut().enumerate() {
-        *gi = if i % 2 == 0 { h[L - 1 - i] } else { -h[L - 1 - i] };
+        *gi = if i % 2 == 0 {
+            h[L - 1 - i]
+        } else {
+            -h[L - 1 - i]
+        };
     }
     g
 }
@@ -251,7 +270,11 @@ mod tests {
         let s = basis.analyze(&x);
         let y = basis.synthesize(&s);
         for (a, b) in x.iter().zip(&y) {
-            assert!((a - b).abs() < 1e-10, "{basis}: roundtrip error {}", (a - b).abs());
+            assert!(
+                (a - b).abs() < 1e-10,
+                "{basis}: roundtrip error {}",
+                (a - b).abs()
+            );
         }
     }
 
@@ -296,7 +319,9 @@ mod tests {
         // A cosine aligned with DCT atom k has one dominant coefficient.
         let k0 = 9usize;
         let x: Vec<f64> = (0..n)
-            .map(|i| (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k0 as f64 / (2.0 * n as f64)).cos())
+            .map(|i| {
+                (std::f64::consts::PI * (2.0 * i as f64 + 1.0) * k0 as f64 / (2.0 * n as f64)).cos()
+            })
             .collect();
         let s = Basis::Dct.analyze(&x);
         let peak = s[k0].abs();

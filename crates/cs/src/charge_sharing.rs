@@ -73,8 +73,15 @@ impl Accumulator {
     /// Creates a discharged accumulator with sample capacitor `c_sample` and
     /// hold capacitor `c_hold` (farads).
     pub fn new(c_sample: f64, c_hold: f64) -> Self {
-        assert!(c_sample > 0.0 && c_hold > 0.0, "capacitances must be positive");
-        Self { c_sample, c_hold, v: 0.0 }
+        assert!(
+            c_sample > 0.0 && c_hold > 0.0,
+            "capacitances must be positive"
+        );
+        Self {
+            c_sample,
+            c_hold,
+            v: 0.0,
+        }
     }
 
     /// One sample/share cycle with input voltage `v_in`.
@@ -162,8 +169,7 @@ pub fn effective_matrix_decayed(
         let k = contribs.len();
         for &(j, l) in contribs {
             // l is 0-based: the (l+1)-th of k contributions.
-            eff[(r, j)] =
-                a * b.powi((k - 1 - l) as i32) * decay_per_step.powi((n - 1 - j) as i32);
+            eff[(r, j)] = a * b.powi((k - 1 - l) as i32) * decay_per_step.powi((n - 1 - j) as i32);
         }
     }
     eff
@@ -244,7 +250,7 @@ mod tests {
     fn reset_and_set() {
         let mut acc = Accumulator::new(1e-12, 1e-12);
         acc.accumulate(1.0);
-        assert!(acc.voltage() != 0.0);
+        assert!(!efficsense_dsp::approx::is_zero(acc.voltage()));
         acc.reset();
         assert_eq!(acc.voltage(), 0.0);
         acc.set_voltage(0.3);
@@ -279,7 +285,12 @@ mod tests {
         let dense = phi.to_dense();
         for r in 0..10 {
             for c in 0..40 {
-                assert_eq!(eff[(r, c)] != 0.0, dense[(r, c)] != 0.0, "support mismatch at ({r},{c})");
+                let (e, d) = (eff[(r, c)], dense[(r, c)]);
+                assert_eq!(
+                    !efficsense_dsp::approx::is_zero(e),
+                    !efficsense_dsp::approx::is_zero(d),
+                    "support mismatch at ({r},{c})"
+                );
             }
         }
     }

@@ -53,7 +53,7 @@ pub fn sparse_isometry_spread(a: &Matrix, k: usize, trials: usize, seed: u64) ->
         let mut placed = 0;
         while placed < k {
             let idx = (next() as usize) % a.cols();
-            if x[idx] == 0.0 {
+            if efficsense_dsp::approx::is_zero(x[idx]) {
                 x[idx] = if next() % 2 == 0 { 1.0 } else { -1.0 };
                 placed += 1;
             }

@@ -4,6 +4,7 @@
 //! samples): row-major matrices, matrix/vector products, Cholesky
 //! factorisation and least-squares solves. No external numeric crates.
 
+use efficsense_dsp::approx::is_zero;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -23,7 +24,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity.
@@ -82,9 +87,7 @@ impl Matrix {
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length must match column count");
-        (0..self.rows)
-            .map(|r| dot(self.row(r), x))
-            .collect()
+        (0..self.rows).map(|r| dot(self.row(r), x)).collect()
     }
 
     /// Transposed product `Aᵀ·x`.
@@ -115,7 +118,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
+                if is_zero(aik) {
                     continue;
                 }
                 let brow = b.row(k);
@@ -152,7 +155,7 @@ impl Matrix {
             let av = self.matvec(&v);
             let atav = self.matvec_t(&av);
             lambda = norm2(&atav);
-            if lambda == 0.0 {
+            if is_zero(lambda) {
                 return 0.0;
             }
             for (vi, ai) in v.iter_mut().zip(&atav) {
@@ -186,7 +189,12 @@ impl fmt::Display for Matrix {
         for r in 0..self.rows.min(8) {
             let row = self.row(r);
             let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:9.4}")).collect();
-            writeln!(f, "  [{}{}]", shown.join(" "), if self.cols > 8 { " …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                shown.join(" "),
+                if self.cols > 8 { " …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;
@@ -282,6 +290,7 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
         }
         x[i] = sum / l[(i, i)];
     }
+    efficsense_dsp::approx::debug_assert_all_finite(&x, "cholesky_solve solution");
     Ok(x)
 }
 
@@ -302,6 +311,7 @@ pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
     for i in 0..ata.rows() {
         ata[(i, i)] += ridge;
     }
+    efficsense_dsp::approx::debug_assert_all_finite(&atb, "least_squares normal-equation rhs");
     cholesky_solve(&ata, &atb)
 }
 

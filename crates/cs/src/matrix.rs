@@ -6,8 +6,7 @@
 //! Gaussian and Bernoulli(±1) matrices are provided as classical baselines.
 
 use crate::linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use efficsense_rng::Rng64;
 
 /// A compressive sensing matrix `Φ ∈ R^{M×N}` with efficient `y = Φx`.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,13 +46,13 @@ impl SensingMatrix {
     pub fn srbm(m: usize, n: usize, s: usize, seed: u64) -> Self {
         assert!(s > 0 && s <= m, "need 0 < s <= m (s={s}, m={m})");
         assert!(m <= n, "compressive sensing requires m <= n (m={m}, n={n})");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let cols = (0..n)
             .map(|_| {
                 // Sample s distinct rows (reservoir-free: m is small).
                 let mut rows: Vec<usize> = Vec::with_capacity(s);
                 while rows.len() < s {
-                    let r = rng.gen_range(0..m);
+                    let r = rng.index(m);
                     if !rows.contains(&r) {
                         rows.push(r);
                     }
@@ -68,24 +67,12 @@ impl SensingMatrix {
     /// Generates a dense `m × n` matrix with i.i.d. `N(0, 1/m)` entries.
     pub fn gaussian(m: usize, n: usize, seed: u64) -> Self {
         assert!(m > 0 && n > 0, "dimensions must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let sigma = 1.0 / (m as f64).sqrt();
         let mut mat = Matrix::zeros(m, n);
-        let mut spare: Option<f64> = None;
-        let mut normal = move |rng: &mut StdRng| -> f64 {
-            if let Some(v) = spare.take() {
-                return v;
-            }
-            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.gen::<f64>();
-            let r = (-2.0 * u1.ln()).sqrt();
-            let th = std::f64::consts::TAU * u2;
-            spare = Some(r * th.sin());
-            r * th.cos()
-        };
         for r in 0..m {
             for c in 0..n {
-                mat[(r, c)] = normal(&mut rng) * sigma;
+                mat[(r, c)] = rng.normal() * sigma;
             }
         }
         Self::Dense(mat)
@@ -94,12 +81,12 @@ impl SensingMatrix {
     /// Generates a dense `m × n` Bernoulli(±1/√m) matrix.
     pub fn bernoulli(m: usize, n: usize, seed: u64) -> Self {
         assert!(m > 0 && n > 0, "dimensions must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let v = 1.0 / (m as f64).sqrt();
         let mut mat = Matrix::zeros(m, n);
         for r in 0..m {
             for c in 0..n {
-                mat[(r, c)] = if rng.gen::<bool>() { v } else { -v };
+                mat[(r, c)] = if rng.flip() { v } else { -v };
             }
         }
         Self::Dense(mat)
@@ -137,6 +124,7 @@ impl SensingMatrix {
     pub fn column_rows(&self, j: usize) -> &[usize] {
         match self {
             Self::SparseBinary { cols, .. } => &cols[j],
+            // lint:allow(no-panic) — documented API precondition, like index out of bounds.
             Self::Dense(_) => panic!("column_rows is only defined for sparse binary matrices"),
         }
     }
@@ -202,7 +190,9 @@ mod tests {
         let phi = SensingMatrix::srbm(75, 384, 2, 1);
         let d = phi.to_dense();
         for c in 0..384 {
-            let ones = (0..75).filter(|&r| d[(r, c)] == 1.0).count();
+            let ones = (0..75)
+                .filter(|&r| efficsense_dsp::approx::total_eq(d[(r, c)], 1.0))
+                .count();
             assert_eq!(ones, 2, "column {c}");
         }
         assert_eq!(phi.nnz(), 768);
@@ -221,8 +211,14 @@ mod tests {
 
     #[test]
     fn srbm_deterministic_in_seed() {
-        assert_eq!(SensingMatrix::srbm(10, 30, 2, 5), SensingMatrix::srbm(10, 30, 2, 5));
-        assert_ne!(SensingMatrix::srbm(10, 30, 2, 5), SensingMatrix::srbm(10, 30, 2, 6));
+        assert_eq!(
+            SensingMatrix::srbm(10, 30, 2, 5),
+            SensingMatrix::srbm(10, 30, 2, 5)
+        );
+        assert_ne!(
+            SensingMatrix::srbm(10, 30, 2, 5),
+            SensingMatrix::srbm(10, 30, 2, 6)
+        );
     }
 
     #[test]

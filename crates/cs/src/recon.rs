@@ -2,6 +2,7 @@
 
 use crate::basis::Basis;
 use crate::linalg::{least_squares, norm2, Matrix};
+use efficsense_dsp::approx::is_zero;
 
 /// Configuration of the OMP decoder.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,7 +17,10 @@ impl OmpConfig {
     /// A configuration selecting at most `k` atoms with the default residual
     /// tolerance of 1e-6.
     pub fn with_sparsity(k: usize) -> Self {
-        Self { sparsity: k, residual_tol: 1e-6 }
+        Self {
+            sparsity: k,
+            residual_tol: 1e-6,
+        }
     }
 }
 
@@ -50,8 +54,9 @@ pub fn omp(a: &Matrix, y: &[f64], cfg: &OmpConfig) -> Vec<f64> {
     assert!(cfg.sparsity > 0, "sparsity must be positive");
     let n = a.cols();
     let k_max = cfg.sparsity.min(a.rows()).min(n);
+    efficsense_dsp::approx::debug_assert_all_finite(y, "omp measurements");
     let y_norm = norm2(y);
-    if y_norm == 0.0 {
+    if is_zero(y_norm) {
         return vec![0.0; n];
     }
     // Precompute column norms for normalised correlation.
@@ -62,11 +67,9 @@ pub fn omp(a: &Matrix, y: &[f64], cfg: &OmpConfig) -> Vec<f64> {
     for _ in 0..k_max {
         // Select the column most correlated with the residual.
         let corr = a.matvec_t(&residual);
-        let best = (0..n)
-            .filter(|j| !support.contains(j))
-            .max_by(|&i, &j| {
-                (corr[i].abs() / col_norms[i]).total_cmp(&(corr[j].abs() / col_norms[j]))
-            });
+        let best = (0..n).filter(|j| !support.contains(j)).max_by(|&i, &j| {
+            (corr[i].abs() / col_norms[i]).total_cmp(&(corr[j].abs() / col_norms[j]))
+        });
         let Some(j_star) = best else { break };
         if corr[j_star].abs() / col_norms[j_star] < 1e-300 {
             break;
@@ -101,6 +104,7 @@ pub fn omp(a: &Matrix, y: &[f64], cfg: &OmpConfig) -> Vec<f64> {
     for (&j, &v) in support.iter().zip(&coeffs_on_support) {
         s[j] = v;
     }
+    efficsense_dsp::approx::debug_assert_all_finite(&s, "omp coefficients");
     s
 }
 
@@ -144,6 +148,7 @@ pub fn ista(a: &Matrix, y: &[f64], lambda: f64, iterations: usize) -> Vec<f64> {
         }
         t = t_next;
     }
+    efficsense_dsp::approx::debug_assert_all_finite(&s, "ista coefficients");
     s
 }
 
@@ -175,7 +180,7 @@ pub fn relative_residual(a: &Matrix, y: &[f64], s: &[f64]) -> f64 {
     let approx = a.matvec(s);
     let r: Vec<f64> = y.iter().zip(&approx).map(|(yi, ai)| yi - ai).collect();
     let ny = norm2(y);
-    if ny == 0.0 {
+    if is_zero(ny) {
         return 0.0;
     }
     norm2(&r) / ny
@@ -183,7 +188,7 @@ pub fn relative_residual(a: &Matrix, y: &[f64], s: &[f64]) -> f64 {
 
 /// Sparsity (number of non-zeros) of a coefficient vector.
 pub fn support_size(s: &[f64]) -> usize {
-    s.iter().filter(|v| **v != 0.0).count()
+    s.iter().filter(|v| !is_zero(**v)).count()
 }
 
 #[cfg(test)]
@@ -227,7 +232,11 @@ mod tests {
         let x = Basis::Dct.synthesize(&s);
         let y = phi.matvec(&x);
         let xh = reconstruct(&phi, &y, Basis::Dct, &OmpConfig::with_sparsity(6));
-        let nmse: f64 = x.iter().zip(&xh).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        let nmse: f64 = x
+            .iter()
+            .zip(&xh)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
             / x.iter().map(|a| a * a).sum::<f64>();
         assert!(nmse < 1e-6, "NMSE {nmse}");
     }
@@ -237,7 +246,14 @@ mod tests {
         let (_, phi, y) = sparse_problem(64, 32, 2, 5);
         let psi = Basis::Dct.matrix(64);
         let a = phi.matmul(&psi);
-        let s = omp(&a, &y, &OmpConfig { sparsity: 30, residual_tol: 1e-8 });
+        let s = omp(
+            &a,
+            &y,
+            &OmpConfig {
+                sparsity: 30,
+                residual_tol: 1e-8,
+            },
+        );
         // Should stop near the true sparsity of 2, not use all 30 atoms.
         assert!(support_size(&s) <= 4, "support {}", support_size(&s));
     }
@@ -246,7 +262,7 @@ mod tests {
     fn omp_zero_measurements_give_zero() {
         let a = Matrix::identity(8);
         let s = omp(&a, &[0.0; 8], &OmpConfig::with_sparsity(3));
-        assert!(s.iter().all(|v| *v == 0.0));
+        assert!(s.iter().all(|v| is_zero(*v)));
     }
 
     #[test]
@@ -256,7 +272,11 @@ mod tests {
             *v += 0.01 * ((i * 31) as f64).sin();
         }
         let xh = reconstruct(&phi, &y, Basis::Dct, &OmpConfig::with_sparsity(3));
-        let nmse: f64 = x.iter().zip(&xh).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        let nmse: f64 = x
+            .iter()
+            .zip(&xh)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
             / x.iter().map(|a| a * a).sum::<f64>();
         assert!(nmse < 0.05, "noisy NMSE {nmse}");
     }
@@ -268,7 +288,11 @@ mod tests {
         let a = phi.matmul(&psi);
         let s = ista(&a, &y, 1e-4, 500);
         let xh = Basis::Dct.synthesize(&s);
-        let nmse: f64 = x.iter().zip(&xh).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        let nmse: f64 = x
+            .iter()
+            .zip(&xh)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
             / x.iter().map(|a| a * a).sum::<f64>();
         assert!(nmse < 0.01, "ISTA NMSE {nmse}");
     }
@@ -307,6 +331,13 @@ mod tests {
     #[should_panic(expected = "sparsity")]
     fn omp_rejects_zero_sparsity() {
         let a = Matrix::identity(4);
-        let _ = omp(&a, &[1.0; 4], &OmpConfig { sparsity: 0, residual_tol: 0.0 });
+        let _ = omp(
+            &a,
+            &[1.0; 4],
+            &OmpConfig {
+                sparsity: 0,
+                residual_tol: 0.0,
+            },
+        );
     }
 }

@@ -1,0 +1,96 @@
+//! Float comparison and finiteness helpers.
+//!
+//! Direct `==`/`!=` on `f64` is banned across the workspace (the
+//! `float-eq` lint rule): it silently misbehaves on rounding noise, on
+//! `NaN` (never equal to itself) and on `-0.0` (equal to `0.0` but with a
+//! different bit pattern). These helpers make the intended comparison
+//! semantics explicit at each call site.
+
+/// Returns `true` when `a` and `b` differ by at most `tol`.
+///
+/// The tolerance is absolute; pick it from the scale of the quantities
+/// compared (e.g. `1e-12` for normalised voltages). `NaN` compares unequal
+/// to everything, as it should.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    debug_assert!(tol >= 0.0, "tolerance must be non-negative, got {tol}");
+    (a - b).abs() <= tol
+}
+
+/// Bitwise-order equality via IEEE 754 `totalOrder`.
+///
+/// Use where *exact* equality is genuinely meant — comparing a value to a
+/// sentinel it was assigned from, or checking entries of a {0, 1} matrix.
+/// Unlike `==` this is reflexive for `NaN` and distinguishes `-0.0` from
+/// `0.0`.
+#[must_use]
+pub fn total_eq(a: f64, b: f64) -> bool {
+    a.total_cmp(&b).is_eq()
+}
+
+/// Returns `true` when `v` is exactly positive or negative zero.
+///
+/// The usual replacement for `x == 0.0` guards before a division: both
+/// zeros divide to an infinity, so both must be caught, while `NaN` must
+/// not be.
+#[must_use]
+pub fn is_zero(v: f64) -> bool {
+    v == 0.0 // lint:allow(float-eq) — the one definitional site; ±0.0 both compare equal, NaN does not.
+}
+
+/// Debug-asserts that every element of `xs` is finite.
+///
+/// Hot numerical kernels call this at stage boundaries (the `finite-guard`
+/// lint rule) so that a `NaN`/`Inf` escaping one stage is caught where it
+/// was produced, not thousands of samples downstream. Compiles to nothing
+/// in release builds.
+pub fn debug_assert_all_finite(xs: &[f64], context: &str) {
+    if cfg!(debug_assertions) {
+        for (i, &x) in xs.iter().enumerate() {
+            debug_assert!(
+                x.is_finite(),
+                "{context}: non-finite value {x} at index {i}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-11, 1e-12));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn total_eq_is_reflexive_even_for_nan() {
+        assert!(total_eq(1.5, 1.5));
+        assert!(total_eq(f64::NAN, f64::NAN));
+        assert!(!total_eq(0.0, -0.0));
+        assert!(!total_eq(1.0, 2.0));
+    }
+
+    #[test]
+    fn is_zero_catches_both_zeros_only() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(!is_zero(f64::MIN_POSITIVE));
+        assert!(!is_zero(f64::NAN));
+    }
+
+    #[test]
+    fn finite_guard_accepts_finite_data() {
+        debug_assert_all_finite(&[0.0, -1.0, 1e300], "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    #[cfg(debug_assertions)]
+    fn finite_guard_panics_on_nan() {
+        debug_assert_all_finite(&[0.0, f64::NAN], "test");
+    }
+}

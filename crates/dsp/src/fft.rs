@@ -36,7 +36,10 @@ impl Fft {
     ///
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n > 0 && n.is_power_of_two(), "FFT length {n} must be a power of two");
+        assert!(
+            n > 0 && n.is_power_of_two(),
+            "FFT length {n} must be a power of two"
+        );
         let twiddles = (0..n / 2)
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
@@ -46,7 +49,11 @@ impl Fft {
             .collect::<Vec<_>>();
         // For n == 1 the shift above is wrong; fix up trivially.
         let bitrev = if n == 1 { vec![0] } else { bitrev };
-        Self { n, twiddles, bitrev }
+        Self {
+            n,
+            twiddles,
+            bitrev,
+        }
     }
 
     /// Transform length this plan was built for.
@@ -99,9 +106,21 @@ impl Fft {
     ///
     /// Panics if `buf.len()` differs from the planned length.
     pub fn forward(&self, buf: &mut [Complex]) {
-        assert_eq!(buf.len(), self.n, "buffer length must equal planned FFT length");
+        assert_eq!(
+            buf.len(),
+            self.n,
+            "buffer length must equal planned FFT length"
+        );
+        debug_assert!(
+            buf.iter().all(|z| z.re.is_finite() && z.im.is_finite()),
+            "fft::forward: non-finite input sample"
+        );
         self.permute(buf);
         self.butterflies(buf, false);
+        debug_assert!(
+            buf.iter().all(|z| z.re.is_finite() && z.im.is_finite()),
+            "fft::forward: non-finite spectrum bin"
+        );
     }
 
     /// In-place inverse DFT including the `1/N` normalisation.
@@ -110,13 +129,21 @@ impl Fft {
     ///
     /// Panics if `buf.len()` differs from the planned length.
     pub fn inverse(&self, buf: &mut [Complex]) {
-        assert_eq!(buf.len(), self.n, "buffer length must equal planned FFT length");
+        assert_eq!(
+            buf.len(),
+            self.n,
+            "buffer length must equal planned FFT length"
+        );
         self.permute(buf);
         self.butterflies(buf, true);
         let inv = 1.0 / self.n as f64;
         for z in buf.iter_mut() {
             *z = z.scale(inv);
         }
+        debug_assert!(
+            buf.iter().all(|z| z.re.is_finite() && z.im.is_finite()),
+            "fft::inverse: non-finite output sample"
+        );
     }
 
     /// Forward transform of a real signal.

@@ -23,7 +23,12 @@ pub struct Biquad {
 impl Biquad {
     /// Creates a section from coefficients `b0..b2`, `a1..a2` (with `a0 = 1`).
     pub fn new(b: [f64; 3], a: [f64; 2]) -> Self {
-        Self { b, a, s1: 0.0, s2: 0.0 }
+        Self {
+            b,
+            a,
+            s1: 0.0,
+            s2: 0.0,
+        }
     }
 
     /// The identity (pass-through) section.
@@ -99,7 +104,10 @@ impl IirFilter {
 
     fn butterworth(order: usize, fc: f64, fs: f64, highpass: bool) -> Self {
         assert!(order >= 1, "filter order must be at least 1");
-        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff {fc} must lie in (0, fs/2)");
+        assert!(
+            fc > 0.0 && fc < fs / 2.0,
+            "cutoff {fc} must lie in (0, fs/2)"
+        );
         // Pre-warped analog cutoff for the bilinear transform.
         let wc = (std::f64::consts::PI * fc / fs).tan();
         let mut sections = Vec::new();
@@ -211,7 +219,10 @@ impl OnePole {
         assert!(fc > 0.0 && fs > 0.0, "fc and fs must be positive");
         // Exact impulse-invariant mapping of a single pole.
         let alpha = 1.0 - (-2.0 * std::f64::consts::PI * fc / fs).exp();
-        Self { alpha: alpha.min(1.0), state: 0.0 }
+        Self {
+            alpha: alpha.min(1.0),
+            state: 0.0,
+        }
     }
 
     /// Processes one sample.
@@ -244,7 +255,11 @@ impl FirFilter {
     pub fn new(taps: Vec<f64>) -> Self {
         assert!(!taps.is_empty(), "FIR filter needs at least one tap");
         let n = taps.len();
-        Self { taps, delay: vec![0.0; n], pos: 0 }
+        Self {
+            taps,
+            delay: vec![0.0; n],
+            pos: 0,
+        }
     }
 
     /// Designs a windowed-sinc low-pass with `n_taps` taps (made odd if even)
@@ -255,14 +270,21 @@ impl FirFilter {
     ///
     /// Panics unless `0 < fc < fs/2`.
     pub fn lowpass(n_taps: usize, fc: f64, fs: f64) -> Self {
-        assert!(fc > 0.0 && fc < fs / 2.0, "cutoff {fc} must lie in (0, fs/2)");
-        let n = if n_taps.is_multiple_of(2) { n_taps + 1 } else { n_taps.max(1) };
+        assert!(
+            fc > 0.0 && fc < fs / 2.0,
+            "cutoff {fc} must lie in (0, fs/2)"
+        );
+        let n = if n_taps.is_multiple_of(2) {
+            n_taps + 1
+        } else {
+            n_taps.max(1)
+        };
         let m = (n - 1) as f64 / 2.0;
         let wc = 2.0 * fc / fs; // normalised cutoff (cycles/sample * 2)
         let mut taps: Vec<f64> = (0..n)
             .map(|i| {
                 let t = i as f64 - m;
-                let sinc = if t == 0.0 {
+                let sinc = if crate::approx::is_zero(t) {
                     wc
                 } else {
                     (std::f64::consts::PI * wc * t).sin() / (std::f64::consts::PI * t)
@@ -328,7 +350,10 @@ mod tests {
             let f = IirFilter::butterworth_lowpass(order, 100.0, 1000.0);
             let g = f.magnitude_at(100.0, 1000.0);
             let db = 20.0 * g.log10();
-            assert!((db + 3.0103).abs() < 0.1, "order {order}: cutoff gain {db} dB");
+            assert!(
+                (db + 3.0103).abs() < 0.1,
+                "order {order}: cutoff gain {db} dB"
+            );
         }
     }
 
@@ -394,7 +419,11 @@ mod tests {
         let x = sine(2048, fs, 20.0, 1.0, 0.0);
         let y = f.filtfilt(&x);
         // In-band tone passes with no delay: max cross-correlation at lag 0.
-        let dot: f64 = x[100..1900].iter().zip(&y[100..1900]).map(|(a, b)| a * b).sum();
+        let dot: f64 = x[100..1900]
+            .iter()
+            .zip(&y[100..1900])
+            .map(|(a, b)| a * b)
+            .sum();
         let e: f64 = x[100..1900].iter().map(|v| v * v).sum();
         assert!((dot / e - 1.0).abs() < 0.01);
     }

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod approx;
 pub mod complex;
 pub mod fft;
 pub mod filter;

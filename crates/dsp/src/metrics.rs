@@ -34,6 +34,7 @@ fn tone_half_width_bins(n: usize, nfft: usize) -> usize {
 /// # Panics
 ///
 /// Panics if `x` is empty or `fs <= 0`.
+#[must_use]
 pub fn sndr_db(x: &[f64], fs: f64, f0: f64) -> f64 {
     let psd = periodogram(x, fs, Window::BlackmanHarris);
     let n = x.len();
@@ -74,6 +75,7 @@ pub fn sndr_db(x: &[f64], fs: f64, f0: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `x` is empty, `fs <= 0` or `n_harmonics == 0`.
+#[must_use]
 pub fn thd_db(x: &[f64], fs: f64, f0: f64, n_harmonics: usize) -> f64 {
     assert!(n_harmonics > 0, "need at least one harmonic");
     let psd = periodogram(x, fs, Window::BlackmanHarris);
@@ -100,11 +102,13 @@ pub fn thd_db(x: &[f64], fs: f64, f0: f64, n_harmonics: usize) -> f64 {
 }
 
 /// Effective number of bits from an SNDR value: `(SNDR − 1.76) / 6.02`.
+#[must_use]
 pub fn enob_from_sndr(sndr_db: f64) -> f64 {
     (sndr_db - 1.76) / 6.02
 }
 
 /// Effective number of bits measured directly from a tone record.
+#[must_use]
 pub fn enob(x: &[f64], fs: f64, f0: f64) -> f64 {
     enob_from_sndr(sndr_db(x, fs, f0))
 }
@@ -117,8 +121,12 @@ pub fn enob(x: &[f64], fs: f64, f0: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if either slice is empty.
+#[must_use]
 pub fn snr_ref_db(reference: &[f64], test: &[f64]) -> f64 {
-    assert!(!reference.is_empty() && !test.is_empty(), "signals must be non-empty");
+    assert!(
+        !reference.is_empty() && !test.is_empty(),
+        "signals must be non-empty"
+    );
     let n = reference.len().min(test.len());
     let mut sig = 0.0;
     let mut err = 0.0;
@@ -138,8 +146,12 @@ pub fn snr_ref_db(reference: &[f64], test: &[f64]) -> f64 {
 /// Analog chains scale and shift the signal; a designer compares shape, not
 /// absolute level, so the test signal is first fitted as `a·test + b` to the
 /// reference by least squares.
+#[must_use]
 pub fn snr_fit_db(reference: &[f64], test: &[f64]) -> f64 {
-    assert!(!reference.is_empty() && !test.is_empty(), "signals must be non-empty");
+    assert!(
+        !reference.is_empty() && !test.is_empty(),
+        "signals must be non-empty"
+    );
     let n = reference.len().min(test.len());
     let r = &reference[..n];
     let t = &test[..n];
@@ -162,8 +174,12 @@ pub fn snr_fit_db(reference: &[f64], test: &[f64]) -> f64 {
 
 /// Percentage root-mean-square difference, the standard compressed-EEG
 /// reconstruction quality metric: `100 · ‖ref − test‖ / ‖ref‖`.
+#[must_use]
 pub fn prd_percent(reference: &[f64], test: &[f64]) -> f64 {
-    assert!(!reference.is_empty() && !test.is_empty(), "signals must be non-empty");
+    assert!(
+        !reference.is_empty() && !test.is_empty(),
+        "signals must be non-empty"
+    );
     let n = reference.len().min(test.len());
     let mut sig = 0.0;
     let mut err = 0.0;
@@ -172,21 +188,30 @@ pub fn prd_percent(reference: &[f64], test: &[f64]) -> f64 {
         let e = reference[i] - test[i];
         err += e * e;
     }
-    if sig == 0.0 {
-        return if err == 0.0 { 0.0 } else { f64::INFINITY };
+    if crate::approx::is_zero(sig) {
+        return if crate::approx::is_zero(err) {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     100.0 * (err / sig).sqrt()
 }
 
 /// Normalised mean-square error `Σ(ref−test)² / Σ ref²` (linear, not dB).
+#[must_use]
 pub fn nmse(reference: &[f64], test: &[f64]) -> f64 {
     let prd = prd_percent(reference, test) / 100.0;
     prd * prd
 }
 
 /// Root-mean-square error between two signals (truncated to common length).
+#[must_use]
 pub fn rmse(reference: &[f64], test: &[f64]) -> f64 {
-    assert!(!reference.is_empty() && !test.is_empty(), "signals must be non-empty");
+    assert!(
+        !reference.is_empty() && !test.is_empty(),
+        "signals must be non-empty"
+    );
     let n = reference.len().min(test.len());
     let e: f64 = (0..n).map(|i| (reference[i] - test[i]).powi(2)).sum();
     (e / n as f64).sqrt()
@@ -202,8 +227,8 @@ mod tests {
         (0..n)
             .map(|i| {
                 let t = i as f64;
-                sigma * 1.29
-                    * ((t * 0.7311).sin() + (t * 1.9173).sin() + (t * 0.1931).cos()) / 3f64.sqrt()
+                sigma * 1.29 * ((t * 0.7311).sin() + (t * 1.9173).sin() + (t * 0.1931).cos())
+                    / 3f64.sqrt()
             })
             .collect()
     }

@@ -18,7 +18,7 @@ pub fn sample_at(x: &[f64], fs_in: f64, t: f64) -> f64 {
     }
     let i = pos.floor() as usize;
     if i + 1 >= x.len() {
-        return *x.last().expect("non-empty");
+        return x[x.len() - 1];
     }
     let frac = pos - i as f64;
     x[i] * (1.0 - frac) + x[i + 1] * frac
@@ -35,7 +35,9 @@ pub fn resample_linear(x: &[f64], fs_in: f64, fs_out: f64) -> Vec<f64> {
     assert!(fs_in > 0.0 && fs_out > 0.0, "sample rates must be positive");
     let duration = x.len() as f64 / fs_in;
     let n_out = (duration * fs_out).round() as usize;
-    (0..n_out).map(|i| sample_at(x, fs_in, i as f64 / fs_out)).collect()
+    (0..n_out)
+        .map(|i| sample_at(x, fs_in, i as f64 / fs_out))
+        .collect()
 }
 
 /// Integer-factor zero-stuffing upsampler followed by an anti-imaging FIR.
@@ -130,7 +132,11 @@ mod tests {
         let x = sine(5000, fs_in, 20.0, 1.0, 0.0);
         let y = resample_linear(&x, fs_in, 2000.0);
         let expect = sine(y.len(), 2000.0, 20.0, 1.0, 0.0);
-        let err: f64 = y.iter().zip(&expect).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+        let err: f64 = y
+            .iter()
+            .zip(&expect)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
             / y.len() as f64;
         assert!(err.sqrt() < 0.02, "rms error {}", err.sqrt());
     }
@@ -141,7 +147,10 @@ mod tests {
         let y = upsample_fir(&x, 4, 63);
         assert_eq!(y.len(), x.len() * 4);
         let r = rms(&y[2000..6000]);
-        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02, "rms {r}");
+        assert!(
+            (r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.02,
+            "rms {r}"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub fn periodogram(x: &[f64], fs: f64, window: Window) -> Psd {
         }
         values.push(p);
     }
-    Psd { values, freq_resolution: fs / nfft as f64 }
+    Psd {
+        values,
+        freq_resolution: fs / nfft as f64,
+    }
 }
 
 /// Welch-averaged PSD with `segment_len` samples per segment and 50 % overlap.
@@ -103,23 +106,18 @@ pub fn welch(x: &[f64], fs: f64, segment_len: usize, window: Window) -> Psd {
         return periodogram(x, fs, window);
     }
     let hop = (segment_len / 2).max(1);
-    let mut acc: Option<Psd> = None;
-    let mut count = 0usize;
-    let mut start = 0usize;
+    // The length check above guarantees the first segment fits.
+    let mut psd = periodogram(&x[..segment_len], fs, window);
+    let mut count = 1usize;
+    let mut start = hop;
     while start + segment_len <= x.len() {
         let p = periodogram(&x[start..start + segment_len], fs, window);
-        match &mut acc {
-            None => acc = Some(p),
-            Some(a) => {
-                for (av, pv) in a.values.iter_mut().zip(&p.values) {
-                    *av += pv;
-                }
-            }
+        for (av, pv) in psd.values.iter_mut().zip(&p.values) {
+            *av += pv;
         }
         count += 1;
         start += hop;
     }
-    let mut psd = acc.expect("at least one segment fits");
     for v in &mut psd.values {
         *v /= count as f64;
     }
@@ -150,7 +148,9 @@ mod tests {
     fn periodogram_total_power_matches_variance() {
         // White-ish deterministic signal; Parseval should hold within scaling.
         let n = 4096;
-        let x: Vec<f64> = (0..n).map(|i| ((i * 2654435761usize) as f64 * 1e-9).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761usize) as f64 * 1e-9).sin())
+            .collect();
         let fs = 1000.0;
         let psd = periodogram(&x, fs, Window::Rect);
         let pwr: f64 = x.iter().map(|v| v * v).sum::<f64>() / n as f64;
@@ -166,7 +166,10 @@ mod tests {
         let x = sine(n, fs, f, 2.0, 0.3);
         let psd = periodogram(&x, fs, Window::Hann);
         let p = psd.band_power(f - 10.0, f + 10.0);
-        assert!((p - 2.0).abs() < 0.05, "sine power should be A^2/2 = 2, got {p}");
+        assert!(
+            (p - 2.0).abs() < 0.05,
+            "sine power should be A^2/2 = 2, got {p}"
+        );
     }
 
     #[test]
@@ -197,7 +200,9 @@ mod tests {
     #[test]
     fn band_power_partition_sums_to_total() {
         let fs = 1000.0;
-        let x: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.7).sin() + (i as f64 * 0.11).cos()).collect();
+        let x: Vec<f64> = (0..2048)
+            .map(|i| (i as f64 * 0.7).sin() + (i as f64 * 0.11).cos())
+            .collect();
         let psd = periodogram(&x, fs, Window::Rect);
         let whole = psd.total_power();
         // Split exactly between adjacent bins to avoid rounding overlap.

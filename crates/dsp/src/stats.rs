@@ -56,7 +56,10 @@ pub fn min_max(x: &[f64]) -> Option<(f64, f64)> {
 /// Panics if `x` is empty or `p` is outside `[0, 100]`.
 pub fn percentile(x: &[f64], p: f64) -> f64 {
     assert!(!x.is_empty(), "percentile of an empty slice is undefined");
-    assert!((0.0..=100.0).contains(&p), "percentile {p} must be in [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile {p} must be in [0, 100]"
+    );
     let mut v = x.to_vec();
     v.sort_by(f64::total_cmp);
     let pos = p / 100.0 * (v.len() - 1) as f64;
@@ -91,7 +94,7 @@ pub fn hjorth_mobility(x: &[f64]) -> f64 {
     }
     let dx: Vec<f64> = x.windows(2).map(|w| w[1] - w[0]).collect();
     let vx = variance(x);
-    if vx == 0.0 {
+    if crate::approx::is_zero(vx) {
         return 0.0;
     }
     (variance(&dx) / vx).sqrt()
@@ -106,7 +109,7 @@ pub fn hjorth_complexity(x: &[f64]) -> f64 {
     }
     let dx: Vec<f64> = x.windows(2).map(|w| w[1] - w[0]).collect();
     let m = hjorth_mobility(x);
-    if m == 0.0 {
+    if crate::approx::is_zero(m) {
         return 0.0;
     }
     hjorth_mobility(&dx) / m
@@ -127,7 +130,7 @@ pub fn kurtosis(x: &[f64]) -> f64 {
     }
     let m = mean(x);
     let v = variance(x);
-    if v == 0.0 {
+    if crate::approx::is_zero(v) {
         return 0.0;
     }
     let m4 = x.iter().map(|u| (u - m).powi(4)).sum::<f64>() / x.len() as f64;

@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn rect_is_all_ones() {
         let w = Window::Rect.coefficients(16);
-        assert!(w.iter().all(|&v| v == 1.0));
+        assert!(w.iter().all(|&v| crate::approx::total_eq(v, 1.0)));
         assert!((Window::Rect.enbw_bins(16) - 1.0).abs() < 1e-12);
     }
 

@@ -24,7 +24,10 @@ pub struct FeatureConfig {
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        Self { welch_segment: 256, log_floor: 1e-18 }
+        Self {
+            welch_segment: 256,
+            log_floor: 1e-18,
+        }
     }
 }
 
@@ -78,7 +81,11 @@ impl FeatureExtractor {
         let mut out = [0.0; 5];
         for (i, &(lo, hi)) in BANDS.iter().enumerate() {
             let hi_c = hi.min(nyq - psd.freq_resolution);
-            out[i] = if lo < hi_c { psd.band_power(lo, hi_c) } else { 0.0 };
+            out[i] = if lo < hi_c {
+                psd.band_power(lo, hi_c)
+            } else {
+                0.0
+            };
         }
         out
     }
@@ -89,7 +96,10 @@ impl FeatureExtractor {
     ///
     /// Panics if `x` is empty or `fs <= 0`.
     pub fn extract(&self, x: &[f64], fs: f64) -> Vec<f64> {
-        assert!(!x.is_empty(), "cannot extract features from an empty record");
+        assert!(
+            !x.is_empty(),
+            "cannot extract features from an empty record"
+        );
         assert!(fs > 0.0, "sample rate must be positive");
         let floor = self.config.log_floor;
         let psd = welch(x, fs, self.config.welch_segment.min(x.len()), Window::Hann);
@@ -174,7 +184,10 @@ mod tests {
         let noisy: Vec<f64> = clean.iter().map(|v| v + gen.sample_scaled(1e-5)).collect();
         let fc = ex.extract(&clean, 173.61);
         let fn_ = ex.extract(&noisy, 173.61);
-        assert!(fn_[4] > fc[4] + 1.0, "gamma log-power must jump with white noise");
+        assert!(
+            fn_[4] > fc[4] + 1.0,
+            "gamma log-power must jump with white noise"
+        );
     }
 
     #[test]

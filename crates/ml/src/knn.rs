@@ -21,7 +21,12 @@ impl KnnClassifier {
     pub fn new(k: usize, n_classes: usize) -> Self {
         assert!(k > 0, "k must be positive");
         assert!(n_classes > 0, "need at least one class");
-        Self { k, n_classes, train_x: Vec::new(), train_y: Vec::new() }
+        Self {
+            k,
+            n_classes,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+        }
     }
 
     fn dist_sq(a: &[f64], b: &[f64]) -> f64 {

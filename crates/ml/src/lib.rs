@@ -53,7 +53,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 200, learning_rate: 1e-2, batch_size: 32, weight_decay: 1e-4 }
+        Self {
+            epochs: 200,
+            learning_rate: 1e-2,
+            batch_size: 32,
+            weight_decay: 1e-4,
+        }
     }
 }
 

@@ -82,12 +82,18 @@ mod tests {
 
     #[test]
     fn separates_linear_classes() {
-        let x: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![i as f64 / 50.0 - 1.0])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 50.0 - 1.0]).collect();
         let y: Vec<usize> = x.iter().map(|v| usize::from(v[0] > 0.1)).collect();
         let mut lr = LogisticRegression::new();
-        lr.fit(&x, &y, &TrainConfig { epochs: 2000, learning_rate: 0.5, ..Default::default() });
+        lr.fit(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 2000,
+                learning_rate: 0.5,
+                ..Default::default()
+            },
+        );
         let preds: Vec<usize> = x.iter().map(|v| lr.predict(v)).collect();
         assert!(accuracy(&y, &preds) > 0.95);
     }
@@ -98,7 +104,10 @@ mod tests {
         lr.fit(
             &[vec![0.0], vec![1.0]],
             &[0, 1],
-            &TrainConfig { epochs: 100, ..Default::default() },
+            &TrainConfig {
+                epochs: 100,
+                ..Default::default()
+            },
         );
         for v in [-100.0, 0.0, 100.0] {
             let p = lr.probability(&[v]);
@@ -112,7 +121,10 @@ mod tests {
     fn deterministic() {
         let x = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
         let y = vec![0, 1];
-        let cfg = TrainConfig { epochs: 50, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 50,
+            ..Default::default()
+        };
         let mut a = LogisticRegression::new();
         let mut b = LogisticRegression::new();
         a.fit(&x, &y, &cfg);

@@ -91,7 +91,7 @@ impl Confusion {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.sensitivity();
-        if p + r == 0.0 {
+        if efficsense_dsp::approx::is_zero(p + r) {
             0.0
         } else {
             2.0 * p * r / (p + r)

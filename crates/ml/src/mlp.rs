@@ -1,8 +1,7 @@
 //! Multi-layer perceptron with Adam, from scratch.
 
 use crate::{Classifier, TrainConfig};
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
+use efficsense_rng::Rng64;
 
 /// One dense layer with its Adam state.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,17 +18,10 @@ struct Dense {
 }
 
 impl Dense {
-    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+    fn new(n_in: usize, n_out: usize, rng: &mut Rng64) -> Self {
         // He initialisation for ReLU networks.
         let scale = (2.0 / n_in as f64).sqrt();
-        let w = (0..n_in * n_out)
-            .map(|_| {
-                // Box-Muller from two uniforms.
-                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let u2: f64 = rng.gen();
-                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * scale
-            })
-            .collect();
+        let w = (0..n_in * n_out).map(|_| rng.normal() * scale).collect();
         Self {
             w,
             b: vec![0.0; n_out],
@@ -70,8 +62,11 @@ impl MlpClassifier {
     /// Panics if `n_inputs` or `n_classes` is zero, or a hidden size is zero.
     pub fn new(n_inputs: usize, hidden: &[usize], n_classes: usize, seed: u64) -> Self {
         assert!(n_inputs > 0 && n_classes > 0, "dimensions must be positive");
-        assert!(hidden.iter().all(|&h| h > 0), "hidden sizes must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden sizes must be positive"
+        );
+        let mut rng = Rng64::new(seed);
         let mut layers = Vec::new();
         let mut prev = n_inputs;
         for &h in hidden {
@@ -79,7 +74,12 @@ impl MlpClassifier {
             prev = h;
         }
         layers.push(Dense::new(prev, n_classes, &mut rng));
-        Self { layers, n_classes, seed, adam_t: 0 }
+        Self {
+            layers,
+            n_classes,
+            seed,
+            adam_t: 0,
+        }
     }
 
     /// Forward pass returning all layer activations (post-ReLU for hidden,
@@ -123,10 +123,8 @@ impl MlpClassifier {
     fn train_batch(&mut self, batch: &[(&Vec<f64>, usize)], lr: f64, wd: f64) -> f64 {
         let bsz = batch.len() as f64;
         // Accumulate gradients.
-        let mut gw: Vec<Vec<f64>> =
-            self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
-        let mut gb: Vec<Vec<f64>> =
-            self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut gw: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
         let mut loss = 0.0;
         for &(x, y) in batch {
             let acts = self.forward_all(x);
@@ -193,14 +191,13 @@ impl Classifier for MlpClassifier {
         assert_eq!(x.len(), y.len(), "feature and label counts must match");
         assert!(!x.is_empty(), "cannot train on an empty set");
         assert!(y.iter().all(|&c| c < self.n_classes), "label out of range");
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7A11);
+        let mut rng = Rng64::new(self.seed ^ 0x7A11);
         let mut idx: Vec<usize> = (0..x.len()).collect();
         let bsz = cfg.batch_size.clamp(1, x.len());
         for _ in 0..cfg.epochs {
-            idx.shuffle(&mut rng);
+            rng.shuffle(&mut idx);
             for chunk in idx.chunks(bsz) {
-                let batch: Vec<(&Vec<f64>, usize)> =
-                    chunk.iter().map(|&i| (&x[i], y[i])).collect();
+                let batch: Vec<(&Vec<f64>, usize)> = chunk.iter().map(|&i| (&x[i], y[i])).collect();
                 self.train_batch(&batch, cfg.learning_rate, cfg.weight_decay);
             }
         }
@@ -234,14 +231,14 @@ mod tests {
 
     fn blobs(n_per: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
         // Two Gaussian blobs at (±2, ±2).
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut x = Vec::new();
         let mut y = Vec::new();
         for c in 0..2usize {
             let centre = if c == 0 { -2.0 } else { 2.0 };
             for _ in 0..n_per {
-                let dx: f64 = rng.gen_range(-1.0..1.0);
-                let dy: f64 = rng.gen_range(-1.0..1.0);
+                let dx: f64 = rng.uniform(-1.0, 1.0);
+                let dy: f64 = rng.uniform(-1.0, 1.0);
                 x.push(vec![centre + dx, centre + dy]);
                 y.push(c);
             }
@@ -253,7 +250,14 @@ mod tests {
     fn learns_linearly_separable_blobs() {
         let (x, y) = blobs(50, 1);
         let mut mlp = MlpClassifier::new(2, &[8], 2, 3);
-        mlp.fit(&x, &y, &TrainConfig { epochs: 100, ..Default::default() });
+        mlp.fit(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 100,
+                ..Default::default()
+            },
+        );
         let preds: Vec<usize> = x.iter().map(|v| mlp.predict(v)).collect();
         assert!(accuracy(&y, &preds) > 0.99);
     }
@@ -268,7 +272,15 @@ mod tests {
         ];
         let y = vec![0, 1, 1, 0];
         let mut mlp = MlpClassifier::new(2, &[16], 2, 7);
-        mlp.fit(&x, &y, &TrainConfig { epochs: 3000, learning_rate: 5e-3, ..Default::default() });
+        mlp.fit(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 3000,
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
+        );
         for (xi, &yi) in x.iter().zip(&y) {
             assert_eq!(mlp.predict(xi), yi, "at {xi:?}");
         }
@@ -279,7 +291,14 @@ mod tests {
         let (x, y) = blobs(30, 5);
         let mut mlp = MlpClassifier::new(2, &[8], 2, 9);
         let before = mlp.loss(&x, &y);
-        mlp.fit(&x, &y, &TrainConfig { epochs: 50, ..Default::default() });
+        mlp.fit(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 50,
+                ..Default::default()
+            },
+        );
         let after = mlp.loss(&x, &y);
         assert!(after < before * 0.5, "loss {before} -> {after}");
     }
@@ -298,7 +317,10 @@ mod tests {
         let (x, y) = blobs(20, 2);
         let mut a = MlpClassifier::new(2, &[6], 2, 11);
         let mut b = MlpClassifier::new(2, &[6], 2, 11);
-        let cfg = TrainConfig { epochs: 10, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        };
         a.fit(&x, &y, &cfg);
         b.fit(&x, &y, &cfg);
         assert_eq!(a, b);
@@ -316,7 +338,14 @@ mod tests {
             }
         }
         let mut mlp = MlpClassifier::new(1, &[8], 3, 5);
-        mlp.fit(&x, &y, &TrainConfig { epochs: 300, ..Default::default() });
+        mlp.fit(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 300,
+                ..Default::default()
+            },
+        );
         let preds: Vec<usize> = x.iter().map(|v| mlp.predict(v)).collect();
         assert!(accuracy(&y, &preds) > 0.95);
     }

@@ -16,7 +16,10 @@ impl Scaler {
     pub fn fit(x: &[Vec<f64>]) -> Self {
         assert!(!x.is_empty(), "cannot fit a scaler on no data");
         let d = x[0].len();
-        assert!(x.iter().all(|r| r.len() == d), "inconsistent feature dimensions");
+        assert!(
+            x.iter().all(|r| r.len() == d),
+            "inconsistent feature dimensions"
+        );
         let n = x.len() as f64;
         let mut means = vec![0.0; d];
         for row in x {
@@ -33,7 +36,10 @@ impl Scaler {
                 *s += (v - m) * (v - m);
             }
         }
-        let stds = vars.into_iter().map(|v| (v / n).sqrt().max(1e-12)).collect();
+        let stds = vars
+            .into_iter()
+            .map(|v| (v / n).sqrt().max(1e-12))
+            .collect();
         Self { means, stds }
     }
 

@@ -1,108 +1,137 @@
-//! Property-based tests for the ML substrate.
+//! Property-style tests for the ML substrate, run as seeded Monte-Carlo
+//! loops.
 
 use efficsense_ml::knn::KnnClassifier;
 use efficsense_ml::logreg::LogisticRegression;
 use efficsense_ml::metrics::{accuracy, Confusion};
 use efficsense_ml::mlp::MlpClassifier;
 use efficsense_ml::{Classifier, Scaler, TrainConfig};
-use proptest::prelude::*;
+use efficsense_rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn scaler_output_always_zero_mean_unit_var(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, 3),
-            2..30
-        )
-    ) {
+#[test]
+fn scaler_output_always_zero_mean_unit_var() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x5CA1 + case);
+        let n_rows = g.range(2, 30);
+        let rows: Vec<Vec<f64>> = (0..n_rows)
+            .map(|_| (0..3).map(|_| g.uniform(-100.0, 100.0)).collect())
+            .collect();
         let sc = Scaler::fit(&rows);
         let t = sc.transform_batch(&rows);
         for d in 0..3 {
             let m: f64 = t.iter().map(|r| r[d]).sum::<f64>() / t.len() as f64;
             let v: f64 = t.iter().map(|r| (r[d] - m) * (r[d] - m)).sum::<f64>() / t.len() as f64;
-            prop_assert!(m.abs() < 1e-8, "mean {m}");
-            prop_assert!(v < 1.0 + 1e-6, "var {v}");
+            assert!(m.abs() < 1e-8, "case {case}: mean {m}");
+            assert!(v < 1.0 + 1e-6, "case {case}: var {v}");
         }
     }
+}
 
-    #[test]
-    fn mlp_probabilities_form_distribution(
-        x in proptest::collection::vec(-10.0f64..10.0, 5),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn mlp_probabilities_form_distribution() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x3170 + case);
+        let x: Vec<f64> = (0..5).map(|_| g.uniform(-10.0, 10.0)).collect();
+        let seed = g.next_u64();
         let mlp = MlpClassifier::new(5, &[8], 3, seed);
         let p = mlp.predict_proba(&x);
-        prop_assert_eq!(p.len(), 3);
-        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        prop_assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert_eq!(p.len(), 3, "case {case}");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "case {case}");
         // predict() is the argmax of predict_proba().
-        let arg = p.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
-        prop_assert_eq!(Some(mlp.predict(&x)), arg);
+        let arg = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i);
+        assert_eq!(Some(mlp.predict(&x)), arg, "case {case}");
     }
+}
 
-    #[test]
-    fn logreg_decision_threshold_consistent(
-        x in proptest::collection::vec(-5.0f64..5.0, 2),
-    ) {
+#[test]
+fn logreg_decision_threshold_consistent() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x1069 + case);
+        let x: Vec<f64> = (0..2).map(|_| g.uniform(-5.0, 5.0)).collect();
         let mut lr = LogisticRegression::new();
         lr.fit(
             &[vec![-1.0, 0.0], vec![1.0, 0.0]],
             &[0, 1],
-            &TrainConfig { epochs: 50, ..Default::default() },
+            &TrainConfig {
+                epochs: 50,
+                ..Default::default()
+            },
         );
         let p = lr.probability(&x);
-        prop_assert_eq!(lr.predict(&x), usize::from(p >= 0.5));
+        assert_eq!(lr.predict(&x), usize::from(p >= 0.5), "case {case}");
     }
+}
 
-    #[test]
-    fn knn_prediction_is_a_training_label(
-        train in proptest::collection::vec((-10.0f64..10.0, 0usize..3), 1..20),
-        query in -10.0f64..10.0,
-        k in 1usize..5,
-    ) {
-        let x: Vec<Vec<f64>> = train.iter().map(|(v, _)| vec![*v]).collect();
-        let y: Vec<usize> = train.iter().map(|(_, l)| *l).collect();
+#[test]
+fn knn_prediction_is_a_training_label() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x6AA0 + case);
+        let n = g.range(1, 20);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![g.uniform(-10.0, 10.0)]).collect();
+        let y: Vec<usize> = (0..n).map(|_| g.index(3)).collect();
+        let query = g.uniform(-10.0, 10.0);
+        let k = g.range(1, 5);
         let mut knn = KnnClassifier::new(k, 3);
         knn.fit(&x, &y, &TrainConfig::default());
         let pred = knn.predict(&[query]);
-        prop_assert!(y.contains(&pred));
+        assert!(y.contains(&pred), "case {case}");
     }
+}
 
-    #[test]
-    fn accuracy_bounded_and_exact_for_identical(
-        labels in proptest::collection::vec(0usize..2, 1..50),
-    ) {
-        prop_assert_eq!(accuracy(&labels, &labels), 1.0);
+#[test]
+fn accuracy_bounded_and_exact_for_identical() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0xACC0 + case);
+        let n = g.range(1, 50);
+        let labels: Vec<usize> = (0..n).map(|_| g.index(2)).collect();
+        assert_eq!(accuracy(&labels, &labels), 1.0, "case {case}");
         let flipped: Vec<usize> = labels.iter().map(|l| 1 - l).collect();
-        prop_assert_eq!(accuracy(&labels, &flipped), 0.0);
+        assert_eq!(accuracy(&labels, &flipped), 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn confusion_counts_partition_total(
-        truth in proptest::collection::vec(0usize..2, 1..60),
-        pred in proptest::collection::vec(0usize..2, 1..60),
-    ) {
+#[test]
+fn confusion_counts_partition_total() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0xC0F0 + case);
+        let truth: Vec<usize> = (0..g.range(1, 60)).map(|_| g.index(2)).collect();
+        let pred: Vec<usize> = (0..g.range(1, 60)).map(|_| g.index(2)).collect();
         let n = truth.len().min(pred.len());
         let c = Confusion::from_labels(&truth[..n], &pred[..n]);
-        prop_assert_eq!(c.tp + c.tn + c.fp + c.fn_, n);
-        prop_assert!(c.accuracy() >= 0.0 && c.accuracy() <= 1.0);
-        prop_assert!(c.f1() >= 0.0 && c.f1() <= 1.0);
+        assert_eq!(c.tp + c.tn + c.fp + c.fn_, n, "case {case}");
+        assert!(c.accuracy() >= 0.0 && c.accuracy() <= 1.0, "case {case}");
+        assert!(c.f1() >= 0.0 && c.f1() <= 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn mlp_training_never_produces_nan(
-        seed in any::<u64>(),
-        lr in 1e-4f64..0.5,
-    ) {
+#[test]
+fn mlp_training_never_produces_nan() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x9A90 + case);
+        let seed = g.next_u64();
+        let lr = g.uniform(1e-4, 0.5);
         let x = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![0.5, 0.5]];
         let y = vec![0, 1, 0];
         let mut mlp = MlpClassifier::new(2, &[4], 2, seed);
-        mlp.fit(&x, &y, &TrainConfig { epochs: 30, learning_rate: lr, ..Default::default() });
+        mlp.fit(
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 30,
+                learning_rate: lr,
+                ..Default::default()
+            },
+        );
         for xi in &x {
             let p = mlp.predict_proba(xi);
-            prop_assert!(p.iter().all(|v| v.is_finite()));
+            assert!(p.iter().all(|v| v.is_finite()), "case {case}");
         }
     }
 }

@@ -24,23 +24,26 @@ impl AreaModel {
     ///
     /// Panics if `c_f` is not positive and finite.
     pub fn add(&mut self, label: &str, c_f: f64, count: usize) {
-        assert!(c_f > 0.0 && c_f.is_finite(), "capacitance must be positive, got {c_f}");
+        assert!(
+            c_f > 0.0 && c_f.is_finite(),
+            "capacitance must be positive, got {c_f}"
+        );
         self.entries.push((label.to_string(), c_f, count));
     }
 
-    /// Total capacitance in farads.
-    pub fn total_capacitance_f(&self) -> f64 {
-        self.entries.iter().map(|(_, c, n)| c * *n as f64).sum()
+    /// Total capacitance.
+    pub fn total_capacitance(&self) -> crate::units::Farads {
+        crate::units::Farads(self.entries.iter().map(|(_, c, n)| c * *n as f64).sum())
     }
 
     /// Total capacitance in multiples of `C_u,min` — the x-axis of Fig. 9.
     pub fn total_units(&self, tech: &TechnologyParams) -> f64 {
-        self.total_capacitance_f() / tech.c_u_min_f
+        self.total_capacitance().value() / tech.c_u_min_f
     }
 
     /// Total capacitor area in µm².
     pub fn total_area_um2(&self, tech: &TechnologyParams) -> f64 {
-        tech.cap_area_um2(self.total_capacitance_f())
+        tech.cap_area_um2(self.total_capacitance().value())
     }
 
     /// Iterator over `(label, unit_capacitance_f, count)` entries.
@@ -56,7 +59,7 @@ impl AreaModel {
         a.add("SAR DAC array", c_u_f, 1 << design.n_bits);
         a.add(
             "S&H capacitor",
-            design.c_sample_bound_f().max(tech.c_u_min_f),
+            design.c_sample_bound().value().max(tech.c_u_min_f),
             1,
         );
         a
@@ -95,7 +98,7 @@ mod tests {
         let mut a = AreaModel::new();
         a.add("x", 1e-15, 10);
         a.add("y", 2e-15, 5);
-        assert!((a.total_capacitance_f() - 20e-15).abs() < 1e-27);
+        assert!((a.total_capacitance().value() - 20e-15).abs() < 1e-27);
         assert!((a.total_units(&tech) - 20.0).abs() < 1e-9);
     }
 

@@ -1,5 +1,6 @@
 //! Per-block power accounting (the stacked bars of Fig. 4 and Fig. 8).
 
+use crate::units::Watts;
 use std::fmt;
 
 /// Identifies a circuit block in a power breakdown.
@@ -53,18 +54,18 @@ impl fmt::Display for BlockKind {
     }
 }
 
-/// A per-block power breakdown in watts.
+/// A per-block power breakdown.
 ///
 /// ```
-/// use efficsense_power::{BlockKind, PowerBreakdown};
+/// use efficsense_power::{BlockKind, PowerBreakdown, Watts};
 /// let mut b = PowerBreakdown::new();
-/// b.add(BlockKind::Lna, 1e-6);
-/// b.add(BlockKind::Transmitter, 4.3e-6);
-/// assert!((b.total_w() - 5.3e-6).abs() < 1e-12);
+/// b.add(BlockKind::Lna, Watts::micro(1.0));
+/// b.add(BlockKind::Transmitter, Watts::micro(4.3));
+/// assert!((b.total().value() - 5.3e-6).abs() < 1e-12);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PowerBreakdown {
-    entries: Vec<(BlockKind, f64)>,
+    entries: Vec<(BlockKind, Watts)>,
 }
 
 impl PowerBreakdown {
@@ -73,38 +74,46 @@ impl PowerBreakdown {
         Self::default()
     }
 
-    /// Adds `watts` to the entry for `kind` (accumulating duplicates).
-    pub fn add(&mut self, kind: BlockKind, watts: f64) {
-        assert!(watts.is_finite() && watts >= 0.0, "power must be finite and non-negative, got {watts}");
+    /// Adds `power` to the entry for `kind` (accumulating duplicates).
+    pub fn add(&mut self, kind: BlockKind, power: Watts) {
+        let w = power.value();
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "power must be finite and non-negative, got {w}"
+        );
         if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == kind) {
-            e.1 += watts;
+            e.1 += power;
         } else {
-            self.entries.push((kind, watts));
+            self.entries.push((kind, power));
         }
     }
 
-    /// Power of one block, or 0 if absent.
-    pub fn get(&self, kind: BlockKind) -> f64 {
-        self.entries.iter().find(|(k, _)| *k == kind).map_or(0.0, |(_, w)| *w)
+    /// Power of one block, or 0 W if absent.
+    pub fn get(&self, kind: BlockKind) -> Watts {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(Watts(0.0), |(_, w)| *w)
     }
 
-    /// Total power in watts.
-    pub fn total_w(&self) -> f64 {
-        self.entries.iter().map(|(_, w)| w).sum()
+    /// Total power.
+    pub fn total(&self) -> Watts {
+        self.entries.iter().map(|(_, w)| *w).sum()
     }
 
-    /// Iterator over `(block, watts)` entries in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (BlockKind, f64)> + '_ {
+    /// Iterator over `(block, power)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockKind, Watts)> + '_ {
         self.entries.iter().copied()
     }
 
     /// Fraction of total power consumed by `kind` (0 when total is 0).
+    #[must_use]
     pub fn fraction(&self, kind: BlockKind) -> f64 {
-        let t = self.total_w();
-        if t == 0.0 {
+        let t = self.total().value();
+        if efficsense_dsp::approx::is_zero(t) {
             0.0
         } else {
-            self.get(kind) / t
+            self.get(kind).value() / t
         }
     }
 
@@ -118,10 +127,11 @@ impl PowerBreakdown {
     }
 
     /// The dominant block, or `None` when empty.
+    #[must_use]
     pub fn dominant(&self) -> Option<BlockKind> {
         self.entries
             .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .max_by(|a, b| a.1.value().total_cmp(&b.1.value()))
             .map(|(k, _)| *k)
     }
 }
@@ -130,22 +140,22 @@ impl fmt::Display for PowerBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<18} {:>12}   {:>6}", "block", "power", "share")?;
         let mut sorted = self.entries.clone();
-        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        sorted.sort_by(|a, b| b.1.value().total_cmp(&a.1.value()));
         for (k, w) in &sorted {
             writeln!(
                 f,
                 "{:<18} {:>12}   {:>5.1}%",
                 k.to_string(),
-                crate::units::Watts(*w).to_string(),
+                w.to_string(),
                 100.0 * self.fraction(*k)
             )?;
         }
-        write!(f, "{:<18} {:>12}", "TOTAL", crate::units::Watts(self.total_w()).to_string())
+        write!(f, "{:<18} {:>12}", "TOTAL", self.total().to_string())
     }
 }
 
-impl FromIterator<(BlockKind, f64)> for PowerBreakdown {
-    fn from_iter<I: IntoIterator<Item = (BlockKind, f64)>>(iter: I) -> Self {
+impl FromIterator<(BlockKind, Watts)> for PowerBreakdown {
+    fn from_iter<I: IntoIterator<Item = (BlockKind, Watts)>>(iter: I) -> Self {
         let mut b = PowerBreakdown::new();
         for (k, w) in iter {
             b.add(k, w);
@@ -161,17 +171,17 @@ mod tests {
     #[test]
     fn add_and_total() {
         let mut b = PowerBreakdown::new();
-        b.add(BlockKind::Lna, 1.0e-6);
-        b.add(BlockKind::Dac, 2.0e-6);
-        b.add(BlockKind::Lna, 0.5e-6); // accumulates
-        assert!((b.get(BlockKind::Lna) - 1.5e-6).abs() < 1e-18);
-        assert!((b.total_w() - 3.5e-6).abs() < 1e-18);
+        b.add(BlockKind::Lna, Watts(1.0e-6));
+        b.add(BlockKind::Dac, Watts(2.0e-6));
+        b.add(BlockKind::Lna, Watts(0.5e-6)); // accumulates
+        assert!((b.get(BlockKind::Lna).value() - 1.5e-6).abs() < 1e-18);
+        assert!((b.total().value() - 3.5e-6).abs() < 1e-18);
     }
 
     #[test]
     fn missing_block_is_zero() {
         let b = PowerBreakdown::new();
-        assert_eq!(b.get(BlockKind::Transmitter), 0.0);
+        assert_eq!(b.get(BlockKind::Transmitter), Watts(0.0));
         assert_eq!(b.fraction(BlockKind::Transmitter), 0.0);
         assert_eq!(b.dominant(), None);
     }
@@ -179,9 +189,9 @@ mod tests {
     #[test]
     fn fractions_sum_to_one() {
         let b: PowerBreakdown = [
-            (BlockKind::Lna, 3.0e-6),
-            (BlockKind::Transmitter, 4.0e-6),
-            (BlockKind::Dac, 1.0e-6),
+            (BlockKind::Lna, Watts(3.0e-6)),
+            (BlockKind::Transmitter, Watts(4.0e-6)),
+            (BlockKind::Dac, Watts(1.0e-6)),
         ]
         .into_iter()
         .collect();
@@ -192,16 +202,18 @@ mod tests {
 
     #[test]
     fn merged_adds_elementwise() {
-        let a: PowerBreakdown = [(BlockKind::Lna, 1.0)].into_iter().collect();
-        let b: PowerBreakdown = [(BlockKind::Lna, 2.0), (BlockKind::Dac, 3.0)].into_iter().collect();
+        let a: PowerBreakdown = [(BlockKind::Lna, Watts(1.0))].into_iter().collect();
+        let b: PowerBreakdown = [(BlockKind::Lna, Watts(2.0)), (BlockKind::Dac, Watts(3.0))]
+            .into_iter()
+            .collect();
         let m = a.merged(&b);
-        assert_eq!(m.get(BlockKind::Lna), 3.0);
-        assert_eq!(m.get(BlockKind::Dac), 3.0);
+        assert_eq!(m.get(BlockKind::Lna), Watts(3.0));
+        assert_eq!(m.get(BlockKind::Dac), Watts(3.0));
     }
 
     #[test]
     fn display_contains_blocks_and_total() {
-        let b: PowerBreakdown = [(BlockKind::Lna, 2.44e-6)].into_iter().collect();
+        let b: PowerBreakdown = [(BlockKind::Lna, Watts(2.44e-6))].into_iter().collect();
         let s = b.to_string();
         assert!(s.contains("LNA"));
         assert!(s.contains("TOTAL"));
@@ -212,6 +224,6 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn rejects_negative_power() {
         let mut b = PowerBreakdown::new();
-        b.add(BlockKind::Lna, -1.0);
+        b.add(BlockKind::Lna, Watts(-1.0));
     }
 }

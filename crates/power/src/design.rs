@@ -56,10 +56,12 @@ impl DesignParams {
         self.v_fs / (1u64 << self.n_bits) as f64
     }
 
-    /// kT/C-limited sample capacitor (F): `12·kT·2^(2N) / V_FS²`, the
+    /// kT/C-limited sample capacitor: `12·kT·2^(2N) / V_FS²`, the
     /// Sundström bound keeping sampled noise below LSB²/12.
-    pub fn c_sample_bound_f(&self) -> f64 {
-        12.0 * crate::kt() * 4f64.powi(self.n_bits as i32) / (self.v_fs * self.v_fs)
+    pub fn c_sample_bound(&self) -> crate::units::Farads {
+        crate::units::Farads(
+            12.0 * crate::kt() * 4f64.powi(self.n_bits as i32) / (self.v_fs * self.v_fs),
+        )
     }
 
     /// Validates parameter sanity.
@@ -69,10 +71,16 @@ impl DesignParams {
     /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.bw_in_hz <= 0.0 {
-            return Err(format!("input bandwidth must be positive, got {}", self.bw_in_hz));
+            return Err(format!(
+                "input bandwidth must be positive, got {}",
+                self.bw_in_hz
+            ));
         }
         if !(1..=16).contains(&self.n_bits) {
-            return Err(format!("ADC resolution {} out of supported range 1..=16", self.n_bits));
+            return Err(format!(
+                "ADC resolution {} out of supported range 1..=16",
+                self.n_bits
+            ));
         }
         if !(self.v_dd > 0.0 && self.v_fs > 0.0 && self.v_ref > 0.0) {
             return Err("supply, full-scale and reference voltages must be positive".into());
@@ -123,16 +131,18 @@ mod tests {
     fn sample_cap_bound_grows_4x_per_bit() {
         let d6 = DesignParams::paper_defaults(6);
         let d7 = DesignParams::paper_defaults(7);
-        assert!((d7.c_sample_bound_f() / d6.c_sample_bound_f() - 4.0).abs() < 1e-9);
+        assert!((d7.c_sample_bound() / d6.c_sample_bound() - 4.0).abs() < 1e-9);
         // For 8 bits at 2 V FS this is sub-fF: noise is not the sizing
         // constraint at biomedical resolutions — matching is.
-        assert!(DesignParams::paper_defaults(8).c_sample_bound_f() < 1e-14);
+        assert!(DesignParams::paper_defaults(8).c_sample_bound() < crate::units::Farads(1e-14));
     }
 
     #[test]
     fn validate_accepts_paper_values() {
         for n in 6..=8 {
-            DesignParams::paper_defaults(n).validate().expect("paper values are valid");
+            DesignParams::paper_defaults(n)
+                .validate()
+                .expect("paper values are valid");
         }
     }
 

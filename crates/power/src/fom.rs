@@ -7,6 +7,8 @@
 //! survey data. This module computes the classic FOMs from the framework's
 //! own quantities so sweeps can report them alongside the analytical models.
 
+use crate::units::{Joules, Watts};
+
 /// Walden ADC figure of merit: `P / (2^ENOB · f_s)` in joules per
 /// conversion-step. Lower is better; state-of-the-art SAR ADCs reach a few
 /// fJ/step.
@@ -14,10 +16,10 @@
 /// # Panics
 ///
 /// Panics unless power and sample rate are positive.
-pub fn walden_fom_j_per_step(power_w: f64, enob_bits: f64, f_sample_hz: f64) -> f64 {
-    assert!(power_w > 0.0, "power must be positive");
+pub fn walden_fom(power: Watts, enob_bits: f64, f_sample_hz: f64) -> Joules {
+    assert!(power.value() > 0.0, "power must be positive");
     assert!(f_sample_hz > 0.0, "sample rate must be positive");
-    power_w / (2f64.powf(enob_bits) * f_sample_hz)
+    Joules(power.value() / (2f64.powf(enob_bits) * f_sample_hz))
 }
 
 /// Schreier ADC figure of merit: `SNDR_dB + 10·log10(BW / P)` in dB.
@@ -26,10 +28,11 @@ pub fn walden_fom_j_per_step(power_w: f64, enob_bits: f64, f_sample_hz: f64) -> 
 /// # Panics
 ///
 /// Panics unless power and bandwidth are positive.
-pub fn schreier_fom_db(sndr_db: f64, bandwidth_hz: f64, power_w: f64) -> f64 {
-    assert!(power_w > 0.0, "power must be positive");
+#[must_use]
+pub fn schreier_fom_db(sndr_db: f64, bandwidth_hz: f64, power: Watts) -> f64 {
+    assert!(power.value() > 0.0, "power must be positive");
     assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
-    sndr_db + 10.0 * (bandwidth_hz / power_w).log10()
+    sndr_db + 10.0 * (bandwidth_hz / power.value()).log10()
 }
 
 /// Noise efficiency factor of an amplifier: the ratio of its input noise to
@@ -39,10 +42,14 @@ pub fn schreier_fom_db(sndr_db: f64, bandwidth_hz: f64, power_w: f64) -> f64 {
 /// # Panics
 ///
 /// Panics unless all arguments are positive.
+#[must_use]
 pub fn nef(input_noise_vrms: f64, total_current_a: f64, bandwidth_hz: f64, v_t: f64) -> f64 {
     assert!(input_noise_vrms > 0.0, "noise must be positive");
     assert!(total_current_a > 0.0, "current must be positive");
-    assert!(bandwidth_hz > 0.0 && v_t > 0.0, "bandwidth and V_T must be positive");
+    assert!(
+        bandwidth_hz > 0.0 && v_t > 0.0,
+        "bandwidth and V_T must be positive"
+    );
     let kt4 = 4.0 * crate::kt();
     input_noise_vrms
         * (2.0 * total_current_a / (std::f64::consts::PI * v_t * kt4 * bandwidth_hz)).sqrt()
@@ -52,8 +59,8 @@ pub fn nef(input_noise_vrms: f64, total_current_a: f64, bandwidth_hz: f64, v_t: 
 /// conversion, including the transmitter): `P_total / (f_s · 2^ENOB)` —
 /// the Walden form applied at system level, as surveys of biomedical
 /// front-ends do.
-pub fn system_fom_j_per_step(total_power_w: f64, enob_bits: f64, f_sample_hz: f64) -> f64 {
-    walden_fom_j_per_step(total_power_w, enob_bits, f_sample_hz)
+pub fn system_fom(total_power: Watts, enob_bits: f64, f_sample_hz: f64) -> Joules {
+    walden_fom(total_power, enob_bits, f_sample_hz)
 }
 
 #[cfg(test)]
@@ -65,21 +72,21 @@ mod tests {
     #[test]
     fn walden_known_value() {
         // 1 µW, 8 effective bits, 1 MS/s → ~3.9 fJ/step.
-        let f = walden_fom_j_per_step(1e-6, 8.0, 1e6);
-        assert!((f - 3.90625e-15).abs() < 1e-20);
+        let f = walden_fom(Watts::micro(1.0), 8.0, 1e6);
+        assert!((f.value() - 3.90625e-15).abs() < 1e-20);
     }
 
     #[test]
     fn walden_improves_with_enob_at_fixed_power() {
-        let a = walden_fom_j_per_step(1e-6, 6.0, 537.6);
-        let b = walden_fom_j_per_step(1e-6, 8.0, 537.6);
+        let a = walden_fom(Watts::micro(1.0), 6.0, 537.6);
+        let b = walden_fom(Watts::micro(1.0), 8.0, 537.6);
         assert!(b < a);
     }
 
     #[test]
     fn schreier_known_value() {
         // 70 dB SNDR, 256 Hz BW, 1 µW → 70 + 10·log10(2.56e8) ≈ 154.1 dB.
-        let f = schreier_fom_db(70.0, 256.0, 1e-6);
+        let f = schreier_fom_db(70.0, 256.0, Watts::micro(1.0));
         assert!((f - 154.08).abs() < 0.05, "got {f}");
     }
 
@@ -101,9 +108,13 @@ mod tests {
         let tech = TechnologyParams::gpdk045();
         let design = DesignParams::paper_defaults(8);
         let vn = 2e-6;
-        let p = LnaModel { noise_floor_vrms: vn, c_load_f: 1e-15, gain: 4000.0 }
-            .power_w(&tech, &design);
-        let i = p / design.v_dd;
+        let p = LnaModel {
+            noise_floor_vrms: vn,
+            c_load_f: 1e-15,
+            gain: 4000.0,
+        }
+        .power(&tech, &design);
+        let i = p.value() / design.v_dd;
         let measured_nef = nef(vn, i, design.bw_lna_hz(), tech.v_t);
         // The Table II bound uses 2π rather than π/2 inside the square —
         // a factor-2 convention difference; accept the band around NEF=2.
@@ -116,14 +127,14 @@ mod tests {
     #[test]
     fn system_fom_matches_walden_form() {
         assert_eq!(
-            system_fom_j_per_step(8.8e-6, 7.5, 537.6),
-            walden_fom_j_per_step(8.8e-6, 7.5, 537.6)
+            system_fom(Watts(8.8e-6), 7.5, 537.6),
+            walden_fom(Watts(8.8e-6), 7.5, 537.6)
         );
     }
 
     #[test]
     #[should_panic(expected = "power must be positive")]
     fn rejects_zero_power() {
-        let _ = walden_fom_j_per_step(0.0, 8.0, 100.0);
+        let _ = walden_fom(Watts(0.0), 8.0, 100.0);
     }
 }

@@ -11,12 +11,12 @@
 //! quality and power simultaneously.
 //!
 //! ```
-//! use efficsense_power::{DesignParams, TechnologyParams, models::{LnaModel, PowerModel}};
+//! use efficsense_power::{DesignParams, TechnologyParams, Watts, models::{LnaModel, PowerModel}};
 //! let tech = TechnologyParams::gpdk045();
 //! let design = DesignParams::paper_defaults(8);
 //! let lna = LnaModel { noise_floor_vrms: 2e-6, c_load_f: 1e-12, gain: 1000.0 };
-//! let p = lna.power_w(&tech, &design);
-//! assert!(p > 0.0 && p < 1e-3, "LNA power {p} W is in the µW regime");
+//! let p = lna.power(&tech, &design);
+//! assert!(p > Watts(0.0) && p < Watts::milli(1.0), "LNA power {p} is in the µW regime");
 //! ```
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -35,6 +35,7 @@ pub use breakdown::{BlockKind, PowerBreakdown};
 pub use design::DesignParams;
 pub use models::PowerModel;
 pub use tech::TechnologyParams;
+pub use units::{Amperes, Farads, Hertz, Joules, Volts, Watts};
 
 /// Boltzmann constant in J/K.
 pub const BOLTZMANN: f64 = 1.380_649e-23;

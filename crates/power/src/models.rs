@@ -1,7 +1,7 @@
 //! The Table II analytical power models.
 //!
 //! Each model is a small struct holding the block's free design variables;
-//! [`PowerModel::power_w`] evaluates the closed-form bound against the shared
+//! [`PowerModel::power`] evaluates the closed-form bound against the shared
 //! [`TechnologyParams`] and [`DesignParams`].
 //!
 //! ## Unit conventions
@@ -15,14 +15,15 @@ use crate::breakdown::BlockKind;
 use crate::design::DesignParams;
 use crate::kt;
 use crate::tech::TechnologyParams;
+use crate::units::Watts;
 
 /// A closed-form block power estimate.
 pub trait PowerModel {
     /// Which block this model describes.
     fn kind(&self) -> BlockKind;
 
-    /// Power in watts under the given technology and design parameters.
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64;
+    /// Power under the given technology and design parameters.
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts;
 }
 
 /// LNA power: `V_dd · max(I_GBW, I_charge, I_noise)` (Table II row 1,
@@ -50,20 +51,21 @@ impl PowerModel for LnaModel {
         BlockKind::Lna
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         assert!(self.noise_floor_vrms > 0.0, "noise floor must be positive");
         let gbw = self.gain * design.bw_lna_hz();
         let i_gbw = 2.0 * std::f64::consts::PI * gbw * self.c_load_f / tech.gm_over_id;
         let i_charge = design.v_ref * design.f_clk_hz() * self.c_load_f;
         let nef_term = tech.nef / self.noise_floor_vrms;
-        let i_noise = nef_term * nef_term
+        let i_noise = nef_term
+            * nef_term
             * 2.0
             * std::f64::consts::PI
             * 4.0
             * kt()
             * design.bw_lna_hz()
             * tech.v_t;
-        design.v_dd * i_gbw.max(i_charge).max(i_noise)
+        Watts(design.v_dd * i_gbw.max(i_charge).max(i_noise))
     }
 }
 
@@ -80,10 +82,10 @@ impl PowerModel for SampleHoldModel {
         BlockKind::SampleHold
     }
 
-    fn power_w(&self, _tech: &TechnologyParams, design: &DesignParams) -> f64 {
-        let c_s = design.c_sample_bound_f();
-        let i = design.v_ref * design.f_clk_hz() * c_s;
-        design.v_dd * i
+    fn power(&self, _tech: &TechnologyParams, design: &DesignParams) -> Watts {
+        let c_s = design.c_sample_bound();
+        let i = design.v_ref * design.f_clk_hz() * c_s.value();
+        Watts(design.v_dd * i)
     }
 }
 
@@ -99,14 +101,16 @@ impl PowerModel for ComparatorModel {
         BlockKind::Comparator
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         let n = design.n_bits as f64;
-        2.0 * n
-            * std::f64::consts::LN_2
-            * (design.f_clk_hz() - design.f_sample_hz())
-            * tech.c_comp_f
-            * design.v_fs
-            * tech.v_eff
+        Watts(
+            2.0 * n
+                * std::f64::consts::LN_2
+                * (design.f_clk_hz() - design.f_sample_hz())
+                * tech.c_comp_f
+                * design.v_fs
+                * tech.v_eff,
+        )
     }
 }
 
@@ -129,14 +133,16 @@ impl PowerModel for SarLogicModel {
         BlockKind::SarLogic
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         let n = design.n_bits as f64;
-        self.alpha
-            * (2.0 * n + 1.0)
-            * tech.c_logic_f
-            * design.v_dd
-            * design.v_dd
-            * (design.f_clk_hz() - design.f_sample_hz())
+        Watts(
+            self.alpha
+                * (2.0 * n + 1.0)
+                * tech.c_logic_f
+                * design.v_dd
+                * design.v_dd
+                * (design.f_clk_hz() - design.f_sample_hz()),
+        )
     }
 }
 
@@ -159,7 +165,7 @@ impl PowerModel for DacModel {
         BlockKind::Dac
     }
 
-    fn power_w(&self, _tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, _tech: &TechnologyParams, design: &DesignParams) -> Watts {
         let n = design.n_bits as f64;
         let half_n = 0.5f64.powi(design.n_bits as i32);
         let half_2n = half_n * half_n;
@@ -167,7 +173,7 @@ impl PowerModel for DacModel {
             - 0.5 * self.v_in_rms * self.v_in_rms
             - half_n * self.v_in_rms * design.v_ref;
         let rate = 2f64.powi(design.n_bits as i32) * design.f_clk_hz() * self.c_u_f / (n + 1.0);
-        (rate * bracket).max(0.0)
+        Watts((rate * bracket).max(0.0))
     }
 }
 
@@ -182,7 +188,9 @@ pub struct TransmitterModel {
 
 impl Default for TransmitterModel {
     fn default() -> Self {
-        Self { compression_ratio: 1.0 }
+        Self {
+            compression_ratio: 1.0,
+        }
     }
 }
 
@@ -191,14 +199,14 @@ impl PowerModel for TransmitterModel {
         BlockKind::Transmitter
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         assert!(
             self.compression_ratio > 0.0 && self.compression_ratio <= 1.0,
             "compression ratio must be in (0, 1], got {}",
             self.compression_ratio
         );
         let n = design.n_bits as f64;
-        design.f_clk_hz() / (n + 1.0) * n * tech.e_bit_j * self.compression_ratio
+        Watts(design.f_clk_hz() / (n + 1.0) * n * tech.e_bit_j * self.compression_ratio)
     }
 }
 
@@ -227,17 +235,19 @@ impl PowerModel for CsEncoderLogicModel {
         BlockKind::CsEncoderLogic
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         assert!(self.n_phi > 0, "frame length must be positive");
         let log_term = (self.n_phi as f64).log2().ceil() + 1.0;
-        self.alpha
-            * log_term
-            * self.n_phi as f64
-            * 8.0
-            * tech.c_logic_f
-            * design.v_dd
-            * design.v_dd
-            * design.f_clk_hz()
+        Watts(
+            self.alpha
+                * log_term
+                * self.n_phi as f64
+                * 8.0
+                * tech.c_logic_f
+                * design.v_dd
+                * design.v_dd
+                * design.f_clk_hz(),
+        )
     }
 }
 
@@ -253,8 +263,8 @@ impl PowerModel for LeakageModel {
         BlockKind::Leakage
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
-        design.v_dd * tech.i_leak_a * self.n_switches as f64
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
+        Watts(design.v_dd * tech.i_leak_a * self.n_switches as f64)
     }
 }
 
@@ -269,8 +279,12 @@ mod tests {
     #[test]
     fn lna_noise_limited_regime() {
         let (t, d) = setup();
-        let lna = LnaModel { noise_floor_vrms: 1e-6, c_load_f: 1e-12, gain: 1000.0 };
-        let p = lna.power_w(&t, &d);
+        let lna = LnaModel {
+            noise_floor_vrms: 1e-6,
+            c_load_f: 1e-12,
+            gain: 1000.0,
+        };
+        let p = lna.power(&t, &d).value();
         // At 1 µV the noise bound dominates; expect tens of µW.
         assert!((1e-6..1e-4).contains(&p), "LNA power {p}");
     }
@@ -278,18 +292,48 @@ mod tests {
     #[test]
     fn lna_power_falls_with_noise_squared() {
         let (t, d) = setup();
-        let p1 = LnaModel { noise_floor_vrms: 2e-6, c_load_f: 1e-12, gain: 1000.0 }.power_w(&t, &d);
-        let p2 = LnaModel { noise_floor_vrms: 4e-6, c_load_f: 1e-12, gain: 1000.0 }.power_w(&t, &d);
-        assert!((p1 / p2 - 4.0).abs() < 0.01, "noise-limited power scales 1/vn²");
+        let p1 = LnaModel {
+            noise_floor_vrms: 2e-6,
+            c_load_f: 1e-12,
+            gain: 1000.0,
+        }
+        .power(&t, &d)
+        .value();
+        let p2 = LnaModel {
+            noise_floor_vrms: 4e-6,
+            c_load_f: 1e-12,
+            gain: 1000.0,
+        }
+        .power(&t, &d)
+        .value();
+        assert!(
+            (p1 / p2 - 4.0).abs() < 0.01,
+            "noise-limited power scales 1/vn²"
+        );
     }
 
     #[test]
     fn lna_floor_set_by_load_at_high_noise() {
         let (t, d) = setup();
         // At a huge tolerated noise floor the charging/GBW terms take over.
-        let p_hi = LnaModel { noise_floor_vrms: 1e-3, c_load_f: 10e-12, gain: 1000.0 }.power_w(&t, &d);
-        let p_hi2 = LnaModel { noise_floor_vrms: 10e-3, c_load_f: 10e-12, gain: 1000.0 }.power_w(&t, &d);
-        assert_eq!(p_hi, p_hi2, "once load-limited, noise floor no longer matters");
+        let p_hi = LnaModel {
+            noise_floor_vrms: 1e-3,
+            c_load_f: 10e-12,
+            gain: 1000.0,
+        }
+        .power(&t, &d)
+        .value();
+        let p_hi2 = LnaModel {
+            noise_floor_vrms: 10e-3,
+            c_load_f: 10e-12,
+            gain: 1000.0,
+        }
+        .power(&t, &d)
+        .value();
+        assert_eq!(
+            p_hi, p_hi2,
+            "once load-limited, noise floor no longer matters"
+        );
         assert!(p_hi > 0.0);
     }
 
@@ -298,15 +342,25 @@ mod tests {
         // The paper's baseline optimum spends ~4 µW in the LNA around a
         // couple of µV noise floor — check the model's order of magnitude.
         let (t, d) = setup();
-        let p = LnaModel { noise_floor_vrms: 2e-6, c_load_f: 1e-12, gain: 1000.0 }.power_w(&t, &d);
+        let p = LnaModel {
+            noise_floor_vrms: 2e-6,
+            c_load_f: 1e-12,
+            gain: 1000.0,
+        }
+        .power(&t, &d)
+        .value();
         assert!((1e-6..2e-5).contains(&p), "got {p} W");
     }
 
     #[test]
     fn sample_hold_scales_16x_per_two_bits() {
         let t = TechnologyParams::gpdk045();
-        let p6 = SampleHoldModel.power_w(&t, &DesignParams::paper_defaults(6));
-        let p8 = SampleHoldModel.power_w(&t, &DesignParams::paper_defaults(8));
+        let p6 = SampleHoldModel
+            .power(&t, &DesignParams::paper_defaults(6))
+            .value();
+        let p8 = SampleHoldModel
+            .power(&t, &DesignParams::paper_defaults(8))
+            .value();
         // C ∝ 2^2N (16x per 2 bits) but f_clk also grows (9/7 ratio).
         let expect = 16.0 * 9.0 / 7.0;
         assert!((p8 / p6 - expect).abs() < 0.01, "ratio {}", p8 / p6);
@@ -315,7 +369,7 @@ mod tests {
     #[test]
     fn comparator_matches_hand_computation() {
         let (t, d) = setup();
-        let p = ComparatorModel.power_w(&t, &d);
+        let p = ComparatorModel.power(&t, &d).value();
         let expect = 16.0 * std::f64::consts::LN_2 * (8.0 * 537.6) * 5e-15 * 2.0 * 0.1;
         assert!((p - expect).abs() < 1e-18, "{p} vs {expect}");
     }
@@ -323,7 +377,7 @@ mod tests {
     #[test]
     fn sar_logic_matches_hand_computation() {
         let (t, d) = setup();
-        let p = SarLogicModel::default().power_w(&t, &d);
+        let p = SarLogicModel::default().power(&t, &d).value();
         let expect = 0.4 * 17.0 * 1e-15 * 4.0 * (8.0 * 537.6);
         assert!((p - expect).abs() < 1e-18);
     }
@@ -332,7 +386,12 @@ mod tests {
     fn dac_bracket_positive_within_fullscale() {
         let (t, d) = setup();
         for v_in in [0.0, 0.5, 1.0, 1.5, 2.0] {
-            let p = DacModel { c_u_f: 1e-15, v_in_rms: v_in }.power_w(&t, &d);
+            let p = DacModel {
+                c_u_f: 1e-15,
+                v_in_rms: v_in,
+            }
+            .power(&t, &d)
+            .value();
             assert!(p >= 0.0, "v_in={v_in}: negative power {p}");
         }
     }
@@ -341,8 +400,18 @@ mod tests {
     fn dac_power_decreases_with_input_level() {
         // The Saberi average switching energy falls as the input RMS rises.
         let (t, d) = setup();
-        let p0 = DacModel { c_u_f: 1e-15, v_in_rms: 0.0 }.power_w(&t, &d);
-        let p1 = DacModel { c_u_f: 1e-15, v_in_rms: 1.0 }.power_w(&t, &d);
+        let p0 = DacModel {
+            c_u_f: 1e-15,
+            v_in_rms: 0.0,
+        }
+        .power(&t, &d)
+        .value();
+        let p1 = DacModel {
+            c_u_f: 1e-15,
+            v_in_rms: 1.0,
+        }
+        .power(&t, &d)
+        .value();
         assert!(p0 > p1);
     }
 
@@ -351,15 +420,19 @@ mod tests {
         // f_sample·N·E_bit = 537.6 · 8 · 1 nJ ≈ 4.3 µW — the paper's dominant
         // baseline contributor.
         let (t, d) = setup();
-        let p = TransmitterModel::default().power_w(&t, &d);
+        let p = TransmitterModel::default().power(&t, &d).value();
         assert!((p - 537.6 * 8.0 * 1e-9).abs() < 1e-12);
     }
 
     #[test]
     fn transmitter_compression_scales_linearly() {
         let (t, d) = setup();
-        let full = TransmitterModel::default().power_w(&t, &d);
-        let cs = TransmitterModel { compression_ratio: 75.0 / 384.0 }.power_w(&t, &d);
+        let full = TransmitterModel::default().power(&t, &d).value();
+        let cs = TransmitterModel {
+            compression_ratio: 75.0 / 384.0,
+        }
+        .power(&t, &d)
+        .value();
         assert!((cs / full - 75.0 / 384.0).abs() < 1e-12);
     }
 
@@ -367,7 +440,7 @@ mod tests {
     fn cs_encoder_logic_order_of_magnitude() {
         // ~0.6 µW at N_Φ=384, N=8 — the "marginal increase" the paper cites.
         let (t, d) = setup();
-        let p = CsEncoderLogicModel::new(384).power_w(&t, &d);
+        let p = CsEncoderLogicModel::new(384).power(&t, &d).value();
         assert!((1e-7..2e-6).contains(&p), "CS logic power {p}");
         let expect = 10.0 * 384.0 * 8.0 * 1e-15 * 4.0 * d.f_clk_hz();
         assert!((p - expect).abs() < 1e-15);
@@ -376,8 +449,8 @@ mod tests {
     #[test]
     fn leakage_linear_in_switches() {
         let (t, d) = setup();
-        let p1 = LeakageModel { n_switches: 100 }.power_w(&t, &d);
-        let p2 = LeakageModel { n_switches: 200 }.power_w(&t, &d);
+        let p1 = LeakageModel { n_switches: 100 }.power(&t, &d).value();
+        let p2 = LeakageModel { n_switches: 200 }.power(&t, &d).value();
         assert!((p2 / p1 - 2.0).abs() < 1e-12);
         assert!((p1 - 2.0 * 1e-12 * 100.0).abs() < 1e-20);
     }
@@ -386,18 +459,40 @@ mod tests {
     fn all_models_report_their_kind() {
         let (t, d) = setup();
         let models: Vec<(Box<dyn PowerModel>, BlockKind)> = vec![
-            (Box::new(LnaModel { noise_floor_vrms: 1e-6, c_load_f: 1e-12, gain: 100.0 }), BlockKind::Lna),
+            (
+                Box::new(LnaModel {
+                    noise_floor_vrms: 1e-6,
+                    c_load_f: 1e-12,
+                    gain: 100.0,
+                }),
+                BlockKind::Lna,
+            ),
             (Box::new(SampleHoldModel), BlockKind::SampleHold),
             (Box::new(ComparatorModel), BlockKind::Comparator),
             (Box::new(SarLogicModel::default()), BlockKind::SarLogic),
-            (Box::new(DacModel { c_u_f: 1e-15, v_in_rms: 0.5 }), BlockKind::Dac),
-            (Box::new(TransmitterModel::default()), BlockKind::Transmitter),
-            (Box::new(CsEncoderLogicModel::new(384)), BlockKind::CsEncoderLogic),
-            (Box::new(LeakageModel { n_switches: 10 }), BlockKind::Leakage),
+            (
+                Box::new(DacModel {
+                    c_u_f: 1e-15,
+                    v_in_rms: 0.5,
+                }),
+                BlockKind::Dac,
+            ),
+            (
+                Box::new(TransmitterModel::default()),
+                BlockKind::Transmitter,
+            ),
+            (
+                Box::new(CsEncoderLogicModel::new(384)),
+                BlockKind::CsEncoderLogic,
+            ),
+            (
+                Box::new(LeakageModel { n_switches: 10 }),
+                BlockKind::Leakage,
+            ),
         ];
         for (m, k) in models {
             assert_eq!(m.kind(), k);
-            assert!(m.power_w(&t, &d).is_finite());
+            assert!(m.power(&t, &d).value().is_finite());
         }
     }
 
@@ -405,6 +500,10 @@ mod tests {
     #[should_panic(expected = "compression ratio")]
     fn transmitter_rejects_zero_ratio() {
         let (t, d) = setup();
-        let _ = TransmitterModel { compression_ratio: 0.0 }.power_w(&t, &d);
+        let _ = TransmitterModel {
+            compression_ratio: 0.0,
+        }
+        .power(&t, &d)
+        .value();
     }
 }

@@ -12,6 +12,7 @@ use crate::design::DesignParams;
 use crate::kt;
 use crate::models::PowerModel;
 use crate::tech::TechnologyParams;
+use crate::units::Watts;
 
 /// Power model of one switched-capacitor integrator OTA.
 ///
@@ -34,7 +35,12 @@ impl OtaIntegratorModel {
     /// A typical active CS encoder: `m` channels with 1 pF integration caps
     /// settling to the ADC resolution.
     pub fn for_encoder(m: usize, n_bits: u32) -> Self {
-        Self { count: m, c_int_f: 1e-12, settle_bits: n_bits, v_swing: 1.0 }
+        Self {
+            count: m,
+            c_int_f: 1e-12,
+            settle_bits: n_bits,
+            v_swing: 1.0,
+        }
     }
 }
 
@@ -43,12 +49,12 @@ impl PowerModel for OtaIntegratorModel {
         BlockKind::CsEncoderLogic
     }
 
-    fn power_w(&self, tech: &TechnologyParams, design: &DesignParams) -> f64 {
+    fn power(&self, tech: &TechnologyParams, design: &DesignParams) -> Watts {
         assert!(self.count > 0, "need at least one integrator");
         assert!(self.c_int_f > 0.0, "integration cap must be positive");
         let f_clk = design.f_sample_hz(); // one charge transfer per input sample
-        // Settling: exponential settling to 2^-(settle_bits+1) within half a
-        // clock period needs GBW ≈ (settle_bits+1)·ln2·f_clk/π.
+                                          // Settling: exponential settling to 2^-(settle_bits+1) within half a
+                                          // clock period needs GBW ≈ (settle_bits+1)·ln2·f_clk/π.
         let gbw = (self.settle_bits as f64 + 1.0) * std::f64::consts::LN_2 * f_clk
             / std::f64::consts::PI
             * 2.0;
@@ -67,7 +73,7 @@ impl PowerModel for OtaIntegratorModel {
             * design.bw_lna_hz()
             * tech.v_t;
         let per_channel = design.v_dd * i_gbw.max(i_slew).max(i_noise);
-        per_channel * self.count as f64
+        Watts(per_channel * self.count as f64)
     }
 }
 
@@ -86,10 +92,15 @@ mod tests {
         // passive charge sharing saves encoder power. Both designs share the
         // matrix logic; the OTA bank is pure overhead of the active one.
         let (t, d) = setup();
-        let ota = OtaIntegratorModel::for_encoder(150, 8).power_w(&t, &d);
-        let logic = CsEncoderLogicModel::new(384).power_w(&t, &d);
+        let ota = OtaIntegratorModel::for_encoder(150, 8)
+            .power(&t, &d)
+            .value();
+        let logic = CsEncoderLogicModel::new(384).power(&t, &d).value();
         let active_total = ota + logic;
-        assert!(ota > 0.3e-6, "OTA bank power {ota} should be a visible budget item");
+        assert!(
+            ota > 0.3e-6,
+            "OTA bank power {ota} should be a visible budget item"
+        );
         assert!(
             active_total > 1.5 * logic,
             "active encoder ({active_total}) should cost well over the passive logic ({logic})"
@@ -99,25 +110,37 @@ mod tests {
     #[test]
     fn scales_linearly_with_channel_count() {
         let (t, d) = setup();
-        let p75 = OtaIntegratorModel::for_encoder(75, 8).power_w(&t, &d);
-        let p150 = OtaIntegratorModel::for_encoder(150, 8).power_w(&t, &d);
+        let p75 = OtaIntegratorModel::for_encoder(75, 8).power(&t, &d).value();
+        let p150 = OtaIntegratorModel::for_encoder(150, 8)
+            .power(&t, &d)
+            .value();
         assert!((p150 / p75 - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn more_settling_bits_cost_power_until_slew_limited() {
         let (t, d) = setup();
-        let p6 = OtaIntegratorModel { settle_bits: 6, ..OtaIntegratorModel::for_encoder(1, 6) }
-            .power_w(&t, &d);
-        let p12 = OtaIntegratorModel { settle_bits: 12, ..OtaIntegratorModel::for_encoder(1, 12) }
-            .power_w(&t, &d);
+        let p6 = OtaIntegratorModel {
+            settle_bits: 6,
+            ..OtaIntegratorModel::for_encoder(1, 6)
+        }
+        .power(&t, &d)
+        .value();
+        let p12 = OtaIntegratorModel {
+            settle_bits: 12,
+            ..OtaIntegratorModel::for_encoder(1, 12)
+        }
+        .power(&t, &d)
+        .value();
         assert!(p12 >= p6);
     }
 
     #[test]
     fn power_is_positive_and_finite() {
         let (t, d) = setup();
-        let p = OtaIntegratorModel::for_encoder(192, 8).power_w(&t, &d);
+        let p = OtaIntegratorModel::for_encoder(192, 8)
+            .power(&t, &d)
+            .value();
         assert!(p.is_finite() && p > 0.0);
     }
 
@@ -125,7 +148,11 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn rejects_zero_channels() {
         let (t, d) = setup();
-        let _ = OtaIntegratorModel { count: 0, ..OtaIntegratorModel::for_encoder(1, 8) }
-            .power_w(&t, &d);
+        let _ = OtaIntegratorModel {
+            count: 0,
+            ..OtaIntegratorModel::for_encoder(1, 8)
+        }
+        .power(&t, &d)
+        .value();
     }
 }

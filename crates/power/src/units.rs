@@ -6,16 +6,20 @@
 //! readable engineering-notation display in reports.
 
 use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 macro_rules! unit {
     ($(#[$meta:meta])* $name:ident, $symbol:literal) => {
         $(#[$meta])*
         #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[must_use]
         pub struct $name(pub f64);
 
         impl $name {
             /// The underlying SI value.
             #[inline]
+            #[must_use]
             pub const fn value(self) -> f64 {
                 self.0
             }
@@ -39,11 +43,74 @@ macro_rules! unit {
             pub fn milli(v: f64) -> Self {
                 Self(v * 1e-3)
             }
+            /// The larger of two quantities (by SI value).
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+            /// The smaller of two quantities (by SI value).
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
         }
 
         impl From<f64> for $name {
             fn from(v: f64) -> Self {
                 Self(v)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
             }
         }
 
@@ -88,8 +155,9 @@ unit!(
 );
 
 /// Splits a value into (mantissa, SI prefix) for engineering display.
+#[must_use]
 pub fn engineering(v: f64) -> (f64, &'static str) {
-    if v == 0.0 || !v.is_finite() {
+    if efficsense_dsp::approx::is_zero(v) || !v.is_finite() {
         return (v, "");
     }
     let prefixes: [(f64, &str); 9] = [
@@ -152,5 +220,22 @@ mod tests {
     #[test]
     fn ordering_works() {
         assert!(Watts(1.0) > Watts(0.5));
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!((Watts(1.0) + Watts(0.5)).value(), 1.5);
+        assert_eq!((Watts(1.0) - Watts(0.25)).value(), 0.75);
+        assert_eq!((Watts(2.0) * 3.0).value(), 6.0);
+        assert_eq!((3.0 * Watts(2.0)).value(), 6.0);
+        assert_eq!((Watts(6.0) / 3.0).value(), 2.0);
+        assert_eq!(Watts(6.0) / Watts(3.0), 2.0);
+        let mut w = Watts(1.0);
+        w += Watts(1.0);
+        assert_eq!(w.value(), 2.0);
+        let total: Watts = [Watts(1.0), Watts(2.0)].into_iter().sum();
+        assert_eq!(total.value(), 3.0);
+        assert_eq!(Farads(1e-12).max(Farads(2e-12)).value(), 2e-12);
+        assert_eq!(Farads(1e-12).min(Farads(2e-12)).value(), 1e-12);
     }
 }

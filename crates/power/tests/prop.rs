@@ -1,4 +1,5 @@
-//! Property-based tests for the power/area model library.
+//! Property-style tests for the power/area model library, run as seeded
+//! Monte-Carlo loops.
 
 use efficsense_power::area::AreaModel;
 use efficsense_power::models::{
@@ -6,80 +7,138 @@ use efficsense_power::models::{
     SarLogicModel, TransmitterModel,
 };
 use efficsense_power::{DesignParams, TechnologyParams};
-use proptest::prelude::*;
+use efficsense_rng::Rng64;
+
+const CASES: u64 = 96;
 
 fn tech() -> TechnologyParams {
     TechnologyParams::gpdk045()
 }
 
-proptest! {
-    #[test]
-    fn all_models_nonnegative_finite(
-        bits in 4u32..12,
-        noise in 1e-7f64..1e-4,
-        c_load in 1e-15f64..1e-11,
-        v_in in 0.0f64..2.0,
-        ratio_denominator in 1.0f64..10.0,
-    ) {
+#[test]
+fn all_models_nonnegative_finite() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0xA110 + case);
+        let bits = g.range(4, 12) as u32;
+        let noise = g.uniform(1e-7, 1e-4);
+        let c_load = g.uniform(1e-15, 1e-11);
+        let v_in = g.uniform(0.0, 2.0);
+        let ratio_denominator = g.uniform(1.0, 10.0);
         let t = tech();
         let d = DesignParams::paper_defaults(bits);
         let powers = [
-            LnaModel { noise_floor_vrms: noise, c_load_f: c_load, gain: 1000.0 }.power_w(&t, &d),
-            SampleHoldModel.power_w(&t, &d),
-            ComparatorModel.power_w(&t, &d),
-            SarLogicModel::default().power_w(&t, &d),
-            DacModel { c_u_f: 1e-15, v_in_rms: v_in }.power_w(&t, &d),
-            TransmitterModel { compression_ratio: 1.0 / ratio_denominator }.power_w(&t, &d),
-            CsEncoderLogicModel::new(384).power_w(&t, &d),
+            LnaModel {
+                noise_floor_vrms: noise,
+                c_load_f: c_load,
+                gain: 1000.0,
+            }
+            .power(&t, &d),
+            SampleHoldModel.power(&t, &d),
+            ComparatorModel.power(&t, &d),
+            SarLogicModel::default().power(&t, &d),
+            DacModel {
+                c_u_f: 1e-15,
+                v_in_rms: v_in,
+            }
+            .power(&t, &d),
+            TransmitterModel {
+                compression_ratio: 1.0 / ratio_denominator,
+            }
+            .power(&t, &d),
+            CsEncoderLogicModel::new(384).power(&t, &d),
         ];
         for p in powers {
-            prop_assert!(p.is_finite() && p >= 0.0, "power {p}");
+            assert!(
+                p.value().is_finite() && p.value() >= 0.0,
+                "case {case}: power {p}"
+            );
         }
     }
+}
 
-    #[test]
-    fn lna_power_monotone_nonincreasing_in_noise(
-        c_load in 1e-15f64..1e-11,
-        n1 in 1e-7f64..1e-4,
-        n2 in 1e-7f64..1e-4,
-    ) {
+#[test]
+fn lna_power_monotone_nonincreasing_in_noise() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x10A0 + case);
+        let c_load = g.uniform(1e-15, 1e-11);
+        let n1 = g.uniform(1e-7, 1e-4);
+        let n2 = g.uniform(1e-7, 1e-4);
         let t = tech();
         let d = DesignParams::paper_defaults(8);
         let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
-        let p_lo = LnaModel { noise_floor_vrms: lo, c_load_f: c_load, gain: 1000.0 }.power_w(&t, &d);
-        let p_hi = LnaModel { noise_floor_vrms: hi, c_load_f: c_load, gain: 1000.0 }.power_w(&t, &d);
-        prop_assert!(p_lo >= p_hi, "tighter noise must not be cheaper");
+        let p_lo = LnaModel {
+            noise_floor_vrms: lo,
+            c_load_f: c_load,
+            gain: 1000.0,
+        }
+        .power(&t, &d);
+        let p_hi = LnaModel {
+            noise_floor_vrms: hi,
+            c_load_f: c_load,
+            gain: 1000.0,
+        }
+        .power(&t, &d);
+        assert!(
+            p_lo.value() >= p_hi.value(),
+            "case {case}: tighter noise must not be cheaper"
+        );
     }
+}
 
-    #[test]
-    fn transmitter_power_linear_in_compression(
-        r1 in 0.01f64..1.0,
-        r2 in 0.01f64..1.0,
-    ) {
+#[test]
+fn transmitter_power_linear_in_compression() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x7210 + case);
+        let r1 = g.uniform(0.01, 1.0);
+        let r2 = g.uniform(0.01, 1.0);
         let t = tech();
         let d = DesignParams::paper_defaults(8);
-        let p1 = TransmitterModel { compression_ratio: r1 }.power_w(&t, &d);
-        let p2 = TransmitterModel { compression_ratio: r2 }.power_w(&t, &d);
-        prop_assert!((p1 / p2 - r1 / r2).abs() < 1e-9);
+        let p1 = TransmitterModel {
+            compression_ratio: r1,
+        }
+        .power(&t, &d)
+        .value();
+        let p2 = TransmitterModel {
+            compression_ratio: r2,
+        }
+        .power(&t, &d)
+        .value();
+        assert!((p1 / p2 - r1 / r2).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn digital_powers_monotone_in_bits(b in 4u32..11) {
+#[test]
+fn digital_powers_monotone_in_bits() {
+    for case in 0..CASES {
+        let b = Rng64::new(0xD161 + case).range(4, 11) as u32;
         let t = tech();
         let d1 = DesignParams::paper_defaults(b);
         let d2 = DesignParams::paper_defaults(b + 1);
-        prop_assert!(SarLogicModel::default().power_w(&t, &d2) > SarLogicModel::default().power_w(&t, &d1));
-        prop_assert!(ComparatorModel.power_w(&t, &d2) > ComparatorModel.power_w(&t, &d1));
-        prop_assert!(TransmitterModel::default().power_w(&t, &d2) > TransmitterModel::default().power_w(&t, &d1));
+        let sar = SarLogicModel::default();
+        assert!(
+            sar.power(&t, &d2).value() > sar.power(&t, &d1).value(),
+            "case {case}"
+        );
+        assert!(
+            ComparatorModel.power(&t, &d2).value() > ComparatorModel.power(&t, &d1).value(),
+            "case {case}"
+        );
+        let tx = TransmitterModel::default();
+        assert!(
+            tx.power(&t, &d2).value() > tx.power(&t, &d1).value(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn area_model_additive(
-        c1 in 1e-15f64..1e-11,
-        n1 in 1usize..500,
-        c2 in 1e-15f64..1e-11,
-        n2 in 1usize..500,
-    ) {
+#[test]
+fn area_model_additive() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0xA2EA + case);
+        let c1 = g.uniform(1e-15, 1e-11);
+        let n1 = g.range(1, 500);
+        let c2 = g.uniform(1e-15, 1e-11);
+        let n2 = g.range(1, 500);
         let t = tech();
         let mut a = AreaModel::new();
         a.add("x", c1, n1);
@@ -87,27 +146,39 @@ proptest! {
         a.add("y", c2, n2);
         let both = a.total_units(&t);
         let expect = first + c2 * n2 as f64 / t.c_u_min_f;
-        prop_assert!((both - expect).abs() < 1e-6 * expect.max(1.0));
+        assert!(
+            (both - expect).abs() < 1e-6 * expect.max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn cs_area_exceeds_baseline_for_any_config(
-        bits in 6u32..9,
-        m in 32usize..256,
-        c_hold in 1e-13f64..1e-11,
-    ) {
+#[test]
+fn cs_area_exceeds_baseline_for_any_config() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0xC5A2 + case);
+        let bits = g.range(6, 9) as u32;
+        let m = g.range(32, 256);
+        let c_hold = g.uniform(1e-13, 1e-11);
         let t = tech();
         let d = DesignParams::paper_defaults(bits);
         let base = AreaModel::baseline(&t, &d, 1e-15).total_units(&t);
-        let cs = AreaModel::compressive(&t, &d, 1e-15, m, 2, c_hold, c_hold / 5.0)
-            .total_units(&t);
-        prop_assert!(cs > base);
+        let cs = AreaModel::compressive(&t, &d, 1e-15, m, 2, c_hold, c_hold / 5.0).total_units(&t);
+        assert!(cs > base, "case {case}");
     }
+}
 
-    #[test]
-    fn mismatch_sigma_decreasing_in_cap(c1 in 1e-15f64..1e-11, c2 in 1e-15f64..1e-11) {
+#[test]
+fn mismatch_sigma_decreasing_in_cap() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x3156 + case);
+        let c1 = g.uniform(1e-15, 1e-11);
+        let c2 = g.uniform(1e-15, 1e-11);
         let t = tech();
         let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
-        prop_assert!(t.cap_mismatch_sigma(lo) >= t.cap_mismatch_sigma(hi));
+        assert!(
+            t.cap_mismatch_sigma(lo) >= t.cap_mismatch_sigma(hi),
+            "case {case}"
+        );
     }
 }

@@ -56,8 +56,8 @@ pub fn add_eye_blink(x: &mut [f64], fs: f64, start_s: f64, duration_s: f64, ampl
             break;
         }
         let u = k as f64 / n as f64; // 0..1
-        // Gamma-like rise and decay, the canonical blink shape;
-        // t²·e^(−t) peaks at 4e⁻² ≈ 0.5413, so normalise to unit peak.
+                                     // Gamma-like rise and decay, the canonical blink shape;
+                                     // t²·e^(−t) peaks at 4e⁻² ≈ 0.5413, so normalise to unit peak.
         let shape = (u * 4.0).powf(2.0) * (-(u * 4.0)).exp() / 0.5413;
         x[i] += amplitude * shape;
     }
@@ -87,7 +87,11 @@ mod tests {
         let psd = welch(&x, fs, 4096, Window::Hann);
         let p150 = psd.band_power(145.0, 155.0);
         let p50 = psd.band_power(45.0, 55.0);
-        assert!((p150 / p50 - 0.04).abs() < 0.01, "harmonic ratio {}", p150 / p50);
+        assert!(
+            (p150 / p50 - 0.04).abs() < 0.01,
+            "harmonic ratio {}",
+            p150 / p50
+        );
     }
 
     #[test]
@@ -126,6 +130,6 @@ mod tests {
         let mut x = vec![0.0; 100];
         let mut rng = Gaussian::new(3);
         add_emg_burst(&mut x, 100.0, 0.1, 0.0, 1.0, &mut rng);
-        assert!(x.iter().all(|&v| v == 0.0));
+        assert!(x.iter().all(|&v| efficsense_dsp::approx::is_zero(v)));
     }
 }

@@ -78,7 +78,11 @@ impl Default for DatasetConfig {
 impl DatasetConfig {
     /// Paper-scale configuration: ~500 records of 23.6 s at 173.61 Hz.
     pub fn paper_scale(seed: u64) -> Self {
-        Self { records_per_class: 167, seed, ..Default::default() }
+        Self {
+            records_per_class: 167,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -110,7 +114,10 @@ impl EegDataset {
                 id += 1;
             }
         }
-        Self { records, config: config.clone() }
+        Self {
+            records,
+            config: config.clone(),
+        }
     }
 
     /// Number of records.
@@ -161,7 +168,11 @@ mod tests {
 
     #[test]
     fn generates_requested_counts() {
-        let cfg = DatasetConfig { records_per_class: 7, duration_s: 2.0, ..Default::default() };
+        let cfg = DatasetConfig {
+            records_per_class: 7,
+            duration_s: 2.0,
+            ..Default::default()
+        };
         let ds = EegDataset::generate(&cfg);
         assert_eq!(ds.len(), 21);
         for class in EegClass::ALL {
@@ -171,30 +182,57 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let cfg = DatasetConfig { records_per_class: 3, duration_s: 1.0, ..Default::default() };
+        let cfg = DatasetConfig {
+            records_per_class: 3,
+            duration_s: 1.0,
+            ..Default::default()
+        };
         assert_eq!(EegDataset::generate(&cfg), EegDataset::generate(&cfg));
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = DatasetConfig { records_per_class: 2, duration_s: 1.0, seed: 1, ..Default::default() };
-        let b = DatasetConfig { records_per_class: 2, duration_s: 1.0, seed: 2, ..Default::default() };
-        assert_ne!(EegDataset::generate(&a).records[0].samples, EegDataset::generate(&b).records[0].samples);
+        let a = DatasetConfig {
+            records_per_class: 2,
+            duration_s: 1.0,
+            seed: 1,
+            ..Default::default()
+        };
+        let b = DatasetConfig {
+            records_per_class: 2,
+            duration_s: 1.0,
+            seed: 2,
+            ..Default::default()
+        };
+        assert_ne!(
+            EegDataset::generate(&a).records[0].samples,
+            EegDataset::generate(&b).records[0].samples
+        );
     }
 
     #[test]
     fn record_duration_and_label() {
-        let cfg = DatasetConfig { records_per_class: 1, ..Default::default() };
+        let cfg = DatasetConfig {
+            records_per_class: 1,
+            ..Default::default()
+        };
         let ds = EegDataset::generate(&cfg);
         let r = &ds.records[0];
         assert!((r.duration_s() - BONN_DURATION_S).abs() < 0.01);
-        let seizure = ds.by_class(EegClass::Seizure).next().expect("has seizure record");
+        let seizure = ds
+            .by_class(EegClass::Seizure)
+            .next()
+            .expect("has seizure record");
         assert_eq!(seizure.label(), 1);
     }
 
     #[test]
     fn resample_changes_rate_keeps_duration() {
-        let cfg = DatasetConfig { records_per_class: 1, duration_s: 2.0, ..Default::default() };
+        let cfg = DatasetConfig {
+            records_per_class: 1,
+            duration_s: 2.0,
+            ..Default::default()
+        };
         let ds = EegDataset::generate(&cfg);
         let r = ds.records[0].resampled(512.0);
         assert_eq!(r.fs, 512.0);
@@ -203,7 +241,11 @@ mod tests {
 
     #[test]
     fn split_is_stratified_and_disjoint() {
-        let cfg = DatasetConfig { records_per_class: 10, duration_s: 1.0, ..Default::default() };
+        let cfg = DatasetConfig {
+            records_per_class: 10,
+            duration_s: 1.0,
+            ..Default::default()
+        };
         let ds = EegDataset::generate(&cfg);
         let (train, test) = ds.split(0.2);
         assert_eq!(train.len() + test.len(), ds.len());
@@ -227,7 +269,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "test fraction")]
     fn split_rejects_bad_fraction() {
-        let cfg = DatasetConfig { records_per_class: 2, duration_s: 1.0, ..Default::default() };
+        let cfg = DatasetConfig {
+            records_per_class: 2,
+            duration_s: 1.0,
+            ..Default::default()
+        };
         let ds = EegDataset::generate(&cfg);
         let _ = ds.split(1.5);
     }

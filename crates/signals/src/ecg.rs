@@ -59,18 +59,22 @@ pub struct EcgGenerator {
 impl EcgGenerator {
     /// Creates a generator from morphology parameters and a seed.
     pub fn new(params: EcgParams, seed: u64) -> Self {
-        Self { params, rng: Gaussian::new(seed ^ 0xEC6), pink_seed: seed }
+        Self {
+            params,
+            rng: Gaussian::new(seed ^ 0xEC6),
+            pink_seed: seed,
+        }
     }
 
     /// The PQRST waves relative to the R peak, scaled to `r_amplitude`.
     fn waves(&self) -> [Wave; 5] {
         let a = self.params.r_amplitude;
         [
-            (-0.20, 0.025, 0.12 * a), // P
+            (-0.20, 0.025, 0.12 * a),   // P
             (-0.035, 0.010, -0.15 * a), // Q
-            (0.0, 0.011, 1.0 * a),    // R
-            (0.035, 0.010, -0.25 * a), // S
-            (0.22, 0.045, 0.30 * a),  // T
+            (0.0, 0.011, 1.0 * a),      // R
+            (0.035, 0.010, -0.25 * a),  // S
+            (0.22, 0.045, 0.30 * a),    // T
         ]
     }
 
@@ -80,7 +84,10 @@ impl EcgGenerator {
     ///
     /// Panics unless `fs` and `duration_s` are positive.
     pub fn record(&mut self, fs: f64, duration_s: f64) -> Vec<f64> {
-        assert!(fs > 0.0 && duration_s > 0.0, "fs and duration must be positive");
+        assert!(
+            fs > 0.0 && duration_s > 0.0,
+            "fs and duration must be positive"
+        );
         let n = (fs * duration_s) as usize;
         let mut x = vec![0.0; n];
         // Beat times with heart-rate variability.
@@ -92,9 +99,9 @@ impl EcgGenerator {
                 let centre = t_beat + dt;
                 let lo = ((centre - 5.0 * width) * fs).max(0.0) as usize;
                 let hi = (((centre + 5.0 * width) * fs) as usize).min(n);
-                for i in lo..hi {
+                for (i, v) in x.iter_mut().enumerate().take(hi).skip(lo) {
                     let t = i as f64 / fs - centre;
-                    x[i] += amp * (-(t * t) / (2.0 * width * width)).exp();
+                    *v += amp * (-(t * t) / (2.0 * width * width)).exp();
                 }
             }
             let jitter = 1.0 + self.rng.sample_scaled(self.params.hrv_sigma);
@@ -136,7 +143,12 @@ mod tests {
     #[test]
     fn beat_count_matches_heart_rate() {
         let mut g = EcgGenerator::new(
-            EcgParams { hrv_sigma: 0.0, noise_rms: 1e-9, wander_amplitude: 0.0, ..Default::default() },
+            EcgParams {
+                hrv_sigma: 0.0,
+                noise_rms: 1e-9,
+                wander_amplitude: 0.0,
+                ..Default::default()
+            },
             2,
         );
         let fs = 360.0;
@@ -178,8 +190,20 @@ mod tests {
 
     #[test]
     fn hrv_perturbs_intervals() {
-        let mut steady = EcgGenerator::new(EcgParams { hrv_sigma: 0.0, ..Default::default() }, 5);
-        let mut wobbly = EcgGenerator::new(EcgParams { hrv_sigma: 0.1, ..Default::default() }, 5);
+        let mut steady = EcgGenerator::new(
+            EcgParams {
+                hrv_sigma: 0.0,
+                ..Default::default()
+            },
+            5,
+        );
+        let mut wobbly = EcgGenerator::new(
+            EcgParams {
+                hrv_sigma: 0.1,
+                ..Default::default()
+            },
+            5,
+        );
         assert_ne!(steady.record(360.0, 10.0), wobbly.record(360.0, 10.0));
     }
 
@@ -187,7 +211,11 @@ mod tests {
     fn ecg_is_sparser_than_noise() {
         // The PQRST morphology is compressible: most samples are baseline.
         let mut g = EcgGenerator::new(
-            EcgParams { noise_rms: 1e-9, wander_amplitude: 0.0, ..Default::default() },
+            EcgParams {
+                noise_rms: 1e-9,
+                wander_amplitude: 0.0,
+                ..Default::default()
+            },
             7,
         );
         let x = g.record(360.0, 10.0);

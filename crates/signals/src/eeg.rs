@@ -115,7 +115,12 @@ pub struct EegGenerator {
 impl EegGenerator {
     /// Creates a generator with the given morphology parameters and seed.
     pub fn new(params: EegParams, seed: u64) -> Self {
-        Self { params, rng: Gaussian::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)), pink_seed: seed, next_pink: 0 }
+        Self {
+            params,
+            rng: Gaussian::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            pink_seed: seed,
+            next_pink: 0,
+        }
     }
 
     /// The generator's parameters.
@@ -129,7 +134,10 @@ impl EegGenerator {
     ///
     /// Panics if `fs <= 0` or `duration_s <= 0`.
     pub fn record(&mut self, class: EegClass, fs: f64, duration_s: f64) -> Vec<f64> {
-        assert!(fs > 0.0 && duration_s > 0.0, "fs and duration must be positive");
+        assert!(
+            fs > 0.0 && duration_s > 0.0,
+            "fs and duration must be positive"
+        );
         let n = (fs * duration_s) as usize;
         let mut x = self.background(n, fs);
         match class {
@@ -160,9 +168,7 @@ impl EegGenerator {
         for (i, v) in x.iter_mut().enumerate() {
             let t = i as f64 / fs;
             let env = 0.5 + 0.5 * (std::f64::consts::TAU * env_f * t + env_phase).sin();
-            *v += self.params.alpha_amplitude
-                * env
-                * (std::f64::consts::TAU * f * t + phase).sin();
+            *v += self.params.alpha_amplitude * env * (std::f64::consts::TAU * f * t + phase).sin();
         }
     }
 
@@ -276,15 +282,24 @@ mod tests {
     fn deterministic_given_seed() {
         let mut a = EegGenerator::new(EegParams::default(), 5);
         let mut b = EegGenerator::new(EegParams::default(), 5);
-        assert_eq!(a.record(EegClass::Seizure, 173.61, 4.0), b.record(EegClass::Seizure, 173.61, 4.0));
+        assert_eq!(
+            a.record(EegClass::Seizure, 173.61, 4.0),
+            b.record(EegClass::Seizure, 173.61, 4.0)
+        );
     }
 
     #[test]
     fn seizure_has_much_larger_amplitude() {
         let mut g = gen();
         let fs = 173.61;
-        let normal_rms: f64 = (0..8).map(|_| rms(&g.record(EegClass::Normal, fs, 8.0))).sum::<f64>() / 8.0;
-        let seiz_rms: f64 = (0..8).map(|_| rms(&g.record(EegClass::Seizure, fs, 8.0))).sum::<f64>() / 8.0;
+        let normal_rms: f64 = (0..8)
+            .map(|_| rms(&g.record(EegClass::Normal, fs, 8.0)))
+            .sum::<f64>()
+            / 8.0;
+        let seiz_rms: f64 = (0..8)
+            .map(|_| rms(&g.record(EegClass::Seizure, fs, 8.0)))
+            .sum::<f64>()
+            / 8.0;
         assert!(
             seiz_rms > 1.5 * normal_rms,
             "seizure rms {seiz_rms} vs normal {normal_rms}"
@@ -317,7 +332,12 @@ mod tests {
     fn normal_has_alpha_peak() {
         // Average many records to beat the pink background.
         let mut g = EegGenerator::new(
-            EegParams { powerline_probability: 0.0, emg_probability: 0.0, blink_probability: 0.0, ..Default::default() },
+            EegParams {
+                powerline_probability: 0.0,
+                emg_probability: 0.0,
+                blink_probability: 0.0,
+                ..Default::default()
+            },
             77,
         );
         let fs = 173.61;
@@ -335,7 +355,12 @@ mod tests {
     #[test]
     fn interictal_has_spikes_above_background() {
         let mut g = EegGenerator::new(
-            EegParams { powerline_probability: 0.0, emg_probability: 0.0, blink_probability: 0.0, ..Default::default() },
+            EegParams {
+                powerline_probability: 0.0,
+                emg_probability: 0.0,
+                blink_probability: 0.0,
+                ..Default::default()
+            },
             31,
         );
         let x = g.record(EegClass::Interictal, 173.61, 23.6);
@@ -356,7 +381,10 @@ mod tests {
         let mut g = gen();
         for class in EegClass::ALL {
             let x = g.record(class, 173.61, 23.6);
-            assert!(x.iter().all(|v| v.is_finite()), "{class} produced non-finite values");
+            assert!(
+                x.iter().all(|v| v.is_finite()),
+                "{class} produced non-finite values"
+            );
         }
     }
 

@@ -1,22 +1,21 @@
 //! Seeded noise generators: white Gaussian, pink (1/f), and a helper RNG.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use efficsense_rng::Rng64;
 
-/// A seeded Gaussian sample source (Box–Muller over a [`StdRng`]).
-///
-/// `rand` alone provides uniform sampling; the normal transform is done here
-/// to avoid pulling in `rand_distr`.
+/// A seeded Gaussian sample source (Box–Muller over a [`Rng64`]).
 #[derive(Debug, Clone)]
 pub struct Gaussian {
-    rng: StdRng,
+    rng: Rng64,
     spare: Option<f64>,
 }
 
 impl Gaussian {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+        Self {
+            rng: Rng64::new(seed),
+            spare: None,
+        }
     }
 
     /// Draws one standard-normal sample.
@@ -25,8 +24,8 @@ impl Gaussian {
             return v;
         }
         // Box–Muller: two uniforms -> two normals.
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen::<f64>();
+        let u1: f64 = self.rng.open01();
+        let u2: f64 = self.rng.f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * theta.sin());
@@ -45,10 +44,7 @@ impl Gaussian {
 
     /// Draws a uniform value in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        if lo == hi {
-            return lo;
-        }
-        self.rng.gen_range(lo..hi)
+        self.rng.uniform(lo, hi)
     }
 
     /// Draws a uniform integer in `[0, n)`.
@@ -57,13 +53,12 @@ impl Gaussian {
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
-        assert!(n > 0, "cannot draw an index from an empty range");
-        self.rng.gen_range(0..n)
+        self.rng.index(n)
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen::<f64>() < p
+        self.rng.chance(p)
     }
 }
 
@@ -80,7 +75,10 @@ pub struct PinkNoise {
 impl PinkNoise {
     /// Creates a pink-noise source from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { white: Gaussian::new(seed), b: [0.0; 3] }
+        Self {
+            white: Gaussian::new(seed),
+            b: [0.0; 3],
+        }
     }
 
     /// Draws the next pink-noise sample (≈ unit variance).

@@ -1,73 +1,105 @@
-//! Property-based tests for the synthetic EEG substrate.
+//! Property-style tests for the synthetic EEG substrate, run as seeded
+//! Monte-Carlo loops.
 
 use efficsense_dsp::stats::{peak, rms};
+use efficsense_rng::Rng64;
 use efficsense_signals::noise::{Gaussian, PinkNoise};
 use efficsense_signals::{DatasetConfig, EegClass, EegDataset, EegGenerator, EegParams};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn records_always_finite_and_physiological(
-        seed in any::<u64>(),
-        duration in 1.0f64..12.0,
-    ) {
+#[test]
+fn records_always_finite_and_physiological() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x4EC0 + case);
+        let seed = g.next_u64();
+        let duration = g.uniform(1.0, 12.0);
         let mut gen = EegGenerator::new(EegParams::default(), seed);
         for class in EegClass::ALL {
             let x = gen.record(class, 173.61, duration);
-            prop_assert_eq!(x.len(), (173.61 * duration) as usize);
-            prop_assert!(x.iter().all(|v| v.is_finite()));
+            assert_eq!(x.len(), (173.61 * duration) as usize, "case {case}");
+            assert!(x.iter().all(|v| v.is_finite()), "case {case}");
             // Scalp EEG never exceeds ~1 mV.
-            prop_assert!(peak(&x) < 1e-3, "peak {} too large", peak(&x));
-            prop_assert!(rms(&x) > 1e-7, "record should not be silent");
+            assert!(peak(&x) < 1e-3, "case {case}: peak {} too large", peak(&x));
+            assert!(rms(&x) > 1e-7, "case {case}: record should not be silent");
         }
     }
+}
 
-    #[test]
-    fn generation_is_deterministic(seed in any::<u64>()) {
+#[test]
+fn generation_is_deterministic() {
+    for case in 0..CASES {
+        let seed = Rng64::new(0xDE7E + case).next_u64();
         let cfg = DatasetConfig {
             records_per_class: 2,
             duration_s: 2.0,
             seed,
             ..Default::default()
         };
-        prop_assert_eq!(EegDataset::generate(&cfg), EegDataset::generate(&cfg));
+        assert_eq!(
+            EegDataset::generate(&cfg),
+            EegDataset::generate(&cfg),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn split_partitions_dataset(
-        n in 2usize..12,
-        frac_pct in 10u32..50,
-    ) {
-        let cfg = DatasetConfig { records_per_class: n, duration_s: 1.0, ..Default::default() };
+#[test]
+fn split_partitions_dataset() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x5917 + case);
+        let n = g.range(2, 12);
+        let frac_pct = g.range(10, 50) as u32;
+        let cfg = DatasetConfig {
+            records_per_class: n,
+            duration_s: 1.0,
+            ..Default::default()
+        };
         let ds = EegDataset::generate(&cfg);
         let (train, test) = ds.split(frac_pct as f64 / 100.0);
-        prop_assert_eq!(train.len() + test.len(), ds.len());
+        assert_eq!(train.len() + test.len(), ds.len(), "case {case}");
         let mut ids: Vec<usize> = train.iter().chain(test.iter()).map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), ds.len(), "every record exactly once");
+        assert_eq!(
+            ids.len(),
+            ds.len(),
+            "case {case}: every record exactly once"
+        );
     }
+}
 
-    #[test]
-    fn gaussian_bounded_variance(seed in any::<u64>(), sigma in 0.1f64..10.0) {
-        let mut g = Gaussian::new(seed);
-        let x = g.vector(5000, sigma);
+#[test]
+fn gaussian_bounded_variance() {
+    for case in 0..CASES {
+        let mut g = Rng64::new(0x6A45 + case);
+        let seed = g.next_u64();
+        let sigma = g.uniform(0.1, 10.0);
+        let mut gauss = Gaussian::new(seed);
+        let x = gauss.vector(5000, sigma);
         let s = efficsense_dsp::stats::std_dev(&x);
-        prop_assert!((s / sigma - 1.0).abs() < 0.15, "σ estimate {s} vs {sigma}");
+        assert!(
+            (s / sigma - 1.0).abs() < 0.15,
+            "case {case}: σ estimate {s} vs {sigma}"
+        );
     }
+}
 
-    #[test]
-    fn pink_noise_finite_and_nonzero(seed in any::<u64>()) {
+#[test]
+fn pink_noise_finite_and_nonzero() {
+    for case in 0..CASES {
+        let seed = Rng64::new(0x9146 + case).next_u64();
         let mut p = PinkNoise::new(seed);
         let x = p.vector(2000, 1.0);
-        prop_assert!(x.iter().all(|v| v.is_finite()));
-        prop_assert!(rms(&x) > 0.05);
+        assert!(x.iter().all(|v| v.is_finite()), "case {case}");
+        assert!(rms(&x) > 0.05, "case {case}");
     }
+}
 
-    #[test]
-    fn seizure_energy_exceeds_normal_on_average(seed in any::<u64>()) {
+#[test]
+fn seizure_energy_exceeds_normal_on_average() {
+    for case in 0..CASES {
+        let seed = Rng64::new(0x5E12 + case).next_u64();
         let params = EegParams {
             powerline_probability: 0.0,
             emg_probability: 0.0,
@@ -81,6 +113,9 @@ proptest! {
             seiz += rms(&gen.record(EegClass::Seizure, 173.61, 6.0));
             norm += rms(&gen.record(EegClass::Normal, 173.61, 6.0));
         }
-        prop_assert!(seiz > norm, "seizure rms {seiz} vs normal {norm}");
+        assert!(
+            seiz > norm,
+            "case {case}: seizure rms {seiz} vs normal {norm}"
+        );
     }
 }

@@ -1,0 +1,75 @@
+//! `cargo xtask` — workspace automation. Currently one subcommand:
+//!
+//! ```text
+//! cargo xtask lint [--root <dir>]
+//! ```
+//!
+//! Runs the domain-aware lint pass over every `.rs` file in the workspace
+//! and exits non-zero when violations are found. Diagnostics are printed as
+//! `file:line: rule-id: message`, one per line, sorted by path.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n\nusage: cargo xtask lint [--root <dir>]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--root <dir>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    match xtask::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("xtask lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: I/O error under {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root is two levels up from this crate's manifest
+/// (`crates/xtask` → workspace), falling back to the current directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map_or_else(|| PathBuf::from("."), PathBuf::from)
+}

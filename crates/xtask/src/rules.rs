@@ -1,0 +1,579 @@
+//! The six domain-aware lint rules.
+//!
+//! | rule id       | invariant                                                      |
+//! |---------------|----------------------------------------------------------------|
+//! | `float-eq`    | no `==`/`!=` on floating-point operands                        |
+//! | `no-panic`    | no `panic!`/`.unwrap()`/`.expect(` in gated library code       |
+//! | `unit-newtype`| power/energy/capacitance returns use `units` newtypes          |
+//! | `must-use`    | scalar power/energy/metric returns carry `#[must_use]`         |
+//! | `seeded-rng`  | no ambient-entropy RNG outside the bench crate                 |
+//! | `finite-guard`| hot numerical kernels carry `debug_assert!(..is_finite..)`     |
+//!
+//! Every rule is line-textual over the preprocessed source (comments and
+//! string literals blanked), which keeps the checker dependency-free and
+//! fast; the price is that rules are heuristic, so each supports a
+//! `// lint:allow(rule-id)` escape on the same or preceding line.
+
+use crate::source::SourceFile;
+
+/// A single finding, printed as `file:line: rule-id: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose library code must not panic (simulation inner loops).
+const NO_PANIC_CRATES: [&str; 4] = [
+    "crates/core/src/",
+    "crates/power/src/",
+    "crates/cs/src/",
+    "crates/dsp/src/",
+];
+
+/// Numerical kernels that must guard stage boundaries against non-finite
+/// values.
+const FINITE_GUARD_FILES: [&str; 4] = [
+    "crates/cs/src/linalg.rs",
+    "crates/cs/src/recon.rs",
+    "crates/dsp/src/fft.rs",
+    "crates/core/src/simulate.rs",
+];
+
+/// Runs every rule against one file.
+pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    float_eq(f, &mut out);
+    no_panic(f, &mut out);
+    unit_newtype(f, &mut out);
+    must_use(f, &mut out);
+    seeded_rng(f, &mut out);
+    finite_guard(f, &mut out);
+    out.retain(|d| !f.allowed(d.rule, d.line));
+    out
+}
+
+fn push(out: &mut Vec<Diagnostic>, f: &SourceFile, line: usize, rule: &'static str, msg: String) {
+    out.push(Diagnostic {
+        path: f.path.clone(),
+        line,
+        rule,
+        message: msg,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// float-eq
+// ---------------------------------------------------------------------------
+
+/// Flags `==`/`!=` where either operand looks floating-point: a float
+/// literal (`0.0`, `1e-6`), an `f64`/`f32` cast, or an `f64::` constant.
+/// Exact comparison is almost always wrong for computed floats; route
+/// through `efficsense_dsp::approx::{approx_eq, total_eq, is_zero}`.
+fn float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, line) in f.clean.iter().enumerate() {
+        for pos in eq_operator_positions(line) {
+            let (lhs, rhs) = operand_windows(line, pos);
+            if looks_float(lhs) || looks_float(rhs) {
+                push(
+                    out,
+                    f,
+                    i + 1,
+                    "float-eq",
+                    "exact float comparison; use approx_eq/total_eq/is_zero from \
+                     efficsense_dsp::approx"
+                        .to_string(),
+                );
+                break; // one diagnostic per line is enough
+            }
+        }
+    }
+}
+
+/// Byte offsets of bare `==` / `!=` operators (not `<=`, `>=`, `=>`, `===`).
+fn eq_operator_positions(line: &str) -> Vec<usize> {
+    let b = line.as_bytes();
+    let mut v = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let two = &b[i..i + 2];
+        if two == b"==" || two == b"!=" {
+            let before_ok = i == 0 || !matches!(b[i - 1], b'=' | b'<' | b'>' | b'!');
+            let after_ok = i + 2 >= b.len() || b[i + 2] != b'=';
+            if before_ok && after_ok {
+                v.push(i);
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    v
+}
+
+/// Text windows left and right of the operator, clipped at expression
+/// boundaries that cannot be part of a simple operand.
+fn operand_windows(line: &str, op_pos: usize) -> (&str, &str) {
+    let left_all = &line[..op_pos];
+    let right_all = &line[op_pos + 2..];
+    let lstart = left_all
+        .rfind(['(', ',', ';', '{', '&', '|'])
+        .map_or(0, |p| p + 1);
+    let rend = right_all
+        .find([',', ';', '{', '&', '|', ')'])
+        .unwrap_or(right_all.len());
+    (&left_all[lstart..], &right_all[..rend])
+}
+
+/// Identifier suffixes that by workspace convention denote f64 quantities
+/// (watts, joules, farads, hertz, decibels, volts-rms) — comparing them
+/// exactly is as wrong as comparing literals.
+const FLOAT_SUFFIXES: [&str; 7] = ["_w", "_j", "_f", "_hz", "_db", "_vrms", "_percent"];
+
+/// Heuristic: does the snippet contain a float literal, a float type token,
+/// or an identifier with a unit suffix?
+fn looks_float(s: &str) -> bool {
+    if s.contains("f64") || s.contains("f32") {
+        return true;
+    }
+    for word in s.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
+        if FLOAT_SUFFIXES
+            .iter()
+            .any(|suf| word.ends_with(suf) && word.len() > suf.len())
+        {
+            return true;
+        }
+    }
+    let b = s.as_bytes();
+    for i in 0..b.len() {
+        if !b[i].is_ascii_digit() {
+            continue;
+        }
+        // digit '.' digit → decimal literal (excludes `0..10` ranges).
+        if i + 2 < b.len() && b[i + 1] == b'.' && b[i + 2].is_ascii_digit() {
+            return true;
+        }
+        // digit ('e'|'E') [+-] digit → exponent literal. Requires the next
+        // char after e/E to be a sign or digit so identifiers don't match.
+        if i + 2 < b.len() && (b[i + 1] == b'e' || b[i + 1] == b'E') {
+            let t = b[i + 2];
+            if t.is_ascii_digit()
+                || ((t == b'+' || t == b'-') && i + 3 < b.len() && b[i + 3].is_ascii_digit())
+            {
+                // Exclude hex literals like 0x1e3 by requiring no `x` before.
+                if !s[..i].ends_with('x') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// no-panic
+// ---------------------------------------------------------------------------
+
+/// Flags `panic!`, `.unwrap()`, `.expect(`, `todo!` and `unimplemented!` in
+/// the non-test library code of the simulation crates. These run inside
+/// sweep inner loops; a bad design point must surface as an `Err`, not
+/// abort a multi-hour pathfinding run.
+fn no_panic(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !NO_PANIC_CRATES.iter().any(|p| f.path.starts_with(p)) {
+        return;
+    }
+    const PATTERNS: [(&str, &str); 5] = [
+        ("panic!", "explicit panic"),
+        (".unwrap()", "Option/Result unwrap"),
+        (".expect(", "Option/Result expect"),
+        ("todo!", "todo! placeholder"),
+        ("unimplemented!", "unimplemented! placeholder"),
+    ];
+    for (i, line) in f.clean.iter().enumerate() {
+        if f.in_test[i] {
+            continue;
+        }
+        for (pat, what) in PATTERNS {
+            if line.contains(pat) {
+                push(
+                    out,
+                    f,
+                    i + 1,
+                    "no-panic",
+                    format!("{what} in simulation library code; return Result or restructure"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pub fn signature scanning (shared by unit-newtype and must-use)
+// ---------------------------------------------------------------------------
+
+/// A public function signature found in the cleaned source.
+struct PubFn {
+    /// 1-based line of the `fn` keyword.
+    line: usize,
+    name: String,
+    /// Signature text between the closing paren of the params and the body.
+    ret: String,
+}
+
+fn pub_fns(f: &SourceFile) -> Vec<PubFn> {
+    let text = f.clean.join("\n");
+    let b: Vec<char> = text.chars().collect();
+    let mut fns = Vec::new();
+    let mut search = 0usize;
+    loop {
+        let plain = text[search..].find("pub fn ");
+        let konst = text[search..].find("pub const fn ");
+        let (rel, skip) = match (plain, konst) {
+            (Some(a), Some(c)) if c < a => (c, "pub const fn ".len()),
+            (Some(a), _) => (a, "pub fn ".len()),
+            (None, Some(c)) => (c, "pub const fn ".len()),
+            (None, None) => break,
+        };
+        let at = search + rel;
+        let name_start = at + skip;
+        let mut j = name_start;
+        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        let name: String = b[name_start..j].iter().collect();
+        // Find the param list and match parens.
+        while j < b.len() && b[j] != '(' {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < b.len() {
+            match b[j] {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let ret_start = (j + 1).min(b.len());
+        let mut k = ret_start;
+        while k < b.len() && b[k] != '{' && b[k] != ';' {
+            k += 1;
+        }
+        let ret: String = b[ret_start..k].iter().collect();
+        let line = text[..at].matches('\n').count() + 1;
+        if !name.is_empty() {
+            fns.push(PubFn {
+                line,
+                name,
+                ret: ret.trim().to_string(),
+            });
+        }
+        search = k.max(at + 1);
+    }
+    fns
+}
+
+/// Does the raw source carry `#[must_use]` in the attribute block directly
+/// above `line` (1-based)?
+fn has_must_use_above(f: &SourceFile, line: usize) -> bool {
+    // The attribute may also sit on the `pub fn` line itself in pathological
+    // formatting; check it first.
+    if f.raw
+        .get(line - 1)
+        .is_some_and(|l| l.contains("#[must_use]"))
+    {
+        return true;
+    }
+    let mut i = line - 1; // index of the fn line in 0-based raw
+    while i > 0 {
+        i -= 1;
+        let t = f.raw[i].trim();
+        if t.contains("#[must_use]") {
+            return true;
+        }
+        // Keep walking through other attributes and doc comments.
+        if t.starts_with("#[") || t.starts_with("///") || t.starts_with("//") || t.is_empty() {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// unit-newtype
+// ---------------------------------------------------------------------------
+
+/// In `efficsense-power`, public functions whose names promise a power,
+/// energy, charge or capacitance must return the corresponding `units`
+/// newtype, not a bare `f64` — mixing up a watt and a farad type-checks
+/// otherwise.
+fn unit_newtype(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !f.path.starts_with("crates/power/src/") {
+        return;
+    }
+    for pf in pub_fns(f) {
+        if !pf.ret.contains("-> f64") {
+            continue;
+        }
+        if f.in_test[pf.line - 1] {
+            continue;
+        }
+        let n = pf.name.as_str();
+        let unit_like = n.ends_with("_w")
+            || n.ends_with("_j")
+            || n.ends_with("_f")
+            || n.contains("power")
+            || n.contains("energy")
+            || n.contains("capacitance")
+            || n.contains("charge");
+        if unit_like {
+            push(
+                out,
+                f,
+                pf.line,
+                "unit-newtype",
+                format!(
+                    "`{n}` returns a raw f64 for a dimensioned quantity; return a units \
+                     newtype (Watts/Joules/Farads)"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// must-use
+// ---------------------------------------------------------------------------
+
+/// Scalar power/energy/metric computations whose result is silently dropped
+/// are always bugs; require `#[must_use]` on them. Newtype returns are
+/// covered by the `#[must_use]` on the unit structs themselves.
+fn must_use(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let in_scope = f.path.starts_with("crates/power/src/") || f.path == "crates/dsp/src/metrics.rs";
+    if !in_scope {
+        return;
+    }
+    for pf in pub_fns(f) {
+        if !pf.ret.contains("-> f64") {
+            continue;
+        }
+        if f.in_test[pf.line - 1] {
+            continue;
+        }
+        let n = pf.name.as_str();
+        let metric_like = n.ends_with("_db")
+            || n.ends_with("_w")
+            || n.ends_with("_j")
+            || n.ends_with("_percent")
+            || n.contains("power")
+            || n.contains("energy")
+            || n.contains("sndr")
+            || n.contains("snr")
+            || n.contains("enob")
+            || n.contains("thd")
+            || n.contains("nmse")
+            || n.contains("rmse")
+            || n.contains("nef");
+        if metric_like && !has_must_use_above(f, pf.line) {
+            push(
+                out,
+                f,
+                pf.line,
+                "must-use",
+                format!("`{n}` computes a power/energy/quality figure; mark it #[must_use]"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// seeded-rng
+// ---------------------------------------------------------------------------
+
+/// All stochastic behaviour must be reproducible from explicit seeds:
+/// Monte-Carlo mismatch draws, sensing matrices and noise streams are part
+/// of the experiment record. Ambient-entropy constructors are only
+/// acceptable in the bench crate.
+fn seeded_rng(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.path.starts_with("crates/bench/") {
+        return;
+    }
+    const PATTERNS: [&str; 6] = [
+        "thread_rng",
+        "from_entropy",
+        "rand::random",
+        "OsRng",
+        "getrandom",
+        "from_os_rng",
+    ];
+    for (i, line) in f.clean.iter().enumerate() {
+        for pat in PATTERNS {
+            if line.contains(pat) {
+                push(
+                    out,
+                    f,
+                    i + 1,
+                    "seeded-rng",
+                    format!("`{pat}` draws ambient entropy; construct Rng64 from an explicit seed"),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// finite-guard
+// ---------------------------------------------------------------------------
+
+/// The hot numerical kernels must assert finiteness at stage boundaries in
+/// debug builds — a NaN born in a Cholesky solve otherwise propagates
+/// silently into every downstream metric. The rule is satisfied by any
+/// `debug_assert…is_finite` combination or a `debug_assert_all_finite` call.
+fn finite_guard(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !FINITE_GUARD_FILES.contains(&f.path.as_str()) {
+        return;
+    }
+    if f.allowed_anywhere("finite-guard") {
+        return;
+    }
+    // The assertion may be formatted across lines, so test containment over
+    // the whole file rather than per line.
+    let has_all_finite = f
+        .clean
+        .iter()
+        .any(|l| l.contains("debug_assert_all_finite"));
+    let has_guard = has_all_finite
+        || (f.clean.iter().any(|l| l.contains("debug_assert"))
+            && f.clean.iter().any(|l| l.contains("is_finite")));
+    if !has_guard {
+        push(
+            out,
+            f,
+            1,
+            "finite-guard",
+            "hot numerical kernel lacks debug_assert finiteness guards at stage boundaries"
+                .to_string(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn float_eq_catches_literal_comparison() {
+        let d = lint("crates/ml/src/x.rs", "fn f(x: f64) -> bool { x == 0.0 }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "float-eq");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn float_eq_catches_unit_suffixed_identifiers() {
+        let src = "fn same(a: &P, b: &P) -> bool { a.power_w == b.power_w }\n";
+        let d = lint("crates/ml/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_and_compound_ops() {
+        let src = "fn f(x: usize) -> bool { x == 10 && x != 3 && x <= 4 }\n";
+        assert!(lint("crates/ml/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_only_in_gated_crates() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint("crates/dsp/src/x.rs", src).len(), 1);
+        assert!(lint("crates/ml/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_exempts_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(lint("crates/dsp/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pub_fn_scanner_handles_multiline_signatures() {
+        let src = "pub fn walden_fom_j_per_step(\n    power_w: f64,\n    enob: f64,\n) -> f64 {\n    0.0\n}\n";
+        let f = SourceFile::parse("crates/power/src/fom.rs", src);
+        let fns = pub_fns(&f);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "walden_fom_j_per_step");
+        assert!(fns[0].ret.contains("-> f64"));
+    }
+
+    #[test]
+    fn unit_newtype_flags_raw_f64_power_return() {
+        let src = "pub fn power_w(&self) -> f64 { 1.0 }\n";
+        let d = lint("crates/power/src/models.rs", src);
+        assert!(d.iter().any(|d| d.rule == "unit-newtype"), "{d:?}");
+    }
+
+    #[test]
+    fn must_use_accepts_annotated_fn() {
+        let src = "#[must_use]\npub fn sndr_db(x: f64) -> f64 { x }\n";
+        let d = lint("crates/dsp/src/metrics.rs", src);
+        assert!(!d.iter().any(|d| d.rule == "must-use"), "{d:?}");
+    }
+
+    #[test]
+    fn seeded_rng_flags_ambient_sources_outside_bench() {
+        let src = "fn f() { let mut rng = thread_rng(); }\n";
+        assert_eq!(lint("crates/signals/src/x.rs", src).len(), 1);
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn finite_guard_requires_guard_in_hot_kernels() {
+        let bare = "pub fn omp() {}\n";
+        let d = lint("crates/cs/src/recon.rs", bare);
+        assert!(d.iter().any(|d| d.rule == "finite-guard"));
+        let guarded = "pub fn omp(y: &[f64]) { debug_assert_all_finite(y, \"omp\"); }\n";
+        assert!(lint("crates/cs/src/recon.rs", guarded).is_empty());
+        // Not a hot kernel → no requirement.
+        assert!(lint("crates/cs/src/matrix.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_suppresses_same_and_next_line() {
+        let same = "fn f(v: f64) -> bool { v == 0.0 } // lint:allow(float-eq)\n";
+        assert!(lint("crates/ml/src/x.rs", same).is_empty());
+        let preceding =
+            "// lint:allow(float-eq) — definitional zero check\nfn f(v: f64) -> bool { v == 0.0 }\n";
+        assert!(lint("crates/ml/src/x.rs", preceding).is_empty());
+        let wrong_rule = "fn f(v: f64) -> bool { v == 0.0 } // lint:allow(no-panic)\n";
+        assert_eq!(lint("crates/ml/src/x.rs", wrong_rule).len(), 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Lexical preprocessing of Rust source for the lint rules.
+//!
+//! The rules are textual, so before matching we strip everything that is not
+//! code: line and (nested) block comments, string literals (including raw
+//! strings with any number of `#` guards), byte strings, and character
+//! literals. Stripped spans are replaced with spaces so every diagnostic
+//! keeps its original line and column structure.
+//!
+//! The preprocessor also computes, per line, whether the line falls inside a
+//! `#[cfg(test)]` item or a `#[test]` function, so rules can exempt test
+//! code, and collects `lint:allow(rule-id)` escape comments.
+
+/// A preprocessed source file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Original lines (used for `lint:allow` detection only).
+    pub raw: Vec<String>,
+    /// Lines with comments and literals blanked to spaces.
+    pub clean: Vec<String>,
+    /// `in_test[i]` is true when line `i` is inside test-only code.
+    pub in_test: Vec<bool>,
+    /// `(line, rule-id)` pairs from `lint:allow(...)` comments.
+    pub allows: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Preprocesses `text` under the given workspace-relative `path`.
+    pub fn parse(path: &str, text: &str) -> Self {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let clean = strip(text);
+        let clean_lines: Vec<String> = clean.lines().map(str::to_string).collect();
+        let in_test = test_lines(&clean_lines);
+        let allows = collect_allows(&raw);
+        SourceFile {
+            path: path.to_string(),
+            raw,
+            clean: clean_lines,
+            in_test,
+            allows,
+        }
+    }
+
+    /// True when a diagnostic for `rule` at 1-based `line` is suppressed by a
+    /// `lint:allow(rule)` comment on the same or the preceding line.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+
+    /// True when any line of the file carries `lint:allow(rule)` — used by
+    /// whole-file rules such as `finite-guard`.
+    pub fn allowed_anywhere(&self, rule: &str) -> bool {
+        self.allows.iter().any(|(_, r)| r == rule)
+    }
+}
+
+/// Replaces comments and literals with spaces, preserving line structure.
+fn strip(text: &str) -> String {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let n = b.len();
+    let mut i = 0;
+
+    // Emits `c` verbatim for newlines (to keep line numbers) else a space.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < n {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                blank(&mut out, b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            blank(&mut out, b[i]);
+            blank(&mut out, b[i + 1]);
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                } else {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"..." / r#"..."# (and br variants).
+        let (is_raw, raw_start) = if c == 'r' && !prev_is_ident(&b, i) {
+            (looks_like_raw_string(&b, i), i)
+        } else if c == 'b' && i + 1 < n && b[i + 1] == 'r' && !prev_is_ident(&b, i) {
+            (looks_like_raw_string(&b, i + 1), i)
+        } else {
+            (false, i)
+        };
+        if is_raw {
+            let hash_from = if b[raw_start] == 'b' {
+                raw_start + 2
+            } else {
+                raw_start + 1
+            };
+            let mut hashes = 0usize;
+            let mut j = hash_from;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            // j is at the opening quote.
+            j += 1;
+            // Scan to `"` followed by `hashes` hash marks.
+            while j < n {
+                if b[j] == '"' {
+                    let mut k = 0;
+                    while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            while i < j.min(n) {
+                blank(&mut out, b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Ordinary string literal (and byte string).
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"' && !prev_is_ident(&b, i)) {
+            if c == 'b' {
+                blank(&mut out, b[i]);
+                i += 1;
+            }
+            blank(&mut out, b[i]);
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == '"';
+                blank(&mut out, b[i]);
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if is_char_literal(&b, i) {
+                blank(&mut out, b[i]);
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    let done = b[i] == '\'';
+                    blank(&mut out, b[i]);
+                    i += 1;
+                    if done {
+                        break;
+                    }
+                }
+            } else {
+                // Lifetime: keep the tick so generic syntax stays intact.
+                out.push('\'');
+                i += 1;
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+fn looks_like_raw_string(b: &[char], r_pos: usize) -> bool {
+    let mut j = r_pos + 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    if b[i + 1] == '\\' {
+        return true;
+    }
+    // 'x' — a single char followed by a closing quote.
+    i + 2 < n && b[i + 1] != '\'' && b[i + 2] == '\''
+}
+
+/// Marks lines covered by `#[cfg(test)]` items or `#[test]` functions.
+fn test_lines(clean: &[String]) -> Vec<bool> {
+    let mut marks = vec![false; clean.len()];
+    let joined: Vec<&str> = clean.iter().map(String::as_str).collect();
+    for (idx, line) in joined.iter().enumerate() {
+        let trimmed = line.trim();
+        let is_marker = trimmed.contains("#[cfg(test)]") || trimmed == "#[test]";
+        if !is_marker {
+            continue;
+        }
+        // Walk forward to the item's body: the span runs to the matching `}`
+        // of the first `{`, or to the first `;` if that comes sooner (e.g.
+        // `#[cfg(test)] use ...;`).
+        let mut depth = 0usize;
+        let mut entered = false;
+        'outer: for (j, l) in joined.iter().enumerate().skip(idx) {
+            marks[j] = true;
+            for c in l.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            break 'outer;
+                        }
+                    }
+                    ';' if !entered => break 'outer,
+                    _ => {}
+                }
+            }
+        }
+    }
+    marks
+}
+
+/// Collects `(line, rule)` pairs from `lint:allow(rule[, rule...])` comments.
+fn collect_allows(raw: &[String]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in raw.iter().enumerate() {
+        let mut rest = line.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            if let Some(close) = after.find(')') {
+                for rule in after[..close].split(',') {
+                    let rule = rule.trim();
+                    if !rule.is_empty() {
+                        out.push((i + 1, rule.to_string()));
+                    }
+                }
+                rest = &after[close + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = 1.0; // x == 2.0\nlet s = \"a == b\";\n/* y != 0.0 */ let z = 3;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.clean[0].contains("=="));
+        assert!(!f.clean[1].contains("=="));
+        assert!(!f.clean[2].contains("!="));
+        assert!(f.clean[0].contains("let x = 1.0;"));
+        assert!(f.clean[2].contains("let z = 3;"));
+    }
+
+    #[test]
+    fn strips_raw_and_byte_strings() {
+        let src = "let a = r#\"x == 1.0\"#;\nlet b = br\"y != 2.0\";\nlet c = b\"z == 3.0\";\n";
+        let f = SourceFile::parse("t.rs", src);
+        for l in &f.clean {
+            assert!(
+                !l.contains("==") && !l.contains("!="),
+                "leaked literal: {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn char_literals_blanked_lifetimes_kept() {
+        let src = "fn f<'a>(x: &'a str) -> char { '=' }\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.clean[0].contains("<'a>"));
+        assert!(
+            !f.clean[0].contains('='),
+            "char literal leaked: {}",
+            f.clean[0]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner == */ still != comment */ let q = 1;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.clean[0].contains("!="));
+        assert!(f.clean[0].contains("let q = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_span_is_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_statement_spans_one_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.in_test, vec![true, true, false]);
+    }
+
+    #[test]
+    fn allow_comments_parse_and_apply() {
+        let src = "let a = 1; // lint:allow(float-eq)\nlet b = a;\nlet c = b; // lint:allow(no-panic, float-eq)\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allowed("float-eq", 1));
+        assert!(
+            f.allowed("float-eq", 2),
+            "allow also covers the following line"
+        );
+        assert!(!f.allowed("float-eq", 30));
+        assert!(f.allowed("no-panic", 3));
+        assert!(f.allowed_anywhere("no-panic"));
+        assert!(!f.allowed_anywhere("seeded-rng"));
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: a hot kernel opting out of finite-guard file-wide.
+// lint:allow(finite-guard) — kernel validates inputs at the API boundary
+
+pub fn omp(y: &[f64]) -> Vec<f64> {
+    y.iter().map(|v| v * 2.0).collect()
+}

@@ -1,0 +1,6 @@
+// Fixture: a hot kernel with no finiteness guard (linted under
+// crates/cs/src/recon.rs) — triggers finite-guard at line 1.
+
+pub fn omp(y: &[f64]) -> Vec<f64> {
+    y.iter().map(|v| v * 2.0).collect()
+}

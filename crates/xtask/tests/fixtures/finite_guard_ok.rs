@@ -1,0 +1,8 @@
+// Fixture: a hot kernel that guards its stage boundary — finite-guard clean.
+
+pub fn omp(y: &[f64]) -> Vec<f64> {
+    efficsense_dsp::approx::debug_assert_all_finite(y, "omp measurements");
+    let s: Vec<f64> = y.iter().map(|v| v * 2.0).collect();
+    debug_assert!(s.iter().all(|v| v.is_finite()), "omp output finite");
+    s
+}

@@ -1,0 +1,22 @@
+// Fixture: float-eq violations. Linted under a virtual path inside the
+// workspace; never compiled (the walker skips `fixtures/` directories).
+
+pub fn literal_compare(x: f64) -> bool {
+    x == 0.0 // VIOLATION line 5
+}
+
+pub fn unit_suffix_compare(a_power_w: f64, b_power_w: f64) -> bool {
+    a_power_w != b_power_w // VIOLATION line 9
+}
+
+pub fn suppressed(x: f64) -> bool {
+    x == 1.0 // lint:allow(float-eq) — definitional sentinel check
+}
+
+pub fn integer_compare(n: usize) -> bool {
+    n == 10 // clean: integers compare exactly
+}
+
+pub fn range_is_not_a_float(n: usize) -> usize {
+    (0..10).filter(|i| *i != n).count() // clean: `0..10` is a range
+}

@@ -1,0 +1,25 @@
+// Fixture: must-use violations (linted under crates/dsp/src/metrics.rs).
+
+pub fn sndr_db(signal: f64, noise: f64) -> f64 {
+    10.0 * (signal / noise).log10() // VIOLATION at the `pub fn` line above
+}
+
+pub fn enob_bits(
+    sndr_db: f64,
+) -> f64 {
+    (sndr_db - 1.76) / 6.02 // VIOLATION: multi-line signature still scanned
+}
+
+// lint:allow(must-use) — side-effecting accumulator returns a running total
+pub fn rmse_accumulate(acc: f64, e: f64) -> f64 {
+    acc + e * e
+}
+
+#[must_use]
+pub fn thd_percent(h: f64, f: f64) -> f64 {
+    100.0 * h / f // clean: annotated
+}
+
+pub fn window_len(n: usize) -> usize {
+    n / 2 // clean: not a metric, not f64
+}

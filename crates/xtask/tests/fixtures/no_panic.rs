@@ -1,0 +1,31 @@
+// Fixture: no-panic violations (only meaningful under a gated crate path).
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap() // VIOLATION line 4
+}
+
+pub fn expects(x: Option<u32>) -> u32 {
+    x.expect("present") // VIOLATION line 8
+}
+
+pub fn panics() {
+    panic!("boom"); // VIOLATION line 12
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic) — invariant checked by construction above
+    x.unwrap()
+}
+
+pub fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) // clean: has a fallback
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3); // clean: test code is exempt
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: seeded-rng violations (linted anywhere outside crates/bench/).
+
+pub fn ambient() -> f64 {
+    let mut rng = thread_rng(); // VIOLATION line 4
+    rng.gen()
+}
+
+pub fn entropy_ctor() -> u64 {
+    let rng = SmallRng::from_entropy(); // VIOLATION line 9
+    rng.next_u64()
+}
+
+pub fn os_rng() -> u64 {
+    OsRng.next_u64() // VIOLATION line 14
+}
+
+pub fn suppressed() -> u64 {
+    OsRng.next_u64() // lint:allow(seeded-rng) — key generation, not simulation
+}
+
+pub fn seeded(seed: u64) -> Rng64 {
+    Rng64::new(seed) // clean: explicit seed
+}

@@ -1,0 +1,25 @@
+// Fixture: unit-newtype violations (linted under crates/power/src/).
+
+pub fn leakage_power_w(v_dd: f64) -> f64 {
+    v_dd * 1e-9 // VIOLATION at the `pub fn` line above
+}
+
+pub fn switching_energy(c: f64, v: f64) -> f64 {
+    c * v * v // VIOLATION: energy as raw f64
+}
+
+// lint:allow(unit-newtype) — FFI boundary keeps raw f64
+pub fn legacy_power_w(v_dd: f64) -> f64 {
+    v_dd * 2e-9
+}
+
+pub struct Watts(pub f64);
+
+pub fn good_power(v_dd: f64) -> Watts {
+    Watts(v_dd * 1e-9) // clean: returns the newtype
+}
+
+#[must_use]
+pub fn gain_db(x: f64) -> f64 {
+    x // clean for unit-newtype: dB is dimensionless
+}

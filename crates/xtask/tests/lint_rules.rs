@@ -1,0 +1,178 @@
+//! End-to-end tests of the lint engine over fixture files.
+//!
+//! Each fixture under `tests/fixtures/` seeds violations for one rule plus a
+//! `lint:allow` suppression and some near-miss clean code. Fixtures are fed
+//! through [`xtask::lint_source`] under *virtual* workspace paths, because
+//! rule scoping (gated crates, hot-kernel lists) keys off the path. The
+//! workspace walker skips `fixtures/` directories, so these files are never
+//! linted as real sources, and cargo never compiles them.
+
+use xtask::lint_source;
+use xtask::rules::Diagnostic;
+
+fn lines_for(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn float_eq_fixture() {
+    let diags = lint_source(
+        "crates/dsp/src/fake.rs",
+        include_str!("fixtures/float_eq.rs"),
+    );
+    assert_eq!(lines_for(&diags, "float-eq"), vec![5, 9], "{diags:?}");
+}
+
+#[test]
+fn float_eq_fixture_not_flagged_outside_scope_never_happens() {
+    // float-eq is workspace-wide: the same fixture trips it under any path.
+    let diags = lint_source("examples/fake.rs", include_str!("fixtures/float_eq.rs"));
+    assert_eq!(lines_for(&diags, "float-eq"), vec![5, 9]);
+}
+
+#[test]
+fn no_panic_fixture() {
+    let src = include_str!("fixtures/no_panic.rs");
+    let diags = lint_source("crates/core/src/fake.rs", src);
+    assert_eq!(lines_for(&diags, "no-panic"), vec![4, 8, 12], "{diags:?}");
+    // Outside the gated crates the same code is accepted.
+    let outside = lint_source("crates/signals/src/fake.rs", src);
+    assert!(lines_for(&outside, "no-panic").is_empty());
+}
+
+#[test]
+fn unit_newtype_fixture() {
+    let src = include_str!("fixtures/unit_newtype.rs");
+    let diags = lint_source("crates/power/src/fake.rs", src);
+    assert_eq!(lines_for(&diags, "unit-newtype"), vec![3, 7], "{diags:?}");
+    // The rule is scoped to the power crate.
+    let outside = lint_source("crates/dsp/src/fake.rs", src);
+    assert!(lines_for(&outside, "unit-newtype").is_empty());
+}
+
+#[test]
+fn must_use_fixture() {
+    let src = include_str!("fixtures/must_use.rs");
+    let diags = lint_source("crates/dsp/src/metrics.rs", src);
+    assert_eq!(lines_for(&diags, "must-use"), vec![3, 7], "{diags:?}");
+    // Scoped: other dsp modules are not covered.
+    let outside = lint_source("crates/dsp/src/fft.rs", src);
+    assert!(lines_for(&outside, "must-use").is_empty());
+}
+
+#[test]
+fn seeded_rng_fixture() {
+    let src = include_str!("fixtures/seeded_rng.rs");
+    let diags = lint_source("crates/signals/src/fake.rs", src);
+    assert_eq!(lines_for(&diags, "seeded-rng"), vec![4, 9, 14], "{diags:?}");
+    // The bench crate may use ambient entropy.
+    let bench = lint_source("crates/bench/src/fake.rs", src);
+    assert!(lines_for(&bench, "seeded-rng").is_empty());
+}
+
+#[test]
+fn finite_guard_fixture() {
+    let bad = include_str!("fixtures/finite_guard_bad.rs");
+    let diags = lint_source("crates/cs/src/recon.rs", bad);
+    assert_eq!(lines_for(&diags, "finite-guard"), vec![1], "{diags:?}");
+    // The same file under a non-kernel path carries no requirement.
+    let elsewhere = lint_source("crates/cs/src/matrix.rs", bad);
+    assert!(lines_for(&elsewhere, "finite-guard").is_empty());
+
+    let ok = include_str!("fixtures/finite_guard_ok.rs");
+    let diags = lint_source("crates/cs/src/recon.rs", ok);
+    assert!(lines_for(&diags, "finite-guard").is_empty(), "{diags:?}");
+
+    let allowed = include_str!("fixtures/finite_guard_allowed.rs");
+    let diags = lint_source("crates/dsp/src/fft.rs", allowed);
+    assert!(lines_for(&diags, "finite-guard").is_empty(), "{diags:?}");
+}
+
+#[test]
+fn every_rule_id_is_exercised_by_a_fixture() {
+    // Guards against a rule being added without fixture coverage: collect
+    // the rule ids seen across all fixtures and compare to the catalogue.
+    let mut seen: Vec<&str> = Vec::new();
+    let runs = [
+        (
+            "crates/dsp/src/fake.rs",
+            include_str!("fixtures/float_eq.rs"),
+        ),
+        (
+            "crates/core/src/fake.rs",
+            include_str!("fixtures/no_panic.rs"),
+        ),
+        (
+            "crates/power/src/fake.rs",
+            include_str!("fixtures/unit_newtype.rs"),
+        ),
+        (
+            "crates/dsp/src/metrics.rs",
+            include_str!("fixtures/must_use.rs"),
+        ),
+        (
+            "crates/signals/src/fake.rs",
+            include_str!("fixtures/seeded_rng.rs"),
+        ),
+        (
+            "crates/cs/src/recon.rs",
+            include_str!("fixtures/finite_guard_bad.rs"),
+        ),
+    ];
+    for (path, src) in runs {
+        for d in lint_source(path, src) {
+            if !seen.contains(&d.rule) {
+                seen.push(d.rule);
+            }
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(
+        seen,
+        vec![
+            "finite-guard",
+            "float-eq",
+            "must-use",
+            "no-panic",
+            "seeded-rng",
+            "unit-newtype"
+        ]
+    );
+}
+
+#[test]
+fn diagnostics_format_as_file_line_rule_message() {
+    let diags = lint_source(
+        "crates/dsp/src/fake.rs",
+        "fn f(x: f64) -> bool { x == 0.0 }\n",
+    );
+    assert_eq!(diags.len(), 1);
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/dsp/src/fake.rs:1: float-eq: "),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    // CARGO_MANIFEST_DIR is crates/xtask; the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root");
+    let diags = xtask::lint_workspace(root).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -29,13 +29,19 @@ fn main() {
         ..Default::default()
     });
     let mut frames: Vec<Vec<f64>> = Vec::new();
-    for r in ds.by_class(EegClass::Seizure).chain(ds.by_class(EegClass::Normal)) {
+    for r in ds
+        .by_class(EegClass::Seizure)
+        .chain(ds.by_class(EegClass::Normal))
+    {
         let resampled = r.resampled(design.f_sample_hz());
         for chunk in resampled.samples.chunks_exact(N_PHI) {
             frames.push(chunk.iter().map(|v| v * gain).collect());
         }
     }
-    println!("comparing encoders over {} EEG frames (M = {M}, N_Φ = {N_PHI})\n", frames.len());
+    println!(
+        "comparing encoders over {} EEG frames (M = {M}, N_Φ = {N_PHI})\n",
+        frames.len()
+    );
 
     // Passive: charge sharing with every imperfection, leak-aware decode.
     let mut passive = ChargeSharingEncoder::new(
@@ -48,12 +54,9 @@ fn main() {
         &design,
         7,
     );
-    let decay = (-(1.0 / design.f_sample_hz())
-        / (0.5e-12 * design.v_ref / tech.i_leak_a))
-        .exp();
-    let passive_decode = efficsense::cs::charge_sharing::effective_matrix_decayed(
-        &phi, 0.1e-12, 0.5e-12, decay,
-    );
+    let decay = (-(1.0 / design.f_sample_hz()) / (0.5e-12 * design.v_ref / tech.i_leak_a)).exp();
+    let passive_decode =
+        efficsense::cs::charge_sharing::effective_matrix_decayed(&phi, 0.1e-12, 0.5e-12, decay);
     let passive_dict = passive_decode.matmul(&Basis::Dct.matrix(N_PHI));
 
     // Active: OTA integrator bank with finite gain and kT/C noise.
@@ -61,7 +64,10 @@ fn main() {
     let active_decode = active.effective_matrix();
     let active_dict = active_decode.matmul(&Basis::Dct.matrix(N_PHI));
 
-    let omp = OmpConfig { sparsity: 2 * M / 5, residual_tol: 1e-3 };
+    let omp = OmpConfig {
+        sparsity: 2 * M / 5,
+        residual_tol: 1e-3,
+    };
     let mut snr_passive = 0.0;
     let mut snr_active = 0.0;
     for frame in &frames {
@@ -73,12 +79,22 @@ fn main() {
         snr_active += snr_fit_db(frame, &xa).min(60.0);
     }
     let n = frames.len() as f64;
-    let p_passive = passive.power_breakdown(&tech, &design).total_w();
-    let p_active = active.power_breakdown(&tech, &design).total_w();
+    let p_passive = passive.power_breakdown(&tech, &design).total().value();
+    let p_active = active.power_breakdown(&tech, &design).total().value();
 
     println!("{:<28} {:>12} {:>14}", "encoder", "SNR (dB)", "power (µW)");
-    println!("{:<28} {:>12.2} {:>14.3}", "passive charge-sharing", snr_passive / n, p_passive * 1e6);
-    println!("{:<28} {:>12.2} {:>14.3}", "active OTA integrators", snr_active / n, p_active * 1e6);
+    println!(
+        "{:<28} {:>12.2} {:>14.3}",
+        "passive charge-sharing",
+        snr_passive / n,
+        p_passive * 1e6
+    );
+    println!(
+        "{:<28} {:>12.2} {:>14.3}",
+        "active OTA integrators",
+        snr_active / n,
+        p_active * 1e6
+    );
     println!(
         "\npassivity costs {:.1} dB of reconstruction SNR and saves {:.1}x encoder power —",
         snr_active / n - snr_passive / n,

@@ -64,7 +64,8 @@ fn main() {
         "  decoding with the *binary* Φ (ignoring charge-sharing decay): PRD {:.2} %",
         prd_percent(&x, &xh_naive)
     );
-    println!("  decoding with the *effective* Φ:                           PRD {:.2} %", {
-        prd_percent(&x, &xh)
-    });
+    println!(
+        "  decoding with the *effective* Φ:                           PRD {:.2} %",
+        { prd_percent(&x, &xh) }
+    );
 }

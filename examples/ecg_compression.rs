@@ -10,7 +10,8 @@
 use efficsense::core::config::{CsConfig, SystemConfig};
 use efficsense::core::simulate::Simulator;
 use efficsense::dsp::metrics::prd_percent;
-use efficsense::power::fom::system_fom_j_per_step;
+use efficsense::power::fom::system_fom;
+use efficsense::power::Watts;
 use efficsense::signals::ecg::{EcgGenerator, EcgParams};
 
 fn main() {
@@ -19,7 +20,10 @@ fn main() {
     let mut gen = EcgGenerator::new(EcgParams::default(), 11);
     let fs_in = 360.0;
     let record = gen.record(fs_in, 12.0);
-    println!("synthetic ECG: {:.0} s at {fs_in} Hz, 70 bpm", record.len() as f64 / fs_in);
+    println!(
+        "synthetic ECG: {:.0} s at {fs_in} Hz, 70 bpm",
+        record.len() as f64 / fs_in
+    );
 
     println!(
         "\n{:<28} {:>10} {:>12} {:>16}",
@@ -32,32 +36,36 @@ fn main() {
     let sim = Simulator::new(base_cfg).expect("valid");
     let out = sim.run(&record, fs_in, 1);
     let prd = prd_percent(&out.reference, &out.input_referred);
-    let fom = system_fom_j_per_step(out.total_power_w(), 8.0, out.fs_out);
+    let fom = system_fom(Watts(out.total_power_w()), 8.0, out.fs_out);
     println!(
         "{:<28} {:>10.2} {:>12.3} {:>16.2}",
         "baseline (Nyquist)",
         prd,
         out.total_power_w() * 1e6,
-        fom * 1e12
+        fom.value() * 1e12
     );
 
     for m in [96usize, 150, 192] {
         let mut cfg = SystemConfig::compressive(
             8,
-            CsConfig { m, omp_sparsity: 2 * m / 5, ..Default::default() },
+            CsConfig {
+                m,
+                omp_sparsity: 2 * m / 5,
+                ..Default::default()
+            },
         );
         cfg.lna.gain = 400.0;
         cfg.lna.noise_floor_vrms = 4e-6;
         let sim = Simulator::new(cfg).expect("valid");
         let out = sim.run(&record, fs_in, 1);
         let prd = prd_percent(&out.reference, &out.input_referred);
-        let fom = system_fom_j_per_step(out.total_power_w(), 8.0, out.fs_out);
+        let fom = system_fom(Watts(out.total_power_w()), 8.0, out.fs_out);
         println!(
             "{:<28} {:>10.2} {:>12.3} {:>16.2}",
             format!("CS (M={m}, N_Φ=384)"),
             prd,
             out.total_power_w() * 1e6,
-            fom * 1e12
+            fom.value() * 1e12
         );
     }
 

@@ -31,7 +31,10 @@ fn main() {
     println!("design space: {} points (baseline + CS)", space.len());
 
     // Step 5: choose the goal function (detection accuracy) and sweep.
-    let sweep = Sweep::new(SweepConfig { metric: Metric::DetectionAccuracy, ..Default::default() });
+    let sweep = Sweep::new(SweepConfig {
+        metric: Metric::DetectionAccuracy,
+        ..Default::default()
+    });
     let results = sweep.run(&space, &dataset);
 
     println!("\nall evaluated points:");
@@ -56,9 +59,20 @@ fn main() {
     ) {
         (Some(b), Some(c)) => {
             println!("\noptimal @ ≥98% accuracy:");
-            println!("  baseline: {:.2} µW ({})", b.power_w * 1e6, b.point.label());
-            println!("  CS      : {:.2} µW ({})", c.power_w * 1e6, c.point.label());
-            println!("  power saving: {:.2}x (paper reports 3.6x at full scale)", b.power_w / c.power_w);
+            println!(
+                "  baseline: {:.2} µW ({})",
+                b.power_w * 1e6,
+                b.point.label()
+            );
+            println!(
+                "  CS      : {:.2} µW ({})",
+                c.power_w * 1e6,
+                c.point.label()
+            );
+            println!(
+                "  power saving: {:.2}x (paper reports 3.6x at full scale)",
+                b.power_w / c.power_w
+            );
         }
         _ => println!("\n(constraint infeasible at this toy scale — run the fig7 bench)"),
     }

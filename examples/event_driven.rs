@@ -38,7 +38,7 @@ fn main() {
             let b = adc.power_breakdown(rate, &tech, &design);
             rate_sum += rate;
             snr_sum += snr_fit_db(&x, &recon).min(60.0);
-            tx_sum += b.get(BlockKind::Transmitter) * 1e6;
+            tx_sum += b.get(BlockKind::Transmitter).value() * 1e6;
             n += 1.0;
         }
         println!(

@@ -40,8 +40,11 @@ fn main() {
     println!("\n=== the same variables drive the Table II power bound ===");
     for noise_uv in [1.0, 2.0, 5.0, 10.0, 20.0] {
         let lna = Lna::from_design(&design, 2000.0, noise_uv * 1e-6, 0.01, f_ct, 0);
-        let p = lna.power_w(1e-12, &tech, &design);
-        println!("  noise floor {noise_uv:>5.1} µV → LNA power {:>10.3} µW", p * 1e6);
+        let p = lna.power(1e-12, &tech, &design).value();
+        println!(
+            "  noise floor {noise_uv:>5.1} µV → LNA power {:>10.3} µW",
+            p * 1e6
+        );
     }
     println!("\nNoise-limited power falls with the square of the tolerated noise floor,");
     println!("until the load-charging bound takes over — the core trade-off that the");

@@ -29,18 +29,30 @@ fn main() {
     let out_b = baseline.run(&record.samples, record.fs, 1);
 
     // Architecture 2: passive charge-sharing compressive sensing.
-    let cs_cfg = SystemConfig::compressive(8, CsConfig { m: 96, ..Default::default() });
+    let cs_cfg = SystemConfig::compressive(
+        8,
+        CsConfig {
+            m: 96,
+            ..Default::default()
+        },
+    );
     let cs = Simulator::new(cs_cfg).expect("valid config");
     let out_c = cs.run(&record.samples, record.fs, 1);
 
     println!("\n=== baseline ===");
-    println!("SNR: {:.1} dB", snr_fit_db(&out_b.reference, &out_b.input_referred));
+    println!(
+        "SNR: {:.1} dB",
+        snr_fit_db(&out_b.reference, &out_b.input_referred)
+    );
     println!("words sent: {}", out_b.words);
     println!("area: {:.0} C_u,min", out_b.area_units);
     println!("{}", out_b.power);
 
     println!("\n=== compressive sensing (M=96, N_Φ=384) ===");
-    println!("SNR: {:.1} dB", snr_fit_db(&out_c.reference, &out_c.input_referred));
+    println!(
+        "SNR: {:.1} dB",
+        snr_fit_db(&out_c.reference, &out_c.input_referred)
+    );
     println!("words sent: {}", out_c.words);
     println!("area: {:.0} C_u,min", out_c.area_units);
     println!("{}", out_c.power);

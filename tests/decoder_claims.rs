@@ -23,7 +23,10 @@ fn eeg_frames(gain: f64, n_frames: usize) -> Vec<Vec<f64>> {
         ..Default::default()
     });
     let mut frames = Vec::new();
-    for r in ds.by_class(EegClass::Seizure).chain(ds.by_class(EegClass::Normal)) {
+    for r in ds
+        .by_class(EegClass::Seizure)
+        .chain(ds.by_class(EegClass::Normal))
+    {
         let resampled = r.resampled(design.f_sample_hz());
         for chunk in resampled.samples.chunks_exact(N_PHI) {
             frames.push(chunk.iter().map(|v| v * gain).collect());
@@ -35,9 +38,16 @@ fn eeg_frames(gain: f64, n_frames: usize) -> Vec<Vec<f64>> {
     frames
 }
 
-fn decode_snr(frames: &[Vec<f64>], enc: &mut ChargeSharingEncoder, decode: &efficsense::cs::Matrix) -> f64 {
+fn decode_snr(
+    frames: &[Vec<f64>],
+    enc: &mut ChargeSharingEncoder,
+    decode: &efficsense::cs::Matrix,
+) -> f64 {
     let dict = decode.matmul(&Basis::Dct.matrix(N_PHI));
-    let omp = OmpConfig { sparsity: 2 * M / 5, residual_tol: 1e-3 };
+    let omp = OmpConfig {
+        sparsity: 2 * M / 5,
+        residual_tol: 1e-3,
+    };
     let mut acc = 0.0;
     for frame in frames {
         let y = enc.encode_frame(frame);
@@ -60,7 +70,11 @@ fn leak_aware_decoding_beats_leak_blind_decoding() {
             C_S,
             C_H,
             period,
-            EncoderImperfections { mismatch: false, ktc_noise: false, leakage: true },
+            EncoderImperfections {
+                mismatch: false,
+                ktc_noise: false,
+                leakage: true,
+            },
             &tech,
             &design,
             5,
@@ -109,7 +123,10 @@ fn discrepancy_stopping_helps_at_high_noise() {
         let noisy: Vec<f64> = frame.iter().map(|v| v + rng.sample_scaled(sigma)).collect();
         let y = eff.matvec(&noisy);
         let y_norm = efficsense::cs::linalg::norm2(&y).max(1e-300);
-        let greedy = OmpConfig { sparsity: 2 * M / 5, residual_tol: 1e-6 };
+        let greedy = OmpConfig {
+            sparsity: 2 * M / 5,
+            residual_tol: 1e-6,
+        };
         let matched = OmpConfig {
             sparsity: 2 * M / 5,
             residual_tol: (noise_norm / y_norm).clamp(1e-4, 0.9),

@@ -33,7 +33,13 @@ fn cs_chain_reconstructs_seizure_morphology_best() {
     // Seizure records are the most compressible (strong low-frequency
     // rhythm), so CS reconstruction should work at least as well on them.
     let ds = dataset();
-    let cfg = SystemConfig::compressive(8, CsConfig { m: 150, ..Default::default() });
+    let cfg = SystemConfig::compressive(
+        8,
+        CsConfig {
+            m: 150,
+            ..Default::default()
+        },
+    );
     let sim = Simulator::new(cfg).expect("valid config");
     let mean_snr = |class: EegClass| {
         let recs: Vec<_> = ds.by_class(class).collect();
@@ -60,17 +66,23 @@ fn power_hierarchy_matches_paper_fig8() {
     let out_b = base.run(&r.samples, r.fs, 1);
     let cs = Simulator::new(SystemConfig::compressive(
         8,
-        CsConfig { m: 75, ..Default::default() },
+        CsConfig {
+            m: 75,
+            ..Default::default()
+        },
     ))
     .expect("valid");
     let out_c = cs.run(&r.samples, r.fs, 1);
 
     let tx_b = out_b.power.get(BlockKind::Transmitter);
     let tx_c = out_c.power.get(BlockKind::Transmitter);
-    assert!((tx_c / tx_b - 75.0 / 384.0).abs() < 0.01, "TX scales with M/N_Φ");
+    assert!(
+        (tx_c / tx_b - 75.0 / 384.0).abs() < 0.01,
+        "TX scales with M/N_Φ"
+    );
     // Digital overhead appears only in the CS chain.
-    assert_eq!(out_b.power.get(BlockKind::CsEncoderLogic), 0.0);
-    assert!(out_c.power.get(BlockKind::CsEncoderLogic) > 0.1e-6);
+    assert_eq!(out_b.power.get(BlockKind::CsEncoderLogic).value(), 0.0);
+    assert!(out_c.power.get(BlockKind::CsEncoderLogic).value() > 0.1e-6);
     // The paper's headline direction: at equal (moderate) noise floors the
     // CS system total is lower.
     assert!(
@@ -88,11 +100,18 @@ fn noise_floor_trade_off_is_monotone_in_power() {
         .map(|&vn| {
             let mut cfg = SystemConfig::baseline(8);
             cfg.lna.noise_floor_vrms = vn;
-            Simulator::new(cfg).expect("valid").power_breakdown(1.0).total_w()
+            Simulator::new(cfg)
+                .expect("valid")
+                .power_breakdown(1.0)
+                .total()
+                .value()
         })
         .collect();
     for w in powers.windows(2) {
-        assert!(w[1] <= w[0], "total power must fall as tolerated noise rises");
+        assert!(
+            w[1] <= w[0],
+            "total power must fall as tolerated noise rises"
+        );
     }
 }
 
@@ -122,8 +141,17 @@ fn cs_words_scale_with_m() {
     let ds = dataset();
     let r = &ds.records[0];
     let words_at = |m: usize| {
-        let cfg = SystemConfig::compressive(8, CsConfig { m, ..Default::default() });
-        Simulator::new(cfg).expect("valid").run(&r.samples, r.fs, 1).words
+        let cfg = SystemConfig::compressive(
+            8,
+            CsConfig {
+                m,
+                ..Default::default()
+            },
+        );
+        Simulator::new(cfg)
+            .expect("valid")
+            .run(&r.samples, r.fs, 1)
+            .words
     };
     let w75 = words_at(75);
     let w192 = words_at(192);
@@ -140,7 +168,11 @@ fn mismatch_and_leakage_cost_reconstruction_quality() {
     let snr_with = |imp: EncoderImperfections| {
         let mut cfg = SystemConfig::compressive(
             8,
-            CsConfig { m: 150, imperfections: imp, ..Default::default() },
+            CsConfig {
+                m: 150,
+                imperfections: imp,
+                ..Default::default()
+            },
         );
         cfg.lna.noise_floor_vrms = 1e-6;
         let sim = Simulator::new(cfg).expect("valid");

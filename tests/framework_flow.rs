@@ -78,7 +78,13 @@ fn goal_function_choice_changes_the_ranking() {
         c
     };
     let cs_cfg = {
-        let mut c = SystemConfig::compressive(8, CsConfig { m: 150, ..Default::default() });
+        let mut c = SystemConfig::compressive(
+            8,
+            CsConfig {
+                m: 150,
+                ..Default::default()
+            },
+        );
         c.lna.noise_floor_vrms = 2e-6;
         c
     };
@@ -122,11 +128,21 @@ fn sweep_respects_architecture_split_invariants() {
     for r in &results {
         match r.point.architecture {
             Architecture::Baseline => {
-                assert_eq!(r.breakdown.get(efficsense::power::BlockKind::CsEncoderLogic), 0.0);
+                assert_eq!(
+                    r.breakdown
+                        .get(efficsense::power::BlockKind::CsEncoderLogic)
+                        .value(),
+                    0.0
+                );
                 assert!(r.area_units < 1000.0);
             }
             Architecture::CompressiveSensing => {
-                assert!(r.breakdown.get(efficsense::power::BlockKind::CsEncoderLogic) > 0.0);
+                assert!(
+                    r.breakdown
+                        .get(efficsense::power::BlockKind::CsEncoderLogic)
+                        .value()
+                        > 0.0
+                );
                 assert!(r.area_units > 10_000.0);
             }
         }
