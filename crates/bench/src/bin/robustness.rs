@@ -1,0 +1,207 @@
+//! Degradation curves: detection accuracy (and SNR) vs fault severity.
+//!
+//! For every fault kind of the [`efficsense_faults`] taxonomy, a
+//! representative design point of each architecture is re-simulated across a
+//! severity grid and scored with the Fig. 7b detection goal. The output CSV
+//! (`target/figures/robustness_<scale>.csv`) carries one row per
+//! `(fault, severity, architecture)` triple, ready for degradation-curve
+//! plotting; the binary also reports which kinds degrade monotonically on
+//! their native architecture.
+//!
+//! Run: `cargo run --release -p efficsense-bench --bin robustness`
+//! (`EFFICSENSE_SCALE=medium|full` widens the severity grid and workload.)
+
+use efficsense_bench::{dataset_config, design_space, save_figure, scale, Scale};
+use efficsense_core::goal::{DetectionGoal, SnrGoal};
+use efficsense_core::prelude::*;
+use efficsense_core::simulate::SimOutput;
+
+/// Master seed of every injected fault stream (kept fixed so reruns are
+/// bit-identical).
+const FAULT_SEED: u64 = 0xFA_017;
+
+/// One evaluated `(fault, severity, architecture)` cell.
+struct Cell {
+    kind: FaultKind,
+    severity: f64,
+    point: DesignPoint,
+    accuracy: f64,
+    snr_db: f64,
+    power_uw: f64,
+    delivery_ratio: Option<f64>,
+}
+
+/// Runs one architecture's representative chain under `plan` over the whole
+/// dataset and scores it with both goals.
+fn evaluate(
+    point: &DesignPoint,
+    template: &SystemConfig,
+    dataset: &EegDataset,
+    detection: &DetectionGoal,
+    plan: &FaultPlan,
+) -> (f64, f64, f64, Option<f64>) {
+    let cfg = point.to_config(template);
+    let mut sim = Simulator::new(cfg).expect("representative config is valid");
+    sim.set_fault_plan(Some(plan.clone()));
+    let outputs: Vec<(SimOutput, usize)> = dataset
+        .records
+        .iter()
+        .map(|rec| {
+            let out = sim.run(&rec.samples, rec.fs, rec.id as u64 + 1);
+            (out, rec.label())
+        })
+        .collect();
+    let accuracy = detection.evaluate(&outputs);
+    let snr_db = SnrGoal.evaluate(&outputs);
+    let power_uw = outputs[0].0.power.total().value() * 1e6;
+    let delivery_ratio = outputs[0].0.link.as_ref().map(|l| l.delivery_ratio());
+    (accuracy, snr_db, power_uw, delivery_ratio)
+}
+
+/// The architecture a fault kind natively lives on (used for the
+/// monotonicity report; both architectures are swept regardless).
+fn native_architecture(kind: FaultKind) -> Architecture {
+    match kind {
+        FaultKind::CapLeakage => Architecture::CompressiveSensing,
+        _ => Architecture::Baseline,
+    }
+}
+
+fn main() {
+    let severities: &[f64] = match scale() {
+        Scale::Reduced => &[0.0, 0.5, 1.0],
+        Scale::Medium | Scale::Full => &[0.0, 0.25, 0.5, 0.75, 1.0],
+    };
+    let dataset = EegDataset::generate(&dataset_config());
+    let space = design_space();
+    let template = &space.template;
+
+    // Representative points: the template's own defaults on each chain.
+    let representatives = [
+        DesignPoint {
+            architecture: Architecture::Baseline,
+            lna_noise_vrms: template.lna.noise_floor_vrms,
+            n_bits: template.design.n_bits,
+            m: None,
+            s: None,
+            c_hold_f: None,
+        },
+        DesignPoint {
+            architecture: Architecture::CompressiveSensing,
+            lna_noise_vrms: template.lna.noise_floor_vrms,
+            n_bits: template.design.n_bits,
+            m: None, // to_config falls back to the template's CS defaults
+            s: None,
+            c_hold_f: None,
+        },
+    ];
+
+    println!(
+        "=== Robustness: {} fault kinds x {} severities x 2 architectures over {} records ===",
+        FaultKind::ALL.len(),
+        severities.len(),
+        dataset.len()
+    );
+    let fs = template.design.f_sample_hz();
+    let detector = SeizureDetector::train_epoched(&dataset, fs, 2.0, 0xD0D0);
+    let detection = DetectionGoal::new(detector);
+
+    // Severity 0 is the same clean plan for every kind — evaluate it once
+    // per architecture and share the row across kinds.
+    let clean: Vec<(f64, f64, f64, Option<f64>)> = representatives
+        .iter()
+        .map(|p| {
+            evaluate(
+                p,
+                template,
+                &dataset,
+                &detection,
+                &FaultPlan::clean(FAULT_SEED),
+            )
+        })
+        .collect();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for kind in FaultKind::ALL {
+        for &severity in severities {
+            for (p, clean_scores) in representatives.iter().zip(&clean) {
+                let (accuracy, snr_db, power_uw, delivery_ratio) = if severity > 0.0 {
+                    let plan = FaultPlan::single(kind, severity, FAULT_SEED);
+                    evaluate(p, template, &dataset, &detection, &plan)
+                } else {
+                    *clean_scores
+                };
+                cells.push(Cell {
+                    kind,
+                    severity,
+                    point: p.clone(),
+                    accuracy,
+                    snr_db,
+                    power_uw,
+                    delivery_ratio,
+                });
+            }
+        }
+        let shown: Vec<String> = cells
+            .iter()
+            .filter(|c| c.kind == kind && c.point.architecture == native_architecture(kind))
+            .map(|c| format!("{:.0}%@{:.2}", c.accuracy * 100.0, c.severity))
+            .collect();
+        println!(
+            "  {kind:<16} ({}): accuracy {}",
+            native_architecture(kind),
+            shown.join(" -> ")
+        );
+    }
+
+    let mut csv =
+        String::from("fault,severity,architecture,accuracy,snr_db,power_uw,delivery_ratio\n");
+    for c in &cells {
+        csv.push_str(&format!(
+            "{},{:.2},{},{:.6},{:.4},{:.4},{}\n",
+            c.kind,
+            c.severity,
+            c.point.architecture,
+            c.accuracy,
+            c.snr_db,
+            c.power_uw,
+            c.delivery_ratio
+                .map_or(String::new(), |r| format!("{r:.6}")),
+        ));
+    }
+    save_figure(&format!("robustness_{}.csv", scale().name()), &csv);
+
+    // Monotonicity report: on its native architecture, accuracy should never
+    // improve as severity rises (small tolerance for detector granularity —
+    // one flipped record on a reduced workload moves accuracy by 1/len).
+    let tolerance = 1.0 / dataset.len() as f64 + 1e-9;
+    let mut monotone = 0usize;
+    println!();
+    for kind in FaultKind::ALL {
+        let native = native_architecture(kind);
+        let curve: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.kind == kind && c.point.architecture == native)
+            .map(|c| c.accuracy)
+            .collect();
+        let ok = curve.windows(2).all(|w| w[1] <= w[0] + tolerance);
+        let degrades = curve.last().copied().unwrap_or(1.0)
+            < curve.first().copied().unwrap_or(1.0) - tolerance;
+        if ok && degrades {
+            monotone += 1;
+        }
+        println!(
+            "  {kind:<16} monotone-degrading on {native}: {}",
+            if ok && degrades { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!(
+        "{monotone}/{} fault kinds degrade accuracy monotonically on their native architecture",
+        FaultKind::ALL.len()
+    );
+    assert!(
+        monotone >= 3,
+        "expected at least 3 monotone-degrading fault kinds, got {monotone}"
+    );
+}

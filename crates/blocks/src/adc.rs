@@ -7,6 +7,7 @@
 //! interpreted with *ideal* weights, so mismatch appears as INL/DNL, exactly
 //! as in silicon.
 
+use efficsense_faults::AdcStuckBitFault;
 use efficsense_power::models::{ComparatorModel, DacModel, SarLogicModel};
 use efficsense_power::{DesignParams, PowerBreakdown, PowerModel, TechnologyParams};
 use efficsense_signals::noise::Gaussian;
@@ -31,6 +32,7 @@ pub struct SarAdc {
     /// Total array capacitance including the termination cap, in `C_u`.
     c_total: f64,
     noise: Gaussian,
+    stuck: Option<AdcStuckBitFault>,
 }
 
 impl SarAdc {
@@ -84,7 +86,14 @@ impl SarAdc {
             bit_caps,
             c_total,
             noise: Gaussian::new(seed ^ 0xC0DE),
+            stuck: None,
         }
+    }
+
+    /// Injects (or clears) a stuck-output-bit fault. The stuck bit index is
+    /// clamped to the converter's MSB.
+    pub fn inject_stuck_bit(&mut self, fault: Option<AdcStuckBitFault>) {
+        self.stuck = fault;
     }
 
     /// An ideal converter (no mismatch, no comparator non-idealities).
@@ -128,6 +137,14 @@ impl SarAdc {
             // trial level's midpoint reference.
             if u + decision_noise + self.comparator_offset_v >= v_dac {
                 code = trial;
+            }
+        }
+        if let Some(f) = &self.stuck {
+            let mask = 1u32 << f.bit.min(self.n_bits - 1);
+            if f.stuck_high {
+                code |= mask;
+            } else {
+                code &= !mask;
             }
         }
         code
@@ -388,5 +405,60 @@ mod tests {
     fn rejects_tiny_unit_cap() {
         let tech = TechnologyParams::gpdk045();
         let _ = SarAdc::new(8, 2.0, 1e-16, 0.0, 0.0, &tech, 0);
+    }
+
+    #[test]
+    fn stuck_high_bit_never_clears() {
+        use efficsense_faults::AdcStuckBitFault;
+        let mut adc = SarAdc::ideal(8, 2.0);
+        adc.inject_stuck_bit(Some(AdcStuckBitFault {
+            bit: 5,
+            stuck_high: true,
+        }));
+        for i in 0..500 {
+            let v = -1.0 + 2.0 * i as f64 / 500.0;
+            assert_ne!(adc.quantize(v) & (1 << 5), 0, "bit 5 must read high at {v}");
+        }
+    }
+
+    #[test]
+    fn stuck_msb_halves_the_code_space() {
+        use efficsense_faults::AdcStuckBitFault;
+        let mut adc = SarAdc::ideal(8, 2.0);
+        adc.inject_stuck_bit(Some(AdcStuckBitFault {
+            bit: 7,
+            stuck_high: false,
+        }));
+        assert_eq!(adc.quantize(0.999), 127, "MSB stuck low caps the range");
+    }
+
+    #[test]
+    fn stuck_bit_index_clamps_to_msb() {
+        use efficsense_faults::AdcStuckBitFault;
+        let mut adc = SarAdc::ideal(6, 2.0);
+        adc.inject_stuck_bit(Some(AdcStuckBitFault {
+            bit: 31,
+            stuck_high: true,
+        }));
+        assert_ne!(adc.quantize(-1.0) & (1 << 5), 0, "clamped to bit 5 of 6");
+    }
+
+    #[test]
+    fn msb_stuck_degrades_more_than_lsb_stuck() {
+        use efficsense_faults::AdcStuckBitFault;
+        let x: Vec<f64> = (0..512).map(|i| 0.9 * (i as f64 * 0.13).sin()).collect();
+        let err_with_bit = |bit: u32| {
+            let mut adc = SarAdc::ideal(8, 2.0);
+            adc.inject_stuck_bit(Some(AdcStuckBitFault {
+                bit,
+                stuck_high: true,
+            }));
+            let y = adc.process_buffer(&x);
+            x.iter()
+                .zip(&y)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+        };
+        assert!(err_with_bit(7) > 10.0 * err_with_bit(0));
     }
 }

@@ -18,6 +18,7 @@
 use efficsense_cs::charge_sharing::{effective_matrix, share};
 use efficsense_cs::linalg::Matrix;
 use efficsense_cs::matrix::SensingMatrix;
+use efficsense_faults::CapLeakageFault;
 use efficsense_power::models::{CsEncoderLogicModel, LeakageModel};
 use efficsense_power::{kt, DesignParams, PowerBreakdown, PowerModel, TechnologyParams};
 use efficsense_signals::noise::Gaussian;
@@ -140,6 +141,24 @@ impl ChargeSharingEncoder {
             noise: Gaussian::new(seed ^ 0x5EED),
             hold_v: vec![0.0; m],
         }
+    }
+
+    /// Injects (or clears) a capacitor-leakage fault: a leaking hold switch
+    /// multiplies the technology off-current, shrinking the droop time
+    /// constant to `τ = C_hold·V_ref/(I_leak·mult)`. The fault forces droop
+    /// on even when the clean model runs with leakage disabled; passing
+    /// `None` (or a no-op fault) restores the nominal behaviour.
+    pub fn inject_leakage_fault(
+        &mut self,
+        fault: Option<CapLeakageFault>,
+        tech: &TechnologyParams,
+        design: &DesignParams,
+    ) {
+        self.tau_s = match fault.filter(|f| !f.is_noop()) {
+            Some(f) => self.c_hold_f * design.v_ref / (tech.i_leak_a * f.leak_multiplier),
+            None if self.imperfections.leakage => self.c_hold_f * design.v_ref / tech.i_leak_a,
+            None => f64::INFINITY,
+        };
     }
 
     /// The s-SRBM schedule.
@@ -441,6 +460,68 @@ mod tests {
             b.get(efficsense_power::BlockKind::CsEncoderLogic)
                 > 100.0 * b.get(efficsense_power::BlockKind::Leakage)
         );
+    }
+
+    #[test]
+    fn noop_leakage_fault_is_bit_identical_to_clean() {
+        let tech = TechnologyParams::gpdk045();
+        let design = DesignParams::paper_defaults(8);
+        let x = test_frame(64);
+        let mut clean = setup(EncoderImperfections::realistic(), 13);
+        let mut faulted = setup(EncoderImperfections::realistic(), 13);
+        faulted.inject_leakage_fault(
+            Some(CapLeakageFault {
+                leak_multiplier: 1.0,
+            }),
+            &tech,
+            &design,
+        );
+        assert_eq!(clean.encode_frame(&x), faulted.encode_frame(&x));
+    }
+
+    #[test]
+    fn leakage_fault_forces_droop_even_when_disabled() {
+        let tech = TechnologyParams::gpdk045();
+        let design = DesignParams::paper_defaults(8);
+        let x = vec![1.0; 64];
+        let mut ideal = setup(EncoderImperfections::ideal(), 1);
+        let mut faulted = setup(EncoderImperfections::ideal(), 1);
+        faulted.inject_leakage_fault(
+            Some(CapLeakageFault {
+                leak_multiplier: 100.0,
+            }),
+            &tech,
+            &design,
+        );
+        let total = |y: &[f64]| y.iter().sum::<f64>();
+        let t_ideal = total(&ideal.encode_frame(&x));
+        let t_fault = total(&faulted.encode_frame(&x));
+        assert!(t_fault < t_ideal * 0.999, "{t_fault} vs {t_ideal}");
+        // Clearing the fault restores the imperfection setting (no leakage).
+        faulted.inject_leakage_fault(None, &tech, &design);
+        let t_restored = total(&faulted.encode_frame(&x));
+        assert!((t_restored - t_ideal).abs() < 1e-15);
+    }
+
+    #[test]
+    fn leakage_fault_severity_is_monotone() {
+        let tech = TechnologyParams::gpdk045();
+        let design = DesignParams::paper_defaults(8);
+        let x = vec![1.0; 64];
+        let mut last = f64::INFINITY;
+        for mult in [10.0, 30.0, 100.0] {
+            let mut enc = setup(EncoderImperfections::ideal(), 1);
+            enc.inject_leakage_fault(
+                Some(CapLeakageFault {
+                    leak_multiplier: mult,
+                }),
+                &tech,
+                &design,
+            );
+            let total = enc.encode_frame(&x).iter().sum::<f64>();
+            assert!(total < last, "mult {mult}: {total} !< {last}");
+            last = total;
+        }
     }
 
     #[test]

@@ -5,10 +5,23 @@
 //! supply rails.
 
 use efficsense_dsp::filter::OnePole;
+use efficsense_faults::LnaRailFault;
 use efficsense_power::models::LnaModel;
 use efficsense_power::Watts;
 use efficsense_power::{DesignParams, TechnologyParams};
+use efficsense_rng::Rng64;
 use efficsense_signals::noise::Gaussian;
+
+/// Runtime state of an injected railing fault.
+#[derive(Debug, Clone)]
+struct RailState {
+    fault: LnaRailFault,
+    /// Private fault stream (decoupled from the noise stream so injecting a
+    /// fault never perturbs the underlying noise realisation).
+    rng: Rng64,
+    /// Samples left in the current rail episode.
+    remaining: usize,
+}
 
 /// Behavioural low-noise amplifier.
 ///
@@ -33,6 +46,7 @@ pub struct Lna {
     filter: OnePole,
     noise: Gaussian,
     sigma_per_sample: f64,
+    rail: Option<RailState>,
 }
 
 impl Lna {
@@ -74,7 +88,19 @@ impl Lna {
             filter: OnePole::lowpass(bandwidth_hz, f_ct),
             noise: Gaussian::new(seed),
             sigma_per_sample,
+            rail: None,
         }
+    }
+
+    /// Injects (or clears) a railing fault. The fault draws from its own
+    /// seeded stream, so the noise realisation is identical with and
+    /// without the fault; a no-op fault leaves the output bit-identical.
+    pub fn inject_rail_fault(&mut self, fault: Option<LnaRailFault>, fault_seed: u64) {
+        self.rail = fault.filter(|f| !f.is_noop()).map(|fault| RailState {
+            fault,
+            rng: Rng64::new(fault_seed),
+            remaining: 0,
+        });
     }
 
     /// Builds the LNA from the paper's design parameters:
@@ -108,7 +134,20 @@ impl Lna {
         } else {
             amplified
         };
-        shaped.clamp(-self.v_clip, self.v_clip)
+        let mut v_clip = self.v_clip;
+        if let Some(rail) = &mut self.rail {
+            // The fault derates the rails permanently and occasionally
+            // latches the output to the (sagging) positive rail.
+            v_clip *= rail.fault.v_clip_factor;
+            if rail.remaining == 0 && rail.rng.chance(rail.fault.rail_prob) {
+                rail.remaining = rail.fault.episode_len;
+            }
+            if rail.remaining > 0 {
+                rail.remaining -= 1;
+                return v_clip;
+            }
+        }
+        shaped.clamp(-v_clip, v_clip)
     }
 
     /// Processes a whole buffer.
@@ -267,5 +306,57 @@ mod tests {
     #[should_panic(expected = "noise floor")]
     fn rejects_zero_noise() {
         let _ = Lna::new(100.0, 0.0, 768.0, 0.0, 1.0, F_CT, 0);
+    }
+
+    #[test]
+    fn noop_rail_fault_is_bit_identical_to_clean() {
+        use efficsense_faults::LnaRailFault;
+        let x = sine(4096, F_CT, 50.0, 1e-3, 0.0);
+        let mut clean = Lna::new(100.0, 2e-6, 768.0, 0.01, 1.0, F_CT, 5);
+        let mut faulted = Lna::new(100.0, 2e-6, 768.0, 0.01, 1.0, F_CT, 5);
+        faulted.inject_rail_fault(
+            Some(LnaRailFault {
+                rail_prob: 0.0,
+                episode_len: 64,
+                v_clip_factor: 1.0,
+            }),
+            99,
+        );
+        assert_eq!(clean.process_buffer(&x), faulted.process_buffer(&x));
+    }
+
+    #[test]
+    fn rail_fault_latches_output_to_derated_rail() {
+        use efficsense_faults::LnaRailFault;
+        let x = sine(16384, F_CT, 50.0, 1e-3, 0.0);
+        let mut lna = Lna::new(100.0, 1e-9, 768.0, 0.0, 1.0, F_CT, 5);
+        lna.inject_rail_fault(
+            Some(LnaRailFault {
+                rail_prob: 0.01,
+                episode_len: 64,
+                v_clip_factor: 0.5,
+            }),
+            99,
+        );
+        let y = lna.process_buffer(&x);
+        let railed = y.iter().filter(|&&v| (v - 0.5).abs() < 1e-12).count();
+        assert!(railed > 1000, "railed {railed} of {}", y.len());
+        assert!(peak(&y) <= 0.5 + 1e-12, "rails must sag to 0.5");
+    }
+
+    #[test]
+    fn rail_fault_is_deterministic_per_seed() {
+        use efficsense_faults::LnaRailFault;
+        let x = sine(4096, F_CT, 50.0, 1e-3, 0.0);
+        let fault = Some(LnaRailFault {
+            rail_prob: 0.02,
+            episode_len: 16,
+            v_clip_factor: 0.8,
+        });
+        let mut a = Lna::new(100.0, 2e-6, 768.0, 0.0, 1.0, F_CT, 5);
+        let mut b = Lna::new(100.0, 2e-6, 768.0, 0.0, 1.0, F_CT, 5);
+        a.inject_rail_fault(fault, 7);
+        b.inject_rail_fault(fault, 7);
+        assert_eq!(a.process_buffer(&x), b.process_buffer(&x));
     }
 }

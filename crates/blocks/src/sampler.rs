@@ -2,10 +2,21 @@
 //! with kT/C thermal noise and optional aperture jitter.
 
 use efficsense_dsp::resample::sample_at;
+use efficsense_faults::ClockFault;
 use efficsense_power::models::SampleHoldModel;
 use efficsense_power::Watts;
 use efficsense_power::{kt, DesignParams, TechnologyParams};
+use efficsense_rng::Rng64;
 use efficsense_signals::noise::Gaussian;
+
+/// Injected sample-clock fault with its own random streams, so the clean
+/// noise realisation is untouched by injection.
+#[derive(Debug, Clone)]
+struct ClockState {
+    fault: ClockFault,
+    jitter_rng: Gaussian,
+    drop_rng: Rng64,
+}
 
 /// Behavioural sample-and-hold.
 #[derive(Debug, Clone)]
@@ -17,6 +28,7 @@ pub struct Sampler {
     /// RMS aperture jitter (s); 0 disables it.
     pub jitter_s: f64,
     noise: Gaussian,
+    clock: Option<ClockState>,
 }
 
 impl Sampler {
@@ -34,7 +46,20 @@ impl Sampler {
             c_sample_f,
             jitter_s,
             noise: Gaussian::new(seed),
+            clock: None,
         }
+    }
+
+    /// Injects (or clears) a sample-clock fault. Excess jitter is
+    /// `fault.jitter_periods` of the sample period, RMS; dropped samples are
+    /// concealed by holding the last acquired value (the hold cap keeps its
+    /// charge when the track switch fails to close).
+    pub fn inject_clock_fault(&mut self, fault: Option<ClockFault>, fault_seed: u64) {
+        self.clock = fault.filter(|f| !f.is_noop()).map(|fault| ClockState {
+            fault,
+            jitter_rng: Gaussian::new(fault_seed ^ 0x0C10_CC00),
+            drop_rng: Rng64::new(fault_seed ^ 0x0D20_9ED5),
+        });
     }
 
     /// kT/C noise standard deviation (V) of one sample.
@@ -49,15 +74,27 @@ impl Sampler {
         let duration = x.len() as f64 / f_ct;
         let n_out = (duration * self.fs).floor() as usize;
         let sigma = self.ktc_sigma();
-        (0..n_out)
-            .map(|i| {
-                let mut t = i as f64 / self.fs;
-                if self.jitter_s > 0.0 {
-                    t += self.noise.sample_scaled(self.jitter_s);
+        let mut out = Vec::with_capacity(n_out);
+        let mut held = 0.0;
+        for i in 0..n_out {
+            let mut t = i as f64 / self.fs;
+            if self.jitter_s > 0.0 {
+                t += self.noise.sample_scaled(self.jitter_s);
+            }
+            if let Some(clock) = &mut self.clock {
+                if clock.fault.jitter_periods > 0.0 {
+                    let sigma_t = clock.fault.jitter_periods / self.fs;
+                    t += clock.jitter_rng.sample_scaled(sigma_t);
                 }
-                sample_at(x, f_ct, t.max(0.0)) + self.noise.sample_scaled(sigma)
-            })
-            .collect()
+                if clock.drop_rng.chance(clock.fault.drop_prob) {
+                    out.push(held);
+                    continue;
+                }
+            }
+            held = sample_at(x, f_ct, t.max(0.0)) + self.noise.sample_scaled(sigma);
+            out.push(held);
+        }
+        out
     }
 
     /// The Table II power model for the S&H.
@@ -167,5 +204,94 @@ mod tests {
     #[should_panic(expected = "capacitor")]
     fn rejects_zero_cap() {
         let _ = Sampler::new(537.6, 0.0, 0.0, 0);
+    }
+
+    #[test]
+    fn noop_clock_fault_is_bit_identical_to_clean() {
+        let x = sine(8192, 8192.0, 20.0, 1.0, 0.0);
+        let mut clean = Sampler::new(537.6, 1e-12, 1e-6, 11);
+        let mut faulted = Sampler::new(537.6, 1e-12, 1e-6, 11);
+        faulted.inject_clock_fault(
+            Some(ClockFault {
+                jitter_periods: 0.0,
+                drop_prob: 0.0,
+            }),
+            99,
+        );
+        assert_eq!(clean.sample(&x, 8192.0), faulted.sample(&x, 8192.0));
+    }
+
+    #[test]
+    fn certain_drops_hold_the_initial_value() {
+        let x = sine(8192, 8192.0, 20.0, 1.0, 0.0);
+        let mut s = Sampler::new(537.6, 1e-12, 0.0, 11);
+        s.inject_clock_fault(
+            Some(ClockFault {
+                jitter_periods: 0.0,
+                drop_prob: 1.0,
+            }),
+            7,
+        );
+        let y = s.sample(&x, 8192.0);
+        // lint:allow(float-eq) — the held value is bit-exactly the initial 0.0
+        assert!(y.iter().all(|&v| v == 0.0), "every sample dropped → held 0");
+    }
+
+    #[test]
+    fn drops_conceal_without_changing_length() {
+        let x = sine(8192, 8192.0, 20.0, 1.0, 0.0);
+        let mut clean = Sampler::new(537.6, 1e-9, 0.0, 11);
+        let mut lossy = Sampler::new(537.6, 1e-9, 0.0, 11);
+        lossy.inject_clock_fault(
+            Some(ClockFault {
+                jitter_periods: 0.0,
+                drop_prob: 0.3,
+            }),
+            7,
+        );
+        let yc = clean.sample(&x, 8192.0);
+        let yl = lossy.sample(&x, 8192.0);
+        assert_eq!(yc.len(), yl.len());
+        let repeats = yl.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > yl.len() / 10, "held samples visible: {repeats}");
+    }
+
+    #[test]
+    fn fault_jitter_degrades_like_intrinsic_jitter() {
+        let f_ct = 65536.0;
+        let x_fast = sine(65536, f_ct, 200.0, 1.0, 0.0);
+        let mut s = Sampler::new(537.6, 1e-9, 0.0, 5);
+        // 0.05 sample periods at 537.6 Hz ≈ 93 µs RMS.
+        s.inject_clock_fault(
+            Some(ClockFault {
+                jitter_periods: 0.05,
+                drop_prob: 0.0,
+            }),
+            5,
+        );
+        let y = s.sample(&x_fast, f_ct);
+        let clean = sine(y.len(), 537.6, 200.0, 1.0, 0.0);
+        let err: Vec<f64> = y.iter().zip(&clean).map(|(a, b)| a - b).collect();
+        let sigma_t = 0.05 / 537.6;
+        let predicted = std::f64::consts::TAU * 200.0 * sigma_t / 2f64.sqrt();
+        let measured = std_dev(&err);
+        assert!(
+            (measured / predicted - 1.0).abs() < 0.4,
+            "{measured} vs {predicted}"
+        );
+    }
+
+    #[test]
+    fn clock_fault_deterministic_per_seed() {
+        let x = sine(8192, 8192.0, 20.0, 1.0, 0.0);
+        let fault = ClockFault {
+            jitter_periods: 0.1,
+            drop_prob: 0.2,
+        };
+        let mut a = Sampler::new(537.6, 1e-12, 0.0, 11);
+        let mut b = Sampler::new(537.6, 1e-12, 0.0, 11);
+        a.inject_clock_fault(Some(fault), 42);
+        b.inject_clock_fault(Some(fault), 42);
+        assert_eq!(a.sample(&x, 8192.0), b.sample(&x, 8192.0));
     }
 }

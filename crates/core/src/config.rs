@@ -4,6 +4,119 @@ use efficsense_blocks::cs_frontend::EncoderImperfections;
 use efficsense_cs::basis::Basis;
 use efficsense_power::{DesignParams, TechnologyParams};
 
+/// A structured [`SystemConfig`] validation failure.
+///
+/// Each variant names the violated constraint and carries the offending
+/// values, so sweep quarantine records can report *why* a design point is
+/// outside the feasible region instead of a flattened string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The shared Table III design parameters failed their own validation.
+    Design(String),
+    /// LNA gain must be positive.
+    NonPositiveLnaGain {
+        /// The offending gain.
+        gain: f64,
+    },
+    /// LNA input-referred noise floor must be positive.
+    NonPositiveLnaNoise {
+        /// The offending noise floor (V rms).
+        noise_floor_vrms: f64,
+    },
+    /// DAC unit capacitor below the technology minimum.
+    UnitCapBelowMinimum {
+        /// The requested unit capacitor (F).
+        c_u_f: f64,
+        /// The technology minimum (F).
+        c_u_min_f: f64,
+    },
+    /// Continuous-time proxy must oversample `f_sample` by at least 2.
+    InsufficientOversampling {
+        /// The offending oversampling ratio.
+        ct_oversample: f64,
+    },
+    /// Measurement count must satisfy `0 < M <= N_Φ`.
+    BadMeasurementCount {
+        /// Measurements per frame.
+        m: usize,
+        /// Frame length.
+        n_phi: usize,
+    },
+    /// Schedule sparsity must satisfy `0 < s <= M`.
+    BadScheduleSparsity {
+        /// Ones per sensing-matrix column.
+        s: usize,
+        /// Measurements per frame.
+        m: usize,
+    },
+    /// CS sample/hold capacitors must be positive.
+    NonPositiveCsCapacitor {
+        /// The requested sample capacitor (F).
+        c_sample_f: f64,
+        /// The requested hold capacitor (F).
+        c_hold_f: f64,
+    },
+    /// OMP sparsity budget must be in `1..=M`.
+    BadOmpSparsity {
+        /// The requested sparsity budget.
+        omp_sparsity: usize,
+        /// Measurements per frame.
+        m: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Design(msg) => f.write_str(msg),
+            ConfigError::NonPositiveLnaGain { gain } => {
+                write!(f, "LNA gain must be positive, got {gain}")
+            }
+            ConfigError::NonPositiveLnaNoise { noise_floor_vrms } => {
+                write!(
+                    f,
+                    "LNA noise floor must be positive, got {noise_floor_vrms}"
+                )
+            }
+            ConfigError::UnitCapBelowMinimum { c_u_f, c_u_min_f } => {
+                write!(
+                    f,
+                    "DAC unit cap {c_u_f} below technology minimum {c_u_min_f}"
+                )
+            }
+            ConfigError::InsufficientOversampling { ct_oversample } => {
+                write!(
+                    f,
+                    "continuous-time proxy must oversample by at least 2, got {ct_oversample}"
+                )
+            }
+            ConfigError::BadMeasurementCount { m, n_phi } => {
+                write!(f, "need 0 < M <= N_Φ, got M={m} N_Φ={n_phi}")
+            }
+            ConfigError::BadScheduleSparsity { s, m } => {
+                write!(f, "need 0 < s <= M, got s={s} M={m}")
+            }
+            ConfigError::NonPositiveCsCapacitor {
+                c_sample_f,
+                c_hold_f,
+            } => {
+                write!(
+                    f,
+                    "CS capacitors must be positive, got C_sample={c_sample_f} C_hold={c_hold_f}"
+                )
+            }
+            ConfigError::BadOmpSparsity { omp_sparsity, m } => {
+                write!(
+                    f,
+                    "OMP sparsity must be in 1..=M, got {omp_sparsity} (M={m})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The two system architectures compared by the paper (Fig. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Architecture {
@@ -160,42 +273,51 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns the first violated constraint as a message.
-    pub fn validate(&self) -> Result<(), String> {
-        self.design.validate()?;
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.design.validate().map_err(ConfigError::Design)?;
         if self.lna.gain <= 0.0 {
-            return Err("LNA gain must be positive".into());
+            return Err(ConfigError::NonPositiveLnaGain {
+                gain: self.lna.gain,
+            });
         }
         if self.lna.noise_floor_vrms <= 0.0 {
-            return Err("LNA noise floor must be positive".into());
+            return Err(ConfigError::NonPositiveLnaNoise {
+                noise_floor_vrms: self.lna.noise_floor_vrms,
+            });
         }
         if self.adc.c_u_f < self.tech.c_u_min_f {
-            return Err(format!(
-                "DAC unit cap {} below technology minimum {}",
-                self.adc.c_u_f, self.tech.c_u_min_f
-            ));
+            return Err(ConfigError::UnitCapBelowMinimum {
+                c_u_f: self.adc.c_u_f,
+                c_u_min_f: self.tech.c_u_min_f,
+            });
         }
         if self.ct_oversample < 2.0 {
-            return Err("continuous-time proxy must oversample by at least 2".into());
+            return Err(ConfigError::InsufficientOversampling {
+                ct_oversample: self.ct_oversample,
+            });
         }
         if let Some(cs) = &self.cs {
             if cs.m == 0 || cs.m > cs.n_phi {
-                return Err(format!(
-                    "need 0 < M <= N_Φ, got M={} N_Φ={}",
-                    cs.m, cs.n_phi
-                ));
+                return Err(ConfigError::BadMeasurementCount {
+                    m: cs.m,
+                    n_phi: cs.n_phi,
+                });
             }
             if cs.s == 0 || cs.s > cs.m {
-                return Err(format!("need 0 < s <= M, got s={} M={}", cs.s, cs.m));
+                return Err(ConfigError::BadScheduleSparsity { s: cs.s, m: cs.m });
             }
             if !(cs.c_sample_f > 0.0 && cs.c_hold_f > 0.0) {
-                return Err("CS capacitors must be positive".into());
+                return Err(ConfigError::NonPositiveCsCapacitor {
+                    c_sample_f: cs.c_sample_f,
+                    c_hold_f: cs.c_hold_f,
+                });
             }
             if cs.omp_sparsity == 0 || cs.omp_sparsity > cs.m {
-                return Err(format!(
-                    "OMP sparsity must be in 1..=M, got {} (M={})",
-                    cs.omp_sparsity, cs.m
-                ));
+                return Err(ConfigError::BadOmpSparsity {
+                    omp_sparsity: cs.omp_sparsity,
+                    m: cs.m,
+                });
             }
         }
         Ok(())
@@ -252,7 +374,9 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(cfg.validate().unwrap_err().contains("M <= N_Φ"));
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err, ConfigError::BadMeasurementCount { m: 500, n_phi: 384 });
+        assert!(err.to_string().contains("M <= N_Φ"));
         cfg = SystemConfig::compressive(
             8,
             CsConfig {
@@ -275,6 +399,18 @@ mod tests {
     fn validation_catches_bad_lna() {
         let mut cfg = SystemConfig::baseline(8);
         cfg.lna.noise_floor_vrms = 0.0;
-        assert!(cfg.validate().is_err());
+        assert_eq!(
+            cfg.validate().unwrap_err(),
+            ConfigError::NonPositiveLnaNoise {
+                noise_floor_vrms: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn config_error_is_a_std_error() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(ConfigError::BadScheduleSparsity { s: 0, m: 8 });
+        assert!(e.to_string().contains("0 < s <= M"));
     }
 }

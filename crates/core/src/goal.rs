@@ -132,6 +132,7 @@ mod tests {
             power: PowerBreakdown::new(),
             area_units: 0.0,
             words: 0,
+            link: None,
         }
     }
 

@@ -47,13 +47,18 @@ pub mod sweep;
 
 /// Convenience re-exports for framework users.
 pub mod prelude {
-    pub use crate::config::{AdcConfig, Architecture, CsConfig, LnaConfig, SystemConfig};
+    pub use crate::config::{
+        AdcConfig, Architecture, ConfigError, CsConfig, LnaConfig, SystemConfig,
+    };
     pub use crate::detector::SeizureDetector;
     pub use crate::goal::GoalFunction;
     pub use crate::pareto::{pareto_front, Objective};
     pub use crate::simulate::{SimOutput, Simulator};
     pub use crate::space::{DesignPoint, DesignSpace};
-    pub use crate::sweep::{Sweep, SweepConfig, SweepResult};
+    pub use crate::sweep::{
+        FailurePolicy, PointError, QuarantinedPoint, Sweep, SweepConfig, SweepReport, SweepResult,
+    };
+    pub use efficsense_faults::{FaultKind, FaultPlan};
     pub use efficsense_power::{BlockKind, DesignParams, PowerBreakdown, TechnologyParams};
     pub use efficsense_signals::{DatasetConfig, EegDataset, Record};
 }

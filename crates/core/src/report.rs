@@ -25,7 +25,7 @@ pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result
         let p = &r.point;
         write!(
             w,
-            "{},{},{:.4},{},{},{},{},{:.6},{:.6},{:.1}",
+            "{},{},{:.4},{},{},{},{},{},{},{:.1}",
             p.label(),
             p.architecture,
             p.lna_noise_vrms * 1e6,
@@ -34,8 +34,8 @@ pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result
             p.s.map_or(String::new(), |v| v.to_string()),
             p.c_hold_f
                 .map_or(String::new(), |v| format!("{:.2}", v * 1e12)),
-            r.metric,
-            r.power_w * 1e6,
+            finite_cell(r.metric, 1.0, "metric", &p.label()),
+            finite_cell(r.power_w, 1e6, "power", &p.label()),
             r.area_units
         )?;
         for k in BlockKind::ALL {
@@ -44,6 +44,18 @@ pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result
         writeln!(w)?;
     }
     Ok(())
+}
+
+/// Formats `value * scale` for a CSV cell, or an empty cell (plus a stderr
+/// warning) when the value is NaN or infinite, so downstream plotting tools
+/// see a missing sample rather than a poisoned column.
+fn finite_cell(value: f64, scale: f64, what: &str, label: &str) -> String {
+    if value.is_finite() {
+        format!("{:.6}", value * scale)
+    } else {
+        eprintln!("warning: non-finite {what} ({value}) for point {label}; writing empty cell");
+        String::new()
+    }
 }
 
 fn slug(k: BlockKind) -> &'static str {
@@ -148,6 +160,30 @@ mod tests {
             .position(|h| *h == "lna_uw")
             .expect("lna column");
         assert!((row[lna_idx].parse::<f64>().expect("number") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_blanks_non_finite_metric_and_power() {
+        let mut nan_metric = sample_result();
+        nan_metric.metric = f64::NAN;
+        let mut inf_power = sample_result();
+        inf_power.power_w = f64::INFINITY;
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[nan_metric, inf_power]).expect("write succeeds");
+        let s = String::from_utf8(buf).expect("valid utf8");
+        let header: Vec<&str> = s.lines().next().expect("header").split(',').collect();
+        let metric_idx = header.iter().position(|h| *h == "metric").expect("metric");
+        let power_idx = header
+            .iter()
+            .position(|h| *h == "power_uw")
+            .expect("power_uw");
+        let rows: Vec<Vec<&str>> = s.lines().skip(1).map(|l| l.split(',').collect()).collect();
+        // Each row keeps its full column count, with the sick cell empty.
+        assert!(rows.iter().all(|r| r.len() == header.len()));
+        assert_eq!(rows[0][metric_idx], "");
+        assert!(rows[0][power_idx].parse::<f64>().is_ok());
+        assert_eq!(rows[1][power_idx], "");
+        assert!(rows[1][metric_idx].parse::<f64>().is_ok());
     }
 
     #[test]

@@ -1,15 +1,30 @@
 //! End-to-end system simulation (functional + power, simultaneously).
 
-use crate::config::{CsConfig, SystemConfig};
+use crate::config::{ConfigError, CsConfig, SystemConfig};
 use efficsense_blocks::{ChargeSharingEncoder, Lna, Sampler, SarAdc, Transmitter};
 use efficsense_cs::linalg::Matrix;
 use efficsense_cs::matrix::SensingMatrix;
 use efficsense_cs::recon::{reconstruct_with_dictionary, OmpConfig};
 use efficsense_dsp::resample::{resample_linear, sample_at};
 use efficsense_dsp::stats::rms;
+use efficsense_faults::{FaultPlan, LinkStats};
 use efficsense_power::area::AreaModel;
 use efficsense_power::models::SampleHoldModel;
 use efficsense_power::{PowerBreakdown, PowerModel};
+use efficsense_rng::Rng64;
+use efficsense_signals::noise::Gaussian;
+
+/// Per-block fault-stream salts (see [`FaultPlan::stream`]); spaced so the
+/// per-record mix `salt + 256·noise_seed` stays injective.
+const SALT_LNA: u64 = 1;
+const SALT_CLOCK: u64 = 2;
+const SALT_LINK: u64 = 3;
+
+/// Mixes a block salt with the record's noise seed so every record sees a
+/// fresh fault realisation while staying reproducible.
+fn record_salt(salt: u64, noise_seed: u64) -> u64 {
+    salt.wrapping_add(noise_seed.wrapping_mul(256))
+}
 
 /// The result of simulating one record through a candidate system.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +43,9 @@ pub struct SimOutput {
     pub area_units: f64,
     /// Data words sent to the transmitter for this record.
     pub words: u64,
+    /// Radio-link accounting when a packet-loss fault is injected; `None`
+    /// on the clean path.
+    pub link: Option<LinkStats>,
 }
 
 impl SimOutput {
@@ -49,6 +67,9 @@ impl SimOutput {
 pub struct Simulator {
     cfg: SystemConfig,
     arch: ArchState,
+    /// Injected fault plan; `None` (and clean plans) leave every block's
+    /// behaviour bit-identical to the unfaulted simulator.
+    plan: Option<FaultPlan>,
 }
 
 /// Architecture-specific precomputed state. Splitting this out of
@@ -81,8 +102,8 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns the validation failure message for invalid configs.
-    pub fn new(cfg: SystemConfig) -> Result<Self, String> {
+    /// Returns the violated constraint as a [`ConfigError`].
+    pub fn new(cfg: SystemConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let arch = if let Some(cs) = &cfg.cs {
             let phi = SensingMatrix::srbm(cs.m, cs.n_phi, cs.s, cfg.seed ^ 0x5EB1);
@@ -117,7 +138,33 @@ impl Simulator {
         } else {
             ArchState::Baseline
         };
-        Ok(Self { cfg, arch })
+        Ok(Self {
+            cfg,
+            arch,
+            plan: None,
+        })
+    }
+
+    /// Builds a simulator with a fault plan injected from the start.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint as a [`ConfigError`].
+    pub fn with_fault_plan(cfg: SystemConfig, plan: FaultPlan) -> Result<Self, ConfigError> {
+        let mut sim = Self::new(cfg)?;
+        sim.set_fault_plan(Some(plan));
+        Ok(sim)
+    }
+
+    /// Installs (or clears) the fault plan for subsequent [`Simulator::run`]
+    /// calls. Clean plans are dropped so the clean path stays bit-identical.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan.filter(|p| !p.is_clean());
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_ref()
     }
 
     /// The configuration under simulation.
@@ -176,10 +223,13 @@ impl Simulator {
             f_ct,
             cfg.seed ^ noise_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
+        if let Some(plan) = &self.plan {
+            lna.inject_rail_fault(plan.lna, plan.stream(record_salt(SALT_LNA, noise_seed)));
+        }
         let amplified = lna.process_buffer(&ct);
         efficsense_dsp::approx::debug_assert_all_finite(&amplified, "simulate: LNA output");
         // Step 3: architecture-specific acquisition.
-        let (acquired, words, adc_in_rms) = match &self.arch {
+        let (acquired, words, adc_in_rms, link) = match &self.arch {
             ArchState::Baseline => self.acquire_baseline(&amplified, f_ct, noise_seed),
             ArchState::Cs(state) => self.acquire_cs(state, &amplified, f_ct, noise_seed),
         };
@@ -203,7 +253,27 @@ impl Simulator {
             power,
             area_units,
             words,
+            link,
         }
+    }
+
+    /// Simulates the lossy link over a word stream, concealing undelivered
+    /// words by holding the last delivered value (the receiver's zero-order
+    /// concealment). Returns `None` stats when no link fault is active.
+    fn apply_link_hold(&self, data: &mut [f64], noise_seed: u64) -> Option<LinkStats> {
+        let plan = self.plan.as_ref()?;
+        let link = plan.link.filter(|l| !l.is_noop())?;
+        let mut rng = Rng64::new(plan.stream(record_salt(SALT_LINK, noise_seed)));
+        let (delivered, stats) = link.apply(data.len(), &mut rng);
+        let mut held = 0.0;
+        for (v, ok) in data.iter_mut().zip(&delivered) {
+            if *ok {
+                held = *v;
+            } else {
+                *v = held;
+            }
+        }
+        Some(stats)
     }
 
     fn acquire_baseline(
@@ -211,7 +281,7 @@ impl Simulator {
         amplified: &[f64],
         f_ct: f64,
         noise_seed: u64,
-    ) -> (Vec<f64>, u64, f64) {
+    ) -> (Vec<f64>, u64, f64, Option<LinkStats>) {
         let cfg = &self.cfg;
         let mut sampler = Sampler::new(
             cfg.design.f_sample_hz(),
@@ -219,6 +289,10 @@ impl Simulator {
             0.0,
             cfg.seed ^ noise_seed ^ 0x5A5A,
         );
+        if let Some(plan) = &self.plan {
+            sampler
+                .inject_clock_fault(plan.clock, plan.stream(record_salt(SALT_CLOCK, noise_seed)));
+        }
         let sampled = sampler.sample(amplified, f_ct);
         let mut adc = SarAdc::new(
             cfg.design.n_bits,
@@ -229,13 +303,17 @@ impl Simulator {
             &cfg.tech,
             cfg.seed,
         );
+        if let Some(plan) = &self.plan {
+            adc.inject_stuck_bit(plan.adc);
+        }
         let shifted_rms = rms(&sampled
             .iter()
             .map(|v| v + cfg.design.v_fs / 2.0)
             .collect::<Vec<_>>());
-        let out = adc.process_buffer(&sampled);
+        let mut out = adc.process_buffer(&sampled);
         let words = out.len() as u64;
-        (out, words, shifted_rms)
+        let link = self.apply_link_hold(&mut out, noise_seed);
+        (out, words, shifted_rms, link)
     }
 
     fn acquire_cs(
@@ -244,18 +322,49 @@ impl Simulator {
         amplified: &[f64],
         f_ct: f64,
         noise_seed: u64,
-    ) -> (Vec<f64>, u64, f64) {
+    ) -> (Vec<f64>, u64, f64, Option<LinkStats>) {
         let cfg = &self.cfg;
         let cs = &state.cs;
         let phi = &state.phi;
         let dict = &state.dictionary;
         let f_s = cfg.design.f_sample_hz();
-        // The encoder's own sample caps do the sampling; take ideal instants.
+        // The encoder's own sample caps do the sampling; take ideal instants
+        // unless a clock fault jitters/drops them.
         let duration = amplified.len() as f64 / f_ct;
         let n_samples = (duration * f_s).floor() as usize;
-        let sampled: Vec<f64> = (0..n_samples)
-            .map(|i| sample_at(amplified, f_ct, i as f64 / f_s))
-            .collect();
+        let clock = self
+            .plan
+            .as_ref()
+            .and_then(|p| p.clock.filter(|c| !c.is_noop()));
+        let sampled: Vec<f64> = if let Some(c) = clock {
+            // Mirrors Sampler's fault path: a failed acquisition holds the
+            // previous sample-cap charge.
+            let seed = self
+                .plan
+                .as_ref()
+                .map_or(0, |p| p.stream(record_salt(SALT_CLOCK, noise_seed)));
+            let mut jitter_rng = Gaussian::new(seed ^ 0x0C10_CC00);
+            let mut drop_rng = Rng64::new(seed ^ 0x0D20_9ED5);
+            let mut out = Vec::with_capacity(n_samples);
+            let mut held = 0.0;
+            for i in 0..n_samples {
+                let mut t = i as f64 / f_s;
+                if c.jitter_periods > 0.0 {
+                    t += jitter_rng.sample_scaled(c.jitter_periods / f_s);
+                }
+                if drop_rng.chance(c.drop_prob) {
+                    out.push(held);
+                    continue;
+                }
+                held = sample_at(amplified, f_ct, t.max(0.0));
+                out.push(held);
+            }
+            out
+        } else {
+            (0..n_samples)
+                .map(|i| sample_at(amplified, f_ct, i as f64 / f_s))
+                .collect()
+        };
         let mut encoder = ChargeSharingEncoder::new(
             phi.clone(),
             cs.c_sample_f,
@@ -275,6 +384,17 @@ impl Simulator {
             &cfg.tech,
             cfg.seed,
         );
+        let mut link_ctx = None;
+        if let Some(plan) = &self.plan {
+            encoder.inject_leakage_fault(plan.leakage, &cfg.tech, &cfg.design);
+            adc.inject_stuck_bit(plan.adc);
+            if let Some(l) = plan.link.filter(|l| !l.is_noop()) {
+                link_ctx = Some((
+                    l,
+                    Rng64::new(plan.stream(record_salt(SALT_LINK, noise_seed))),
+                ));
+            }
+        }
         // Discrepancy-principle stopping (Morozov): the designer knows the
         // front-end noise level, so the decoder stops fitting once the
         // residual reaches the expected measurement noise instead of fitting
@@ -296,14 +416,29 @@ impl Simulator {
         let mut words = 0u64;
         let mut rms_acc = 0.0;
         let mut rms_n = 0usize;
+        let mut link_stats: Option<LinkStats> = None;
         for frame in sampled.chunks_exact(cs.n_phi) {
             let measurements = encoder.encode_frame(frame);
             // Digitise the measurements.
-            let digitised: Vec<f64> = measurements.iter().map(|&v| adc.process(v)).collect();
+            let mut digitised: Vec<f64> = measurements.iter().map(|&v| adc.process(v)).collect();
             words += digitised.len() as u64;
             for &v in &digitised {
                 rms_acc += (v + cfg.design.v_fs / 2.0).powi(2);
                 rms_n += 1;
+            }
+            // Measurement words lost on the radio: the decoder knows which
+            // packets never arrived, so it treats them as zero-valued
+            // measurements (erasure handling) before inverting.
+            if let Some((l, rng)) = &mut link_ctx {
+                let (delivered, stats) = l.apply(digitised.len(), rng);
+                for (v, ok) in digitised.iter_mut().zip(&delivered) {
+                    if !*ok {
+                        *v = 0.0;
+                    }
+                }
+                link_stats
+                    .get_or_insert_with(LinkStats::default)
+                    .accumulate(&stats);
             }
             let y_norm = efficsense_cs::linalg::norm2(&digitised).max(1e-300);
             let omp = OmpConfig {
@@ -320,7 +455,7 @@ impl Simulator {
         } else {
             0.0
         };
-        (out, words, adc_in_rms)
+        (out, words, adc_in_rms, link_stats)
     }
 
     /// Assembles the Table II power breakdown for this configuration.
@@ -354,6 +489,13 @@ impl Simulator {
             cfg.seed,
         );
         b = b.merged(&adc.power_breakdown(adc_in_rms, &cfg.tech, &cfg.design));
+        // A lossy link retransmits: the radio clocks out expected-attempts×
+        // the data words, inflating the average TX power by the same factor.
+        let retry_factor = self
+            .plan
+            .as_ref()
+            .and_then(|p| p.link.filter(|l| !l.is_noop()))
+            .map_or(1.0, |l| l.expected_attempts());
         match &self.arch {
             ArchState::Baseline => {
                 // S&H plus Nyquist-rate transmission.
@@ -364,7 +506,7 @@ impl Simulator {
                 let tx = Transmitter::baseline(&cfg.design);
                 b.add(
                     efficsense_power::BlockKind::Transmitter,
-                    tx.power(&cfg.tech, &cfg.design),
+                    tx.power(&cfg.tech, &cfg.design) * retry_factor,
                 );
             }
             ArchState::Cs(state) => {
@@ -383,7 +525,7 @@ impl Simulator {
                 let tx = Transmitter::compressive(&cfg.design, cs.m, cs.n_phi);
                 b.add(
                     efficsense_power::BlockKind::Transmitter,
-                    tx.power(&cfg.tech, &cfg.design),
+                    tx.power(&cfg.tech, &cfg.design) * retry_factor,
                 );
             }
         }
@@ -607,6 +749,121 @@ mod tests {
         assert!(sheet.contains("baseline architecture"));
         assert!(sheet.contains("6 bit SAR"));
         assert!(!sheet.contains("CS encoder"));
+    }
+
+    #[test]
+    fn clean_fault_plan_is_bit_identical_for_both_architectures() {
+        use efficsense_faults::FaultPlan;
+        let x = eeg_like_tone(173.61, 4.0);
+        for cfg in [
+            SystemConfig::baseline(8),
+            SystemConfig::compressive(8, CsConfig::default()),
+        ] {
+            let clean = Simulator::new(cfg.clone()).expect("valid");
+            let faulted = Simulator::with_fault_plan(cfg, FaultPlan::clean(0xFA17)).expect("valid");
+            assert_eq!(
+                clean.run(&x, 173.61, 3),
+                faulted.run(&x, 173.61, 3),
+                "a clean plan must not perturb the simulation"
+            );
+        }
+    }
+
+    #[test]
+    fn every_fault_kind_degrades_snr_on_its_architecture() {
+        use efficsense_faults::{FaultKind, FaultPlan};
+        let x = eeg_like_tone(173.61, 4.0);
+        let snr_of = |cfg: SystemConfig, plan: Option<FaultPlan>| {
+            let mut sim = Simulator::new(cfg).expect("valid");
+            sim.set_fault_plan(plan);
+            let out = sim.run(&x, 173.61, 1);
+            snr_fit_db(&out.reference, &out.input_referred)
+        };
+        for kind in FaultKind::ALL {
+            // CapLeakage only exists in the CS chain; everything else is
+            // checked on the cheaper baseline chain.
+            let cfg = if kind == FaultKind::CapLeakage {
+                SystemConfig::compressive(8, CsConfig::default())
+            } else {
+                SystemConfig::baseline(8)
+            };
+            let clean = snr_of(cfg.clone(), None);
+            let faulted = snr_of(cfg, Some(FaultPlan::single(kind, 1.0, 0xFA17)));
+            assert!(
+                faulted < clean - 1.0,
+                "{kind} at severity 1: {faulted:.1} dB !< clean {clean:.1} dB"
+            );
+        }
+    }
+
+    #[test]
+    fn packet_loss_records_link_stats_and_inflates_tx_power() {
+        use efficsense_faults::{FaultKind, FaultPlan};
+        let x = eeg_like_tone(173.61, 4.0);
+        let cfg = SystemConfig::baseline(8);
+        let clean = Simulator::new(cfg.clone())
+            .expect("valid")
+            .run(&x, 173.61, 1);
+        assert_eq!(clean.link, None);
+        let plan = FaultPlan::single(FaultKind::PacketLoss, 0.6, 7);
+        let lossy = Simulator::with_fault_plan(cfg, plan.clone())
+            .expect("valid")
+            .run(&x, 173.61, 1);
+        let stats = lossy.link.expect("link fault must record stats");
+        assert_eq!(stats.data_words, lossy.words);
+        assert!(stats.lost_packets > 0, "54% loss must drop packets");
+        assert!(
+            stats.tx_words > stats.data_words,
+            "retries must inflate the clocked-out words"
+        );
+        use efficsense_power::BlockKind::Transmitter;
+        let expected = plan
+            .link
+            .expect("plan has a link fault")
+            .expected_attempts();
+        let ratio = lossy.power.get(Transmitter).value() / clean.power.get(Transmitter).value();
+        assert!(
+            (ratio - expected).abs() < 1e-9,
+            "TX power ratio {ratio} vs expected attempts {expected}"
+        );
+    }
+
+    #[test]
+    fn cs_chain_survives_packet_loss_with_reduced_quality() {
+        use efficsense_faults::{FaultKind, FaultPlan};
+        let x = eeg_like_tone(173.61, 4.0);
+        let cfg = SystemConfig::compressive(8, CsConfig::default());
+        let clean = Simulator::new(cfg.clone())
+            .expect("valid")
+            .run(&x, 173.61, 1);
+        let lossy =
+            Simulator::with_fault_plan(cfg, FaultPlan::single(FaultKind::PacketLoss, 0.5, 3))
+                .expect("valid")
+                .run(&x, 173.61, 1);
+        let snr_clean = snr_fit_db(&clean.reference, &clean.input_referred);
+        let snr_lossy = snr_fit_db(&lossy.reference, &lossy.input_referred);
+        assert!(snr_lossy < snr_clean, "{snr_lossy} !< {snr_clean}");
+        assert!(lossy.link.is_some());
+        assert!(snr_lossy.is_finite(), "erasures must not break the decoder");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use efficsense_faults::{FaultKind, FaultPlan};
+        let x = eeg_like_tone(173.61, 2.0);
+        let mk = || {
+            Simulator::with_fault_plan(
+                SystemConfig::baseline(8),
+                FaultPlan::single(FaultKind::DroppedSamples, 0.7, 9),
+            )
+            .expect("valid")
+        };
+        assert_eq!(mk().run(&x, 173.61, 5), mk().run(&x, 173.61, 5));
+        // Different records draw different fault realisations.
+        assert_ne!(
+            mk().run(&x, 173.61, 5).input_referred,
+            mk().run(&x, 173.61, 6).input_referred
+        );
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! Parallel design-space sweep engine.
+//! Parallel design-space sweep engine with failure quarantine.
+//!
+//! Large sweeps run unattended for hours; one sick design point must not
+//! cost the whole run. Every point is evaluated behind a panic boundary and
+//! failures — invalid configurations, panicking models, non-finite metrics —
+//! are quarantined in the [`SweepReport`] under a configurable
+//! [`FailurePolicy`] instead of aborting the sweep.
 
-use crate::config::Architecture;
+use crate::config::{Architecture, ConfigError};
 use crate::goal::{DetectionGoal, GoalFunction, SnrGoal};
 use crate::simulate::{SimOutput, Simulator};
 use crate::space::{DesignPoint, DesignSpace};
+use efficsense_faults::FaultPlan;
 use efficsense_power::PowerBreakdown;
 use efficsense_signals::EegDataset;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which quality metrics to compute per design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +22,102 @@ pub enum Metric {
     Snr,
     /// Seizure detection accuracy (Fig. 7b). Trains a detector first.
     DetectionAccuracy,
+}
+
+/// What the sweep does with a design point that fails to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Re-raise the failure as a panic on the calling thread (the legacy
+    /// behaviour, and the right one when a failure means a caller bug).
+    #[default]
+    Abort,
+    /// Quarantine the point in the [`SweepReport`] and keep sweeping.
+    Skip,
+    /// Re-evaluate up to this many extra times, then quarantine. The models
+    /// are deterministic, so this only helps failures injected by the
+    /// environment (and records how stubbornly a point failed).
+    Retry(u32),
+}
+
+/// Why one design point failed to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointError {
+    /// The point's configuration violated a design constraint.
+    Config(ConfigError),
+    /// A behavioural model panicked while evaluating the point; the payload
+    /// message is preserved.
+    Panicked(String),
+    /// Evaluation completed but produced a non-finite metric or power.
+    NonFinite(String),
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointError::Config(e) => write!(f, "invalid configuration: {e}"),
+            PointError::Panicked(msg) => write!(f, "model panicked: {msg}"),
+            PointError::NonFinite(what) => write!(f, "non-finite evaluation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// One design point the sweep could not evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedPoint {
+    /// Index of the point in [`DesignSpace::points`] enumeration order.
+    pub index: usize,
+    /// The failed point.
+    pub point: DesignPoint,
+    /// Why it failed (the error of the final attempt).
+    pub error: PointError,
+    /// Extra evaluation attempts spent under [`FailurePolicy::Retry`].
+    pub retries: u32,
+}
+
+/// The full outcome of a sweep: healthy results plus the quarantine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Successfully evaluated points, in enumeration order.
+    pub results: Vec<SweepResult>,
+    /// Failed points, sorted by enumeration index.
+    pub quarantine: Vec<QuarantinedPoint>,
+    /// Number of points the design space enumerated.
+    pub points_total: usize,
+}
+
+impl SweepReport {
+    /// `true` when every enumerated point is accounted for, either as a
+    /// result or in quarantine. This is the release-mode promotion of the
+    /// old `debug_assert_eq!` completeness check: a `false` here means the
+    /// sweep engine itself lost points.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.results.len() + self.quarantine.len() == self.points_total
+    }
+
+    /// Number of enumerated points that are neither results nor quarantined.
+    #[must_use]
+    pub fn missing(&self) -> usize {
+        self.points_total
+            .saturating_sub(self.results.len() + self.quarantine.len())
+    }
+
+    /// One-line health summary, e.g. `94/96 ok, 2 quarantined`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{}/{} ok, {} quarantined",
+            self.results.len(),
+            self.points_total,
+            self.quarantine.len()
+        );
+        if !self.is_complete() {
+            s.push_str(&format!(", {} MISSING", self.missing()));
+        }
+        s
+    }
 }
 
 /// Sweep configuration.
@@ -29,6 +133,10 @@ pub struct SweepConfig {
     /// 0 classifies whole records. Default 2 s — the windowed-segment scheme
     /// of the EEG deep-learning literature.
     pub epoch_s: f64,
+    /// What to do when a point fails to evaluate.
+    pub failure_policy: FailurePolicy,
+    /// Fault plan injected into every evaluated point (`None` = clean sweep).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SweepConfig {
@@ -38,6 +146,8 @@ impl Default for SweepConfig {
             threads: 0,
             detector_seed: 0xD0D0,
             epoch_s: 2.0,
+            failure_policy: FailurePolicy::Abort,
+            fault_plan: None,
         }
     }
 }
@@ -69,16 +179,40 @@ impl Sweep {
         Self { config }
     }
 
+    /// Evaluates every point of `space` over `dataset`, in parallel,
+    /// returning only the healthy results (enumeration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space or dataset is empty, if the sweep engine loses a
+    /// point (the completeness check), or — under the default
+    /// [`FailurePolicy::Abort`] — if any point fails to evaluate. Use
+    /// [`Sweep::run_report`] to inspect failures instead.
+    pub fn run(&self, space: &DesignSpace, dataset: &EegDataset) -> Vec<SweepResult> {
+        let report = self.run_report(space, dataset);
+        assert!(
+            report.is_complete(),
+            "sweep engine lost {} of {} points",
+            report.missing(),
+            report.points_total
+        );
+        report.results
+    }
+
     /// Evaluates every point of `space` over `dataset`, in parallel.
     ///
     /// Each record passes through the simulated front-end; the configured
     /// metric aggregates the outputs. Results keep the enumeration order of
-    /// [`DesignSpace::points`].
+    /// [`DesignSpace::points`]; failed points land in the report's
+    /// quarantine according to the configured [`FailurePolicy`]. Every
+    /// point is evaluated behind a panic boundary, so one sick model cannot
+    /// abort an overnight sweep (unless the policy says so).
     ///
     /// # Panics
     ///
-    /// Panics if the space or dataset is empty, or a point fails validation.
-    pub fn run(&self, space: &DesignSpace, dataset: &EegDataset) -> Vec<SweepResult> {
+    /// Panics if the space or dataset is empty, or — under
+    /// [`FailurePolicy::Abort`] — when a point fails to evaluate.
+    pub fn run_report(&self, space: &DesignSpace, dataset: &EegDataset) -> SweepReport {
         assert!(!space.is_empty(), "design space is empty");
         assert!(!dataset.is_empty(), "dataset is empty");
         // Train the detector once (shared across threads, read-only).
@@ -110,21 +244,52 @@ impl Sweep {
         .min(points.len());
         let next = std::sync::atomic::AtomicUsize::new(0);
         let goal_ref: &(dyn GoalFunction + Sync) = goal.as_ref();
+        let policy = self.config.failure_policy;
+        let plan = self.config.fault_plan.as_ref();
+        let max_retries = match policy {
+            FailurePolicy::Retry(n) => n,
+            _ => 0,
+        };
         // Workers claim indices from a shared counter (cheap dynamic load
         // balancing — point costs vary wildly with M and N) and keep their
         // results thread-local; the merge happens once, after the joins.
-        let mut indexed: Vec<(usize, SweepResult)> = Vec::with_capacity(points.len());
+        type Outcome = Result<SweepResult, (PointError, u32)>;
+        let mut indexed: Vec<(usize, Outcome)> = Vec::with_capacity(points.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_threads)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut local = Vec::new();
+                        let mut local: Vec<(usize, Outcome)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= points.len() {
                                 break;
                             }
-                            local.push((i, evaluate_point(&points[i], space, dataset, goal_ref)));
+                            let point = &points[i];
+                            let mut retries = 0u32;
+                            let outcome = loop {
+                                // The panic boundary: a model blowing up on
+                                // one point must not take down the sweep.
+                                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                                    evaluate_point(point, space, dataset, goal_ref, plan)
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    Err(PointError::Panicked(panic_message(payload.as_ref())))
+                                });
+                                match attempt {
+                                    Ok(res) => break Ok(res),
+                                    Err(_) if retries < max_retries => retries += 1,
+                                    Err(e) => break Err((e, retries)),
+                                }
+                            };
+                            if let Err((e, _)) = &outcome {
+                                if policy == FailurePolicy::Abort {
+                                    // Legacy semantics: a failing point under
+                                    // Abort is a bug in the caller's space.
+                                    panic!("{}: {e}", point.label()); // lint:allow(no-panic)
+                                }
+                            }
+                            local.push((i, outcome));
                         }
                         local
                     })
@@ -133,36 +298,67 @@ impl Sweep {
             for h in handles {
                 match h.join() {
                     Ok(mut local) => indexed.append(&mut local),
-                    // A worker panic is a bug in a model; re-raise it on the
-                    // caller thread instead of silently dropping points.
+                    // A worker panic escaped the per-point boundary (or the
+                    // policy is Abort); re-raise it on the caller thread
+                    // instead of silently dropping points.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });
         indexed.sort_by_key(|(i, _)| *i);
-        debug_assert_eq!(
-            indexed.len(),
-            points.len(),
-            "every point claimed exactly once"
-        );
-        indexed.into_iter().map(|(_, r)| r).collect()
+        let points_total = points.len();
+        let mut results = Vec::with_capacity(indexed.len());
+        let mut quarantine = Vec::new();
+        for (index, outcome) in indexed {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err((error, retries)) => quarantine.push(QuarantinedPoint {
+                    index,
+                    point: points[index].clone(),
+                    error,
+                    retries,
+                }),
+            }
+        }
+        SweepReport {
+            results,
+            quarantine,
+            points_total,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Evaluates a single design point (exposed for targeted experiments).
+///
+/// `plan` optionally injects a fault plan into the simulated chain.
+///
+/// # Errors
+///
+/// Returns [`PointError::Config`] for invalid points and
+/// [`PointError::NonFinite`] when the metric or power comes out non-finite.
+/// Model panics are *not* caught here — the sweep engine owns the panic
+/// boundary.
 pub fn evaluate_point(
     point: &DesignPoint,
     space: &DesignSpace,
     dataset: &EegDataset,
     goal: &(dyn GoalFunction + Sync),
-) -> SweepResult {
+    plan: Option<&FaultPlan>,
+) -> Result<SweepResult, PointError> {
     let cfg = point.to_config(&space.template);
-    // An invalid point is a bug in the caller's DesignSpace, not a runtime
-    // condition — the documented panic is the API here.
-    let sim = match Simulator::new(cfg) {
-        Ok(sim) => sim,
-        Err(e) => panic!("{}: {e}", point.label()), // lint:allow(no-panic)
-    };
+    let mut sim = Simulator::new(cfg).map_err(PointError::Config)?;
+    sim.set_fault_plan(plan.cloned());
     let outputs: Vec<(SimOutput, usize)> = dataset
         .records
         .iter()
@@ -174,13 +370,19 @@ pub fn evaluate_point(
     let metric = goal.evaluate(&outputs);
     let breakdown = outputs[0].0.power.clone();
     let area_units = outputs[0].0.area_units;
-    SweepResult {
+    let power_w = breakdown.total().value();
+    if !metric.is_finite() || !power_w.is_finite() {
+        return Err(PointError::NonFinite(format!(
+            "metric {metric}, power {power_w} W"
+        )));
+    }
+    Ok(SweepResult {
         point: point.clone(),
         metric,
-        power_w: breakdown.total().value(),
+        power_w,
         breakdown,
         area_units,
-    }
+    })
 }
 
 /// Splits results by architecture: `(baseline, compressive)`.
@@ -324,5 +526,172 @@ mod tests {
         };
         let space = tiny_space();
         let _ = Sweep::new(SweepConfig::default()).run(&space, &ds);
+    }
+
+    /// A space with two kinds of sick points: the CS points carry `s = 0`
+    /// (rejected by validation → `Config`), and the NaN-noise baseline point
+    /// passes validation but trips the LNA constructor's assertion mid-run
+    /// (→ `Panicked`, caught at the panic boundary).
+    fn sick_space() -> DesignSpace {
+        DesignSpace {
+            lna_noise_vrms: vec![2e-6, f64::NAN],
+            n_bits: vec![8],
+            cs_m: vec![96],
+            cs_s: vec![0],
+            cs_c_hold_f: vec![1e-12],
+            ..DesignSpace::paper_defaults()
+        }
+    }
+
+    fn skip_sweep(threads: usize) -> Sweep {
+        Sweep::new(SweepConfig {
+            metric: Metric::Snr,
+            threads,
+            detector_seed: 0,
+            failure_policy: FailurePolicy::Skip,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn quarantine_catches_invalid_and_panicking_points() {
+        let ds = tiny_dataset();
+        let space = sick_space();
+        let report = skip_sweep(2).run_report(&space, &ds);
+        let points = space.points();
+        assert_eq!(report.points_total, points.len());
+        assert!(report.is_complete(), "{}", report.summary());
+        assert_eq!(report.missing(), 0);
+        // Exactly one healthy point: the finite-noise baseline.
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.quarantine.len(), points.len() - 1);
+        // Healthy results keep enumeration order.
+        let healthy: Vec<&DesignPoint> = points
+            .iter()
+            .filter(|p| p.architecture == Architecture::Baseline && p.lna_noise_vrms.is_finite())
+            .collect();
+        for (r, p) in report.results.iter().zip(&healthy) {
+            assert_eq!(&&r.point, p);
+        }
+        // Quarantine is sorted by enumeration index and carries both causes.
+        assert!(report
+            .quarantine
+            .windows(2)
+            .all(|w| w[0].index < w[1].index));
+        assert!(report.quarantine.iter().any(|q| matches!(
+            &q.error,
+            PointError::Config(ConfigError::BadScheduleSparsity { s: 0, .. })
+        )));
+        assert!(
+            report
+                .quarantine
+                .iter()
+                .any(|q| matches!(&q.error, PointError::Panicked(msg) if msg.contains("noise"))),
+            "quarantine errors: {:?}",
+            report
+                .quarantine
+                .iter()
+                .map(|q| &q.error)
+                .collect::<Vec<_>>()
+        );
+        assert!(report.summary().contains("quarantined"));
+    }
+
+    #[test]
+    fn quarantine_is_deterministic_across_thread_counts() {
+        let ds = tiny_dataset();
+        let space = sick_space();
+        let one = skip_sweep(1).run_report(&space, &ds);
+        let many = skip_sweep(4).run_report(&space, &ds);
+        // DesignPoint carries the NaN axis value (NaN != NaN), so compare
+        // the index/error/retry triples instead of whole-report equality.
+        let digest = |r: &SweepReport| {
+            r.quarantine
+                .iter()
+                .map(|q| (q.index, q.error.clone(), q.retries))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(one.results, many.results);
+        assert_eq!(digest(&one), digest(&many));
+        assert_eq!(one.points_total, many.points_total);
+    }
+
+    #[test]
+    fn retry_policy_records_exhausted_attempts() {
+        let ds = tiny_dataset();
+        let space = sick_space();
+        let report = Sweep::new(SweepConfig {
+            metric: Metric::Snr,
+            threads: 2,
+            detector_seed: 0,
+            failure_policy: FailurePolicy::Retry(2),
+            ..Default::default()
+        })
+        .run_report(&space, &ds);
+        assert!(!report.quarantine.is_empty());
+        assert!(
+            report.quarantine.iter().all(|q| q.retries == 2),
+            "deterministic failures must burn the whole retry budget"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "model panicked")]
+    fn abort_policy_propagates_failures() {
+        let ds = tiny_dataset();
+        let space = DesignSpace {
+            lna_noise_vrms: vec![f64::NAN],
+            n_bits: vec![8],
+            cs_m: vec![],
+            ..DesignSpace::paper_defaults()
+        };
+        let _ = Sweep::new(SweepConfig {
+            metric: Metric::Snr,
+            threads: 1,
+            detector_seed: 0,
+            ..Default::default()
+        })
+        .run(&space, &ds);
+    }
+
+    #[test]
+    fn clean_fault_plan_sweep_matches_unfaulted_sweep() {
+        use efficsense_faults::FaultPlan;
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let base = SweepConfig {
+            metric: Metric::Snr,
+            threads: 2,
+            detector_seed: 0,
+            ..Default::default()
+        };
+        let plain = Sweep::new(base.clone()).run(&space, &ds);
+        let with_clean_plan = Sweep::new(SweepConfig {
+            fault_plan: Some(FaultPlan::clean(0xABCD)),
+            ..base
+        })
+        .run(&space, &ds);
+        assert_eq!(plain, with_clean_plan);
+    }
+
+    #[test]
+    fn fault_plan_sweep_degrades_the_mean_metric() {
+        use efficsense_faults::{FaultKind, FaultPlan};
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let base = SweepConfig {
+            metric: Metric::Snr,
+            threads: 2,
+            detector_seed: 0,
+            ..Default::default()
+        };
+        let mean = |rs: &[SweepResult]| rs.iter().map(|r| r.metric).sum::<f64>() / rs.len() as f64;
+        let clean = Sweep::new(base.clone()).run(&space, &ds);
+        let faulted = Sweep::new(SweepConfig {
+            fault_plan: Some(FaultPlan::single(FaultKind::AdcStuckBit, 1.0, 1)),
+            ..base
+        })
+        .run(&space, &ds);
+        assert!(mean(&faulted) < mean(&clean) - 3.0);
     }
 }

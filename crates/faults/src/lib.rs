@@ -1,0 +1,34 @@
+//! # efficsense-faults
+//!
+//! Seeded, deterministic fault injection for the EffiCSense chain.
+//!
+//! The paper's argument is that architectural choices must be judged with
+//! analog non-idealities in the loop; this crate extends that loop from
+//! *benign* imperfections (noise, mismatch, droop) to *faults*: a railing
+//! LNA, a stuck ADC bit, runaway capacitor leakage, a wandering sample
+//! clock, a lossy radio link. A [`FaultPlan`] describes which faults are
+//! active and how severe they are; the block models accept it behind an
+//! `Option` hook so the clean path is untouched, and every stochastic
+//! decision derives from the plan's explicit seed so fault runs are
+//! bit-reproducible across machines and thread counts.
+//!
+//! Severity is normalised to `[0, 1]` per fault kind —
+//! [`FaultPlan::single`] maps it onto physical parameters calibrated so
+//! that 0 is bit-identical to the clean chain and 1 is destructive. The
+//! `robustness` bench binary sweeps this axis to produce degradation
+//! curves.
+//!
+//! ```
+//! use efficsense_faults::{FaultKind, FaultPlan};
+//! let plan = FaultPlan::single(FaultKind::AdcStuckBit, 0.5, 42);
+//! assert!(!plan.is_clean());
+//! assert!(FaultPlan::single(FaultKind::AdcStuckBit, 0.0, 42).is_clean());
+//! ```
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod link;
+pub mod plan;
+
+pub use link::{LinkFault, LinkStats};
+pub use plan::{AdcStuckBitFault, CapLeakageFault, ClockFault, FaultKind, FaultPlan, LnaRailFault};

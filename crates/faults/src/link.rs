@@ -1,0 +1,226 @@
+//! Lossy radio link with bounded retransmission and bit accounting.
+//!
+//! The transmitter groups data words into fixed-size packets; each packet
+//! is lost independently with `loss_prob` per attempt and retried up to
+//! `max_retries` times. Every attempt costs transmission energy, so a lossy
+//! link degrades *both* sides of the paper's trade-off at once: undelivered
+//! packets erase signal (quality drops) while retransmissions inflate the
+//! bit count (power rises).
+
+use efficsense_rng::Rng64;
+
+/// Packet-loss fault on the transmitter link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Probability that one transmission attempt of a packet is lost.
+    pub loss_prob: f64,
+    /// Retransmission attempts after the first (0 = no retries).
+    pub max_retries: u32,
+    /// Data words per packet.
+    pub packet_words: usize,
+}
+
+impl LinkFault {
+    /// `true` when the fault has no effect on the signal path.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.loss_prob <= 0.0
+    }
+
+    /// Expected transmission attempts per packet under the bounded-retry
+    /// policy: `(1 − p^(R+1)) / (1 − p)` for loss probability `p` and `R`
+    /// retries. Used by the analytic transmitter power model.
+    #[must_use]
+    pub fn expected_attempts(&self) -> f64 {
+        let p = self.loss_prob.clamp(0.0, 1.0);
+        let tries = self.max_retries as i32 + 1;
+        if p >= 1.0 {
+            // Every attempt fails; the budget is always exhausted.
+            return tries as f64;
+        }
+        (1.0 - p.powi(tries)) / (1.0 - p)
+    }
+
+    /// Simulates the link over `n_words` data words. Returns one delivered
+    /// flag per word (packet-granular) and the attempt accounting.
+    ///
+    /// Deterministic in `rng`: exactly one draw per transmission attempt.
+    #[must_use]
+    pub fn apply(&self, n_words: usize, rng: &mut Rng64) -> (Vec<bool>, LinkStats) {
+        let p = self.loss_prob.clamp(0.0, 1.0);
+        let pkt = self.packet_words.max(1);
+        let mut delivered = vec![true; n_words];
+        let mut stats = LinkStats {
+            data_words: n_words as u64,
+            ..LinkStats::default()
+        };
+        let mut start = 0usize;
+        while start < n_words {
+            let len = pkt.min(n_words - start);
+            stats.packets += 1;
+            let mut attempts = 0u64;
+            let mut ok = false;
+            while attempts <= self.max_retries as u64 {
+                attempts += 1;
+                if !rng.chance(p) {
+                    ok = true;
+                    break;
+                }
+            }
+            stats.tx_words += attempts * len as u64;
+            if !ok {
+                stats.lost_packets += 1;
+                for d in &mut delivered[start..start + len] {
+                    *d = false;
+                }
+            }
+            start += len;
+        }
+        (delivered, stats)
+    }
+}
+
+/// Accounting of one simulated link session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Data words the front-end produced.
+    pub data_words: u64,
+    /// Packets formed from those words.
+    pub packets: u64,
+    /// Packets undelivered after exhausting the retry budget.
+    pub lost_packets: u64,
+    /// Words actually clocked out of the radio (retransmissions included).
+    pub tx_words: u64,
+}
+
+impl LinkStats {
+    /// Folds another session's accounting into this one.
+    pub fn accumulate(&mut self, other: &LinkStats) {
+        self.data_words += other.data_words;
+        self.packets += other.packets;
+        self.lost_packets += other.lost_packets;
+        self.tx_words += other.tx_words;
+    }
+
+    /// Fraction of packets delivered (1.0 for an empty session).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.packets == 0 {
+            1.0
+        } else {
+            1.0 - self.lost_packets as f64 / self.packets as f64
+        }
+    }
+
+    /// Measured attempts-per-data-word inflation (1.0 for an empty session).
+    #[must_use]
+    pub fn retry_factor(&self) -> f64 {
+        if self.data_words == 0 {
+            1.0
+        } else {
+            self.tx_words as f64 / self.data_words as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(p: f64, retries: u32) -> LinkFault {
+        LinkFault {
+            loss_prob: p,
+            max_retries: retries,
+            packet_words: 8,
+        }
+    }
+
+    #[test]
+    fn lossless_link_delivers_everything_with_one_attempt_each() {
+        let mut rng = Rng64::new(1);
+        let (delivered, stats) = fault(0.0, 3).apply(100, &mut rng);
+        assert!(delivered.iter().all(|&d| d));
+        assert_eq!(stats.lost_packets, 0);
+        assert_eq!(stats.tx_words, 100);
+        assert_eq!(stats.packets, 13); // ceil(100 / 8)
+        assert!((stats.retry_factor() - 1.0).abs() < 1e-12);
+        assert!((stats.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_loss_erases_everything_and_burns_the_retry_budget() {
+        let mut rng = Rng64::new(2);
+        let f = fault(1.0, 2);
+        let (delivered, stats) = f.apply(64, &mut rng);
+        assert!(delivered.iter().all(|&d| !d));
+        assert_eq!(stats.lost_packets, stats.packets);
+        assert_eq!(stats.tx_words, 3 * 64); // 3 attempts per packet
+        assert!((f.expected_attempts() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_attempts_matches_measured_rate() {
+        let f = fault(0.5, 3);
+        let mut rng = Rng64::new(3);
+        let (_, stats) = f.apply(80_000, &mut rng);
+        let measured = stats.tx_words as f64 / stats.data_words as f64;
+        assert!(
+            (measured / f.expected_attempts() - 1.0).abs() < 0.05,
+            "measured {measured} vs expected {}",
+            f.expected_attempts()
+        );
+    }
+
+    #[test]
+    fn loss_rate_matches_residual_probability() {
+        // P(lost) = p^(R+1) = 0.5^3 = 0.125.
+        let f = fault(0.5, 2);
+        let mut rng = Rng64::new(4);
+        let (_, stats) = f.apply(80_000, &mut rng);
+        let rate = stats.lost_packets as f64 / stats.packets as f64;
+        assert!((rate - 0.125).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let f = fault(0.3, 1);
+        let (d1, s1) = f.apply(500, &mut Rng64::new(9));
+        let (d2, s2) = f.apply(500, &mut Rng64::new(9));
+        assert_eq!(d1, d2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn erasures_are_packet_granular() {
+        let f = LinkFault {
+            loss_prob: 0.6,
+            max_retries: 0,
+            packet_words: 10,
+        };
+        let mut rng = Rng64::new(11);
+        let (delivered, _) = f.apply(100, &mut rng);
+        for pkt in delivered.chunks(10) {
+            assert!(
+                pkt.iter().all(|&d| d) || pkt.iter().all(|&d| !d),
+                "whole packets live or die together"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = LinkStats {
+            data_words: 10,
+            packets: 2,
+            lost_packets: 1,
+            tx_words: 15,
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.data_words, 20);
+        assert_eq!(a.lost_packets, 2);
+        assert_eq!(a.tx_words, 30);
+        assert!((a.delivery_ratio() - 0.5).abs() < 1e-12);
+        assert!((a.retry_factor() - 1.5).abs() < 1e-12);
+    }
+}

@@ -40,11 +40,12 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// Crates whose library code must not panic (simulation inner loops).
-const NO_PANIC_CRATES: [&str; 4] = [
+const NO_PANIC_CRATES: [&str; 5] = [
     "crates/core/src/",
     "crates/power/src/",
     "crates/cs/src/",
     "crates/dsp/src/",
+    "crates/faults/src/",
 ];
 
 /// Numerical kernels that must guard stage boundaries against non-finite
@@ -516,6 +517,16 @@ mod tests {
         let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(lint("crates/dsp/src/x.rs", src).len(), 1);
         assert!(lint("crates/ml/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_and_seeded_rng_cover_the_faults_crate() {
+        let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint("crates/faults/src/plan.rs", panicky).len(), 1);
+        let ambient = "fn f() { let mut rng = thread_rng(); }\n";
+        assert!(lint("crates/faults/src/link.rs", ambient)
+            .iter()
+            .any(|d| d.rule == "seeded-rng"));
     }
 
     #[test]
