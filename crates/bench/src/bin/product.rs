@@ -1,0 +1,279 @@
+//! Severity × design-space product sweep with the two-level evaluation cache.
+//!
+//! The robustness workflow re-runs the whole design-space sweep once per
+//! `(fault kind, severity)` cell. This binary runs that product three ways —
+//! uncached, cold-cached, warm-cached — plus a persist/reload cycle, checks
+//! all four produce bit-identical results, and emits `BENCH_sweep.json`
+//! (points/sec, cache hit rate, wall times) for CI trend tracking.
+//!
+//! Two cache levels are measured:
+//! * **Level 2** (`efficsense_cs::memo`): sensing matrices and dictionary
+//!   precomputations shared per `(m, n, seed, kind)` — measured by running
+//!   one sweep with a cleared memo store and again with a warm one.
+//! * **Level 1** (`efficsense_core::cache`): whole `evaluate_point` results
+//!   keyed by content ([`efficsense_core::cache::point_key`]) — measured
+//!   across the product passes. Severity-0 cells canonicalise to the clean
+//!   key, so the cold pass already dedupes them.
+//!
+//! Run: `cargo run --release -p efficsense-bench --bin product`
+//! (`EFFICSENSE_SCALE=medium|full` widens the cell grid and workload;
+//! `EFFICSENSE_CACHE_FILE=<path>` overrides the persisted cache location.)
+
+use efficsense_bench::{dataset_config, design_space, figures_dir, scale, Scale};
+use efficsense_core::cache::SweepCache;
+use efficsense_core::pareto::{pareto_front, Objective};
+use efficsense_core::prelude::*;
+use efficsense_core::sweep::Metric;
+use efficsense_cs::memo;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Master seed of every injected fault stream (kept fixed so reruns are
+/// bit-identical).
+const FAULT_SEED: u64 = 0xFA_017;
+
+/// One `(fault kind, severity)` cell of the product.
+#[derive(Debug, Clone)]
+struct Cell {
+    label: String,
+    plan: FaultPlan,
+}
+
+/// The product grid: reduced keeps CI fast (and includes two severity-0
+/// cells, which share the clean content key — the cold-pass dedup case);
+/// medium/full run the full taxonomy × severity grid.
+fn cells() -> Vec<Cell> {
+    let (kinds, severities): (Vec<FaultKind>, Vec<f64>) = match scale() {
+        Scale::Reduced => (
+            vec![FaultKind::AdcStuckBit, FaultKind::CapLeakage],
+            vec![0.0, 1.0],
+        ),
+        Scale::Medium | Scale::Full => (
+            vec![
+                FaultKind::LnaRail,
+                FaultKind::AdcStuckBit,
+                FaultKind::CapLeakage,
+                FaultKind::ClockJitter,
+                FaultKind::DroppedSamples,
+                FaultKind::PacketLoss,
+            ],
+            vec![0.0, 0.25, 0.5, 0.75, 1.0],
+        ),
+    };
+    let mut out = Vec::new();
+    for kind in &kinds {
+        for &severity in &severities {
+            out.push(Cell {
+                label: format!("{kind:?}@{severity}"),
+                plan: FaultPlan::single(*kind, severity, FAULT_SEED),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the whole product once, optionally through a shared cache.
+fn run_product(
+    cells: &[Cell],
+    space: &DesignSpace,
+    dataset: &EegDataset,
+    cache: Option<&Arc<SweepCache>>,
+) -> (Vec<SweepReport>, Duration) {
+    let t0 = Instant::now();
+    let reports = cells
+        .iter()
+        .map(|cell| {
+            let mut sweep = Sweep::new(SweepConfig {
+                metric: Metric::DetectionAccuracy,
+                failure_policy: FailurePolicy::Skip,
+                fault_plan: Some(cell.plan.clone()),
+                ..Default::default()
+            });
+            if let Some(c) = cache {
+                sweep = sweep.with_cache(Arc::clone(c));
+            }
+            sweep.run_report(space, dataset)
+        })
+        .collect();
+    (reports, t0.elapsed())
+}
+
+fn assert_identical(a: &[SweepReport], b: &[SweepReport], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: cell count mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.results, y.results,
+            "{what}: results must be bit-identical"
+        );
+        assert_eq!(x.quarantine.len(), y.quarantine.len(), "{what}: quarantine");
+    }
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn main() {
+    let sc = scale();
+    let dataset = EegDataset::generate(&dataset_config());
+    let space = design_space();
+    let cells = cells();
+    let points_per_pass = cells.len() * space.len();
+    println!(
+        "product sweep: {} cells × {} points over {} records ({} scale)",
+        cells.len(),
+        space.len(),
+        dataset.len(),
+        sc.name()
+    );
+
+    // ---- Level 2: artifact memoization, isolated with the SNR goal (no
+    // detector training muddying the comparison). Same sweep twice: first
+    // with a cleared memo store (every dictionary built), then warm.
+    memo::clear();
+    memo::reset_stats();
+    let snr_cfg = SweepConfig {
+        metric: Metric::Snr,
+        failure_policy: FailurePolicy::Skip,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let memo_cold_results = Sweep::new(snr_cfg.clone()).run_report(&space, &dataset);
+    let t_memo_cold = t0.elapsed();
+    let dict_builds = memo::stats().dictionary.misses;
+    let dict_hits_within_sweep = memo::stats().dictionary.hits;
+    let t0 = Instant::now();
+    let memo_warm_results = Sweep::new(snr_cfg).run_report(&space, &dataset);
+    let t_memo_warm = t0.elapsed();
+    assert_eq!(
+        memo_cold_results.results, memo_warm_results.results,
+        "memoized artifacts must be bit-identical"
+    );
+    let artifact_speedup = secs(t_memo_cold) / secs(t_memo_warm).max(1e-9);
+    println!(
+        "  level 2 (artifact memo): cold {:.2}s ({} dictionary builds, {} shared within sweep) \
+         vs warm {:.2}s → {:.2}×",
+        secs(t_memo_cold),
+        dict_builds,
+        dict_hits_within_sweep,
+        secs(t_memo_warm),
+        artifact_speedup
+    );
+
+    // ---- Level 1: the product, three ways.
+    println!("  pass A: uncached…");
+    let (pass_a, t_uncached) = run_product(&cells, &space, &dataset, None);
+    println!("  pass B: cold cache…");
+    let cache = Arc::new(SweepCache::new());
+    let (pass_b, t_cold) = run_product(&cells, &space, &dataset, Some(&cache));
+    assert_identical(&pass_a, &pass_b, "cold-cache pass");
+    let cold_stats = cache.stats();
+    println!(
+        "    cold: {:.2}s, {} entries, {} cross-cell hits",
+        secs(t_cold),
+        cold_stats.entries,
+        cold_stats.hits
+    );
+    println!("  pass C: warm cache…");
+    cache.reset_stats();
+    let (pass_c, t_warm) = run_product(&cells, &space, &dataset, Some(&cache));
+    assert_identical(&pass_a, &pass_c, "warm-cache pass");
+    let warm_stats = cache.stats();
+    assert_eq!(
+        warm_stats.misses, 0,
+        "a warm product sweep must evaluate nothing"
+    );
+    let warm_speedup = secs(t_uncached) / secs(t_warm).max(1e-9);
+    let cold_speedup = secs(t_uncached) / secs(t_cold).max(1e-9);
+    println!(
+        "    uncached {:.2}s | cold {:.2}s ({:.2}×) | warm {:.3}s ({:.1}×, hit rate {:.3})",
+        secs(t_uncached),
+        secs(t_cold),
+        cold_speedup,
+        secs(t_warm),
+        warm_speedup,
+        warm_stats.hit_rate()
+    );
+
+    // ---- Persist / reload cycle.
+    let cache_path = std::env::var("EFFICSENSE_CACHE_FILE").map_or_else(
+        |_| figures_dir().join(format!("product_cache_{}.jsonl", sc.name())),
+        std::path::PathBuf::from,
+    );
+    cache.save(&cache_path).expect("can persist cache file");
+    let reloaded = Arc::new(SweepCache::new());
+    let (loaded, skipped) = reloaded.load(&cache_path).expect("can reload cache file");
+    println!(
+        "  persisted {} entries → {} (reloaded {loaded}, skipped {skipped})",
+        cache.len(),
+        cache_path.display()
+    );
+    let (pass_d, t_reload) = run_product(&cells, &space, &dataset, Some(&reloaded));
+    assert_identical(&pass_a, &pass_d, "reloaded-cache pass");
+    assert_eq!(
+        reloaded.stats().misses,
+        0,
+        "a reloaded cache must replay the product without evaluating"
+    );
+
+    // ---- Per-cell Pareto summary: CS share of the accuracy/power front.
+    println!("  Pareto front CS share per cell:");
+    for (cell, report) in cells.iter().zip(&pass_a) {
+        let front = pareto_front(&report.results, Objective::MaximizeMetric);
+        let cs = front
+            .iter()
+            .filter(|r| r.point.architecture == Architecture::CompressiveSensing)
+            .count();
+        println!(
+            "    {:<22} {}/{} front points are CS ({} ok, {} quarantined)",
+            cell.label,
+            cs,
+            front.len(),
+            report.results.len(),
+            report.quarantine.len()
+        );
+    }
+
+    // ---- BENCH_sweep.json for CI.
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"cells\": {},\n  \"points_per_pass\": {},\n  \
+         \"records\": {},\n  \"uncached_s\": {:?},\n  \"cold_s\": {:?},\n  \"warm_s\": {:?},\n  \
+         \"reload_s\": {:?},\n  \"cold_speedup\": {:?},\n  \"warm_speedup\": {:?},\n  \
+         \"uncached_points_per_s\": {:?},\n  \"warm_points_per_s\": {:?},\n  \
+         \"cache_entries\": {},\n  \"cold_hits\": {},\n  \"cold_misses\": {},\n  \
+         \"warm_hit_rate\": {:?},\n  \"artifact_memo\": {{\n    \"cold_s\": {:?},\n    \
+         \"warm_s\": {:?},\n    \"speedup\": {:?},\n    \"dictionary_builds\": {},\n    \"dictionary_hits\": {}\n  }}\n}}\n",
+        sc.name(),
+        cells.len(),
+        points_per_pass,
+        dataset.len(),
+        secs(t_uncached),
+        secs(t_cold),
+        secs(t_warm),
+        secs(t_reload),
+        cold_speedup,
+        warm_speedup,
+        points_per_pass as f64 / secs(t_uncached).max(1e-9),
+        points_per_pass as f64 / secs(t_warm).max(1e-9),
+        cache.len(),
+        cold_stats.hits,
+        cold_stats.misses,
+        warm_stats.hit_rate(),
+        secs(t_memo_cold),
+        secs(t_memo_warm),
+        artifact_speedup,
+        dict_builds,
+        dict_hits_within_sweep
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("can write BENCH_sweep.json");
+    println!("  wrote BENCH_sweep.json");
+
+    assert!(
+        warm_speedup >= 3.0,
+        "warm product sweep must be ≥3× faster than uncached (got {warm_speedup:.2}×)"
+    );
+    println!(
+        "OK: warm product sweep {warm_speedup:.1}× faster than uncached, results bit-identical \
+         across uncached/cold/warm/reload"
+    );
+}

@@ -112,6 +112,11 @@ pub fn uw(p_w: f64) -> String {
 /// Runs (or loads from the figure cache) the main design-space sweep used by
 /// Figs. 7–10. The cache lives in `target/figures` and is keyed by metric
 /// and workload scale, so `fig8`/`fig9`/`fig10` reuse `fig7`'s results.
+///
+/// The sweep runs under [`FailurePolicy::Skip`] and persists its quarantine
+/// (point label, typed error, retry count) to a `*_quarantine.csv` sibling
+/// of the results CSV, so an overnight figure run that loses points leaves
+/// an inspectable record instead of dying or silently thinning the figure.
 pub fn sweep_cached(metric: efficsense_core::sweep::Metric) -> Vec<SweepResult> {
     use efficsense_core::sweep::Metric;
     let scale = scale().name();
@@ -138,16 +143,48 @@ pub fn sweep_cached(metric: efficsense_core::sweep::Metric) -> Vec<SweepResult> 
         dataset.len(),
         scale
     );
-    let results = Sweep::new(SweepConfig {
+    let report = Sweep::new(SweepConfig {
         metric,
+        failure_policy: FailurePolicy::Skip,
         ..Default::default()
     })
-    .run(&space, &dataset);
+    .run_report(&space, &dataset);
+    if !report.quarantine.is_empty() {
+        println!("  {}", report.summary());
+    }
+    persist_quarantine(&name, &report);
+    let results = report.results;
     let mut buf = Vec::new();
     efficsense_core::report::write_csv(&mut buf, &results).expect("write to vec succeeds");
     std::fs::write(&path, &buf).expect("can write sweep cache");
     println!("  cached sweep to {}", path.display());
     results
+}
+
+/// Writes `report`'s quarantine next to the results CSV `name` (suffix
+/// `_quarantine.csv`). Always written — a header-only file is the healthy
+/// outcome and distinguishes "no failures" from "never ran".
+///
+/// # Panics
+///
+/// Panics on I/O errors, like every figure-cache write.
+pub fn persist_quarantine(results_csv_name: &str, report: &SweepReport) {
+    let qname = match results_csv_name.strip_suffix(".csv") {
+        Some(stem) => format!("{stem}_quarantine.csv"),
+        None => format!("{results_csv_name}_quarantine.csv"),
+    };
+    let mut buf = Vec::new();
+    efficsense_core::report::write_quarantine_csv(&mut buf, &report.quarantine)
+        .expect("write to vec succeeds");
+    let qpath = figures_dir().join(&qname);
+    std::fs::write(&qpath, &buf).expect("can write quarantine file");
+    if !report.quarantine.is_empty() {
+        println!(
+            "  quarantined {} point(s) → {}",
+            report.quarantine.len(),
+            qpath.display()
+        );
+    }
 }
 
 /// Parses a sweep CSV produced by [`efficsense_core::report::write_csv`]

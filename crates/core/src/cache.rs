@@ -1,0 +1,1026 @@
+//! Content-addressed evaluation cache for design-space product sweeps.
+//!
+//! A severity × design-space product run re-evaluates the same `(system
+//! configuration, fault plan, seeds, dataset)` combination over and over —
+//! across severity-0 cells (every clean plan is the same evaluation), across
+//! re-runs of an interrupted overnight sweep, and across figure binaries
+//! that share a workload. This module makes those evaluations *content
+//! addressed*: a [`PointKey`] is a 128-bit FNV-1a hash over the canonical
+//! rendering of everything that determines a [`SweepResult`] bit pattern,
+//! and a [`SweepCache`] maps keys to results in a sharded concurrent map
+//! with optional JSON-lines persistence.
+//!
+//! ## Key canonicalization
+//!
+//! The key covers, in order:
+//!
+//! 1. a format version tag (bumping it invalidates every persisted entry);
+//! 2. the full [`SystemConfig`] `Debug` rendering — Rust renders floats in
+//!    shortest-round-trip form, so distinct bit patterns render distinctly
+//!    (`NaN` collapses and `-0.0`/`0.0` render apart; both err towards
+//!    *more* cache misses, never towards false hits);
+//! 3. the fault plan via [`FaultPlan::canonical_key`] — every clean plan
+//!    (including "no plan") canonicalises to `"clean"` because the
+//!    simulator drops clean plans before they can perturb anything;
+//! 4. a goal descriptor carrying the metric and, for detection, the
+//!    detector seed and epoch length;
+//! 5. the [`dataset_fingerprint`] — a 64-bit digest of the dataset
+//!    configuration and every sample bit, which also pins the per-record
+//!    noise seeds (they derive from record ids).
+//!
+//! Only *unsalted* (attempt-0) successes are ever cached; salted retry
+//! evaluations (see [`crate::sweep::FailurePolicy::Retry`]) intentionally
+//! perturb seeds and must not alias the clean key.
+
+use crate::config::{Architecture, SystemConfig};
+use crate::detector::SeizureDetector;
+use crate::space::DesignPoint;
+use crate::sweep::SweepResult;
+use efficsense_faults::FaultPlan;
+use efficsense_power::{PowerBreakdown, Watts};
+use efficsense_signals::EegDataset;
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of independently locked map shards (bounds worker contention).
+const SHARDS: usize = 16;
+
+/// Bump on any change to the key derivation or the persisted line format;
+/// every persisted cache entry from older versions then misses harmlessly.
+const KEY_VERSION: &str = "efficsense-pointkey-v1";
+
+// ---------------------------------------------------------------------------
+// PointKey
+// ---------------------------------------------------------------------------
+
+/// 128-bit content hash identifying one point evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointKey(u128);
+
+impl PointKey {
+    /// Lower-case 32-digit hex form (the persisted representation).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`PointKey::hex`] form; `None` on malformed input.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Self)
+    }
+}
+
+/// Incremental FNV-1a-128 hasher over byte strings.
+struct KeyHasher(u128);
+
+impl KeyHasher {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Writes a length-prefixed field, so adjacent fields cannot alias by
+    /// shifting bytes across the boundary.
+    fn field(&mut self, tag: &str, value: &str) {
+        self.write(tag.as_bytes());
+        self.write(&(value.len() as u64).to_le_bytes());
+        self.write(value.as_bytes());
+    }
+
+    fn finish(self) -> PointKey {
+        PointKey(self.0)
+    }
+}
+
+/// The sweep-level context a key must capture beyond the per-point
+/// configuration and fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalContext {
+    /// Canonical goal descriptor from [`goal_descriptor`].
+    pub goal: String,
+    /// Digest of the evaluation dataset from [`dataset_fingerprint`].
+    pub dataset_fingerprint: u64,
+}
+
+/// Canonical goal descriptor: `"snr"` for the SNR goal, or
+/// `"accuracy/seed=<seed>/epoch=<epoch_s>"` for detection accuracy (the
+/// detector seed and epoch length select the trained detector and so the
+/// metric values).
+#[must_use]
+pub fn goal_descriptor(metric: crate::sweep::Metric, detector_seed: u64, epoch_s: f64) -> String {
+    match metric {
+        crate::sweep::Metric::Snr => "snr".to_string(),
+        crate::sweep::Metric::DetectionAccuracy => {
+            format!("accuracy/seed={detector_seed}/epoch={epoch_s:?}")
+        }
+    }
+}
+
+/// Derives the content key of one point evaluation.
+///
+/// `cfg` must be the *instantiated* configuration
+/// ([`DesignPoint::to_config`] applied to the sweep template), so every
+/// template field — seeds, technology constants, CS imperfection switches —
+/// participates in the key.
+#[must_use]
+pub fn point_key(cfg: &SystemConfig, plan: Option<&FaultPlan>, ctx: &EvalContext) -> PointKey {
+    let mut h = KeyHasher::new();
+    h.field("version", KEY_VERSION);
+    h.field("cfg", &format!("{cfg:?}"));
+    h.field(
+        "plan",
+        &plan.map_or_else(|| "clean".to_string(), FaultPlan::canonical_key),
+    );
+    h.field("goal", &ctx.goal);
+    h.field("dataset", &format!("{:016x}", ctx.dataset_fingerprint));
+    h.finish()
+}
+
+/// 64-bit FNV-1a digest of a dataset: its generation config plus, for every
+/// record, the id (which seeds the per-record noise streams), class, rate,
+/// and the exact bit pattern of every sample.
+#[must_use]
+pub fn dataset_fingerprint(dataset: &EegDataset) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut acc = OFFSET;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            acc ^= u64::from(b);
+            acc = acc.wrapping_mul(PRIME);
+        }
+    };
+    write(format!("{:?}", dataset.config).as_bytes());
+    for rec in &dataset.records {
+        write(&(rec.id as u64).to_le_bytes());
+        write(format!("{:?}", rec.class).as_bytes());
+        write(&rec.fs.to_bits().to_le_bytes());
+        write(&(rec.samples.len() as u64).to_le_bytes());
+        for s in &rec.samples {
+            write(&s.to_bits().to_le_bytes());
+        }
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// SweepCache
+// ---------------------------------------------------------------------------
+
+/// Hit/miss/occupancy counters of a [`SweepCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to evaluation.
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded concurrent `PointKey → SweepResult` map with hit accounting and
+/// JSON-lines persistence. Share one instance across sweeps via
+/// [`crate::sweep::Sweep::with_cache`].
+#[derive(Debug)]
+pub struct SweepCache {
+    shards: Vec<Mutex<HashMap<u128, SweepResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SweepCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PointKey) -> &Mutex<HashMap<u128, SweepResult>> {
+        // The key is already a high-quality hash; its low bits pick a shard.
+        &self.shards[(key.0 as usize) % SHARDS]
+    }
+
+    fn lock(
+        m: &Mutex<HashMap<u128, SweepResult>>,
+    ) -> std::sync::MutexGuard<'_, HashMap<u128, SweepResult>> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up a cached result, counting the hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &PointKey) -> Option<SweepResult> {
+        let found = Self::lock(self.shard(key)).get(&key.0).cloned();
+        match found {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) a result. Evaluation is deterministic per
+    /// key, so concurrent inserts under one key write identical values.
+    pub fn insert(&self, key: PointKey, result: SweepResult) {
+        Self::lock(self.shard(&key)).insert(key.0, result);
+    }
+
+    /// Number of cached results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
+    }
+
+    /// `true` when no results are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Zeroes the hit/miss counters (entries stay cached).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Serialises every entry as JSON lines (sorted by key, so the file is
+    /// deterministic for a given content set). Entries containing
+    /// non-finite floats — impossible via the sweep engine, which rejects
+    /// non-finite results — are skipped rather than emitted as invalid
+    /// JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let mut lines: Vec<(u128, String)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for (k, r) in Self::lock(shard).iter() {
+                if let Some(line) = entry_to_json(PointKey(*k), r) {
+                    lines.push((*k, line));
+                }
+            }
+        }
+        lines.sort_unstable_by_key(|(k, _)| *k);
+        for (_, line) in &lines {
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Parses JSON lines produced by [`SweepCache::write_jsonl`] and merges
+    /// them into this cache. Malformed or stale-format lines are skipped,
+    /// never fatal — a cache file is an accelerator, not a datastore.
+    /// Returns `(loaded, skipped)` line counts.
+    pub fn read_jsonl(&self, text: &str) -> (usize, usize) {
+        let mut loaded = 0;
+        let mut skipped = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match entry_from_json(line) {
+                Some((key, result)) => {
+                    self.insert(key, result);
+                    loaded += 1;
+                }
+                None => skipped += 1,
+            }
+        }
+        (loaded, skipped)
+    }
+
+    /// Writes the cache to `path` (see [`SweepCache::write_jsonl`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf)?;
+        std::fs::write(path, buf)
+    }
+
+    /// Merges entries from the file at `path` into this cache. Returns
+    /// `(loaded, skipped)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read error when the file cannot be opened; malformed
+    /// *content* is skipped, not an error.
+    pub fn load(&self, path: &std::path::Path) -> std::io::Result<(usize, usize)> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(self.read_jsonl(&text))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL entry codec
+// ---------------------------------------------------------------------------
+
+/// `{:?}` renders f64 in shortest-round-trip form, which is also valid JSON
+/// for finite values; `None` for NaN/±inf.
+fn json_f64(v: f64) -> Option<String> {
+    if v.is_finite() {
+        Some(format!("{v:?}"))
+    } else {
+        None
+    }
+}
+
+fn entry_to_json(key: PointKey, r: &SweepResult) -> Option<String> {
+    let p = &r.point;
+    let opt_usize = |v: Option<usize>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
+    let opt_f64 =
+        |v: Option<f64>| -> Option<String> { v.map_or(Some("null".to_string()), json_f64) };
+    let mut breakdown = String::from("[");
+    for (i, (k, w)) in r.breakdown.iter().enumerate() {
+        if i > 0 {
+            breakdown.push(',');
+        }
+        breakdown.push_str(&format!(
+            "[\"{}\",{}]",
+            crate::report::block_slug(k),
+            json_f64(w.value())?
+        ));
+    }
+    breakdown.push(']');
+    Some(format!(
+        "{{\"key\":\"{}\",\"architecture\":\"{}\",\"lna_noise_vrms\":{},\"n_bits\":{},\
+         \"m\":{},\"s\":{},\"c_hold_f\":{},\"metric\":{},\"power_w\":{},\"area_units\":{},\
+         \"breakdown\":{}}}",
+        key.hex(),
+        p.architecture,
+        json_f64(p.lna_noise_vrms)?,
+        p.n_bits,
+        opt_usize(p.m),
+        opt_usize(p.s),
+        opt_f64(p.c_hold_f)?,
+        json_f64(r.metric)?,
+        json_f64(r.power_w)?,
+        json_f64(r.area_units)?,
+        breakdown
+    ))
+}
+
+fn entry_from_json(line: &str) -> Option<(PointKey, SweepResult)> {
+    let v = Json::parse(line)?;
+    let obj = v.as_obj()?;
+    let get = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let key = PointKey::from_hex(get("key")?.as_str()?)?;
+    let architecture = match get("architecture")?.as_str()? {
+        "baseline" => Architecture::Baseline,
+        "cs" => Architecture::CompressiveSensing,
+        _ => return None,
+    };
+    let finite = |v: f64| if v.is_finite() { Some(v) } else { None };
+    let as_usize = |v: &Json| -> Option<usize> {
+        let f = v.as_f64()?;
+        if f.fract().abs() < f64::EPSILON && (0.0..9.0e15).contains(&f) {
+            Some(f as usize)
+        } else {
+            None
+        }
+    };
+    let point = DesignPoint {
+        architecture,
+        lna_noise_vrms: finite(get("lna_noise_vrms")?.as_f64()?)?,
+        n_bits: as_usize(get("n_bits")?)? as u32,
+        m: match get("m")? {
+            Json::Null => None,
+            v => Some(as_usize(v)?),
+        },
+        s: match get("s")? {
+            Json::Null => None,
+            v => Some(as_usize(v)?),
+        },
+        c_hold_f: match get("c_hold_f")? {
+            Json::Null => None,
+            v => Some(finite(v.as_f64()?)?),
+        },
+    };
+    // Breakdown entries re-add in persisted (insertion) order, preserving
+    // the `PowerBreakdown` equality contract, which is order-sensitive.
+    let mut breakdown = PowerBreakdown::new();
+    for pair in get("breakdown")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        let kind = crate::report::block_from_slug(pair[0].as_str()?)?;
+        let w = finite(pair[1].as_f64()?)?;
+        if w < 0.0 {
+            return None;
+        }
+        breakdown.add(kind, Watts(w));
+    }
+    Some((
+        key,
+        SweepResult {
+            point,
+            metric: finite(get("metric")?.as_f64()?)?,
+            power_w: finite(get("power_w")?.as_f64()?)?,
+            breakdown,
+            area_units: finite(get("area_units")?.as_f64()?)?,
+        },
+    ))
+}
+
+/// Minimal JSON value model — just enough for the cache line format.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Option<Json> {
+        let mut p = JsonParser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i == p.b.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b'n' => {
+                if self.b[self.i..].starts_with(b"null") {
+                    self.i += 4;
+                    Some(Json::Null)
+                } else {
+                    None
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Some(Json::Obj(out));
+        }
+        loop {
+            let k = {
+                self.skip_ws();
+                self.string()?
+            };
+            self.eat(b':')?;
+            let v = self.value()?;
+            out.push((k, v));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Some(Json::Obj(out));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Some(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Some(Json::Arr(out));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.b.get(self.i) != Some(&b'"') {
+            return None;
+        }
+        self.i += 1;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.b.get(self.i)?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        _ => return None, // \u and friends: not in our format
+                    }
+                }
+                _ => out.push(c as char),
+            }
+        }
+        None
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return None;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+            .map(Json::Num)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trained-detector memoization
+// ---------------------------------------------------------------------------
+
+type DetectorKey = (u64, u64, u64, u64);
+
+fn detector_store() -> &'static Mutex<HashMap<DetectorKey, Arc<SeizureDetector>>> {
+    static STORE: OnceLock<Mutex<HashMap<DetectorKey, Arc<SeizureDetector>>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Memoized detector training: one shared [`SeizureDetector`] per
+/// `(dataset fingerprint, sample rate, epoch length, seed)`. Training is
+/// deterministic in that key, so the memoized detector is bit-identical to
+/// a freshly trained one. `epoch_s > 0` trains the epoched variant, `0`
+/// the whole-record variant, matching [`crate::sweep::SweepConfig`].
+///
+/// Each product-sweep cell calls [`crate::sweep::Sweep::run_report`], which
+/// used to retrain the same detector per cell; memoizing it here is what
+/// lets a *warm* product sweep skip straight to cache lookups.
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or `epoch_s` is negative/non-finite
+/// (the underlying trainers assert this).
+#[must_use]
+pub fn trained_detector(
+    dataset: &EegDataset,
+    fs: f64,
+    epoch_s: f64,
+    seed: u64,
+) -> Arc<SeizureDetector> {
+    let key = (
+        dataset_fingerprint(dataset),
+        fs.to_bits(),
+        epoch_s.to_bits(),
+        seed,
+    );
+    let mut map = detector_store()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(d) = map.get(&key) {
+        return Arc::clone(d);
+    }
+    // Train under the lock: callers racing on the same key would otherwise
+    // duplicate minutes of training work; distinct-key contention is rare
+    // (one training per sweep).
+    let detector = if epoch_s > 0.0 {
+        SeizureDetector::train_epoched(dataset, fs, epoch_s, seed)
+    } else {
+        SeizureDetector::train(dataset, fs, seed)
+    };
+    let detector = Arc::new(detector);
+    map.insert(key, Arc::clone(&detector));
+    detector
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CsConfig;
+    use crate::sweep::Metric;
+    use efficsense_faults::FaultKind;
+    use efficsense_power::BlockKind;
+    use efficsense_signals::DatasetConfig;
+
+    fn ctx() -> EvalContext {
+        EvalContext {
+            goal: goal_descriptor(Metric::Snr, 0, 2.0),
+            dataset_fingerprint: 0xDA7A_F00D,
+        }
+    }
+
+    fn sample_result() -> SweepResult {
+        // Breakdown deliberately in non-display insertion order: the
+        // persistence cycle must preserve it for order-sensitive equality.
+        let mut b = PowerBreakdown::new();
+        b.add(BlockKind::Transmitter, Watts(4.3e-6));
+        b.add(BlockKind::Lna, Watts(1e-6));
+        SweepResult {
+            point: DesignPoint {
+                architecture: Architecture::CompressiveSensing,
+                lna_noise_vrms: 3.61e-6,
+                n_bits: 8,
+                m: Some(75),
+                s: Some(2),
+                c_hold_f: Some(0.5e-12),
+            },
+            metric: 0.9933,
+            power_w: 5.3e-6,
+            breakdown: b,
+            area_units: 75000.0,
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let k = point_key(&SystemConfig::baseline(8), None, &ctx());
+        assert_eq!(PointKey::from_hex(&k.hex()), Some(k));
+        assert_eq!(PointKey::from_hex("zz"), None);
+        assert_eq!(PointKey::from_hex(&"0".repeat(33)), None);
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        let cfg = SystemConfig::compressive(8, CsConfig::default());
+        let plan = FaultPlan::single(FaultKind::CapLeakage, 0.5, 3);
+        assert_eq!(
+            point_key(&cfg, Some(&plan), &ctx()),
+            point_key(&cfg.clone(), Some(&plan.clone()), &ctx())
+        );
+    }
+
+    #[test]
+    fn key_separates_every_config_axis() {
+        let base = SystemConfig::compressive(8, CsConfig::default());
+        let k0 = point_key(&base, None, &ctx());
+        let mutations: Vec<SystemConfig> = vec![
+            {
+                let mut c = base.clone();
+                c.seed ^= 1;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.design.n_bits = 7;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.lna.noise_floor_vrms *= 1.0 + 1e-12;
+                c
+            },
+            {
+                let mut c = base.clone();
+                if let Some(cs) = &mut c.cs {
+                    cs.m -= 1;
+                }
+                c
+            },
+            {
+                let mut c = base.clone();
+                if let Some(cs) = &mut c.cs {
+                    cs.s += 1;
+                }
+                c
+            },
+            {
+                let mut c = base.clone();
+                if let Some(cs) = &mut c.cs {
+                    cs.c_hold_f *= 1.0 + 1e-12;
+                }
+                c
+            },
+            SystemConfig::baseline(8),
+        ];
+        for (i, m) in mutations.iter().enumerate() {
+            assert_ne!(
+                point_key(m, None, &ctx()),
+                k0,
+                "mutation {i} must change the key"
+            );
+        }
+    }
+
+    #[test]
+    fn key_separates_fault_plans_but_collapses_clean_ones() {
+        let cfg = SystemConfig::baseline(8);
+        let c = ctx();
+        let none = point_key(&cfg, None, &c);
+        // Clean plans alias "no plan" — the simulator drops them.
+        assert_eq!(point_key(&cfg, Some(&FaultPlan::clean(7)), &c), none);
+        assert_eq!(
+            point_key(
+                &cfg,
+                Some(&FaultPlan::single(FaultKind::LnaRail, 0.0, 9)),
+                &c
+            ),
+            none
+        );
+        // Active plans separate by kind, severity and seed.
+        let by = |kind, sev, seed| point_key(&cfg, Some(&FaultPlan::single(kind, sev, seed)), &c);
+        // Severity separation uses CapLeakage: its mapping is continuous,
+        // while e.g. AdcStuckBit quantises severity to a bit index (0.5 and
+        // 0.6 pick the same stuck bit and *should* share a key).
+        let a = by(FaultKind::CapLeakage, 0.5, 1);
+        assert_ne!(a, none);
+        assert_ne!(a, by(FaultKind::CapLeakage, 0.6, 1));
+        assert_ne!(a, by(FaultKind::CapLeakage, 0.5, 2));
+        assert_ne!(a, by(FaultKind::ClockJitter, 0.5, 1));
+    }
+
+    #[test]
+    fn key_separates_goal_and_dataset() {
+        let cfg = SystemConfig::baseline(8);
+        let c0 = ctx();
+        let goal2 = EvalContext {
+            goal: goal_descriptor(Metric::DetectionAccuracy, 0xD0D0, 2.0),
+            ..c0.clone()
+        };
+        let seed2 = EvalContext {
+            goal: goal_descriptor(Metric::DetectionAccuracy, 0xD0D1, 2.0),
+            ..c0.clone()
+        };
+        let epoch2 = EvalContext {
+            goal: goal_descriptor(Metric::DetectionAccuracy, 0xD0D0, 0.0),
+            ..c0.clone()
+        };
+        let data2 = EvalContext {
+            dataset_fingerprint: c0.dataset_fingerprint ^ 1,
+            ..c0.clone()
+        };
+        let k0 = point_key(&cfg, None, &c0);
+        for (what, c) in [
+            ("metric", goal2.clone()),
+            ("detector seed", seed2),
+            ("epoch", epoch2),
+            ("dataset", data2),
+        ] {
+            assert_ne!(point_key(&cfg, None, &c), k0, "{what} must change the key");
+        }
+        assert_ne!(
+            goal_descriptor(Metric::DetectionAccuracy, 0xD0D0, 2.0),
+            goal_descriptor(Metric::DetectionAccuracy, 0xD0D0, 0.0)
+        );
+    }
+
+    #[test]
+    fn dataset_fingerprint_tracks_content() {
+        let cfg = DatasetConfig {
+            records_per_class: 1,
+            duration_s: 1.0,
+            ..Default::default()
+        };
+        let a = EegDataset::generate(&cfg);
+        assert_eq!(dataset_fingerprint(&a), dataset_fingerprint(&a.clone()));
+        let b = EegDataset::generate(&DatasetConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg.clone()
+        });
+        assert_ne!(dataset_fingerprint(&a), dataset_fingerprint(&b));
+        let mut c = a.clone();
+        c.records[0].samples[0] += 1e-15;
+        assert_ne!(
+            dataset_fingerprint(&a),
+            dataset_fingerprint(&c),
+            "a single sample bit flip must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn cache_get_insert_and_stats() {
+        let cache = SweepCache::new();
+        let key = point_key(&SystemConfig::baseline(8), None, &ctx());
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, sample_result());
+        assert_eq!(cache.get(&key), Some(sample_result()));
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        cache.reset_stats();
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_bit_identical() {
+        let cache = SweepCache::new();
+        let k1 = point_key(&SystemConfig::baseline(8), None, &ctx());
+        let k2 = point_key(&SystemConfig::baseline(7), None, &ctx());
+        let mut second = sample_result();
+        second.point.architecture = Architecture::Baseline;
+        second.point.m = None;
+        second.point.s = None;
+        second.point.c_hold_f = None;
+        second.metric = -12.75;
+        cache.insert(k1, sample_result());
+        cache.insert(k2, second);
+        let mut buf = Vec::new();
+        cache.write_jsonl(&mut buf).expect("write to vec");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        let reloaded = SweepCache::new();
+        let (loaded, skipped) = reloaded.read_jsonl(&text);
+        assert_eq!((loaded, skipped), (2, 0));
+        // Bit-identical including breakdown insertion order.
+        assert_eq!(reloaded.get(&k1), cache.get(&k1));
+        assert_eq!(reloaded.get(&k2), cache.get(&k2));
+        // And a second serialisation is byte-identical (deterministic file).
+        let mut buf2 = Vec::new();
+        reloaded.write_jsonl(&mut buf2).expect("write to vec");
+        assert_eq!(text, String::from_utf8(buf2).expect("utf8"));
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        let cache = SweepCache::new();
+        let good = {
+            let c = SweepCache::new();
+            c.insert(
+                point_key(&SystemConfig::baseline(8), None, &ctx()),
+                sample_result(),
+            );
+            let mut buf = Vec::new();
+            c.write_jsonl(&mut buf).expect("write to vec");
+            String::from_utf8(buf).expect("utf8")
+        };
+        let text = format!(
+            "not json\n{{\"key\":\"zz\"}}\n{good}\n{{\"key\":\"{}\",\"architecture\":\"martian\"}}\n",
+            "0".repeat(32)
+        );
+        let (loaded, skipped) = cache.read_jsonl(&text);
+        assert_eq!(loaded, 1);
+        assert_eq!(skipped, 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_via_file() {
+        let cache = SweepCache::new();
+        let key = point_key(&SystemConfig::baseline(8), None, &ctx());
+        cache.insert(key, sample_result());
+        let path = std::env::temp_dir().join(format!(
+            "efficsense_cache_test_{}.jsonl",
+            std::process::id()
+        ));
+        cache.save(&path).expect("save cache file");
+        let fresh = SweepCache::new();
+        let (loaded, skipped) = fresh.load(&path).expect("load cache file");
+        std::fs::remove_file(&path).ok();
+        assert_eq!((loaded, skipped), (1, 0));
+        assert_eq!(fresh.get(&key), Some(sample_result()));
+    }
+
+    #[test]
+    fn detector_memo_shares_and_separates() {
+        let dataset = EegDataset::generate(&DatasetConfig {
+            records_per_class: 1,
+            duration_s: 2.0,
+            ..Default::default()
+        });
+        let fs = 537.6;
+        let a = trained_detector(&dataset, fs, 2.0, 0xD0D0);
+        let b = trained_detector(&dataset, fs, 2.0, 0xD0D0);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one detector");
+        let c = trained_detector(&dataset, fs, 2.0, 0xD0D1);
+        assert!(!Arc::ptr_eq(&a, &c), "seed must separate detectors");
+        // Memoized training is bit-identical to fresh training.
+        let fresh = SeizureDetector::train_epoched(&dataset, fs, 2.0, 0xD0D0);
+        assert_eq!(format!("{a:?}"), format!("{fresh:?}"));
+    }
+}

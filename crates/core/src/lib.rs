@@ -36,6 +36,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cache;
 pub mod config;
 pub mod detector;
 pub mod goal;
@@ -47,6 +48,7 @@ pub mod sweep;
 
 /// Convenience re-exports for framework users.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, EvalContext, PointKey, SweepCache};
     pub use crate::config::{
         AdcConfig, Architecture, ConfigError, CsConfig, LnaConfig, SystemConfig,
     };

@@ -1,6 +1,6 @@
 //! Result reporting: CSV export and plain-text tables.
 
-use crate::sweep::SweepResult;
+use crate::sweep::{PointError, QuarantinedPoint, SweepResult};
 use efficsense_power::BlockKind;
 use std::io::Write;
 
@@ -8,6 +8,11 @@ use std::io::Write;
 ///
 /// Columns: label, architecture, lna_noise_uvrms, n_bits, m, s, c_hold_pf,
 /// metric, power_uw, area_units, then one column per block kind (µW).
+///
+/// Non-finite metric or power values are written as empty cells; if any
+/// occur, a *single* summary warning with the total count goes to stderr
+/// (a 96-point sweep with a sick noise model should not scroll 96 warnings
+/// past the interesting output).
 ///
 /// # Errors
 ///
@@ -18,9 +23,10 @@ pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result
         "label,architecture,lna_noise_uvrms,n_bits,m,s,c_hold_pf,metric,power_uw,area_units"
     )?;
     for k in BlockKind::ALL {
-        write!(w, ",{}_uw", slug(k))?;
+        write!(w, ",{}_uw", block_slug(k))?;
     }
     writeln!(w)?;
+    let mut blanked = 0usize;
     for r in results {
         let p = &r.point;
         write!(
@@ -34,8 +40,8 @@ pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result
             p.s.map_or(String::new(), |v| v.to_string()),
             p.c_hold_f
                 .map_or(String::new(), |v| format!("{:.2}", v * 1e12)),
-            finite_cell(r.metric, 1.0, "metric", &p.label()),
-            finite_cell(r.power_w, 1e6, "power", &p.label()),
+            finite_cell(r.metric, 1.0, &mut blanked),
+            finite_cell(r.power_w, 1e6, &mut blanked),
             r.area_units
         )?;
         for k in BlockKind::ALL {
@@ -43,22 +49,71 @@ pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result
         }
         writeln!(w)?;
     }
+    if blanked > 0 {
+        eprintln!(
+            "warning: {blanked} non-finite cell(s) written empty across {} result row(s)",
+            results.len()
+        );
+    }
     Ok(())
 }
 
-/// Formats `value * scale` for a CSV cell, or an empty cell (plus a stderr
-/// warning) when the value is NaN or infinite, so downstream plotting tools
-/// see a missing sample rather than a poisoned column.
-fn finite_cell(value: f64, scale: f64, what: &str, label: &str) -> String {
+/// Formats `value * scale` for a CSV cell, or an empty cell (counted in
+/// `blanked`) when the value is NaN or infinite, so downstream plotting
+/// tools see a missing sample rather than a poisoned column.
+fn finite_cell(value: f64, scale: f64, blanked: &mut usize) -> String {
     if value.is_finite() {
         format!("{:.6}", value * scale)
     } else {
-        eprintln!("warning: non-finite {what} ({value}) for point {label}; writing empty cell");
+        *blanked += 1;
         String::new()
     }
 }
 
-fn slug(k: BlockKind) -> &'static str {
+/// Writes a sweep's quarantine as CSV (one row per failed point):
+/// `index,label,error_kind,retries,message`, where `error_kind` is the
+/// stable discriminant (`config` / `panicked` / `non_finite`) and `message`
+/// is the quoted human-readable error. An empty quarantine still writes the
+/// header, so a sibling file of the results CSV always exists and parses.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_quarantine_csv<W: Write>(
+    mut w: W,
+    quarantine: &[QuarantinedPoint],
+) -> std::io::Result<()> {
+    writeln!(w, "index,label,error_kind,retries,message")?;
+    for q in quarantine {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            q.index,
+            q.point.label(),
+            error_kind(&q.error),
+            q.retries,
+            csv_quote(&q.error.to_string())
+        )?;
+    }
+    Ok(())
+}
+
+/// Stable machine-readable discriminant of a [`PointError`].
+fn error_kind(e: &PointError) -> &'static str {
+    match e {
+        PointError::Config(_) => "config",
+        PointError::Panicked(_) => "panicked",
+        PointError::NonFinite(_) => "non_finite",
+    }
+}
+
+/// Quotes a CSV field (RFC 4180: wrap in quotes, double embedded quotes).
+fn csv_quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\"\""))
+}
+
+/// Stable machine-readable name of a power block (CSV headers, cache files).
+pub(crate) fn block_slug(k: BlockKind) -> &'static str {
     match k {
         BlockKind::Lna => "lna",
         BlockKind::SampleHold => "sh",
@@ -69,6 +124,11 @@ fn slug(k: BlockKind) -> &'static str {
         BlockKind::CsEncoderLogic => "cs_logic",
         BlockKind::Leakage => "leakage",
     }
+}
+
+/// Inverse of [`block_slug`]; `None` for unknown names.
+pub(crate) fn block_from_slug(s: &str) -> Option<BlockKind> {
+    BlockKind::ALL.into_iter().find(|k| block_slug(*k) == s)
 }
 
 /// Formats results as an aligned plain-text table.
@@ -184,6 +244,45 @@ mod tests {
         assert!(rows[0][power_idx].parse::<f64>().is_ok());
         assert_eq!(rows[1][power_idx], "");
         assert!(rows[1][metric_idx].parse::<f64>().is_ok());
+    }
+
+    #[test]
+    fn quarantine_csv_has_header_kinds_and_quoted_messages() {
+        let q = vec![
+            QuarantinedPoint {
+                index: 3,
+                point: sample_result().point,
+                error: PointError::NonFinite("metric NaN, power 5e-6 W".to_string()),
+                retries: 2,
+            },
+            QuarantinedPoint {
+                index: 7,
+                point: sample_result().point,
+                error: PointError::Panicked("said \"no\"".to_string()),
+                retries: 0,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_quarantine_csv(&mut buf, &q).expect("write to vec succeeds");
+        let s = String::from_utf8(buf).expect("valid utf8");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "index,label,error_kind,retries,message");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("3,"));
+        assert!(lines[1].contains(",non_finite,2,"));
+        assert!(lines[2].contains(",panicked,0,"));
+        // Embedded quotes survive as RFC 4180 doubled quotes.
+        assert!(lines[2].ends_with("\"model panicked: said \"\"no\"\"\""));
+        // Empty quarantine still produces a parseable header-only file.
+        let mut empty = Vec::new();
+        write_quarantine_csv(&mut empty, &[]).expect("write succeeds");
+        assert_eq!(
+            String::from_utf8(empty)
+                .expect("valid utf8")
+                .lines()
+                .count(),
+            1
+        );
     }
 
     #[test]

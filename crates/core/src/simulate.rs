@@ -2,9 +2,9 @@
 
 use crate::config::{ConfigError, CsConfig, SystemConfig};
 use efficsense_blocks::{ChargeSharingEncoder, Lna, Sampler, SarAdc, Transmitter};
-use efficsense_cs::linalg::Matrix;
 use efficsense_cs::matrix::SensingMatrix;
-use efficsense_cs::recon::{reconstruct_with_dictionary, OmpConfig};
+use efficsense_cs::memo::{self, DictionaryArtifacts, DictionaryParams};
+use efficsense_cs::recon::{reconstruct_with_artifacts, OmpConfig};
 use efficsense_dsp::resample::{resample_linear, sample_at};
 use efficsense_dsp::stats::rms;
 use efficsense_faults::{FaultPlan, LinkStats};
@@ -13,6 +13,7 @@ use efficsense_power::models::SampleHoldModel;
 use efficsense_power::{PowerBreakdown, PowerModel};
 use efficsense_rng::Rng64;
 use efficsense_signals::noise::Gaussian;
+use std::sync::Arc;
 
 /// Per-block fault-stream salts (see [`FaultPlan::stream`]); spaced so the
 /// per-record mix `salt + 256·noise_seed` stays injective.
@@ -88,13 +89,13 @@ struct CsState {
     /// The CS design variables (copied out of the config so the CS paths
     /// never have to re-unwrap `cfg.cs`).
     cs: CsConfig,
-    /// The sensing schedule.
-    phi: SensingMatrix,
-    /// Precomputed decoder dictionary `A = Φ_eff·Ψ`.
-    dictionary: Matrix,
-    /// Mean over rows of `Σ_j w_rj²` of the effective matrix — the
-    /// per-measurement noise gain used by the discrepancy stopping rule.
-    mean_row_w2: f64,
+    /// The sensing schedule, shared process-wide across simulators with the
+    /// same `(M, N_Φ, s, seed)` via [`efficsense_cs::memo`].
+    phi: Arc<SensingMatrix>,
+    /// Decoder dictionary `A = Φ_eff·Ψ`, its OMP column norms, and the
+    /// mean row energy of the effective matrix (the per-measurement noise
+    /// gain of the discrepancy stopping rule) — likewise memoized.
+    art: Arc<DictionaryArtifacts>,
 }
 
 impl Simulator {
@@ -106,7 +107,8 @@ impl Simulator {
     pub fn new(cfg: SystemConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let arch = if let Some(cs) = &cfg.cs {
-            let phi = SensingMatrix::srbm(cs.m, cs.n_phi, cs.s, cfg.seed ^ 0x5EB1);
+            let seed = cfg.seed ^ 0x5EB1;
+            let phi = memo::srbm(cs.m, cs.n_phi, cs.s, seed);
             // Leakage-aware decoding: the droop is set by design constants
             // (τ = C_hold·V_ref/I_leak), so the decoder folds it into the
             // effective matrix alongside the Eq. (1) weights. Only the
@@ -117,23 +119,23 @@ impl Simulator {
             } else {
                 1.0
             };
-            let eff = efficsense_cs::charge_sharing::effective_matrix_decayed(
-                &phi,
-                cs.c_sample_f,
-                cs.c_hold_f,
+            // Dictionary, column norms and noise gain are memoized
+            // process-wide: every design point sharing this sensing
+            // configuration reuses one bit-identical instance.
+            let art = memo::dictionary(&DictionaryParams {
+                m: cs.m,
+                n_phi: cs.n_phi,
+                s: cs.s,
+                seed,
+                c_sample_f: cs.c_sample_f,
+                c_hold_f: cs.c_hold_f,
                 decay,
-            );
-            let psi = cs.basis.matrix(cs.n_phi);
-            let mean_row_w2 = (0..eff.rows())
-                .map(|r| eff.row(r).iter().map(|w| w * w).sum::<f64>())
-                .sum::<f64>()
-                / eff.rows() as f64;
-            let a = eff.matmul(&psi);
+                basis: cs.basis,
+            });
             ArchState::Cs(CsState {
                 cs: cs.clone(),
                 phi,
-                dictionary: a,
-                mean_row_w2,
+                art,
             })
         } else {
             ArchState::Baseline
@@ -325,8 +327,8 @@ impl Simulator {
     ) -> (Vec<f64>, u64, f64, Option<LinkStats>) {
         let cfg = &self.cfg;
         let cs = &state.cs;
-        let phi = &state.phi;
-        let dict = &state.dictionary;
+        let phi = state.phi.as_ref();
+        let art = state.art.as_ref();
         let f_s = cfg.design.f_sample_hz();
         // The encoder's own sample caps do the sampling; take ideal instants
         // unless a clock fault jitters/drops them.
@@ -410,7 +412,7 @@ impl Simulator {
         };
         let lsb = cfg.design.lsb();
         let meas_noise_var =
-            (sampled_noise * sampled_noise + ktc_var) * state.mean_row_w2 + lsb * lsb / 12.0;
+            (sampled_noise * sampled_noise + ktc_var) * art.mean_row_w2 + lsb * lsb / 12.0;
         let noise_norm = (meas_noise_var * cs.m as f64).sqrt();
         let mut out = Vec::with_capacity(n_samples);
         let mut words = 0u64;
@@ -447,7 +449,13 @@ impl Simulator {
             };
             // Decode with the nominal dictionary (the decoder does not know
             // the mismatch/kTC realisation).
-            let xh = reconstruct_with_dictionary(dict, &digitised, cs.basis, &omp);
+            let xh = reconstruct_with_artifacts(
+                &art.dictionary,
+                &art.col_norms,
+                &digitised,
+                cs.basis,
+                &omp,
+            );
             out.extend(xh);
         }
         let adc_in_rms = if rms_n > 0 {
@@ -512,7 +520,7 @@ impl Simulator {
             ArchState::Cs(state) => {
                 let cs = &state.cs;
                 let enc = ChargeSharingEncoder::new(
-                    state.phi.clone(),
+                    state.phi.as_ref().clone(),
                     cs.c_sample_f,
                     cs.c_hold_f,
                     1.0 / cfg.design.f_sample_hz(),

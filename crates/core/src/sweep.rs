@@ -171,12 +171,30 @@ pub struct SweepResult {
 #[derive(Debug, Clone)]
 pub struct Sweep {
     config: SweepConfig,
+    /// Optional content-addressed result cache (see [`crate::cache`]).
+    cache: Option<std::sync::Arc<crate::cache::SweepCache>>,
 }
 
 impl Sweep {
     /// Creates a sweep runner.
     pub fn new(config: SweepConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a shared result cache. Subsequent runs look every point up
+    /// by its content key ([`crate::cache::point_key`]) before evaluating,
+    /// and store successful first-attempt evaluations back. Cached results
+    /// are bit-identical to fresh ones — evaluation is deterministic in the
+    /// key — so attaching a cache never changes sweep output, only cost.
+    /// Salted retry successes (see [`FailurePolicy::Retry`]) are *not*
+    /// cached: their perturbed seeds are outside the key.
+    #[must_use]
+    pub fn with_cache(mut self, cache: std::sync::Arc<crate::cache::SweepCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Evaluates every point of `space` over `dataset`, in parallel,
@@ -215,24 +233,36 @@ impl Sweep {
     pub fn run_report(&self, space: &DesignSpace, dataset: &EegDataset) -> SweepReport {
         assert!(!space.is_empty(), "design space is empty");
         assert!(!dataset.is_empty(), "dataset is empty");
-        // Train the detector once (shared across threads, read-only).
-        let goal: Box<dyn GoalFunction + Sync> = match self.config.metric {
-            Metric::Snr => Box::new(SnrGoal),
-            Metric::DetectionAccuracy => {
-                let fs = space.template.design.f_sample_hz();
-                let detector = if self.config.epoch_s > 0.0 {
-                    crate::detector::SeizureDetector::train_epoched(
+        let fs = space.template.design.f_sample_hz();
+        let metric = self.config.metric;
+        let detector_seed = self.config.detector_seed;
+        let epoch_s = self.config.epoch_s;
+        // Goal construction, parameterised by a retry salt. Salt 0 is the
+        // canonical goal; salts > 0 re-train the detector under a derived
+        // seed so a flaky point gets a genuinely different realisation.
+        // Detector training is memoized process-wide, so repeated sweeps
+        // over the same dataset (the product-sweep workload) train once.
+        let make_goal = |salt: u64| -> Box<dyn GoalFunction + Sync> {
+            match metric {
+                Metric::Snr => Box::new(SnrGoal),
+                Metric::DetectionAccuracy => {
+                    let detector = crate::cache::trained_detector(
                         dataset,
                         fs,
-                        self.config.epoch_s,
-                        self.config.detector_seed,
-                    )
-                } else {
-                    crate::detector::SeizureDetector::train(dataset, fs, self.config.detector_seed)
-                };
-                Box::new(DetectionGoal::new(detector))
+                        epoch_s,
+                        salted_seed(detector_seed, salt),
+                    );
+                    Box::new(DetectionGoal::new((*detector).clone()))
+                }
             }
         };
+        let goal: Box<dyn GoalFunction + Sync> = make_goal(0);
+        // The cache context is sweep-invariant; fingerprint the dataset once.
+        let ctx = self.cache.as_ref().map(|_| crate::cache::EvalContext {
+            goal: crate::cache::goal_descriptor(metric, detector_seed, epoch_s),
+            dataset_fingerprint: crate::cache::dataset_fingerprint(dataset),
+        });
+        let cache = self.cache.as_deref();
         let points = space.points();
         let n_threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
@@ -266,12 +296,44 @@ impl Sweep {
                                 break;
                             }
                             let point = &points[i];
+                            let key = ctx.as_ref().map(|c| {
+                                crate::cache::point_key(&point.to_config(&space.template), plan, c)
+                            });
+                            if let (Some(cache), Some(key)) = (cache, key) {
+                                if let Some(mut hit) = cache.get(&key) {
+                                    // The stored point is key-equivalent but
+                                    // not necessarily this exact point (two
+                                    // points can instantiate one config);
+                                    // the current point keeps labels honest.
+                                    hit.point = point.clone();
+                                    local.push((i, Ok(hit)));
+                                    continue;
+                                }
+                            }
                             let mut retries = 0u32;
                             let outcome = loop {
+                                // Retry attempts re-seed: salt 0 is the
+                                // canonical evaluation, each retry derives
+                                // fresh noise/detector seeds from the salt.
+                                let salt = u64::from(retries);
+                                let salted_goal;
+                                let attempt_goal: &(dyn GoalFunction + Sync) = if salt == 0 {
+                                    goal_ref
+                                } else {
+                                    salted_goal = make_goal(salt);
+                                    salted_goal.as_ref()
+                                };
                                 // The panic boundary: a model blowing up on
                                 // one point must not take down the sweep.
                                 let attempt = catch_unwind(AssertUnwindSafe(|| {
-                                    evaluate_point(point, space, dataset, goal_ref, plan)
+                                    evaluate_point_salted(
+                                        point,
+                                        space,
+                                        dataset,
+                                        attempt_goal,
+                                        plan,
+                                        salt,
+                                    )
                                 }))
                                 .unwrap_or_else(|payload| {
                                     Err(PointError::Panicked(panic_message(payload.as_ref())))
@@ -282,6 +344,13 @@ impl Sweep {
                                     Err(e) => break Err((e, retries)),
                                 }
                             };
+                            if let (Some(cache), Some(key), Ok(res)) = (cache, key, &outcome) {
+                                // Only the canonical (unsalted) evaluation is
+                                // content-addressed by the key.
+                                if retries == 0 {
+                                    cache.insert(key, res.clone());
+                                }
+                            }
                             if let Err((e, _)) = &outcome {
                                 if policy == FailurePolicy::Abort {
                                     // Legacy semantics: a failing point under
@@ -356,6 +425,39 @@ pub fn evaluate_point(
     goal: &(dyn GoalFunction + Sync),
     plan: Option<&FaultPlan>,
 ) -> Result<SweepResult, PointError> {
+    evaluate_point_salted(point, space, dataset, goal, plan, 0)
+}
+
+/// Derives a retry seed: salt 0 is the identity (the canonical seed), each
+/// positive salt applies a SplitMix64-style avalanche so consecutive retry
+/// attempts draw decorrelated noise and detector realisations.
+#[must_use]
+pub fn salted_seed(base: u64, salt: u64) -> u64 {
+    if salt == 0 {
+        return base;
+    }
+    let mut z = base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// [`evaluate_point`] with an explicit retry salt: `noise_salt` 0 is the
+/// canonical evaluation (the only one the result cache stores); positive
+/// salts re-derive every per-record noise seed via [`salted_seed`], giving
+/// [`FailurePolicy::Retry`] a genuinely fresh realisation per attempt.
+///
+/// # Errors
+///
+/// As [`evaluate_point`].
+pub fn evaluate_point_salted(
+    point: &DesignPoint,
+    space: &DesignSpace,
+    dataset: &EegDataset,
+    goal: &(dyn GoalFunction + Sync),
+    plan: Option<&FaultPlan>,
+    noise_salt: u64,
+) -> Result<SweepResult, PointError> {
     let cfg = point.to_config(&space.template);
     let mut sim = Simulator::new(cfg).map_err(PointError::Config)?;
     sim.set_fault_plan(plan.cloned());
@@ -363,7 +465,8 @@ pub fn evaluate_point(
         .records
         .iter()
         .map(|rec| {
-            let out = sim.run(&rec.samples, rec.fs, rec.id as u64 + 1);
+            let seed = salted_seed(rec.id as u64 + 1, noise_salt);
+            let out = sim.run(&rec.samples, rec.fs, seed);
             (out, rec.label())
         })
         .collect();
@@ -693,5 +796,108 @@ mod tests {
         })
         .run(&space, &ds);
         assert!(mean(&faulted) < mean(&clean) - 3.0);
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_across_thread_counts() {
+        use crate::cache::SweepCache;
+        use std::sync::Arc;
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let base = SweepConfig {
+            metric: Metric::Snr,
+            threads: 1,
+            detector_seed: 0,
+            ..Default::default()
+        };
+        let fresh = Sweep::new(base.clone()).run(&space, &ds);
+        let cache = Arc::new(SweepCache::new());
+        // Cold pass fills the cache; every point misses, nothing changes.
+        let cold = Sweep::new(SweepConfig {
+            threads: 4,
+            ..base.clone()
+        })
+        .with_cache(Arc::clone(&cache))
+        .run(&space, &ds);
+        assert_eq!(fresh, cold, "cold cached run must match uncached run");
+        let cold_stats = cache.stats();
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.misses, space.len() as u64);
+        assert_eq!(cold_stats.entries, space.len());
+        // Warm passes — whatever the thread count — serve purely from cache.
+        for threads in [1, 3] {
+            cache.reset_stats();
+            let warm = Sweep::new(SweepConfig {
+                threads,
+                ..base.clone()
+            })
+            .with_cache(Arc::clone(&cache))
+            .run(&space, &ds);
+            assert_eq!(fresh, warm, "warm run at {threads} threads must match");
+            let s = cache.stats();
+            assert_eq!(s.misses, 0, "warm run must not re-evaluate any point");
+            assert_eq!(s.hits, space.len() as u64);
+        }
+    }
+
+    #[test]
+    fn cache_persist_reload_cycle_preserves_results() {
+        use crate::cache::SweepCache;
+        use std::sync::Arc;
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let base = SweepConfig {
+            metric: Metric::Snr,
+            threads: 2,
+            detector_seed: 0,
+            ..Default::default()
+        };
+        let cache = Arc::new(SweepCache::new());
+        let original = Sweep::new(base.clone())
+            .with_cache(Arc::clone(&cache))
+            .run(&space, &ds);
+        let path = std::env::temp_dir().join(format!(
+            "efficsense_sweep_cache_test_{}.jsonl",
+            std::process::id()
+        ));
+        cache.save(&path).expect("persist cache");
+        let reloaded = Arc::new(SweepCache::new());
+        let (loaded, skipped) = reloaded.load(&path).expect("reload cache");
+        std::fs::remove_file(&path).ok();
+        assert_eq!((loaded, skipped), (space.len(), 0));
+        let replay = Sweep::new(base)
+            .with_cache(Arc::clone(&reloaded))
+            .run(&space, &ds);
+        assert_eq!(
+            original, replay,
+            "reloaded cache must replay bit-identically"
+        );
+        assert_eq!(reloaded.stats().misses, 0);
+    }
+
+    #[test]
+    fn salt_zero_is_identity_and_retry_salts_reseed() {
+        let ds = tiny_dataset();
+        let space = tiny_space();
+        let point = &space.points()[0];
+        let goal = SnrGoal;
+        let canonical =
+            evaluate_point(point, &space, &ds, &goal, None).expect("canonical evaluation");
+        let salt0 =
+            evaluate_point_salted(point, &space, &ds, &goal, None, 0).expect("salt-0 evaluation");
+        assert_eq!(canonical, salt0, "salt 0 must be the canonical evaluation");
+        let salt1 =
+            evaluate_point_salted(point, &space, &ds, &goal, None, 1).expect("salt-1 evaluation");
+        assert!(salt1.metric.is_finite());
+        assert_ne!(
+            canonical.metric.to_bits(),
+            salt1.metric.to_bits(),
+            "a retry salt must draw a different noise realisation"
+        );
+        // The seed mix itself: identity at 0, avalanche elsewhere.
+        assert_eq!(salted_seed(42, 0), 42);
+        assert_ne!(salted_seed(42, 1), 42);
+        assert_ne!(salted_seed(42, 1), salted_seed(42, 2));
+        assert_ne!(salted_seed(42, 1), salted_seed(43, 1));
     }
 }

@@ -29,6 +29,7 @@ pub mod charge_sharing;
 pub mod diagnostics;
 pub mod linalg;
 pub mod matrix;
+pub mod memo;
 pub mod recon;
 
 pub use basis::Basis;

@@ -1,0 +1,374 @@
+//! Process-wide memoization of sensing matrices and decoder precomputations.
+//!
+//! A design-space product sweep instantiates thousands of simulators, but
+//! only a handful of *distinct* sensing configurations: every point sharing
+//! `(M, N_Φ, s, seed)` uses the same Φ, the same sparsifying basis Ψ, the
+//! same effective dictionary `A = Φ_eff·Ψ` and the same OMP column norms.
+//! Rebuilding them per point dominated cold-sweep time (the amortization
+//! lever of the fast BSBL / CS-telemonitoring literature), so this module
+//! caches them once per key in sharded global maps and hands out `Arc`s.
+//!
+//! Everything here is *derived deterministically from its key*, so memoized
+//! artifacts are bit-identical to freshly built ones — callers may switch
+//! between [`DictionaryArtifacts::build`] and [`dictionary`] freely without
+//! perturbing results. Floating-point key components are compared by their
+//! IEEE-754 bit patterns (no epsilon): two keys are "the same configuration"
+//! only when they would produce bit-identical artifacts.
+
+use crate::basis::Basis;
+use crate::linalg::{norm2, Matrix};
+use crate::matrix::SensingMatrix;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of independent locks per store; bounds contention when many sweep
+/// workers miss simultaneously on different keys.
+const SHARDS: usize = 16;
+
+/// A sharded, hit-counting `key → Arc<value>` map.
+///
+/// Values are built *under the shard lock*, which serialises builders that
+/// race on the same shard but guarantees each key is computed exactly once —
+/// the right trade for sweep start-up, where every worker wants the same
+/// few dictionaries at the same moment.
+struct Shards<K, V> {
+    maps: Vec<Mutex<HashMap<K, Arc<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V> Shards<K, V> {
+    fn new() -> Self {
+        Self {
+            maps: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<V>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.maps[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get_or_insert_with(&self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
+        let mut map = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(v) = map.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(build());
+        map.insert(key.clone(), Arc::clone(&v));
+        v
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .maps
+                .iter()
+                .map(|m| {
+                    m.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .len()
+                })
+                .sum(),
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn clear(&self) {
+        for m in &self.maps {
+            m.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
+        self.reset_stats();
+    }
+}
+
+/// Hit/miss/occupancy counters of one memoization store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that had to build the artifact.
+    pub misses: u64,
+    /// Keys currently held.
+    pub entries: usize,
+}
+
+impl StoreStats {
+    /// Fraction of lookups served from the store (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Counters of every store in this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Sensing-matrix store.
+    pub srbm: StoreStats,
+    /// Sparsifying-basis store.
+    pub basis: StoreStats,
+    /// Decoder-dictionary store.
+    pub dictionary: StoreStats,
+}
+
+type SrbmKey = (usize, usize, usize, u64);
+type BasisKey = (Basis, usize);
+/// `(m, n_phi, s, seed, c_sample bits, c_hold bits, decay bits, basis)`.
+type DictKey = (usize, usize, usize, u64, u64, u64, u64, Basis);
+
+fn srbm_store() -> &'static Shards<SrbmKey, SensingMatrix> {
+    static STORE: OnceLock<Shards<SrbmKey, SensingMatrix>> = OnceLock::new();
+    STORE.get_or_init(Shards::new)
+}
+
+fn basis_store() -> &'static Shards<BasisKey, Matrix> {
+    static STORE: OnceLock<Shards<BasisKey, Matrix>> = OnceLock::new();
+    STORE.get_or_init(Shards::new)
+}
+
+fn dict_store() -> &'static Shards<DictKey, DictionaryArtifacts> {
+    static STORE: OnceLock<Shards<DictKey, DictionaryArtifacts>> = OnceLock::new();
+    STORE.get_or_init(Shards::new)
+}
+
+/// Memoized [`SensingMatrix::srbm`]: one shared instance per
+/// `(m, n, s, seed)`.
+///
+/// # Panics
+///
+/// Panics on the same invalid-schedule conditions as
+/// [`SensingMatrix::srbm`].
+pub fn srbm(m: usize, n: usize, s: usize, seed: u64) -> Arc<SensingMatrix> {
+    srbm_store().get_or_insert_with(&(m, n, s, seed), || SensingMatrix::srbm(m, n, s, seed))
+}
+
+/// Memoized [`Basis::matrix`]: one shared `n × n` synthesis matrix per
+/// `(basis, n)`.
+pub fn basis_matrix(basis: Basis, n: usize) -> Arc<Matrix> {
+    basis_store().get_or_insert_with(&(basis, n), || basis.matrix(n))
+}
+
+/// Everything the charge-sharing decoder precomputes per design point:
+/// the effective dictionary, its OMP column norms, and the mean row energy
+/// of the effective matrix (the discrepancy-rule noise gain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictionaryArtifacts {
+    /// Decoder dictionary `A = Φ_eff·Ψ`.
+    pub dictionary: Matrix,
+    /// `‖A·,j‖₂.max(1e-300)` per column — the normalised-correlation
+    /// denominators OMP would otherwise recompute per frame.
+    pub col_norms: Vec<f64>,
+    /// Mean over rows of `Σ_j w_rj²` of the effective matrix.
+    pub mean_row_w2: f64,
+}
+
+/// Identifies one decoder-dictionary configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DictionaryParams {
+    /// Measurements per frame.
+    pub m: usize,
+    /// Frame length `N_Φ`.
+    pub n_phi: usize,
+    /// Sensing-matrix column sparsity.
+    pub s: usize,
+    /// Sensing-matrix seed (already mixed by the caller).
+    pub seed: u64,
+    /// Sampling capacitor (F).
+    pub c_sample_f: f64,
+    /// Hold capacitor (F).
+    pub c_hold_f: f64,
+    /// Per-step hold-droop factor folded into the effective matrix.
+    pub decay: f64,
+    /// Sparsifying basis Ψ.
+    pub basis: Basis,
+}
+
+impl DictionaryParams {
+    fn key(&self) -> DictKey {
+        (
+            self.m,
+            self.n_phi,
+            self.s,
+            self.seed,
+            self.c_sample_f.to_bits(),
+            self.c_hold_f.to_bits(),
+            self.decay.to_bits(),
+            self.basis,
+        )
+    }
+}
+
+impl DictionaryArtifacts {
+    /// Builds the artifacts from scratch (no memoization) — the reference
+    /// computation that [`dictionary`] caches. Exposed so benchmarks can
+    /// measure the per-build cost the memo store amortizes away.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid sensing-schedule or capacitor parameters, exactly
+    /// as the underlying constructors do.
+    #[must_use]
+    pub fn build(p: &DictionaryParams) -> Self {
+        let phi = srbm(p.m, p.n_phi, p.s, p.seed);
+        let eff = crate::charge_sharing::effective_matrix_decayed(
+            &phi,
+            p.c_sample_f,
+            p.c_hold_f,
+            p.decay,
+        );
+        let mean_row_w2 = (0..eff.rows())
+            .map(|r| eff.row(r).iter().map(|w| w * w).sum::<f64>())
+            .sum::<f64>()
+            / eff.rows() as f64;
+        let psi = basis_matrix(p.basis, p.n_phi);
+        let dictionary = eff.matmul(&psi);
+        let col_norms = (0..dictionary.cols())
+            .map(|c| norm2(&dictionary.col(c)).max(1e-300))
+            .collect();
+        Self {
+            dictionary,
+            col_norms,
+            mean_row_w2,
+        }
+    }
+}
+
+/// Memoized decoder-dictionary artifacts: one shared instance per
+/// [`DictionaryParams`] (keyed by exact float bit patterns).
+///
+/// # Panics
+///
+/// Panics on the same invalid parameters as [`DictionaryArtifacts::build`].
+pub fn dictionary(p: &DictionaryParams) -> Arc<DictionaryArtifacts> {
+    dict_store().get_or_insert_with(&p.key(), || DictionaryArtifacts::build(p))
+}
+
+/// Current counters of every store.
+#[must_use]
+pub fn stats() -> MemoStats {
+    MemoStats {
+        srbm: srbm_store().stats(),
+        basis: basis_store().stats(),
+        dictionary: dict_store().stats(),
+    }
+}
+
+/// Zeroes the hit/miss counters (entries stay cached).
+pub fn reset_stats() {
+    srbm_store().reset_stats();
+    basis_store().reset_stats();
+    dict_store().reset_stats();
+}
+
+/// Drops every cached artifact and zeroes the counters. Benchmarks call
+/// this to measure genuinely cold builds; correctness never depends on it.
+pub fn clear() {
+    srbm_store().clear();
+    basis_store().clear();
+    dict_store().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(seed: u64) -> DictionaryParams {
+        DictionaryParams {
+            m: 12,
+            n_phi: 32,
+            s: 2,
+            seed,
+            c_sample_f: 0.1e-12,
+            c_hold_f: 1e-12,
+            decay: 0.999,
+            basis: Basis::Dct,
+        }
+    }
+
+    #[test]
+    fn srbm_memo_matches_fresh_and_shares_storage() {
+        let seed = 0xA110_C8ED_0001;
+        let a = srbm(8, 24, 2, seed);
+        let b = srbm(8, 24, 2, seed);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one instance");
+        assert_eq!(*a, SensingMatrix::srbm(8, 24, 2, seed));
+        let c = srbm(8, 24, 2, seed ^ 1);
+        assert_ne!(*a, *c, "different seeds must not collide");
+    }
+
+    #[test]
+    fn basis_memo_matches_fresh() {
+        let m = basis_matrix(Basis::Haar, 16);
+        assert_eq!(*m, Basis::Haar.matrix(16));
+        assert!(Arc::ptr_eq(&m, &basis_matrix(Basis::Haar, 16)));
+        assert_ne!(*m, *basis_matrix(Basis::Dct, 16));
+    }
+
+    #[test]
+    fn dictionary_memo_is_bit_identical_to_fresh_build() {
+        let p = params(0xA110_C8ED_0002);
+        let memoized = dictionary(&p);
+        let fresh = DictionaryArtifacts::build(&p);
+        assert_eq!(*memoized, fresh);
+        assert_eq!(memoized.dictionary.cols(), memoized.col_norms.len());
+        assert!(memoized.mean_row_w2 > 0.0);
+        assert!(Arc::ptr_eq(&memoized, &dictionary(&p)));
+    }
+
+    #[test]
+    fn dictionary_keys_separate_float_parameters() {
+        let p = params(0xA110_C8ED_0003);
+        let a = dictionary(&p);
+        let b = dictionary(&DictionaryParams { decay: 0.998, ..p });
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.dictionary, b.dictionary);
+        let c = dictionary(&DictionaryParams {
+            c_hold_f: 2e-12,
+            ..p
+        });
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        // Unique key so parallel tests cannot have inserted it already.
+        let p = params(0xA110_C8ED_0004);
+        let before = stats().dictionary;
+        let _ = dictionary(&p);
+        let _ = dictionary(&p);
+        let after = stats().dictionary;
+        assert!(after.misses > before.misses, "first call must miss");
+        assert!(after.hits > before.hits, "second call must hit");
+        assert!(after.entries >= 1);
+        assert!(after.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn hit_rate_of_idle_store_is_zero() {
+        assert_eq!(StoreStats::default().hit_rate(), 0.0);
+    }
+}

@@ -50,7 +50,31 @@ impl Default for OmpConfig {
 ///
 /// Panics if `y.len() != a.rows()` or the config sparsity is 0.
 pub fn omp(a: &Matrix, y: &[f64], cfg: &OmpConfig) -> Vec<f64> {
+    // Precompute column norms for normalised correlation.
+    let col_norms: Vec<f64> = (0..a.cols())
+        .map(|c| norm2(&a.col(c)).max(1e-300))
+        .collect();
+    omp_with_col_norms(a, &col_norms, y, cfg)
+}
+
+/// [`omp`] with the column norms of `a` supplied by the caller — sweeps hold
+/// one dictionary per design point, so computing `‖A·,j‖₂` once per point
+/// (instead of once per frame) removes an `O(m·n)` pass from every decode.
+/// The norms must be exactly `‖A·,j‖₂.max(1e-300)` (see
+/// [`crate::memo::DictionaryArtifacts`]); supplying them does not change the
+/// result by a single bit.
+///
+/// # Panics
+///
+/// Panics if `y.len() != a.rows()`, `col_norms.len() != a.cols()` or the
+/// config sparsity is 0.
+pub fn omp_with_col_norms(a: &Matrix, col_norms: &[f64], y: &[f64], cfg: &OmpConfig) -> Vec<f64> {
     assert_eq!(y.len(), a.rows(), "measurement length must equal row count");
+    assert_eq!(
+        col_norms.len(),
+        a.cols(),
+        "one column norm per dictionary column"
+    );
     assert!(cfg.sparsity > 0, "sparsity must be positive");
     let n = a.cols();
     let k_max = cfg.sparsity.min(a.rows()).min(n);
@@ -59,8 +83,6 @@ pub fn omp(a: &Matrix, y: &[f64], cfg: &OmpConfig) -> Vec<f64> {
     if is_zero(y_norm) {
         return vec![0.0; n];
     }
-    // Precompute column norms for normalised correlation.
-    let col_norms: Vec<f64> = (0..n).map(|c| norm2(&a.col(c)).max(1e-300)).collect();
     let mut support: Vec<usize> = Vec::with_capacity(k_max);
     let mut residual = y.to_vec();
     let mut coeffs_on_support: Vec<f64> = Vec::new();
@@ -172,6 +194,20 @@ pub fn reconstruct_with_dictionary(
     cfg: &OmpConfig,
 ) -> Vec<f64> {
     let s = omp(a, y, cfg);
+    basis.synthesize(&s)
+}
+
+/// Like [`reconstruct_with_dictionary`] but also reuses precomputed OMP
+/// column norms (see [`omp_with_col_norms`]) — the per-frame hot path of the
+/// sweep engine. Bit-identical to the other reconstruction entry points.
+pub fn reconstruct_with_artifacts(
+    a: &Matrix,
+    col_norms: &[f64],
+    y: &[f64],
+    basis: Basis,
+    cfg: &OmpConfig,
+) -> Vec<f64> {
+    let s = omp_with_col_norms(a, col_norms, y, cfg);
     basis.synthesize(&s)
 }
 
@@ -325,6 +361,27 @@ mod tests {
         let a = phi.matmul(&psi);
         let cached = reconstruct_with_dictionary(&a, &y, Basis::Dct, &cfg);
         assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn reconstruct_with_artifacts_matches_dictionary_path() {
+        let (_, phi, y) = sparse_problem(48, 24, 3, 17);
+        let cfg = OmpConfig::with_sparsity(3);
+        let psi = Basis::Dct.matrix(48);
+        let a = phi.matmul(&psi);
+        let col_norms: Vec<f64> = (0..a.cols())
+            .map(|c| norm2(&a.col(c)).max(1e-300))
+            .collect();
+        let plain = reconstruct_with_dictionary(&a, &y, Basis::Dct, &cfg);
+        let precomputed = reconstruct_with_artifacts(&a, &col_norms, &y, Basis::Dct, &cfg);
+        assert_eq!(plain, precomputed);
+    }
+
+    #[test]
+    #[should_panic(expected = "column norm")]
+    fn omp_with_col_norms_rejects_length_mismatch() {
+        let a = Matrix::identity(4);
+        let _ = omp_with_col_norms(&a, &[1.0; 3], &[1.0; 4], &OmpConfig::with_sparsity(2));
     }
 
     #[test]

@@ -235,6 +235,22 @@ impl FaultPlan {
         z ^ (z >> 31)
     }
 
+    /// Canonical content-addressing form for evaluation caches.
+    ///
+    /// Clean plans are bit-identical to running with no plan at all (the
+    /// simulator drops them), so *every* clean plan — whatever its seed or
+    /// noop parameterisation — canonicalises to `"clean"`. Active plans
+    /// render their full field set *including the seed*, because the seed
+    /// picks the fault realisation and therefore the result.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        if self.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{self:?}")
+        }
+    }
+
     /// Short stable label of the active fault kinds, e.g.
     /// `lna_rail+packet_loss`, or `clean`.
     #[must_use]
@@ -359,6 +375,27 @@ mod tests {
         assert_ne!(plan.stream(1), plan.stream(2));
         assert_ne!(plan.stream(1), FaultPlan::clean(124).stream(1));
         assert_eq!(plan.stream(5), FaultPlan::clean(123).stream(5));
+    }
+
+    #[test]
+    fn canonical_key_collapses_clean_plans_and_separates_active_ones() {
+        // Clean plans canonicalise identically regardless of seed or noop
+        // parameterisation.
+        assert_eq!(FaultPlan::clean(1).canonical_key(), "clean");
+        assert_eq!(FaultPlan::clean(2).canonical_key(), "clean");
+        assert_eq!(
+            FaultPlan::single(FaultKind::LnaRail, 0.0, 9).canonical_key(),
+            "clean"
+        );
+        // Active plans carry kind, severity mapping and seed.
+        let a = FaultPlan::single(FaultKind::CapLeakage, 0.5, 1).canonical_key();
+        let b = FaultPlan::single(FaultKind::CapLeakage, 0.6, 1).canonical_key();
+        let c = FaultPlan::single(FaultKind::CapLeakage, 0.5, 2).canonical_key();
+        let d = FaultPlan::single(FaultKind::ClockJitter, 0.5, 1).canonical_key();
+        assert_ne!(a, b, "severity must separate keys");
+        assert_ne!(a, c, "seed must separate keys");
+        assert_ne!(a, d, "kind must separate keys");
+        assert_ne!(a, "clean");
     }
 
     #[test]

@@ -520,6 +520,21 @@ mod tests {
     }
 
     #[test]
+    fn no_panic_covers_the_evaluation_cache_modules() {
+        // The sweep-result cache and the CS artifact memo run inside sweep
+        // inner loops; both must stay under the no-panic rule even if the
+        // crate prefix list is ever rewritten as an explicit file list.
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        for path in ["crates/core/src/cache.rs", "crates/cs/src/memo.rs"] {
+            let d = lint(path, src);
+            assert!(
+                d.iter().any(|d| d.rule == "no-panic"),
+                "{path} must be no-panic gated"
+            );
+        }
+    }
+
+    #[test]
     fn no_panic_and_seeded_rng_cover_the_faults_crate() {
         let panicky = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(lint("crates/faults/src/plan.rs", panicky).len(), 1);
