@@ -17,9 +17,12 @@
 //!
 //! Run: `cargo run --release -p efficsense-bench --bin product`
 //! (`EFFICSENSE_SCALE=medium|full` widens the cell grid and workload;
-//! `EFFICSENSE_CACHE_FILE=<path>` overrides the persisted cache location.)
+//! `EFFICSENSE_CACHE_FILE=<path>` overrides the persisted cache location;
+//! `--trace <path>.jsonl` streams telemetry events, `--metrics <path>.json`
+//! writes the final metrics snapshot, which is also embedded in
+//! `BENCH_sweep.json` under `"obs"`.)
 
-use efficsense_bench::{dataset_config, design_space, figures_dir, scale, Scale};
+use efficsense_bench::{dataset_config, design_space, figures_dir, obs_from_args, scale, Scale};
 use efficsense_core::cache::SweepCache;
 use efficsense_core::pareto::{pareto_front, Objective};
 use efficsense_core::prelude::*;
@@ -114,6 +117,7 @@ fn secs(d: Duration) -> f64 {
 }
 
 fn main() {
+    let obs_session = obs_from_args();
     let sc = scale();
     let dataset = EegDataset::generate(&dataset_config());
     let space = design_space();
@@ -234,6 +238,47 @@ fn main() {
         );
     }
 
+    // ---- Telemetry: freeze the registry, show the per-stage breakdown and
+    // check the span accounting identity — every stage's *self* time plus
+    // the per-point overhead must reassemble the per-point wall time.
+    let snap = obs_session.finish();
+    let self_s = |n: &str| snap.span(n).map_or(0, |s| s.self_ns) as f64 / 1e9;
+    let point = snap.span("sweep.point").expect("sweep.point span recorded");
+    println!(
+        "  telemetry: {} point spans ({:.2}s), stage breakdown:",
+        point.count,
+        point.total_ns as f64 / 1e9
+    );
+    for name in [
+        "stage.simulate",
+        "stage.reconstruct",
+        "stage.power",
+        "stage.detect",
+    ] {
+        if let Some(s) = snap.span(name) {
+            println!(
+                "    {:<18} total {:>8.2}s  self {:>8.2}s  ({} spans, mean {:.1} µs)",
+                name,
+                s.total_ns as f64 / 1e9,
+                s.self_ns as f64 / 1e9,
+                s.count,
+                s.mean_ns() / 1e3
+            );
+        }
+    }
+    let stage_sum_s = self_s("sweep.point")
+        + self_s("stage.simulate")
+        + self_s("stage.detect")
+        + self_s("stage.reconstruct")
+        + self_s("stage.power");
+    let stage_ratio = stage_sum_s / (point.total_ns as f64 / 1e9).max(1e-12);
+    assert!(
+        (0.9..=1.1).contains(&stage_ratio),
+        "per-stage self times must sum to within 10% of per-point wall time \
+         (got ratio {stage_ratio:.4})"
+    );
+    println!("    stage self-time sum / point wall time = {stage_ratio:.4}");
+
     // ---- BENCH_sweep.json for CI.
     let json = format!(
         "{{\n  \"scale\": \"{}\",\n  \"cells\": {},\n  \"points_per_pass\": {},\n  \
@@ -242,7 +287,7 @@ fn main() {
          \"uncached_points_per_s\": {:?},\n  \"warm_points_per_s\": {:?},\n  \
          \"cache_entries\": {},\n  \"cold_hits\": {},\n  \"cold_misses\": {},\n  \
          \"warm_hit_rate\": {:?},\n  \"artifact_memo\": {{\n    \"cold_s\": {:?},\n    \
-         \"warm_s\": {:?},\n    \"speedup\": {:?},\n    \"dictionary_builds\": {},\n    \"dictionary_hits\": {}\n  }}\n}}\n",
+         \"warm_s\": {:?},\n    \"speedup\": {:?},\n    \"dictionary_builds\": {},\n    \"dictionary_hits\": {}\n  }},\n  \"obs\": {}\n}}\n",
         sc.name(),
         cells.len(),
         points_per_pass,
@@ -263,7 +308,8 @@ fn main() {
         secs(t_memo_warm),
         artifact_speedup,
         dict_builds,
-        dict_hits_within_sweep
+        dict_hits_within_sweep,
+        snap.to_json()
     );
     std::fs::write("BENCH_sweep.json", &json).expect("can write BENCH_sweep.json");
     println!("  wrote BENCH_sweep.json");

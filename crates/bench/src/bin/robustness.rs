@@ -9,12 +9,21 @@
 //! their native architecture.
 //!
 //! Run: `cargo run --release -p efficsense-bench --bin robustness`
-//! (`EFFICSENSE_SCALE=medium|full` widens the severity grid and workload.)
+//! (`EFFICSENSE_SCALE=medium|full` widens the severity grid and workload;
+//! `--trace <path>.jsonl` / `--metrics <path>.json` stream telemetry.)
+//!
+//! Failed cells are quarantined to a `robustness_<scale>_quarantine.csv`
+//! sibling of the results CSV (the same scheme `product` uses) instead of
+//! aborting the whole grid.
 
-use efficsense_bench::{dataset_config, design_space, save_figure, scale, Scale};
+use efficsense_bench::{
+    dataset_config, design_space, obs_from_args, persist_quarantine, save_figure, scale, Scale,
+};
 use efficsense_core::goal::{DetectionGoal, SnrGoal};
 use efficsense_core::prelude::*;
 use efficsense_core::simulate::SimOutput;
+use efficsense_core::sweep::{panic_message, PointError, QuarantinedPoint, SweepReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Master seed of every injected fault stream (kept fixed so reruns are
 /// bit-identical).
@@ -31,31 +40,49 @@ struct Cell {
     delivery_ratio: Option<f64>,
 }
 
+/// `(accuracy, snr_db, power_uw, delivery_ratio)` for one evaluated cell.
+type Scores = (f64, f64, f64, Option<f64>);
+
 /// Runs one architecture's representative chain under `plan` over the whole
-/// dataset and scores it with both goals.
+/// dataset and scores it with both goals. The whole evaluation runs behind a
+/// panic boundary and inside a per-architecture span so the grid survives a
+/// misbehaving model and the obs registry can report per-architecture
+/// throughput afterwards.
 fn evaluate(
     point: &DesignPoint,
     template: &SystemConfig,
     dataset: &EegDataset,
     detection: &DetectionGoal,
     plan: &FaultPlan,
-) -> (f64, f64, f64, Option<f64>) {
-    let cfg = point.to_config(template);
-    let mut sim = Simulator::new(cfg).expect("representative config is valid");
-    sim.set_fault_plan(Some(plan.clone()));
-    let outputs: Vec<(SimOutput, usize)> = dataset
-        .records
-        .iter()
-        .map(|rec| {
-            let out = sim.run(&rec.samples, rec.fs, rec.id as u64 + 1);
-            (out, rec.label())
-        })
-        .collect();
-    let accuracy = detection.evaluate(&outputs);
-    let snr_db = SnrGoal.evaluate(&outputs);
-    let power_uw = outputs[0].0.power.total().value() * 1e6;
-    let delivery_ratio = outputs[0].0.link.as_ref().map(|l| l.delivery_ratio());
-    (accuracy, snr_db, power_uw, delivery_ratio)
+) -> Result<Scores, PointError> {
+    let _arch_span = match point.architecture {
+        Architecture::Baseline => efficsense_obs::span!("robustness.arch.baseline"),
+        Architecture::CompressiveSensing => efficsense_obs::span!("robustness.arch.cs"),
+    };
+    catch_unwind(AssertUnwindSafe(|| -> Result<Scores, PointError> {
+        let cfg = point.to_config(template);
+        let mut sim = Simulator::new(cfg).map_err(PointError::Config)?;
+        sim.set_fault_plan(Some(plan.clone()));
+        let outputs: Vec<(SimOutput, usize)> = dataset
+            .records
+            .iter()
+            .map(|rec| {
+                let out = sim.run(&rec.samples, rec.fs, rec.id as u64 + 1);
+                (out, rec.label())
+            })
+            .collect();
+        let accuracy = detection.evaluate(&outputs);
+        let snr_db = SnrGoal.evaluate(&outputs);
+        let power_uw = outputs[0].0.power.total().value() * 1e6;
+        if !accuracy.is_finite() || !power_uw.is_finite() {
+            return Err(PointError::NonFinite(format!(
+                "accuracy={accuracy}, power_uw={power_uw}"
+            )));
+        }
+        let delivery_ratio = outputs[0].0.link.as_ref().map(|l| l.delivery_ratio());
+        Ok((accuracy, snr_db, power_uw, delivery_ratio))
+    }))
+    .unwrap_or_else(|payload| Err(PointError::Panicked(panic_message(payload.as_ref()))))
 }
 
 /// The architecture a fault kind natively lives on (used for the
@@ -68,6 +95,7 @@ fn native_architecture(kind: FaultKind) -> Architecture {
 }
 
 fn main() {
+    let obs_session = obs_from_args();
     let severities: &[f64] = match scale() {
         Scale::Reduced => &[0.0, 0.5, 1.0],
         Scale::Medium | Scale::Full => &[0.0, 0.25, 0.5, 0.75, 1.0],
@@ -108,7 +136,7 @@ fn main() {
 
     // Severity 0 is the same clean plan for every kind — evaluate it once
     // per architecture and share the row across kinds.
-    let clean: Vec<(f64, f64, f64, Option<f64>)> = representatives
+    let clean: Vec<Result<Scores, PointError>> = representatives
         .iter()
         .map(|p| {
             evaluate(
@@ -121,25 +149,37 @@ fn main() {
         })
         .collect();
 
+    let total_cells = FaultKind::ALL.len() * severities.len() * representatives.len();
+    let mut quarantine: Vec<QuarantinedPoint> = Vec::new();
+    let mut cell_index = 0usize;
     let mut cells: Vec<Cell> = Vec::new();
     for kind in FaultKind::ALL {
         for &severity in severities {
             for (p, clean_scores) in representatives.iter().zip(&clean) {
-                let (accuracy, snr_db, power_uw, delivery_ratio) = if severity > 0.0 {
+                let scores = if severity > 0.0 {
                     let plan = FaultPlan::single(kind, severity, FAULT_SEED);
                     evaluate(p, template, &dataset, &detection, &plan)
                 } else {
-                    *clean_scores
+                    clean_scores.clone()
                 };
-                cells.push(Cell {
-                    kind,
-                    severity,
-                    point: p.clone(),
-                    accuracy,
-                    snr_db,
-                    power_uw,
-                    delivery_ratio,
-                });
+                match scores {
+                    Ok((accuracy, snr_db, power_uw, delivery_ratio)) => cells.push(Cell {
+                        kind,
+                        severity,
+                        point: p.clone(),
+                        accuracy,
+                        snr_db,
+                        power_uw,
+                        delivery_ratio,
+                    }),
+                    Err(error) => quarantine.push(QuarantinedPoint {
+                        index: cell_index,
+                        point: p.clone(),
+                        error,
+                        retries: 0,
+                    }),
+                }
+                cell_index += 1;
             }
         }
         let shown: Vec<String> = cells
@@ -169,7 +209,17 @@ fn main() {
                 .map_or(String::new(), |r| format!("{r:.6}")),
         ));
     }
-    save_figure(&format!("robustness_{}.csv", scale().name()), &csv);
+    let results_name = format!("robustness_{}.csv", scale().name());
+    save_figure(&results_name, &csv);
+
+    // Persist the quarantine next to the results CSV (header-only when every
+    // cell evaluated), mirroring the product sweep's scheme.
+    let report = SweepReport {
+        results: Vec::new(),
+        quarantine,
+        points_total: total_cells,
+    };
+    persist_quarantine(&results_name, &report);
 
     // Monotonicity report: on its native architecture, accuracy should never
     // improve as severity rises (small tolerance for detector granularity —
@@ -200,6 +250,25 @@ fn main() {
         "{monotone}/{} fault kinds degrade accuracy monotonically on their native architecture",
         FaultKind::ALL.len()
     );
+
+    // Per-architecture throughput straight from the obs registry: each
+    // `evaluate` call is one point timed under its architecture's span.
+    let snap = obs_session.finish();
+    println!();
+    for (span_name, label) in [
+        ("robustness.arch.baseline", "baseline"),
+        ("robustness.arch.cs", "compressive-sensing"),
+    ] {
+        if let Some(s) = snap.span(span_name) {
+            let secs = s.total_ns as f64 / 1e9;
+            println!(
+                "  {label:<20} {} points in {secs:.2}s ({:.2} points/s)",
+                s.count,
+                s.count as f64 / secs.max(1e-9)
+            );
+        }
+    }
+
     assert!(
         monotone >= 3,
         "expected at least 3 monotone-degrading fault kinds, got {monotone}"

@@ -109,6 +109,61 @@ pub fn uw(p_w: f64) -> String {
     format!("{:.3} µW", p_w * 1e6)
 }
 
+/// A bench binary's telemetry session: holds where to write the final
+/// metrics snapshot (see [`obs_from_args`]). Dropping the session does
+/// nothing — call [`ObsSession::finish`] once the workload is done.
+#[derive(Debug)]
+pub struct ObsSession {
+    metrics_path: Option<PathBuf>,
+}
+
+/// Wires the global [`efficsense_obs`] registry from the process arguments:
+/// `--trace <path>` installs a buffered JSONL trace sink, `--metrics <path>`
+/// marks where [`ObsSession::finish`] writes the final snapshot JSON.
+/// Without either flag this is free — no sink, no snapshot file.
+pub fn obs_from_args() -> ObsSession {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(path) = flag("--trace") {
+        match std::fs::File::create(&path) {
+            Ok(f) => {
+                efficsense_obs::global().set_sink(Some(Box::new(std::io::BufWriter::new(f))));
+                println!("  tracing to {path}");
+            }
+            Err(e) => eprintln!("warning: cannot open trace file {path}: {e}"),
+        }
+    }
+    ObsSession {
+        metrics_path: flag("--metrics").map(PathBuf::from),
+    }
+}
+
+impl ObsSession {
+    /// Flushes the trace sink and freezes the registry. When the session
+    /// was started with `--metrics <path>`, the snapshot JSON is written
+    /// there too.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the metrics file cannot be written, like every other
+    /// bench output.
+    pub fn finish(&self) -> efficsense_obs::Snapshot {
+        let obs = efficsense_obs::global();
+        obs.flush();
+        let snap = obs.snapshot();
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, snap.to_json()).expect("can write metrics snapshot");
+            println!("  wrote metrics snapshot to {}", path.display());
+        }
+        snap
+    }
+}
+
 /// Runs (or loads from the figure cache) the main design-space sweep used by
 /// Figs. 7–10. The cache lives in `target/figures` and is keyed by metric
 /// and workload scale, so `fig8`/`fig9`/`fig10` reuse `fig7`'s results.
@@ -179,6 +234,19 @@ pub fn persist_quarantine(results_csv_name: &str, report: &SweepReport) {
     let qpath = figures_dir().join(&qname);
     std::fs::write(&qpath, &buf).expect("can write quarantine file");
     if !report.quarantine.is_empty() {
+        let obs = efficsense_obs::global();
+        if obs.sink_enabled() {
+            let ev = efficsense_obs::TraceEvent::new(obs.now_ns(), "quarantine", &qname)
+                .field(
+                    "count",
+                    efficsense_obs::FieldValue::U64(report.quarantine.len() as u64),
+                )
+                .field(
+                    "total",
+                    efficsense_obs::FieldValue::U64(report.points_total as u64),
+                );
+            obs.emit(&ev);
+        }
         println!(
             "  quarantined {} point(s) → {}",
             report.quarantine.len(),

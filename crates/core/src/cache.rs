@@ -251,10 +251,12 @@ impl SweepCache {
         match found {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                efficsense_obs::counter!("cache.l1.hit").incr();
                 Some(r)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                efficsense_obs::counter!("cache.l1.miss").incr();
                 None
             }
         }
@@ -263,6 +265,7 @@ impl SweepCache {
     /// Inserts (or overwrites) a result. Evaluation is deterministic per
     /// key, so concurrent inserts under one key write identical values.
     pub fn insert(&self, key: PointKey, result: SweepResult) {
+        efficsense_obs::counter!("cache.l1.insert").incr();
         Self::lock(self.shard(&key)).insert(key.0, result);
     }
 
@@ -347,6 +350,7 @@ impl SweepCache {
     ///
     /// Propagates file-creation and write errors.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let _span = efficsense_obs::span!("cache.l1.save");
         let mut buf = Vec::new();
         self.write_jsonl(&mut buf)?;
         std::fs::write(path, buf)
@@ -360,6 +364,7 @@ impl SweepCache {
     /// Propagates the read error when the file cannot be opened; malformed
     /// *content* is skipped, not an error.
     pub fn load(&self, path: &std::path::Path) -> std::io::Result<(usize, usize)> {
+        let _span = efficsense_obs::span!("cache.l1.load");
         let text = std::fs::read_to_string(path)?;
         Ok(self.read_jsonl(&text))
     }
@@ -713,11 +718,14 @@ pub fn trained_detector(
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(d) = map.get(&key) {
+        efficsense_obs::counter!("memo.detector.hit").incr();
         return Arc::clone(d);
     }
+    efficsense_obs::counter!("memo.detector.miss").incr();
     // Train under the lock: callers racing on the same key would otherwise
     // duplicate minutes of training work; distinct-key contention is rare
     // (one training per sweep).
+    let _train_span = efficsense_obs::span!("detect.train");
     let detector = if epoch_s > 0.0 {
         SeizureDetector::train_epoched(dataset, fs, epoch_s, seed)
     } else {

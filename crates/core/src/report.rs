@@ -50,9 +50,13 @@ pub fn write_csv<W: Write>(mut w: W, results: &[SweepResult]) -> std::io::Result
         writeln!(w)?;
     }
     if blanked > 0 {
-        eprintln!(
-            "warning: {blanked} non-finite cell(s) written empty across {} result row(s)",
-            results.len()
+        efficsense_obs::global().warn(
+            "report.nonfinite_cells",
+            blanked as u64,
+            &format!(
+                "warning: {blanked} non-finite cell(s) written empty across {} result row(s)",
+                results.len()
+            ),
         );
     }
     Ok(())

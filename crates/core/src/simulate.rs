@@ -246,7 +246,10 @@ impl Simulator {
             .map(|i| sample_at(input, fs_in, i as f64 / f_s))
             .collect();
         reference.truncate(input_referred.len());
-        let power = self.power_breakdown(adc_in_rms);
+        let power = {
+            let _power_span = efficsense_obs::span!("stage.power");
+            self.power_breakdown(adc_in_rms)
+        };
         let area_units = self.area_units();
         SimOutput {
             input_referred,
@@ -449,6 +452,7 @@ impl Simulator {
             };
             // Decode with the nominal dictionary (the decoder does not know
             // the mismatch/kTC realisation).
+            let _recon_span = efficsense_obs::span!("stage.reconstruct");
             let xh = reconstruct_with_artifacts(
                 &art.dictionary,
                 &art.col_norms,

@@ -233,6 +233,7 @@ impl Sweep {
     pub fn run_report(&self, space: &DesignSpace, dataset: &EegDataset) -> SweepReport {
         assert!(!space.is_empty(), "design space is empty");
         assert!(!dataset.is_empty(), "dataset is empty");
+        let _sweep_span = efficsense_obs::span!("sweep.run");
         let fs = space.template.design.f_sample_hz();
         let metric = self.config.metric;
         let detector_seed = self.config.detector_seed;
@@ -284,6 +285,10 @@ impl Sweep {
         // balancing — point costs vary wildly with M and N) and keep their
         // results thread-local; the merge happens once, after the joins.
         type Outcome = Result<SweepResult, (PointError, u32)>;
+        let total = points.len();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let heartbeat_every = (total / 10).max(1);
+        let sweep_start_ns = efficsense_obs::global().now_ns();
         let mut indexed: Vec<(usize, Outcome)> = Vec::with_capacity(points.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_threads)
@@ -296,69 +301,102 @@ impl Sweep {
                                 break;
                             }
                             let point = &points[i];
-                            let key = ctx.as_ref().map(|c| {
-                                crate::cache::point_key(&point.to_config(&space.template), plan, c)
-                            });
-                            if let (Some(cache), Some(key)) = (cache, key) {
-                                if let Some(mut hit) = cache.get(&key) {
+                            {
+                                let _point_span = efficsense_obs::span!("sweep.point");
+                                let key = ctx.as_ref().map(|c| {
+                                    crate::cache::point_key(
+                                        &point.to_config(&space.template),
+                                        plan,
+                                        c,
+                                    )
+                                });
+                                let cached = match (cache, &key) {
+                                    (Some(cache), Some(key)) => cache.get(key),
+                                    _ => None,
+                                };
+                                let outcome: Outcome = if let Some(mut hit) = cached {
                                     // The stored point is key-equivalent but
                                     // not necessarily this exact point (two
                                     // points can instantiate one config);
                                     // the current point keeps labels honest.
                                     hit.point = point.clone();
-                                    local.push((i, Ok(hit)));
-                                    continue;
-                                }
-                            }
-                            let mut retries = 0u32;
-                            let outcome = loop {
-                                // Retry attempts re-seed: salt 0 is the
-                                // canonical evaluation, each retry derives
-                                // fresh noise/detector seeds from the salt.
-                                let salt = u64::from(retries);
-                                let salted_goal;
-                                let attempt_goal: &(dyn GoalFunction + Sync) = if salt == 0 {
-                                    goal_ref
+                                    Ok(hit)
                                 } else {
-                                    salted_goal = make_goal(salt);
-                                    salted_goal.as_ref()
+                                    efficsense_obs::counter!("sweep.evaluations").incr();
+                                    if plan.is_some() {
+                                        efficsense_obs::counter!("sweep.faulted_points").incr();
+                                    }
+                                    let mut retries = 0u32;
+                                    let outcome = loop {
+                                        // Retry attempts re-seed: salt 0 is
+                                        // the canonical evaluation, each retry
+                                        // derives fresh noise/detector seeds
+                                        // from the salt.
+                                        let salt = u64::from(retries);
+                                        let salted_goal;
+                                        let attempt_goal: &(dyn GoalFunction + Sync) = if salt == 0
+                                        {
+                                            goal_ref
+                                        } else {
+                                            salted_goal = make_goal(salt);
+                                            salted_goal.as_ref()
+                                        };
+                                        // The panic boundary: a model blowing
+                                        // up on one point must not take down
+                                        // the sweep.
+                                        let attempt = catch_unwind(AssertUnwindSafe(|| {
+                                            evaluate_point_salted(
+                                                point,
+                                                space,
+                                                dataset,
+                                                attempt_goal,
+                                                plan,
+                                                salt,
+                                            )
+                                        }))
+                                        .unwrap_or_else(|payload| {
+                                            Err(PointError::Panicked(panic_message(
+                                                payload.as_ref(),
+                                            )))
+                                        });
+                                        match attempt {
+                                            Ok(res) => break Ok(res),
+                                            Err(_) if retries < max_retries => {
+                                                efficsense_obs::counter!("sweep.retry_attempts")
+                                                    .incr();
+                                                retries += 1;
+                                            }
+                                            Err(e) => break Err((e, retries)),
+                                        }
+                                    };
+                                    if let (Some(cache), Some(key), Ok(res)) =
+                                        (cache, key, &outcome)
+                                    {
+                                        // Only the canonical (unsalted)
+                                        // evaluation is content-addressed by
+                                        // the key.
+                                        if retries == 0 {
+                                            cache.insert(key, res.clone());
+                                        }
+                                    }
+                                    outcome
                                 };
-                                // The panic boundary: a model blowing up on
-                                // one point must not take down the sweep.
-                                let attempt = catch_unwind(AssertUnwindSafe(|| {
-                                    evaluate_point_salted(
-                                        point,
-                                        space,
-                                        dataset,
-                                        attempt_goal,
-                                        plan,
-                                        salt,
-                                    )
-                                }))
-                                .unwrap_or_else(|payload| {
-                                    Err(PointError::Panicked(panic_message(payload.as_ref())))
-                                });
-                                match attempt {
-                                    Ok(res) => break Ok(res),
-                                    Err(_) if retries < max_retries => retries += 1,
-                                    Err(e) => break Err((e, retries)),
+                                if let Err((e, _)) = &outcome {
+                                    if policy == FailurePolicy::Abort {
+                                        // Legacy semantics: a failing point
+                                        // under Abort is a bug in the caller's
+                                        // space.
+                                        panic!("{}: {e}", point.label()); // lint:allow(no-panic)
+                                    }
                                 }
-                            };
-                            if let (Some(cache), Some(key), Ok(res)) = (cache, key, &outcome) {
-                                // Only the canonical (unsalted) evaluation is
-                                // content-addressed by the key.
-                                if retries == 0 {
-                                    cache.insert(key, res.clone());
-                                }
+                                local.push((i, outcome));
                             }
-                            if let Err((e, _)) = &outcome {
-                                if policy == FailurePolicy::Abort {
-                                    // Legacy semantics: a failing point under
-                                    // Abort is a bug in the caller's space.
-                                    panic!("{}: {e}", point.label()); // lint:allow(no-panic)
-                                }
+                            // Heartbeat outside the point span: its clock
+                            // reads must not perturb span durations.
+                            let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                            if n.is_multiple_of(heartbeat_every) || n == total {
+                                progress_heartbeat(n, total, sweep_start_ns);
                             }
-                            local.push((i, outcome));
                         }
                         local
                     })
@@ -389,6 +427,9 @@ impl Sweep {
                 }),
             }
         }
+        if !quarantine.is_empty() {
+            efficsense_obs::counter!("sweep.quarantined").add(quarantine.len() as u64);
+        }
         SweepReport {
             results,
             quarantine,
@@ -397,8 +438,44 @@ impl Sweep {
     }
 }
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Emits sweep progress: a heartbeat counter tick, a trace event when a
+/// sink is installed, and — only once a sweep has run long enough to be
+/// worth watching — a stderr progress line.
+fn progress_heartbeat(done: usize, total: usize, sweep_start_ns: u64) {
+    efficsense_obs::counter!("sweep.heartbeat").incr();
+    let obs = efficsense_obs::global();
+    let now_ns = obs.now_ns();
+    let elapsed_ns = now_ns.saturating_sub(sweep_start_ns);
+    let eta_ns = if done > 0 {
+        (elapsed_ns / done as u64).saturating_mul((total - done) as u64)
+    } else {
+        0
+    };
+    if obs.sink_enabled() {
+        let hits = efficsense_obs::counter!("cache.l1.hit").get();
+        let ev = efficsense_obs::TraceEvent::new(now_ns, "heartbeat", "sweep.progress")
+            .field("done", efficsense_obs::FieldValue::U64(done as u64))
+            .field("total", efficsense_obs::FieldValue::U64(total as u64))
+            .field("elapsed_ns", efficsense_obs::FieldValue::U64(elapsed_ns))
+            .field("eta_ns", efficsense_obs::FieldValue::U64(eta_ns))
+            .field("cache_hits", efficsense_obs::FieldValue::U64(hits));
+        obs.emit(&ev);
+    }
+    // Quiet sweeps (tests, smoke runs) stay quiet; overnight runs report.
+    if elapsed_ns > 10_000_000_000 {
+        eprintln!(
+            "sweep progress: {done}/{total} points ({:.0}%), ~{}s remaining",
+            done as f64 / total as f64 * 100.0,
+            eta_ns / 1_000_000_000
+        );
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (exposed so bench
+/// binaries wrapping their own `catch_unwind` boundaries report the same
+/// text the sweep engine would).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -461,16 +538,22 @@ pub fn evaluate_point_salted(
     let cfg = point.to_config(&space.template);
     let mut sim = Simulator::new(cfg).map_err(PointError::Config)?;
     sim.set_fault_plan(plan.cloned());
-    let outputs: Vec<(SimOutput, usize)> = dataset
-        .records
-        .iter()
-        .map(|rec| {
-            let seed = salted_seed(rec.id as u64 + 1, noise_salt);
-            let out = sim.run(&rec.samples, rec.fs, seed);
-            (out, rec.label())
-        })
-        .collect();
-    let metric = goal.evaluate(&outputs);
+    let outputs: Vec<(SimOutput, usize)> = {
+        let _sim_span = efficsense_obs::span!("stage.simulate");
+        dataset
+            .records
+            .iter()
+            .map(|rec| {
+                let seed = salted_seed(rec.id as u64 + 1, noise_salt);
+                let out = sim.run(&rec.samples, rec.fs, seed);
+                (out, rec.label())
+            })
+            .collect()
+    };
+    let metric = {
+        let _detect_span = efficsense_obs::span!("stage.detect");
+        goal.evaluate(&outputs)
+    };
     let breakdown = outputs[0].0.power.clone();
     let area_units = outputs[0].0.area_units;
     let power_w = breakdown.total().value();

@@ -1,0 +1,143 @@
+//! Telemetry determinism: under the obs logical clock, a sweep's metric
+//! snapshot is a pure function of the work done — not of the thread count,
+//! the scheduler, or wall time.
+//!
+//! Both tests drive the process-global [`efficsense_obs`] registry, so they
+//! serialize on a local mutex and fully re-configure clock/sink/state at
+//! entry. (Integration tests get their own binary, so no other test in the
+//! workspace races this registry.)
+
+use efficsense_core::prelude::*;
+use efficsense_core::sweep::Metric;
+use efficsense_obs::{LogicalClock, TraceEvent};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Serializes access to the global obs registry across the tests in this
+/// binary.
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn tiny_dataset() -> EegDataset {
+    EegDataset::generate(&DatasetConfig {
+        records_per_class: 2,
+        duration_s: 2.0,
+        ..Default::default()
+    })
+}
+
+fn tiny_space() -> DesignSpace {
+    DesignSpace {
+        lna_noise_vrms: vec![2e-6, 10e-6],
+        n_bits: vec![8],
+        cs_m: vec![96],
+        cs_s: vec![2],
+        cs_c_hold_f: vec![1e-12],
+        ..DesignSpace::paper_defaults()
+    }
+}
+
+fn run_sweep(threads: usize, ds: &EegDataset, space: &DesignSpace) -> Vec<SweepResult> {
+    Sweep::new(SweepConfig {
+        metric: Metric::Snr,
+        threads,
+        detector_seed: 0,
+        ..Default::default()
+    })
+    .run(space, ds)
+}
+
+#[test]
+fn logical_clock_snapshot_is_identical_across_thread_counts() {
+    let _guard = obs_lock();
+    let obs = efficsense_obs::global();
+    let ds = tiny_dataset();
+    let space = tiny_space();
+
+    // Warm-up: populate the process-wide memo stores (CS bases, dictionaries)
+    // so both measured runs see identical hit/miss traffic.
+    run_sweep(1, &ds, &space);
+
+    obs.set_sink(None);
+    obs.set_clock(Arc::new(LogicalClock::new(1_000)));
+
+    obs.reset();
+    let one = run_sweep(1, &ds, &space);
+    let snap_one = obs.snapshot();
+
+    obs.reset();
+    let four = run_sweep(4, &ds, &space);
+    let snap_four = obs.snapshot();
+
+    obs.set_clock(Arc::new(efficsense_obs::MonotonicClock::default()));
+
+    // The sweep results themselves are bit-identical (pre-existing
+    // guarantee), and now so is the telemetry: every counter value and every
+    // histogram (counts, buckets, total and self durations) matches exactly.
+    assert_eq!(one, four);
+    assert_eq!(snap_one, snap_four);
+
+    // Sanity: the snapshot saw real work, not two empty registries agreeing.
+    assert_eq!(
+        snap_one.counter("sweep.evaluations"),
+        Some(space.len() as u64)
+    );
+    let point = snap_one.span("sweep.point").expect("point span recorded");
+    assert_eq!(point.count as usize, space.len());
+    assert!(
+        point.total_ns > 0,
+        "logical clock must advance inside spans"
+    );
+    assert!(
+        snap_one.counter("sweep.heartbeat").unwrap_or(0) > 0,
+        "heartbeat fires at least at completion"
+    );
+}
+
+#[test]
+fn jsonl_trace_round_trips_through_the_parser() {
+    let _guard = obs_lock();
+    let obs = efficsense_obs::global();
+    let ds = tiny_dataset();
+    let space = tiny_space();
+
+    let dir = std::env::temp_dir().join("efficsense_obs_trace_test");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let path = dir.join("trace.jsonl");
+
+    obs.set_clock(Arc::new(LogicalClock::new(1_000)));
+    obs.reset();
+    let file = std::fs::File::create(&path).expect("trace file is creatable");
+    obs.set_sink(Some(Box::new(std::io::BufWriter::new(file))));
+    run_sweep(2, &ds, &space);
+    obs.set_sink(None); // flushes and closes the sink
+    obs.set_clock(Arc::new(efficsense_obs::MonotonicClock::default()));
+    let snap = obs.snapshot();
+
+    let text = std::fs::read_to_string(&path).expect("trace file is readable");
+    let mut span_events = 0usize;
+    let mut point_events = 0usize;
+    for line in text.lines() {
+        let event = TraceEvent::parse(line)
+            .unwrap_or_else(|| panic!("every trace line parses, got: {line}"));
+        // Re-rendering the parsed event reproduces the original line byte for
+        // byte — the schema is lossless for everything the sink emits.
+        assert_eq!(event.to_json_line(), line);
+        if event.kind == "span" {
+            span_events += 1;
+            if event.name == "sweep.point" {
+                point_events += 1;
+            }
+        }
+    }
+
+    // One span event per span closure, one point event per design point.
+    let total_span_closures: u64 = snap.spans.iter().map(|(_, h)| h.count).sum();
+    assert_eq!(span_events as u64, total_span_closures);
+    assert_eq!(point_events, space.len());
+
+    std::fs::remove_file(&path).ok();
+}

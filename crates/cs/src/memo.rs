@@ -37,14 +37,23 @@ struct Shards<K, V> {
     maps: Vec<Mutex<HashMap<K, Arc<V>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Telemetry mirrors of `hits`/`misses` on the global [`ObsRegistry`]
+    /// (`memo.<name>.hit` / `memo.<name>.miss`), resolved once per store.
+    ///
+    /// [`ObsRegistry`]: efficsense_obs::ObsRegistry
+    obs_hits: Arc<efficsense_obs::Counter>,
+    obs_misses: Arc<efficsense_obs::Counter>,
 }
 
 impl<K: Hash + Eq + Clone, V> Shards<K, V> {
-    fn new() -> Self {
+    fn new(name: &str) -> Self {
+        let obs = efficsense_obs::global();
         Self {
             maps: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs_hits: obs.counter(&format!("memo.{name}.hit")),
+            obs_misses: obs.counter(&format!("memo.{name}.miss")),
         }
     }
 
@@ -61,9 +70,11 @@ impl<K: Hash + Eq + Clone, V> Shards<K, V> {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(v) = map.get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs_hits.incr();
             return Arc::clone(v);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs_misses.incr();
         let v = Arc::new(build());
         map.insert(key.clone(), Arc::clone(&v));
         v
@@ -142,17 +153,17 @@ type DictKey = (usize, usize, usize, u64, u64, u64, u64, Basis);
 
 fn srbm_store() -> &'static Shards<SrbmKey, SensingMatrix> {
     static STORE: OnceLock<Shards<SrbmKey, SensingMatrix>> = OnceLock::new();
-    STORE.get_or_init(Shards::new)
+    STORE.get_or_init(|| Shards::new("srbm"))
 }
 
 fn basis_store() -> &'static Shards<BasisKey, Matrix> {
     static STORE: OnceLock<Shards<BasisKey, Matrix>> = OnceLock::new();
-    STORE.get_or_init(Shards::new)
+    STORE.get_or_init(|| Shards::new("basis"))
 }
 
 fn dict_store() -> &'static Shards<DictKey, DictionaryArtifacts> {
     static STORE: OnceLock<Shards<DictKey, DictionaryArtifacts>> = OnceLock::new();
-    STORE.get_or_init(Shards::new)
+    STORE.get_or_init(|| Shards::new("dict"))
 }
 
 /// Memoized [`SensingMatrix::srbm`]: one shared instance per

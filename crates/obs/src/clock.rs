@@ -1,0 +1,140 @@
+//! Pluggable time sources for span measurement.
+//!
+//! The registry reads time through a [`Clock`] trait object so tests can
+//! swap the wall clock for a deterministic one. [`MonotonicClock`] is the
+//! production source; [`LogicalClock`] makes span durations a pure function
+//! of code structure (see its docs), which is what lets the determinism
+//! tests compare metric snapshots across worker-thread counts.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+/// A monotonic time source, read in nanoseconds from an arbitrary origin.
+///
+/// Implementations must be cheap (called twice per span) and monotonic per
+/// thread; the absolute origin is irrelevant because spans only consume
+/// differences.
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// Current time in nanoseconds since this clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time via [`Instant`], anchored at construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock anchored at the moment of construction.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds overflow after ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+thread_local! {
+    /// Per-thread tick counter of every [`LogicalClock`] (see below for why
+    /// it is thread-local rather than global).
+    static LOGICAL_NOW_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Deterministic clock: every read advances a **thread-local** counter by a
+/// fixed step and returns it.
+///
+/// Thread-locality is the load-bearing choice. A span's duration is the
+/// difference between two reads *on the thread that owns the span*, so with
+/// a per-thread counter it equals `step × (clock reads made by that thread
+/// inside the span)` — a pure function of the code path, independent of how
+/// other threads interleave. A single global counter would leak cross-thread
+/// scheduling into every duration and make 1-thread and N-thread runs
+/// disagree.
+///
+/// The absolute tick values differ between threads and runs; only
+/// differences are meaningful, exactly as with [`MonotonicClock`].
+#[derive(Debug, Clone)]
+pub struct LogicalClock {
+    step_ns: u64,
+}
+
+impl LogicalClock {
+    /// A logical clock advancing `step_ns` per read (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(step_ns: u64) -> Self {
+        Self {
+            step_ns: step_ns.max(1),
+        }
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now_ns(&self) -> u64 {
+        LOGICAL_NOW_NS.with(|c| {
+            let t = c.get().wrapping_add(self.step_ns);
+            c.set(t);
+            t
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn logical_clock_steps_deterministically() {
+        let c = LogicalClock::new(1_000);
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert_eq!(b - a, 1_000);
+        // A second instance shares the thread-local counter: durations stay
+        // meaningful even when the registry clock is swapped mid-thread.
+        let d = LogicalClock::new(1_000);
+        assert_eq!(d.now_ns() - b, 1_000);
+    }
+
+    #[test]
+    fn logical_clock_zero_step_clamps_to_one() {
+        let c = LogicalClock::new(0);
+        let a = c.now_ns();
+        assert_eq!(c.now_ns() - a, 1);
+    }
+
+    #[test]
+    fn logical_clock_is_per_thread() {
+        let c = LogicalClock::new(7);
+        let main_first = c.now_ns();
+        let other = std::thread::spawn(move || {
+            let c = LogicalClock::new(7);
+            c.now_ns()
+        })
+        .join()
+        .expect("thread joins");
+        // A fresh thread starts from its own zero, unaffected by reads here.
+        assert_eq!(other, 7);
+        assert_eq!(c.now_ns(), main_first + 7);
+    }
+}

@@ -1,0 +1,336 @@
+//! Minimal hand-rolled JSON codec shared by the trace parser, the registry
+//! snapshot serialiser and `cargo xtask bench-diff`.
+//!
+//! Deliberately small: objects, arrays, strings, numbers and `null` — the
+//! only shapes our own writers emit. Numbers keep the integer/float
+//! distinction ([`Json::Int`] vs [`Json::Float`]) so `u64` trace fields
+//! round-trip exactly instead of passing through `f64`'s 53-bit mantissa.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A number token with no `.`/`e`/`-` that fits a `u64`.
+    Int(u64),
+    /// Any other number token.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order (duplicate keys are kept as-is).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON value; `None` on any syntax error or
+    /// trailing garbage.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Json> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i == p.b.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// The object entries, or `None` for non-objects.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (first match wins).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The array elements, or `None` for non-arrays.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string value, or `None` for non-strings.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value, or `None` for anything else (floats included —
+    /// callers that want coercion use [`Json::as_f64`]).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, coercing [`Json::Int`].
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for embedding between JSON double quotes.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b'n' => {
+                if self.b[self.i..].starts_with(b"null") {
+                    self.i += 4;
+                    Some(Json::Null)
+                } else {
+                    None
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Some(Json::Obj(out));
+        }
+        loop {
+            let k = {
+                self.skip_ws();
+                self.string()?
+            };
+            self.eat(b':')?;
+            let v = self.value()?;
+            out.push((k, v));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Some(Json::Obj(out));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Some(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Some(Json::Arr(out));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.b.get(self.i) != Some(&b'"') {
+            return None;
+        }
+        self.i += 1;
+        let start = self.i;
+        // Fast path: no escapes, raw UTF-8 slice between the quotes.
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.b[start..self.i]).ok()?;
+                    self.i += 1;
+                    return Some(s.to_string());
+                }
+                b'\\' => break,
+                _ => self.i += 1,
+            }
+        }
+        // Slow path: decode escapes.
+        let mut out = std::str::from_utf8(&self.b[start..self.i])
+            .ok()?
+            .to_string();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.b.get(self.i)?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self.b.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8 after an escape: re-sync on char
+                    // boundaries via the remaining slice.
+                    let rest = std::str::from_utf8(&self.b[self.i - 1..]).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.i += ch.len_utf8() - 1;
+                }
+            }
+        }
+        None
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return None;
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.i]).ok()?;
+        // Integer tokens (no '.', exponent or sign) stay exact as u64.
+        if let Ok(v) = tok.parse::<u64>() {
+            return Some(Json::Int(v));
+        }
+        tok.parse::<f64>().ok().map(Json::Float)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_values() {
+        let v = Json::parse(r#"{"a":[1,2.5,null,"x"],"b":{"c":-3}}"#).expect("parses");
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+        let a = v.get("a").and_then(Json::as_arr).expect("array");
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert!(matches!(a[1], Json::Float(_)));
+        assert_eq!(a[2], Json::Null);
+        assert_eq!(a[3].as_str(), Some("x"));
+        assert!(matches!(
+            v.get("b").and_then(|b| b.get("c")),
+            Some(Json::Float(_))
+        ));
+    }
+
+    #[test]
+    fn large_integers_stay_exact() {
+        let v = Json::parse(&format!("{{\"n\":{}}}", u64::MAX)).expect("parses");
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(u64::MAX));
+        assert!(v.get("n").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert_eq!(Json::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_parser() {
+        let original = "a\"b\\c\nd\te\rf\u{1}g µ";
+        let encoded = format!("\"{}\"", escape(original));
+        let parsed = Json::parse(&encoded).expect("parses");
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+}

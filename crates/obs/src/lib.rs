@@ -1,0 +1,78 @@
+//! Structured telemetry for the EffiCSense sweep engine.
+//!
+//! A design-space product sweep runs for hours across worker threads,
+//! caches, retries and fault plans; this crate is the window into it.
+//! Std-only by design — it must build in the same offline environment as
+//! the models it observes — and strictly *passive*: instrumentation may
+//! never change an evaluation result, only record timing and counts.
+//!
+//! Three instrument kinds, aggregated in a process-wide [`ObsRegistry`]:
+//!
+//! * **Counters** ([`Counter`]) — monotonically increasing atomic event
+//!   counts (cache hits, quarantined points, retry attempts).
+//! * **Spans** ([`SpanGuard`], created by the [`span!`] macro) — scoped
+//!   timers feeding a fixed-bucket latency [`Histogram`] per span name.
+//!   Spans nest on a thread-local stack; every record carries both the
+//!   *total* duration and the *self* time (total minus the time spent in
+//!   directly nested spans), so per-stage totals are disjoint and sum to
+//!   the enclosing span.
+//! * **Trace events** ([`TraceEvent`]) — optional JSON-lines stream of
+//!   span closings, warnings and heartbeats to a sink installed with
+//!   [`ObsRegistry::set_sink`]; disabled (and free) by default.
+//!
+//! Timing comes from a pluggable [`Clock`]: the default
+//! [`MonotonicClock`] reads wall time, while [`LogicalClock`] advances a
+//! *thread-local* tick on every read, making span durations a pure
+//! function of code structure — identical sweeps produce identical metric
+//! snapshots regardless of worker-thread count or interleaving.
+//!
+//! [`ObsRegistry::snapshot`] freezes everything into an ordered
+//! name → value map ([`Snapshot`]) that serialises to JSON via the same
+//! hand-rolled [`json`] module the trace parser uses.
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use clock::{Clock, LogicalClock, MonotonicClock};
+pub use metrics::{bucket_floor_us, bucket_index, Counter, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{global, ObsRegistry, Snapshot, SpanGuard};
+pub use trace::{FieldValue, TraceEvent};
+
+/// Opens a named span on the [`global`] registry, returning a guard that
+/// records into the span's histogram when dropped. The histogram handle is
+/// resolved once and cached in a per-call-site static, so a hot loop pays
+/// two clock reads and a few atomics per span — no map lookups.
+///
+/// ```
+/// let _guard = efficsense_obs::span!("stage.simulate");
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        $crate::global().span_on(
+            HANDLE.get_or_init(|| $crate::global().histogram($name)),
+            $name,
+        )
+    }};
+}
+
+/// Resolves a named counter on the [`global`] registry, cached in a
+/// per-call-site static (same trick as [`span!`]).
+///
+/// ```
+/// efficsense_obs::counter!("cache.l1.hit").incr();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}

@@ -1,0 +1,203 @@
+//! Atomic counters and fixed-bucket latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: bucket 0 holds sub-microsecond durations,
+/// buckets 1..=24 hold `[2^(i-1), 2^i)` microseconds, and the last bucket
+/// holds everything at or above `2^24` µs (≈ 16.8 s).
+pub const BUCKETS: usize = 26;
+
+/// Bucket index of a duration (see [`BUCKETS`] for the bucket layout).
+#[must_use]
+pub fn bucket_index(duration_ns: u64) -> usize {
+    let us = duration_ns / 1_000;
+    if us == 0 {
+        0
+    } else {
+        ((us.ilog2() as usize) + 1).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of a bucket in microseconds (0 for bucket 0).
+#[must_use]
+pub fn bucket_floor_us(index: usize) -> u64 {
+    match index.min(BUCKETS - 1) {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+/// A monotonically increasing atomic event counter.
+///
+/// All operations are `Relaxed`: counters are statistics, not
+/// synchronisation, and the registry snapshot tolerates being a moment
+/// stale.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Fixed-bucket latency histogram with total/self time accounting.
+///
+/// Each recorded span contributes its **total** duration to the bucket
+/// counts and `total_ns`, and its **self** time (total minus directly
+/// nested spans) to `self_ns`. Self times of sibling stages are disjoint,
+/// so `Σ stage self ≈ parent total` is a checkable accounting identity.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    self_ns: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            self_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span occurrence.
+    pub fn record(&self, total_ns: u64, self_ns: u64) {
+        self.buckets[bucket_index(total_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(total_ns, Ordering::Relaxed);
+        self.self_ns.fetch_add(self_ns, Ordering::Relaxed);
+    }
+
+    /// Freezes the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            self_ns: self.self_ns.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.self_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A frozen [`Histogram`]: occurrence count, summed total and self time,
+/// and per-bucket occurrence counts ([`BUCKETS`] entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded span occurrences.
+    pub count: u64,
+    /// Summed total durations (ns).
+    pub total_ns: u64,
+    /// Summed self times — total minus directly nested spans (ns).
+    pub self_ns: u64,
+    /// Occurrence count per latency bucket (see [`bucket_floor_us`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean total duration per occurrence in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(999), 0);
+        assert_eq!(bucket_index(1_000), 1); // 1 µs → [1, 2) µs
+        assert_eq!(bucket_index(1_999), 1);
+        assert_eq!(bucket_index(2_000), 2); // 2 µs → [2, 4) µs
+        assert_eq!(bucket_index(1_000_000), 10); // 1 ms = 1000 µs → [512, 1024) µs
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_floors_are_powers_of_two() {
+        assert_eq!(bucket_floor_us(0), 0);
+        assert_eq!(bucket_floor_us(1), 1);
+        assert_eq!(bucket_floor_us(5), 16);
+        assert_eq!(bucket_floor_us(BUCKETS - 1), 1 << 24);
+        // Out-of-range indices clamp to the overflow bucket.
+        assert_eq!(bucket_floor_us(BUCKETS + 7), 1 << 24);
+    }
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        h.record(1_500, 1_000);
+        h.record(3_000, 3_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 4_500);
+        assert_eq!(s.self_ns, 4_000);
+        assert_eq!(s.buckets[1], 1); // 1.5 µs
+        assert_eq!(s.buckets[2], 1); // 3 µs
+        assert_eq!(s.buckets.iter().sum::<u64>(), 2);
+        assert!((s.mean_ns() - 2_250.0).abs() < 1e-9);
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert!(Histogram::new().snapshot().mean_ns().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,495 @@
+//! The process-wide instrument registry: named counters and span
+//! histograms, a swappable clock, and an optional JSONL trace sink.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::json::escape;
+use crate::metrics::{Counter, Histogram, HistogramSnapshot};
+use crate::trace::{FieldValue, TraceEvent};
+
+thread_local! {
+    /// Per-thread stack of child-time accumulators for self-time
+    /// accounting. Opening a span pushes a 0; a closing child adds its
+    /// total into the new top, which is the parent's accumulator.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Aggregation point for all instruments (see the crate docs for the
+/// model). Most code uses the [`global`] instance through the [`span!`]
+/// and [`counter!`] macros; tests construct their own for isolation.
+///
+/// [`span!`]: crate::span!
+/// [`counter!`]: crate::counter!
+pub struct ObsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    spans: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    clock: Mutex<Arc<dyn Clock>>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+    sink_enabled: AtomicBool,
+}
+
+impl std::fmt::Debug for ObsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsRegistry")
+            .field("counters", &recover(self.counters.lock()).len())
+            .field("spans", &recover(self.spans.lock()).len())
+            .field("sink_enabled", &self.sink_enabled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for ObsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsRegistry {
+    /// An empty registry with a [`MonotonicClock`] and no trace sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            clock: Mutex::new(Arc::new(MonotonicClock::new())),
+            sink: Mutex::new(None),
+            sink_enabled: AtomicBool::new(false),
+        }
+    }
+
+    /// The named counter, created on first use. The returned handle is
+    /// cheap to clone and valid for the registry's lifetime — cache it
+    /// (the [`counter!`] macro does) rather than re-resolving per event.
+    ///
+    /// [`counter!`]: crate::counter!
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            recover(self.counters.lock())
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The named span histogram, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            recover(self.spans.lock())
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Replaces the time source. Existing open spans mix clocks for one
+    /// reading; swap at quiescent points (startup, between sweep passes).
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *recover(self.clock.lock()) = clock;
+    }
+
+    /// Reads the current clock.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        recover(self.clock.lock()).now_ns()
+    }
+
+    /// Installs a JSONL trace sink (e.g. a buffered file); `None` removes
+    /// it. While no sink is installed, event emission short-circuits on a
+    /// relaxed atomic load.
+    pub fn set_sink(&self, sink: Option<Box<dyn Write + Send>>) {
+        let enabled = sink.is_some();
+        let mut slot = recover(self.sink.lock());
+        // Flush the outgoing sink so its tail is not lost on replacement.
+        if let Some(old) = slot.as_mut() {
+            let _ = old.flush();
+        }
+        *slot = sink;
+        self.sink_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether a trace sink is installed. Callers pay for event
+    /// construction only when this is true.
+    #[must_use]
+    pub fn sink_enabled(&self) -> bool {
+        self.sink_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Writes one event to the sink, if any. A failing sink is dropped
+    /// after a single stderr warning — telemetry must never take down the
+    /// sweep.
+    pub fn emit(&self, event: &TraceEvent) {
+        if !self.sink_enabled() {
+            return;
+        }
+        let mut slot = recover(self.sink.lock());
+        if let Some(sink) = slot.as_mut() {
+            let mut line = event.to_json_line();
+            line.push('\n');
+            if let Err(e) = sink.write_all(line.as_bytes()) {
+                eprintln!("warning: trace sink write failed ({e}); tracing disabled");
+                *slot = None;
+                self.sink_enabled.store(false, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Flushes the trace sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = recover(self.sink.lock()).as_mut() {
+            let _ = sink.flush();
+        }
+    }
+
+    /// Opens a span against an already-resolved histogram handle (the
+    /// [`span!`] macro's fast path). `name` is only used for the trace
+    /// event on close.
+    ///
+    /// [`span!`]: crate::span!
+    #[must_use]
+    pub fn span_on<'a>(&'a self, hist: &Arc<Histogram>, name: &'static str) -> SpanGuard<'a> {
+        SPAN_STACK.with(|s| s.borrow_mut().push(0));
+        SpanGuard {
+            registry: self,
+            hist: Arc::clone(hist),
+            name,
+            start_ns: self.now_ns(),
+        }
+    }
+
+    /// Convenience for non-hot paths: resolve by name, then open.
+    #[must_use]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let hist = self.histogram(name);
+        self.span_on(&hist, name)
+    }
+
+    /// Routes a warning through telemetry: prints `text` to stderr, adds
+    /// `count` to the named counter, and emits a `warn` trace event.
+    pub fn warn(&self, name: &'static str, count: u64, text: &str) {
+        eprintln!("{text}");
+        self.counter(name).add(count);
+        if self.sink_enabled() {
+            let ev = TraceEvent::new(self.now_ns(), "warn", name)
+                .field("count", FieldValue::U64(count))
+                .field("text", FieldValue::Str(text.to_string()));
+            self.emit(&ev);
+        }
+    }
+
+    /// Freezes every instrument into an ordered snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: recover(self.counters.lock())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            spans: recover(self.spans.lock())
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every counter and histogram (names and handles stay valid).
+    /// For test isolation and multi-pass benches; not thread-safe with
+    /// respect to in-flight spans.
+    pub fn reset(&self) {
+        for c in recover(self.counters.lock()).values() {
+            c.reset();
+        }
+        for h in recover(self.spans.lock()).values() {
+            h.reset();
+        }
+    }
+}
+
+/// RAII guard for an open span; records into the histogram and emits a
+/// trace event (when a sink is installed) on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    registry: &'a ObsRegistry,
+    hist: Arc<Histogram>,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end_ns = self.registry.now_ns();
+        let total = end_ns.saturating_sub(self.start_ns);
+        let child = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            // Propagate this span's total into the parent's accumulator.
+            if let Some(parent) = stack.last_mut() {
+                *parent = parent.saturating_add(total);
+            }
+            child
+        });
+        let self_ns = total.saturating_sub(child);
+        self.hist.record(total, self_ns);
+        if self.registry.sink_enabled() {
+            let ev = TraceEvent::new(end_ns, "span", self.name)
+                .field("total_ns", FieldValue::U64(total))
+                .field("self_ns", FieldValue::U64(self_ns));
+            self.registry.emit(&ev);
+        }
+    }
+}
+
+/// An ordered, frozen view of a registry: counter values and span
+/// histogram snapshots, both sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every span histogram, name-ordered.
+    pub spans: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// A counter's value, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A span's histogram snapshot, if present.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.spans.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Serialises the snapshot as a compact JSON object:
+    ///
+    /// ```json
+    /// {"counters":{"cache.l1.hit":12},
+    ///  "spans":{"sweep.point":{"count":96,"total_ns":1,"self_ns":1,
+    ///           "mean_ns":0.01,"buckets":[0,...]}}}
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape(k)));
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"total_ns\":{},\"self_ns\":{},\"mean_ns\":{:?},\"buckets\":[",
+                escape(k),
+                s.count,
+                s.total_ns,
+                s.self_ns,
+                s.mean_ns()
+            ));
+            for (j, b) in s.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{b}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+static GLOBAL: OnceLock<ObsRegistry> = OnceLock::new();
+
+/// The process-wide registry used by the [`span!`] and [`counter!`]
+/// macros.
+///
+/// [`span!`]: crate::span!
+/// [`counter!`]: crate::counter!
+#[must_use]
+pub fn global() -> &'static ObsRegistry {
+    GLOBAL.get_or_init(ObsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+    use crate::trace::TraceEvent;
+
+    /// A `Write` sink that appends into a shared buffer the test can read
+    /// back after the registry has consumed the other clone.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(recover(self.0.lock()).clone()).expect("utf8")
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            recover(self.0.lock()).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A sink that always fails, to exercise the drop-on-error path.
+    struct BrokenSink;
+
+    impl Write for BrokenSink {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("broken"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn nested_spans_split_total_and_self_time() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(1_000)));
+        {
+            let _outer = reg.span("outer"); // read 1 (start)
+            {
+                let _inner = reg.span("inner"); // read 2 (start)
+            } // read 3 (end): inner total 1000, self 1000
+        } // read 4 (end): outer total 3000, child 1000, self 2000
+        let snap = reg.snapshot();
+        let outer = snap.span("outer").expect("outer recorded");
+        let inner = snap.span("inner").expect("inner recorded");
+        assert_eq!(inner.total_ns, 1_000);
+        assert_eq!(inner.self_ns, 1_000);
+        assert_eq!(outer.total_ns, 3_000);
+        assert_eq!(outer.self_ns, 2_000);
+    }
+
+    #[test]
+    fn sibling_spans_each_charge_the_parent() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(1)));
+        {
+            let _p = reg.span("parent"); // 1 read
+            drop(reg.span("a")); // 2 reads, total 1
+            drop(reg.span("b")); // 2 reads, total 1
+        } // end read: parent total 5, children 2, self 3
+        let snap = reg.snapshot();
+        let parent = snap.span("parent").expect("parent recorded");
+        assert_eq!(parent.total_ns, 5);
+        assert_eq!(parent.self_ns, 3);
+        let child_total = snap.span("a").expect("a").total_ns + snap.span("b").expect("b").total_ns;
+        assert_eq!(parent.total_ns - parent.self_ns, child_total);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_resets() {
+        let reg = ObsRegistry::new();
+        reg.counter("zeta").add(3);
+        reg.counter("alpha").incr();
+        drop(reg.span("m"));
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(snap.counter("zeta"), Some(3));
+        assert_eq!(snap.counter("missing"), None);
+        reg.reset();
+        let after = reg.snapshot();
+        assert_eq!(after.counter("zeta"), Some(0));
+        assert_eq!(after.span("m").expect("name survives reset").count, 0);
+    }
+
+    #[test]
+    fn snapshot_json_parses_back() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(500)));
+        reg.counter("hits").add(7);
+        drop(reg.span("stage"));
+        let json = crate::json::Json::parse(&reg.snapshot().to_json()).expect("snapshot JSON");
+        assert_eq!(
+            json.get("counters")
+                .and_then(|c| c.get("hits"))
+                .and_then(crate::json::Json::as_u64),
+            Some(7)
+        );
+        let stage = json
+            .get("spans")
+            .and_then(|s| s.get("stage"))
+            .expect("stage");
+        assert_eq!(
+            stage.get("total_ns").and_then(crate::json::Json::as_u64),
+            Some(500)
+        );
+        assert_eq!(
+            stage
+                .get("buckets")
+                .and_then(crate::json::Json::as_arr)
+                .map(<[crate::json::Json]>::len),
+            Some(crate::metrics::BUCKETS)
+        );
+    }
+
+    #[test]
+    fn sink_receives_span_warn_and_heartbeat_events() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(10)));
+        let buf = SharedBuf::default();
+        assert!(!reg.sink_enabled());
+        reg.set_sink(Some(Box::new(buf.clone())));
+        assert!(reg.sink_enabled());
+        drop(reg.span("s"));
+        reg.warn("w", 2, "two things happened");
+        reg.emit(&TraceEvent::new(reg.now_ns(), "heartbeat", "progress"));
+        reg.flush();
+        let lines: Vec<TraceEvent> = buf
+            .contents()
+            .lines()
+            .map(|l| TraceEvent::parse(l).expect("every sink line parses"))
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].kind, "span");
+        assert_eq!(lines[0].get("total_ns"), Some(&FieldValue::U64(10)));
+        assert_eq!(lines[1].kind, "warn");
+        assert_eq!(lines[1].get("count"), Some(&FieldValue::U64(2)));
+        assert_eq!(lines[2].kind, "heartbeat");
+        reg.set_sink(None);
+        assert!(!reg.sink_enabled());
+    }
+
+    #[test]
+    fn failing_sink_is_dropped_not_fatal() {
+        let reg = ObsRegistry::new();
+        reg.set_sink(Some(Box::new(BrokenSink)));
+        drop(reg.span("s")); // triggers a write that fails
+        assert!(!reg.sink_enabled(), "broken sink must disable tracing");
+        drop(reg.span("s")); // and further spans still record fine
+        assert_eq!(reg.snapshot().span("s").expect("s").count, 2);
+    }
+
+    #[test]
+    fn warn_counts_without_a_sink() {
+        let reg = ObsRegistry::new();
+        reg.warn("report.nonfinite_cells", 4, "warning: 4 cells blank");
+        assert_eq!(reg.snapshot().counter("report.nonfinite_cells"), Some(4));
+    }
+}

@@ -1,0 +1,194 @@
+//! JSON-lines trace events.
+//!
+//! Each event is one line:
+//!
+//! ```json
+//! {"ts_ns":123456,"kind":"span","name":"sweep.point","fields":{"total_ns":987,"self_ns":400}}
+//! ```
+//!
+//! `kind` is a small open vocabulary — the registry emits `"span"`,
+//! `"warn"` and `"heartbeat"`; benches add their own. Field values are
+//! unsigned integers (exact), floats (shortest round-trip `{:?}` form, so
+//! the token always carries a `.` or an exponent and parses back as a
+//! float), or strings. Non-finite floats render as `null` and parse back
+//! as NaN.
+
+use crate::json::{escape, Json};
+
+/// A trace field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An exact unsigned integer.
+    U64(u64),
+    /// A finite-or-not float; non-finite values serialise as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl FieldValue {
+    fn render(&self) -> String {
+        match self {
+            FieldValue::U64(v) => format!("{v}"),
+            FieldValue::F64(v) if v.is_finite() => format!("{v:?}"),
+            FieldValue::F64(_) => "null".to_string(),
+            FieldValue::Str(s) => format!("\"{}\"", escape(s)),
+        }
+    }
+
+    fn from_json(v: &Json) -> Option<FieldValue> {
+        match v {
+            Json::Int(n) => Some(FieldValue::U64(*n)),
+            Json::Float(f) => Some(FieldValue::F64(*f)),
+            Json::Null => Some(FieldValue::F64(f64::NAN)),
+            Json::Str(s) => Some(FieldValue::Str(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// One structured trace event, serialisable to a single JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Clock reading when the event was emitted (ns since registry clock
+    /// origin).
+    pub ts_ns: u64,
+    /// Event kind: `"span"`, `"warn"`, `"heartbeat"`, or a bench-defined
+    /// kind.
+    pub kind: String,
+    /// Instrument or event name, e.g. `"sweep.point"`.
+    pub name: String,
+    /// Event payload, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// A new event with no fields.
+    #[must_use]
+    pub fn new(ts_ns: u64, kind: &str, name: &str) -> Self {
+        Self {
+            ts_ns,
+            kind: kind.to_string(),
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: FieldValue) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Renders the event as one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"ts_ns\":{},\"kind\":\"{}\",\"name\":\"{}\",\"fields\":{{",
+            self.ts_ns,
+            escape(&self.kind),
+            escape(&self.name)
+        );
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(k));
+            out.push_str("\":");
+            out.push_str(&v.render());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses one JSONL line produced by [`TraceEvent::to_json_line`];
+    /// `None` on malformed input or missing keys.
+    #[must_use]
+    pub fn parse(line: &str) -> Option<TraceEvent> {
+        let v = Json::parse(line)?;
+        let ts_ns = v.get("ts_ns")?.as_u64()?;
+        let kind = v.get("kind")?.as_str()?.to_string();
+        let name = v.get("name")?.as_str()?.to_string();
+        let mut fields = Vec::new();
+        for (k, fv) in v.get("fields")?.as_obj()? {
+            fields.push((k.clone(), FieldValue::from_json(fv)?));
+        }
+        Some(TraceEvent {
+            ts_ns,
+            kind,
+            name,
+            fields,
+        })
+    }
+
+    /// Looks up a field value by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_round_trip() {
+        let ev = TraceEvent::new(42, "span", "sweep.point")
+            .field("total_ns", FieldValue::U64(u64::MAX))
+            .field("rate", FieldValue::F64(2.5))
+            .field("note", FieldValue::Str("a\"b\nc".to_string()));
+        let line = ev.to_json_line();
+        let back = TraceEvent::parse(&line).expect("round-trips");
+        assert_eq!(back, ev);
+        // Re-rendering is byte-identical: field order and number formats
+        // are preserved end to end.
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let ev = TraceEvent::new(1, "warn", "x").field("bad", FieldValue::F64(f64::INFINITY));
+        let line = ev.to_json_line();
+        assert!(line.contains("\"bad\":null"), "{line}");
+        let back = TraceEvent::parse(&line).expect("parses");
+        match back.get("bad") {
+            Some(FieldValue::F64(v)) => assert!(v.is_nan()),
+            other => panic!("expected NaN field, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn floats_parse_back_as_floats() {
+        // {:?} on a whole-valued f64 prints "3.0" — the '.' keeps it
+        // classifiable as a float on the way back in.
+        let ev = TraceEvent::new(1, "span", "x").field("v", FieldValue::F64(3.0));
+        let back = TraceEvent::parse(&ev.to_json_line()).expect("parses");
+        assert!(matches!(back.get("v"), Some(FieldValue::F64(_))));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{}",
+            "{\"ts_ns\":1}",
+            "{\"ts_ns\":1,\"kind\":\"k\",\"name\":\"n\"}",
+            "{\"ts_ns\":1,\"kind\":\"k\",\"name\":\"n\",\"fields\":[]}",
+            "not json",
+        ] {
+            assert_eq!(TraceEvent::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn empty_fields_render_as_empty_object() {
+        let ev = TraceEvent::new(7, "heartbeat", "sweep.progress");
+        assert_eq!(
+            ev.to_json_line(),
+            "{\"ts_ns\":7,\"kind\":\"heartbeat\",\"name\":\"sweep.progress\",\"fields\":{}}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! `cargo xtask bench-diff` — perf-trend gate over `BENCH_sweep.json`.
+//!
+//! Compares a freshly generated sweep benchmark summary against a baseline
+//! (typically the committed `BENCH_sweep.json`) and fails when uncached
+//! throughput regressed beyond a tolerance. The gate is one-sided: getting
+//! *faster* never fails, and the warm (cache-served) rate is reported but
+//! never gated — it is dominated by I/O jitter at these scales.
+//!
+//! Both files are parsed with the zero-dependency JSON reader from
+//! [`efficsense_obs::json`], so the gate builds in the same offline
+//! environment as everything else.
+
+use efficsense_obs::json::Json;
+
+/// The metric the gate enforces.
+pub const GATED_METRIC: &str = "uncached_points_per_s";
+
+/// Default fractional regression tolerance (30%): CI shares cores with
+/// sibling jobs, so small swings are noise, but a 2x slowdown is a bug.
+pub const DEFAULT_TOLERANCE: f64 = 0.3;
+
+/// Outcome of comparing one metric across the two summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Metric key inside the benchmark JSON object.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline` (baseline clamped away from zero).
+    pub ratio: f64,
+}
+
+impl MetricDiff {
+    /// `true` when `current` fell below `baseline * (1 - tolerance)`.
+    #[must_use]
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.current < self.baseline * (1.0 - tolerance)
+    }
+}
+
+/// Full comparison result, ready for printing and gating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// The gated throughput metric.
+    pub gated: MetricDiff,
+    /// Informational metrics (reported, never gated).
+    pub informational: Vec<MetricDiff>,
+}
+
+impl BenchDiff {
+    /// `true` when the gated metric regressed beyond `tolerance`.
+    #[must_use]
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.gated.regressed(tolerance)
+    }
+}
+
+/// Parses one benchmark summary and pulls a named float out of the top-level
+/// object.
+fn metric(doc: &Json, name: &str) -> Result<f64, String> {
+    doc.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("benchmark summary has no numeric `{name}` field"))
+}
+
+/// Compares two benchmark summary documents.
+///
+/// # Errors
+///
+/// Returns a message when either document is not valid JSON or lacks the
+/// gated metric.
+pub fn compare(baseline: &str, current: &str) -> Result<BenchDiff, String> {
+    let base = Json::parse(baseline).ok_or("baseline: not valid JSON")?;
+    let cur = Json::parse(current).ok_or("current: not valid JSON")?;
+    let diff_of = |name: &str| -> Result<MetricDiff, String> {
+        let b = metric(&base, name)?;
+        let c = metric(&cur, name)?;
+        Ok(MetricDiff {
+            name: name.to_string(),
+            baseline: b,
+            current: c,
+            ratio: c / b.max(f64::MIN_POSITIVE),
+        })
+    };
+    let gated = diff_of(GATED_METRIC)?;
+    // Informational metrics are best-effort: older baselines may predate them.
+    let informational = ["warm_points_per_s", "cold_speedup", "warm_speedup"]
+        .iter()
+        .filter_map(|name| diff_of(name).ok())
+        .collect();
+    Ok(BenchDiff {
+        gated,
+        informational,
+    })
+}
+
+/// Renders one comparison line: `name: baseline -> current (xN.NN)`.
+#[must_use]
+pub fn render_line(d: &MetricDiff) -> String {
+    format!(
+        "  {:<24} {:>12.4} -> {:>12.4}  (x{:.3})",
+        d.name, d.baseline, d.current, d.ratio
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(uncached: f64, warm: f64) -> String {
+        format!(
+            "{{\"scale\":\"reduced\",\"uncached_points_per_s\":{uncached},\
+             \"warm_points_per_s\":{warm},\"cold_speedup\":1.5,\"warm_speedup\":100.0}}"
+        )
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let s = summary(2.7, 40_000.0);
+        let diff = compare(&s, &s).expect("valid summaries compare");
+        assert!(!diff.regressed(DEFAULT_TOLERANCE));
+        assert!((diff.gated.ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_dip_within_tolerance_passes() {
+        let diff = compare(&summary(2.7, 40_000.0), &summary(2.0, 40_000.0))
+            .expect("valid summaries compare");
+        // 2.0 / 2.7 ≈ 0.74, inside the 30% band.
+        assert!(!diff.regressed(DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn large_regression_fails_the_gate() {
+        let diff = compare(&summary(2.7, 40_000.0), &summary(1.0, 40_000.0))
+            .expect("valid summaries compare");
+        assert!(diff.regressed(DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn speedups_never_fail_the_gate() {
+        let diff =
+            compare(&summary(2.7, 40_000.0), &summary(27.0, 1.0)).expect("valid summaries compare");
+        assert!(!diff.regressed(DEFAULT_TOLERANCE));
+        // Warm rate collapsed but it is informational only.
+        let warm = diff
+            .informational
+            .iter()
+            .find(|d| d.name == "warm_points_per_s")
+            .expect("warm metric present");
+        assert!(warm.ratio < 0.001);
+    }
+
+    #[test]
+    fn tolerance_boundary_is_one_sided() {
+        // Exactly at baseline * (1 - tolerance): strict `<` means not regressed.
+        let diff =
+            compare(&summary(10.0, 1.0), &summary(7.0, 1.0)).expect("valid summaries compare");
+        assert!(!diff.regressed(DEFAULT_TOLERANCE));
+        let diff =
+            compare(&summary(10.0, 1.0), &summary(6.9, 1.0)).expect("valid summaries compare");
+        assert!(diff.regressed(DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn missing_gated_metric_is_an_error() {
+        let err = compare("{\"scale\":\"reduced\"}", &summary(2.7, 1.0))
+            .expect_err("missing metric must error");
+        assert!(err.contains(GATED_METRIC));
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        let err = compare("not json", &summary(2.7, 1.0)).expect_err("garbage must error");
+        assert!(err.starts_with("baseline:"));
+    }
+
+    #[test]
+    fn missing_informational_metrics_are_tolerated() {
+        let bare = "{\"uncached_points_per_s\":2.7}";
+        let diff = compare(bare, bare).expect("gated metric alone is enough");
+        assert!(diff.informational.is_empty());
+        assert!(!diff.regressed(DEFAULT_TOLERANCE));
+    }
+}

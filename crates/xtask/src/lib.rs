@@ -1,11 +1,16 @@
-//! Workspace lint engine behind `cargo xtask lint`.
+//! Workspace automation library behind `cargo xtask`.
 //!
-//! A domain-aware static-analysis pass enforcing the numerical and
-//! unit-safety invariants of the EffiCSense workspace. Std-only by design:
-//! the checker must build in the same offline environment as the models it
-//! guards. See `rules` for the rule catalogue and DESIGN.md §"Numerical
-//! invariants & static analysis" for rationale.
+//! Two subsystems, both std-only by design (they must build in the same
+//! offline environment as the models they guard):
+//!
+//! - the domain-aware lint pass (`cargo xtask lint`) enforcing the numerical
+//!   and unit-safety invariants of the EffiCSense workspace — see `rules`
+//!   for the catalogue and DESIGN.md §"Numerical invariants & static
+//!   analysis" for rationale;
+//! - the perf-trend gate (`cargo xtask bench-diff`) comparing sweep
+//!   benchmark summaries — see [`bench_diff`].
 
+pub mod bench_diff;
 pub mod rules;
 pub mod source;
 

@@ -1,26 +1,36 @@
-//! `cargo xtask` — workspace automation. Currently one subcommand:
+//! `cargo xtask` — workspace automation. Two subcommands:
 //!
 //! ```text
 //! cargo xtask lint [--root <dir>]
+//! cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>]
 //! ```
 //!
-//! Runs the domain-aware lint pass over every `.rs` file in the workspace
-//! and exits non-zero when violations are found. Diagnostics are printed as
-//! `file:line: rule-id: message`, one per line, sorted by path.
+//! `lint` runs the domain-aware lint pass over every `.rs` file in the
+//! workspace and exits non-zero when violations are found. Diagnostics are
+//! printed as `file:line: rule-id: message`, one per line, sorted by path.
+//!
+//! `bench-diff` compares two `BENCH_sweep.json` summaries (both default to
+//! the workspace copy, so at least one path is normally given) and exits
+//! non-zero when uncached sweep throughput regressed by more than the
+//! tolerance (default 0.3, i.e. 30%).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use xtask::bench_diff;
+
+const USAGE: &str = "usage: cargo xtask lint [--root <dir>]\n       cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("bench-diff") => bench_diff_cmd(&args[1..]),
         Some(other) => {
-            eprintln!("unknown xtask command `{other}`\n\nusage: cargo xtask lint [--root <dir>]");
+            eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--root <dir>]");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -59,6 +69,71 @@ fn lint(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask lint: I/O error under {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_diff_cmd(args: &[String]) -> ExitCode {
+    let default_summary = workspace_root().join("BENCH_sweep.json");
+    let mut baseline = default_summary.clone();
+    let mut current = default_summary;
+    let mut tolerance = bench_diff::DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match (a.as_str(), it.next()) {
+            ("--baseline", Some(p)) => baseline = PathBuf::from(p),
+            ("--current", Some(p)) => current = PathBuf::from(p),
+            ("--tolerance", Some(t)) => match t.parse::<f64>() {
+                Ok(v) if (0.0..1.0).contains(&v) => tolerance = v,
+                _ => {
+                    eprintln!("--tolerance must be a fraction in [0, 1), got `{t}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            (opt @ ("--baseline" | "--current" | "--tolerance"), None) => {
+                eprintln!("{opt} requires an argument");
+                return ExitCode::FAILURE;
+            }
+            (other, _) => {
+                eprintln!("unknown bench-diff option `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let read = |label: &str, path: &PathBuf| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {label} summary {}: {e}", path.display()))
+    };
+    let diff = read("baseline", &baseline)
+        .and_then(|b| Ok((b, read("current", &current)?)))
+        .and_then(|(b, c)| bench_diff::compare(&b, &c));
+    match diff {
+        Ok(diff) => {
+            println!(
+                "bench-diff: {} vs {} (tolerance {:.0}%)",
+                baseline.display(),
+                current.display(),
+                tolerance * 100.0
+            );
+            println!("{}   [gated]", bench_diff::render_line(&diff.gated));
+            for d in &diff.informational {
+                println!("{}", bench_diff::render_line(d));
+            }
+            if diff.regressed(tolerance) {
+                println!(
+                    "bench-diff: FAIL — {} regressed beyond {:.0}% tolerance",
+                    bench_diff::GATED_METRIC,
+                    tolerance * 100.0
+                );
+                ExitCode::FAILURE
+            } else {
+                println!("bench-diff: ok");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
             ExitCode::FAILURE
         }
     }

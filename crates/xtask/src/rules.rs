@@ -40,12 +40,13 @@ impl std::fmt::Display for Diagnostic {
 }
 
 /// Crates whose library code must not panic (simulation inner loops).
-const NO_PANIC_CRATES: [&str; 5] = [
+const NO_PANIC_CRATES: [&str; 6] = [
     "crates/core/src/",
     "crates/power/src/",
     "crates/cs/src/",
     "crates/dsp/src/",
     "crates/faults/src/",
+    "crates/obs/src/",
 ];
 
 /// Numerical kernels that must guard stage boundaries against non-finite
@@ -542,6 +543,18 @@ mod tests {
         assert!(lint("crates/faults/src/link.rs", ambient)
             .iter()
             .any(|d| d.rule == "seeded-rng"));
+    }
+
+    #[test]
+    fn no_panic_covers_the_telemetry_crate() {
+        // Spans and counters run inside the same inner loops they observe;
+        // a panicking instrument would abort the sweep it was watching.
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let d = lint("crates/obs/src/registry.rs", src);
+        assert!(
+            d.iter().any(|d| d.rule == "no-panic"),
+            "crates/obs must be no-panic gated"
+        );
     }
 
     #[test]

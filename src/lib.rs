@@ -5,7 +5,8 @@
 //! front-ends, reproducing Van Assche et al., DATE 2022.
 //!
 //! See the individual crates for details:
-//! [`dsp`], [`signals`], [`power`], [`cs`], [`blocks`], [`ml`], [`core`].
+//! [`dsp`], [`signals`], [`power`], [`cs`], [`blocks`], [`ml`], [`core`],
+//! [`obs`].
 #![deny(missing_docs)]
 
 pub use efficsense_blocks as blocks;
@@ -13,5 +14,6 @@ pub use efficsense_core as core;
 pub use efficsense_cs as cs;
 pub use efficsense_dsp as dsp;
 pub use efficsense_ml as ml;
+pub use efficsense_obs as obs;
 pub use efficsense_power as power;
 pub use efficsense_signals as signals;
