@@ -26,7 +26,7 @@ pub struct Fft {
     n: usize,
     // Twiddles for the forward transform: w[k] = exp(-2πik/n) for k < n/2.
     twiddles: Vec<Complex>,
-    bitrev: Vec<u32>,
+    bitrev: Vec<usize>,
 }
 
 impl Fft {
@@ -44,8 +44,8 @@ impl Fft {
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
         let bits = n.trailing_zeros();
-        let bitrev = (0..n as u32)
-            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+        let bitrev = (0..n)
+            .map(|i| i.reverse_bits() >> (usize::BITS - bits.max(1)))
             .collect::<Vec<_>>();
         // For n == 1 the shift above is wrong; fix up trivially.
         let bitrev = if n == 1 { vec![0] } else { bitrev };
@@ -71,7 +71,7 @@ impl Fft {
 
     fn permute(&self, buf: &mut [Complex]) {
         for i in 0..self.n {
-            let j = self.bitrev[i] as usize;
+            let j = self.bitrev[i];
             if i < j {
                 buf.swap(i, j);
             }

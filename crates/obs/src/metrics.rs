@@ -103,14 +103,14 @@ impl Histogram {
             buckets: self
                 .buckets
                 .iter()
-                .map(|b| b.load(Ordering::Relaxed))
+                .map(|bucket_count| bucket_count.load(Ordering::Relaxed))
                 .collect(),
         }
     }
 
     pub(crate) fn reset(&self) {
-        for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+        for bucket_count in &self.buckets {
+            bucket_count.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
         self.total_ns.store(0, Ordering::Relaxed);

@@ -35,6 +35,20 @@ pub struct ObsRegistry {
     clock: Mutex<Arc<dyn Clock>>,
     sink: Mutex<Option<Box<dyn Write + Send>>>,
     sink_enabled: AtomicBool,
+    run_id: Mutex<String>,
+}
+
+/// Default run id: `<binary-name>-<pid>`. Derived without ambient time or
+/// entropy (both are banned in library code by the determinism lints), yet
+/// unique across the binaries of one CI run, so their JSONL traces can be
+/// merged into a single timeline and split back apart.
+fn default_run_id() -> String {
+    let exe = std::env::args().next().unwrap_or_default();
+    let name = std::path::Path::new(&exe).file_stem().map_or_else(
+        || "unknown".to_string(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    format!("{name}-{}", std::process::id())
 }
 
 impl std::fmt::Debug for ObsRegistry {
@@ -42,6 +56,7 @@ impl std::fmt::Debug for ObsRegistry {
         f.debug_struct("ObsRegistry")
             .field("counters", &recover(self.counters.lock()).len())
             .field("spans", &recover(self.spans.lock()).len())
+            // relaxed: debug rendering; a momentarily stale flag is fine
             .field("sink_enabled", &self.sink_enabled.load(Ordering::Relaxed))
             .finish()
     }
@@ -63,7 +78,19 @@ impl ObsRegistry {
             clock: Mutex::new(Arc::new(MonotonicClock::new())),
             sink: Mutex::new(None),
             sink_enabled: AtomicBool::new(false),
+            run_id: Mutex::new(default_run_id()),
         }
+    }
+
+    /// The id stamped onto every emitted trace event as its `run` field.
+    #[must_use]
+    pub fn run_id(&self) -> String {
+        recover(self.run_id.lock()).clone()
+    }
+
+    /// Overrides the run id (e.g. a CI job id shared across binaries).
+    pub fn set_run_id(&self, id: &str) {
+        *recover(self.run_id.lock()) = id.to_string();
     }
 
     /// The named counter, created on first use. The returned handle is
@@ -113,6 +140,8 @@ impl ObsRegistry {
             let _ = old.flush();
         }
         *slot = sink;
+        // relaxed: advisory fast-path flag; the sink itself is behind the
+        // mutex, so a stale read only costs one wasted event build.
         self.sink_enabled.store(enabled, Ordering::Relaxed);
     }
 
@@ -120,23 +149,27 @@ impl ObsRegistry {
     /// construction only when this is true.
     #[must_use]
     pub fn sink_enabled(&self) -> bool {
+        // relaxed: advisory fast-path flag; emit() re-checks under the lock
         self.sink_enabled.load(Ordering::Relaxed)
     }
 
-    /// Writes one event to the sink, if any. A failing sink is dropped
-    /// after a single stderr warning — telemetry must never take down the
-    /// sweep.
+    /// Writes one event to the sink, if any, stamping it with the process
+    /// [`run id`](ObsRegistry::run_id) so traces from several binaries can
+    /// be merged into one timeline. A failing sink is dropped after a
+    /// single stderr warning — telemetry must never take down the sweep.
     pub fn emit(&self, event: &TraceEvent) {
         if !self.sink_enabled() {
             return;
         }
+        let stamped = event.clone().field("run", FieldValue::Str(self.run_id()));
         let mut slot = recover(self.sink.lock());
         if let Some(sink) = slot.as_mut() {
-            let mut line = event.to_json_line();
+            let mut line = stamped.to_json_line();
             line.push('\n');
             if let Err(e) = sink.write_all(line.as_bytes()) {
                 eprintln!("warning: trace sink write failed ({e}); tracing disabled");
                 *slot = None;
+                // relaxed: advisory flag cleared under the sink lock
                 self.sink_enabled.store(false, Ordering::Relaxed);
             }
         }
@@ -474,6 +507,42 @@ mod tests {
         assert_eq!(lines[2].kind, "heartbeat");
         reg.set_sink(None);
         assert!(!reg.sink_enabled());
+    }
+
+    #[test]
+    fn every_emitted_event_carries_the_run_id() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(10)));
+        let buf = SharedBuf::default();
+        reg.set_sink(Some(Box::new(buf.clone())));
+        drop(reg.span("s"));
+        reg.warn("w", 1, "note");
+        reg.flush();
+        let id = reg.run_id();
+        assert!(id.contains('-'), "default id is <binary>-<pid>: {id}");
+        for line in buf.contents().lines() {
+            let ev = TraceEvent::parse(line).expect("line parses");
+            assert_eq!(
+                ev.get("run"),
+                Some(&FieldValue::Str(id.clone())),
+                "missing run id on: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_id_override_applies_to_subsequent_events() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(10)));
+        let buf = SharedBuf::default();
+        reg.set_sink(Some(Box::new(buf.clone())));
+        reg.set_run_id("ci-1234");
+        assert_eq!(reg.run_id(), "ci-1234");
+        drop(reg.span("s"));
+        reg.flush();
+        let ev =
+            TraceEvent::parse(buf.contents().lines().next().expect("one line")).expect("parses");
+        assert_eq!(ev.get("run"), Some(&FieldValue::Str("ci-1234".to_string())));
     }
 
     #[test]

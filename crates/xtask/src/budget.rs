@@ -1,0 +1,140 @@
+//! The committed suppression budget for `lint:allow` escapes.
+//!
+//! `lint-budget.toml` at the workspace root pins the number of escape
+//! comments the workspace may carry, per rule and in total. The lint pass
+//! counts live allows (stale ones are already errors via `stale-allow`) and
+//! fails when any count exceeds its budget line — so adding an escape is a
+//! reviewed diff to the budget file, not a silent drift. Shrinking the
+//! budget after removing escapes is encouraged and always passes.
+//!
+//! The format is a deliberately tiny TOML subset: `key = integer` lines,
+//! `#` comments, blank lines. `total` caps the workspace-wide count; any
+//! other key must be a known rule id.
+
+use crate::rules::{rule_info, Diagnostic};
+use std::collections::BTreeMap;
+
+/// Parsed budget: per-rule caps plus the workspace-wide `total` cap.
+#[derive(Debug, Default)]
+pub struct Budget {
+    /// Per-rule maximum allow counts.
+    pub per_rule: BTreeMap<String, usize>,
+    /// Workspace-wide maximum (`total = N`); `None` leaves it uncapped.
+    pub total: Option<usize>,
+}
+
+/// Parses `lint-budget.toml` text.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed entries or
+/// unknown rule ids (a typoed rule name would otherwise silently uncap).
+pub fn parse(text: &str) -> Result<Budget, String> {
+    let mut budget = Budget::default();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint-budget.toml:{}: expected `key = N`", i + 1))?;
+        let key = key.trim();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("lint-budget.toml:{}: `{key}` needs an integer", i + 1))?;
+        if key == "total" {
+            budget.total = Some(value);
+        } else if rule_info(key).is_some() {
+            budget.per_rule.insert(key.to_string(), value);
+        } else {
+            return Err(format!(
+                "lint-budget.toml:{}: unknown rule id `{key}`",
+                i + 1
+            ));
+        }
+    }
+    Ok(budget)
+}
+
+/// Checks live allow counts against the budget, returning one synthetic
+/// `suppression-budget` diagnostic per exceeded cap. Rules without a budget
+/// line default to zero allowed escapes.
+#[must_use]
+pub fn check(budget: &Budget, allow_counts: &BTreeMap<String, usize>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (rule, &n) in allow_counts {
+        let cap = budget.per_rule.get(rule).copied().unwrap_or(0);
+        if n > cap {
+            out.push(Diagnostic {
+                path: "lint-budget.toml".to_string(),
+                line: 1,
+                rule: "suppression-budget",
+                message: format!(
+                    "{n} lint:allow({rule}) escape(s) in the workspace, budget is {cap}; \
+                     remove escapes or grow the budget in a reviewed diff"
+                ),
+            });
+        }
+    }
+    let total: usize = allow_counts.values().sum();
+    if let Some(cap) = budget.total {
+        if total > cap {
+            out.push(Diagnostic {
+                path: "lint-budget.toml".to_string(),
+                line: 1,
+                rule: "suppression-budget",
+                message: format!(
+                    "{total} lint:allow escapes in the workspace, total budget is {cap}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_caps_comments_and_total() {
+        let b = parse(
+            "# escapes as of PR 6\nfloat-eq = 2\nno-panic = 2 # matrix, sweep\n\ntotal = 4\n",
+        )
+        .unwrap();
+        assert_eq!(b.per_rule.get("float-eq"), Some(&2));
+        assert_eq!(b.per_rule.get("no-panic"), Some(&2));
+        assert_eq!(b.total, Some(4));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_malformed_lines() {
+        assert!(parse("flaot-eq = 2\n")
+            .unwrap_err()
+            .contains("unknown rule id"));
+        assert!(parse("float-eq\n").unwrap_err().contains("expected"));
+        assert!(parse("float-eq = many\n").unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn unbudgeted_rules_default_to_zero() {
+        let b = parse("total = 10\n").unwrap();
+        let counts = BTreeMap::from([("seeded-rng".to_string(), 1)]);
+        let d = check(&b, &counts);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "suppression-budget");
+        assert!(d[0].message.contains("budget is 0"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn within_budget_is_clean_and_overage_fails_both_caps() {
+        let b = parse("float-eq = 1\ntotal = 1\n").unwrap();
+        let ok = BTreeMap::from([("float-eq".to_string(), 1)]);
+        assert!(check(&b, &ok).is_empty());
+        let over = BTreeMap::from([("float-eq".to_string(), 2)]);
+        let d = check(&b, &over);
+        assert_eq!(d.len(), 2, "per-rule and total caps both fire: {d:?}");
+    }
+}

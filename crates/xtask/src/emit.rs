@@ -1,0 +1,163 @@
+//! Machine-readable renderings of lint results.
+//!
+//! Two formats, both hand-rolled on top of `efficsense_obs::json::escape`
+//! (std-only, no serde):
+//!
+//! - [`render_json`] — a compact native schema for scripting: diagnostics,
+//!   per-rule `lint:allow` counts, and the totals CI trend lines key off;
+//! - [`render_sarif`] — minimal SARIF 2.1.0 for code-scanning UIs: one run,
+//!   one `tool.driver` carrying the rule catalogue, one `result` per
+//!   diagnostic with a physical location.
+//!
+//! Both emitters are exercised by round-trip fixture tests that re-parse the
+//! output with the workspace JSON parser, so the escaping rules stay honest.
+
+use crate::rules::{Diagnostic, RULES};
+use crate::LintReport;
+use efficsense_obs::json::escape;
+use std::fmt::Write as _;
+
+/// Renders a [`LintReport`] as a single-document JSON object.
+#[must_use]
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\"tool\":\"xtask-lint\",\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            escape(&d.path),
+            d.line,
+            escape(d.rule),
+            escape(&d.message)
+        );
+    }
+    out.push_str("],\"allows\":{");
+    for (i, (rule, n)) in report.allow_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(rule), n);
+    }
+    let total: usize = report.allow_counts.values().sum();
+    let _ = write!(
+        out,
+        "}},\"total_allows\":{},\"total_diagnostics\":{}}}",
+        total,
+        report.diagnostics.len()
+    );
+    out
+}
+
+/// Renders diagnostics as a minimal SARIF 2.1.0 log.
+#[must_use]
+pub fn render_sarif(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"xtask-lint\",\"informationUri\":\
+         \"https://example.invalid/efficsense/xtask\",\"rules\":[",
+    );
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            escape(r.id),
+            escape(r.summary)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = RULES.iter().position(|r| r.id == d.rule).unwrap_or(0);
+        let _ = write!(
+            out,
+            "{{\"ruleId\":\"{}\",\"ruleIndex\":{},\"level\":\"error\",\
+             \"message\":{{\"text\":\"{}\"}},\"locations\":[{{\
+             \"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            escape(d.rule),
+            rule_index,
+            escape(&d.message),
+            escape(&d.path),
+            d.line
+        );
+    }
+    out.push_str("]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efficsense_obs::json::Json;
+    use std::collections::BTreeMap;
+
+    fn sample_report() -> LintReport {
+        LintReport {
+            diagnostics: vec![Diagnostic {
+                path: "crates/dsp/src/fft.rs".to_string(),
+                line: 42,
+                rule: "float-eq",
+                message: "exact float comparison with \"quotes\" and \\ backslash".to_string(),
+            }],
+            allow_counts: BTreeMap::from([("float-eq".to_string(), 2)]),
+        }
+    }
+
+    #[test]
+    fn json_document_parses_back() {
+        let doc = render_json(&sample_report());
+        let json = Json::parse(&doc).expect("valid JSON");
+        let diags = json.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0].get("path").and_then(Json::as_str),
+            Some("crates/dsp/src/fft.rs")
+        );
+        assert_eq!(diags[0].get("line").and_then(Json::as_u64), Some(42));
+        assert_eq!(json.get("total_allows").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn sarif_document_parses_back_with_catalogue() {
+        let report = sample_report();
+        let doc = render_sarif(&report.diagnostics);
+        let json = Json::parse(&doc).expect("valid SARIF JSON");
+        assert_eq!(json.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let runs = json.get("runs").and_then(Json::as_arr).unwrap();
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        let results = runs[0].get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            results[0].get("ruleId").and_then(Json::as_str),
+            Some("float-eq")
+        );
+    }
+
+    #[test]
+    fn escaping_survives_hostile_messages() {
+        let mut report = sample_report();
+        report.diagnostics[0].message = "newline\n tab\t quote\" backslash\\ done".to_string();
+        for doc in [render_json(&report), render_sarif(&report.diagnostics)] {
+            let json = Json::parse(&doc).expect("hostile message must still parse");
+            let text = doc.contains("newline\\n");
+            assert!(text, "newline must be escaped: {doc}");
+            drop(json);
+        }
+    }
+}

@@ -3,23 +3,40 @@
 //! Two subsystems, both std-only by design (they must build in the same
 //! offline environment as the models they guard):
 //!
-//! - the domain-aware lint pass (`cargo xtask lint`) enforcing the numerical
-//!   and unit-safety invariants of the EffiCSense workspace — see `rules`
-//!   for the catalogue and DESIGN.md §"Numerical invariants & static
-//!   analysis" for rationale;
+//! - the domain-aware lint pass (`cargo xtask lint`) enforcing the numerical,
+//!   unit-safety, determinism and concurrency invariants of the EffiCSense
+//!   workspace — token-level matching lives in [`tokens`], the rule catalogue
+//!   in [`rules`], machine-readable output in [`emit`], and the escape-count
+//!   cap in [`budget`]; see DESIGN.md §"Token-level determinism auditing";
 //! - the perf-trend gate (`cargo xtask bench-diff`) comparing sweep
 //!   benchmark summaries — see [`bench_diff`].
 
 pub mod bench_diff;
+pub mod budget;
+pub mod emit;
 pub mod rules;
 pub mod source;
+pub mod tokens;
 
 use rules::Diagnostic;
 use source::SourceFile;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Directories never descended into while walking the workspace.
 const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Everything one lint pass learned: the findings plus the live
+/// `lint:allow` census the suppression budget is checked against.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of known-rule `lint:allow` escapes per rule id across the
+    /// walked tree (stale escapes are counted too, but they already appear
+    /// in `diagnostics` as `stale-allow` errors).
+    pub allow_counts: BTreeMap<String, usize>,
+}
 
 /// Lints one source text under a workspace-relative virtual path.
 ///
@@ -38,10 +55,20 @@ pub fn lint_source(virtual_path: &str, text: &str) -> Vec<Diagnostic> {
 ///
 /// Propagates I/O errors from directory traversal and file reads.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    lint_workspace_report(root).map(|r| r.diagnostics)
+}
+
+/// Like [`lint_workspace`], but also reports the workspace-wide
+/// `lint:allow` census for suppression-budget enforcement.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal and file reads.
+pub fn lint_workspace_report(root: &Path) -> std::io::Result<LintReport> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
-    let mut diags = Vec::new();
+    let mut report = LintReport::default();
     for file in &files {
         let text = std::fs::read_to_string(file)?;
         let rel = file
@@ -49,10 +76,18 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        diags.extend(rules::check_file(&SourceFile::parse(&rel, &text)));
+        let f = SourceFile::parse(&rel, &text);
+        for (_, rule) in &f.allows {
+            if rules::rule_info(rule).is_some() {
+                *report.allow_counts.entry(rule.clone()).or_insert(0) += 1;
+            }
+        }
+        report.diagnostics.extend(rules::check_file(&f));
     }
-    diags.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
-    Ok(diags)
+    report
+        .diagnostics
+        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(report)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

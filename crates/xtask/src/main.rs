@@ -1,13 +1,16 @@
 //! `cargo xtask` — workspace automation. Two subcommands:
 //!
 //! ```text
-//! cargo xtask lint [--root <dir>]
+//! cargo xtask lint [--root <dir>] [--format text|json|sarif]
 //! cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>]
 //! ```
 //!
 //! `lint` runs the domain-aware lint pass over every `.rs` file in the
-//! workspace and exits non-zero when violations are found. Diagnostics are
-//! printed as `file:line: rule-id: message`, one per line, sorted by path.
+//! workspace and exits non-zero when violations are found (including
+//! suppression-budget overruns against `lint-budget.toml` when present at
+//! the root). In `text` mode diagnostics print as `file:line: rule-id:
+//! message`, one per line, sorted by path; `json` and `sarif` write a
+//! machine-readable document to stdout and the human summary to stderr.
 //!
 //! `bench-diff` compares two `BENCH_sweep.json` summaries (both default to
 //! the workspace copy, so at least one path is normally given) and exits
@@ -18,7 +21,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use xtask::bench_diff;
 
-const USAGE: &str = "usage: cargo xtask lint [--root <dir>]\n       cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>]";
+const USAGE: &str = "usage: cargo xtask lint [--root <dir>] [--format text|json|sarif]\n       cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>]";
+
+/// Output mode for `cargo xtask lint`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +49,7 @@ fn main() -> ExitCode {
 
 fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,6 +60,18 @@ fn lint(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "--format must be text, json or sarif, got `{}`",
+                        other.unwrap_or("<missing>")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown lint option `{other}`");
                 return ExitCode::FAILURE;
@@ -55,22 +79,64 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(workspace_root);
-    match xtask::lint_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            println!("xtask lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    let mut report = match xtask::lint_workspace_report(&root) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("xtask lint: I/O error under {}: {e}", root.display());
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+
+    // Suppression budget: enforced whenever the committed budget file is
+    // present at the lint root (it always is at the workspace root).
+    let budget_path = root.join("lint-budget.toml");
+    match std::fs::read_to_string(&budget_path) {
+        Ok(text) => match xtask::budget::parse(&text) {
+            Ok(budget) => report
+                .diagnostics
+                .extend(xtask::budget::check(&budget, &report.allow_counts)),
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "xtask lint: note: no lint-budget.toml under {}; suppression budget not enforced",
+                root.display()
+            );
+        }
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", budget_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match format {
+        Format::Json => println!("{}", xtask::emit::render_json(&report)),
+        Format::Sarif => println!("{}", xtask::emit::render_sarif(&report.diagnostics)),
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+        }
+    }
+    // In machine-readable modes the human summary goes to stderr so the
+    // stdout document stays parseable.
+    let summary = if report.diagnostics.is_empty() {
+        "xtask lint: clean".to_string()
+    } else {
+        format!("xtask lint: {} violation(s)", report.diagnostics.len())
+    };
+    if format == Format::Text {
+        println!("{summary}");
+    } else {
+        eprintln!("{summary}");
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

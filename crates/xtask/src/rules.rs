@@ -1,20 +1,31 @@
-//! The six domain-aware lint rules.
+//! The domain-aware lint rule pack, matched over the token stream.
 //!
-//! | rule id       | invariant                                                      |
-//! |---------------|----------------------------------------------------------------|
-//! | `float-eq`    | no `==`/`!=` on floating-point operands                        |
-//! | `no-panic`    | no `panic!`/`.unwrap()`/`.expect(` in gated library code       |
-//! | `unit-newtype`| power/energy/capacitance returns use `units` newtypes          |
-//! | `must-use`    | scalar power/energy/metric returns carry `#[must_use]`         |
-//! | `seeded-rng`  | no ambient-entropy RNG outside the bench crate                 |
-//! | `finite-guard`| hot numerical kernels carry `debug_assert!(..is_finite..)`     |
+//! | rule id          | invariant                                                        |
+//! |------------------|------------------------------------------------------------------|
+//! | `float-eq`       | no `==`/`!=` on floating-point operands                          |
+//! | `no-panic`       | no `panic!`/`.unwrap()`/`.expect(` in gated library code         |
+//! | `unit-newtype`   | power/energy/capacitance returns use `units` newtypes            |
+//! | `must-use`       | scalar power/energy/metric returns carry `#[must_use]`           |
+//! | `seeded-rng`     | no ambient-entropy RNG outside the bench crate                   |
+//! | `finite-guard`   | hot numerical kernels carry `debug_assert!(..is_finite..)`       |
+//! | `ambient-time`   | no `Instant::now`/`SystemTime` outside the pluggable obs clock   |
+//! | `unordered-iter` | no unsorted iteration over `HashMap`/`HashSet` bindings          |
+//! | `atomic-ordering`| `Ordering::Relaxed` on non-counter atomics needs `// relaxed:`   |
+//! | `unsafe-audit`   | every `unsafe` carries a `// SAFETY:` comment                    |
+//! | `static-mut`     | no `static mut` items, ever                                      |
+//! | `cast-truncation`| no narrowing `as` casts inside the hot numerical kernels         |
+//! | `stale-allow`    | every `lint:allow(...)` escape must suppress something           |
 //!
-//! Every rule is line-textual over the preprocessed source (comments and
-//! string literals blanked), which keeps the checker dependency-free and
-//! fast; the price is that rules are heuristic, so each supports a
-//! `// lint:allow(rule-id)` escape on the same or preceding line.
+//! Rules match syntax over the [`crate::tokens`] stream (comments and
+//! literals blanked first), which keeps the checker dependency-free while
+//! seeing real code shapes — `unsafe_code` in an attribute is one identifier,
+//! `0..10` is a range, a `lint:allow` inside a string is inert. Rules remain
+//! heuristic (no type inference), so each supports a `lint:allow(rule-id)`
+//! escape on the same or preceding line; stale escapes are themselves
+//! diagnosed, and the workspace total is capped by `lint-budget.toml`.
 
 use crate::source::SourceFile;
+use crate::tokens::{TokenKind, TokenStream};
 
 /// A single finding, printed as `file:line: rule-id: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +50,105 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// Catalogue entry for one rule (consumed by the SARIF emitter and the
+/// stale-allow filter).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule identifier.
+    pub id: &'static str,
+    /// One-line description for reports.
+    pub summary: &'static str,
+    /// Whole-file rules accept a `lint:allow` anywhere in the file.
+    pub whole_file: bool,
+}
+
+/// The full rule catalogue, including synthetic rules (`stale-allow` fires
+/// from the suppression pass; `suppression-budget` from the budget check).
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "float-eq",
+        summary: "exact ==/!= on floating-point operands",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "no-panic",
+        summary: "panicking construct in simulation library code",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "unit-newtype",
+        summary: "dimensioned quantity returned as bare f64",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "must-use",
+        summary: "power/energy/metric computation without #[must_use]",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "seeded-rng",
+        summary: "ambient-entropy RNG outside the bench crate",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "finite-guard",
+        summary: "hot numerical kernel without finiteness guards",
+        whole_file: true,
+    },
+    RuleInfo {
+        id: "ambient-time",
+        summary: "ambient clock read outside the pluggable obs clock",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "unordered-iter",
+        summary: "iteration over HashMap/HashSet without a sort",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "atomic-ordering",
+        summary: "Ordering::Relaxed on a non-counter atomic without justification",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "unsafe-audit",
+        summary: "unsafe without a SAFETY comment",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "static-mut",
+        summary: "static mut item",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "cast-truncation",
+        summary: "narrowing `as` cast inside a hot numerical kernel",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "stale-allow",
+        summary: "lint:allow escape that suppresses nothing",
+        whole_file: false,
+    },
+    RuleInfo {
+        id: "suppression-budget",
+        summary: "lint:allow escape count exceeds the committed budget",
+        whole_file: false,
+    },
+];
+
+/// Looks up a rule id in the catalogue.
+#[must_use]
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// `true` for rules whose `lint:allow` may sit anywhere in the file.
+#[must_use]
+pub fn is_whole_file_rule(id: &str) -> bool {
+    rule_info(id).is_some_and(|r| r.whole_file)
+}
+
 /// Crates whose library code must not panic (simulation inner loops).
 const NO_PANIC_CRATES: [&str; 6] = [
     "crates/core/src/",
@@ -49,8 +159,28 @@ const NO_PANIC_CRATES: [&str; 6] = [
     "crates/obs/src/",
 ];
 
+/// Library crates under the determinism rules (`ambient-time`,
+/// `unordered-iter`, `atomic-ordering`). The bench crate is exempt: it
+/// measures wall time and formats reports by design.
+const LIB_CRATE_PREFIXES: [&str; 10] = [
+    "crates/core/src/",
+    "crates/power/src/",
+    "crates/cs/src/",
+    "crates/dsp/src/",
+    "crates/faults/src/",
+    "crates/obs/src/",
+    "crates/signals/src/",
+    "crates/blocks/src/",
+    "crates/ml/src/",
+    "crates/rng/src/",
+];
+
+/// The one file allowed to read ambient clocks: the pluggable clock
+/// implementations themselves.
+const AMBIENT_TIME_EXEMPT: [&str; 1] = ["crates/obs/src/clock.rs"];
+
 /// Numerical kernels that must guard stage boundaries against non-finite
-/// values.
+/// values, and in which bare narrowing casts are banned.
 const FINITE_GUARD_FILES: [&str; 4] = [
     "crates/cs/src/linalg.rs",
     "crates/cs/src/recon.rs",
@@ -58,7 +188,8 @@ const FINITE_GUARD_FILES: [&str; 4] = [
     "crates/core/src/simulate.rs",
 ];
 
-/// Runs every rule against one file.
+/// Runs every rule against one file, applies `lint:allow` suppression, and
+/// reports stale escapes.
 pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     float_eq(f, &mut out);
@@ -67,7 +198,44 @@ pub fn check_file(f: &SourceFile) -> Vec<Diagnostic> {
     must_use(f, &mut out);
     seeded_rng(f, &mut out);
     finite_guard(f, &mut out);
-    out.retain(|d| !f.allowed(d.rule, d.line));
+    ambient_time(f, &mut out);
+    unordered_iter(f, &mut out);
+    atomic_ordering(f, &mut out);
+    unsafe_audit(f, &mut out);
+    cast_truncation(f, &mut out);
+
+    // Suppression pass: drop allowed diagnostics, tracking which escapes
+    // actually earned their keep.
+    let mut used = vec![false; f.allows.len()];
+    out.retain(|d| {
+        if is_whole_file_rule(d.rule) {
+            if let Some(i) = f.allow_anywhere_index(d.rule) {
+                used[i] = true;
+                return false;
+            }
+        } else if let Some(i) = f.allow_index(d.rule, d.line) {
+            used[i] = true;
+            return false;
+        }
+        true
+    });
+
+    // stale-allow: an escape that suppressed nothing is itself a finding.
+    // Unknown rule names are ignored (doc prose about the escape syntax uses
+    // placeholders like `rule-id`); `stale-allow` cannot be suppressed.
+    for (i, (line, rule)) in f.allows.iter().enumerate() {
+        if !used[i] && rule_info(rule).is_some() {
+            out.push(Diagnostic {
+                path: f.path.clone(),
+                line: *line,
+                rule: "stale-allow",
+                message: format!(
+                    "lint:allow({rule}) suppresses no diagnostic; remove the stale escape"
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     out
 }
 
@@ -80,112 +248,89 @@ fn push(out: &mut Vec<Diagnostic>, f: &SourceFile, line: usize, rule: &'static s
     });
 }
 
+fn in_lib_scope(f: &SourceFile) -> bool {
+    LIB_CRATE_PREFIXES.iter().any(|p| f.path.starts_with(p))
+}
+
 // ---------------------------------------------------------------------------
 // float-eq
 // ---------------------------------------------------------------------------
-
-/// Flags `==`/`!=` where either operand looks floating-point: a float
-/// literal (`0.0`, `1e-6`), an `f64`/`f32` cast, or an `f64::` constant.
-/// Exact comparison is almost always wrong for computed floats; route
-/// through `efficsense_dsp::approx::{approx_eq, total_eq, is_zero}`.
-fn float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
-    for (i, line) in f.clean.iter().enumerate() {
-        for pos in eq_operator_positions(line) {
-            let (lhs, rhs) = operand_windows(line, pos);
-            if looks_float(lhs) || looks_float(rhs) {
-                push(
-                    out,
-                    f,
-                    i + 1,
-                    "float-eq",
-                    "exact float comparison; use approx_eq/total_eq/is_zero from \
-                     efficsense_dsp::approx"
-                        .to_string(),
-                );
-                break; // one diagnostic per line is enough
-            }
-        }
-    }
-}
-
-/// Byte offsets of bare `==` / `!=` operators (not `<=`, `>=`, `=>`, `===`).
-fn eq_operator_positions(line: &str) -> Vec<usize> {
-    let b = line.as_bytes();
-    let mut v = Vec::new();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        let two = &b[i..i + 2];
-        if two == b"==" || two == b"!=" {
-            let before_ok = i == 0 || !matches!(b[i - 1], b'=' | b'<' | b'>' | b'!');
-            let after_ok = i + 2 >= b.len() || b[i + 2] != b'=';
-            if before_ok && after_ok {
-                v.push(i);
-                i += 2;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    v
-}
-
-/// Text windows left and right of the operator, clipped at expression
-/// boundaries that cannot be part of a simple operand.
-fn operand_windows(line: &str, op_pos: usize) -> (&str, &str) {
-    let left_all = &line[..op_pos];
-    let right_all = &line[op_pos + 2..];
-    let lstart = left_all
-        .rfind(['(', ',', ';', '{', '&', '|'])
-        .map_or(0, |p| p + 1);
-    let rend = right_all
-        .find([',', ';', '{', '&', '|', ')'])
-        .unwrap_or(right_all.len());
-    (&left_all[lstart..], &right_all[..rend])
-}
 
 /// Identifier suffixes that by workspace convention denote f64 quantities
 /// (watts, joules, farads, hertz, decibels, volts-rms) — comparing them
 /// exactly is as wrong as comparing literals.
 const FLOAT_SUFFIXES: [&str; 7] = ["_w", "_j", "_f", "_hz", "_db", "_vrms", "_percent"];
 
-/// Heuristic: does the snippet contain a float literal, a float type token,
-/// or an identifier with a unit suffix?
-fn looks_float(s: &str) -> bool {
-    if s.contains("f64") || s.contains("f32") {
-        return true;
-    }
-    for word in s.split(|c: char| !(c.is_alphanumeric() || c == '_')) {
-        if FLOAT_SUFFIXES
-            .iter()
-            .any(|suf| word.ends_with(suf) && word.len() > suf.len())
-        {
-            return true;
-        }
-    }
-    let b = s.as_bytes();
-    for i in 0..b.len() {
-        if !b[i].is_ascii_digit() {
+/// Flags `==`/`!=` where either operand looks floating-point: a float
+/// literal (`0.0`, `1e-6`), an `f64`/`f32` cast, or an identifier with a
+/// unit suffix. Exact comparison is almost always wrong for computed floats;
+/// route through `efficsense_dsp::approx::{approx_eq, total_eq, is_zero}`.
+fn float_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &f.tokens;
+    let mut flagged_lines: Vec<usize> = Vec::new();
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
             continue;
         }
-        // digit '.' digit → decimal literal (excludes `0..10` ranges).
-        if i + 2 < b.len() && b[i + 1] == b'.' && b[i + 2].is_ascii_digit() {
-            return true;
+        if flagged_lines.contains(&t.line) {
+            continue; // one diagnostic per line is enough
         }
-        // digit ('e'|'E') [+-] digit → exponent literal. Requires the next
-        // char after e/E to be a sign or digit so identifiers don't match.
-        if i + 2 < b.len() && (b[i + 1] == b'e' || b[i + 1] == b'E') {
-            let t = b[i + 2];
-            if t.is_ascii_digit()
-                || ((t == b'+' || t == b'-') && i + 3 < b.len() && b[i + 3].is_ascii_digit())
-            {
-                // Exclude hex literals like 0x1e3 by requiring no `x` before.
-                if !s[..i].ends_with('x') {
-                    return true;
-                }
-            }
+        let (lhs, rhs) = operand_windows(ts, i);
+        if window_looks_float(ts, lhs) || window_looks_float(ts, rhs) {
+            flagged_lines.push(t.line);
+            push(
+                out,
+                f,
+                t.line,
+                "float-eq",
+                "exact float comparison; use approx_eq/total_eq/is_zero from \
+                 efficsense_dsp::approx"
+                    .to_string(),
+            );
         }
     }
-    false
+}
+
+/// Token index ranges left and right of the comparison at `op`, clipped at
+/// punctuation that cannot be part of a simple operand and at the
+/// operator's own line (operands spanning a line break are vanishingly rare,
+/// and clipping keeps the window from bleeding into unrelated code).
+fn operand_windows(
+    ts: &TokenStream,
+    op: usize,
+) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    const STOP: [&str; 9] = ["(", ")", ",", ";", "{", "}", "&", "|", "="];
+    let line = ts.tokens[op].line;
+    let stops = |t: &crate::tokens::Token| {
+        t.line != line
+            || (t.kind == TokenKind::Punct
+                && (STOP.contains(&t.text.as_str()) || t.text == "&&" || t.text == "||"))
+    };
+    let mut lo = op;
+    while lo > 0 && !stops(&ts.tokens[lo - 1]) {
+        lo -= 1;
+    }
+    let mut hi = op + 1;
+    while hi < ts.tokens.len() && !stops(&ts.tokens[hi]) {
+        hi += 1;
+    }
+    (lo..op, op + 1..hi)
+}
+
+/// Heuristic: does the token window contain a float literal, a float type
+/// token, or an identifier with a unit suffix?
+fn window_looks_float(ts: &TokenStream, range: std::ops::Range<usize>) -> bool {
+    ts.tokens[range].iter().any(|t| match t.kind {
+        TokenKind::Number { is_float } => is_float,
+        TokenKind::Ident => {
+            t.text == "f64"
+                || t.text == "f32"
+                || FLOAT_SUFFIXES
+                    .iter()
+                    .any(|suf| t.text.ends_with(suf) && t.text.len() > suf.len())
+        }
+        _ => false,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -200,29 +345,30 @@ fn no_panic(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !NO_PANIC_CRATES.iter().any(|p| f.path.starts_with(p)) {
         return;
     }
-    const PATTERNS: [(&str, &str); 5] = [
-        ("panic!", "explicit panic"),
-        (".unwrap()", "Option/Result unwrap"),
-        (".expect(", "Option/Result expect"),
-        ("todo!", "todo! placeholder"),
-        ("unimplemented!", "unimplemented! placeholder"),
-    ];
-    for (i, line) in f.clean.iter().enumerate() {
-        if f.in_test[i] {
+    let ts = &f.tokens;
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || f.in_test.get(t.line - 1).copied().unwrap_or(false) {
             continue;
         }
-        for (pat, what) in PATTERNS {
-            if line.contains(pat) {
-                push(
-                    out,
-                    f,
-                    i + 1,
-                    "no-panic",
-                    format!("{what} in simulation library code; return Result or restructure"),
-                );
-                break;
+        let what = match t.text.as_str() {
+            "panic" if ts.is_text(i + 1, "!") => "explicit panic",
+            "todo" if ts.is_text(i + 1, "!") => "todo! placeholder",
+            "unimplemented" if ts.is_text(i + 1, "!") => "unimplemented! placeholder",
+            "unwrap" if i > 0 && ts.is_text(i - 1, ".") && ts.is_text(i + 1, "(") => {
+                "Option/Result unwrap"
             }
-        }
+            "expect" if i > 0 && ts.is_text(i - 1, ".") && ts.is_text(i + 1, "(") => {
+                "Option/Result expect"
+            }
+            _ => continue,
+        };
+        push(
+            out,
+            f,
+            t.line,
+            "no-panic",
+            format!("{what} in simulation library code; return Result or restructure"),
+        );
     }
 }
 
@@ -230,45 +376,60 @@ fn no_panic(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 // pub fn signature scanning (shared by unit-newtype and must-use)
 // ---------------------------------------------------------------------------
 
-/// A public function signature found in the cleaned source.
+/// A public function signature found in the token stream.
 struct PubFn {
-    /// 1-based line of the `fn` keyword.
+    /// 1-based line of the `pub` keyword.
     line: usize,
     name: String,
-    /// Signature text between the closing paren of the params and the body.
-    ret: String,
+    /// `true` when the declared return type is exactly `-> f64`.
+    returns_bare_f64: bool,
 }
 
 fn pub_fns(f: &SourceFile) -> Vec<PubFn> {
-    let text = f.clean.join("\n");
-    let b: Vec<char> = text.chars().collect();
+    let ts = &f.tokens;
     let mut fns = Vec::new();
-    let mut search = 0usize;
-    loop {
-        let plain = text[search..].find("pub fn ");
-        let konst = text[search..].find("pub const fn ");
-        let (rel, skip) = match (plain, konst) {
-            (Some(a), Some(c)) if c < a => (c, "pub const fn ".len()),
-            (Some(a), _) => (a, "pub fn ".len()),
-            (None, Some(c)) => (c, "pub const fn ".len()),
-            (None, None) => break,
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "pub" {
+            continue;
+        }
+        // `pub fn` or `pub const fn` (visibility scopes like `pub(crate)`
+        // are intentionally not matched, as before the token port).
+        let fn_idx = if ts.is_ident(i + 1, "fn") {
+            i + 1
+        } else if ts.is_ident(i + 1, "const") && ts.is_ident(i + 2, "fn") {
+            i + 2
+        } else {
+            continue;
         };
-        let at = search + rel;
-        let name_start = at + skip;
-        let mut j = name_start;
-        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        let Some(name_tok) = ts.tokens.get(fn_idx + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Skip the generic parameter list, then the argument parens.
+        let mut j = fn_idx + 2;
+        if ts.is_text(j, "<") {
+            let mut angle = 1i32;
+            j += 1;
+            while j < ts.tokens.len() && angle > 0 {
+                match ts.tokens[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        while j < ts.tokens.len() && !ts.is_text(j, "(") {
             j += 1;
         }
-        let name: String = b[name_start..j].iter().collect();
-        // Find the param list and match parens.
-        while j < b.len() && b[j] != '(' {
-            j += 1;
-        }
-        let mut depth = 0usize;
-        while j < b.len() {
-            match b[j] {
-                '(' => depth += 1,
-                ')' => {
+        let mut depth = 0i32;
+        while j < ts.tokens.len() {
+            match ts.tokens[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
                     depth -= 1;
                     if depth == 0 {
                         break;
@@ -278,21 +439,13 @@ fn pub_fns(f: &SourceFile) -> Vec<PubFn> {
             }
             j += 1;
         }
-        let ret_start = (j + 1).min(b.len());
-        let mut k = ret_start;
-        while k < b.len() && b[k] != '{' && b[k] != ';' {
-            k += 1;
-        }
-        let ret: String = b[ret_start..k].iter().collect();
-        let line = text[..at].matches('\n').count() + 1;
-        if !name.is_empty() {
-            fns.push(PubFn {
-                line,
-                name,
-                ret: ret.trim().to_string(),
-            });
-        }
-        search = k.max(at + 1);
+        // Return clause: the tokens after `)` up to the body/terminator.
+        let returns_bare_f64 = ts.is_text(j + 1, "->") && ts.is_ident(j + 2, "f64");
+        fns.push(PubFn {
+            line: t.line,
+            name: name_tok.text.clone(),
+            returns_bare_f64,
+        });
     }
     fns
 }
@@ -337,10 +490,7 @@ fn unit_newtype(f: &SourceFile, out: &mut Vec<Diagnostic>) {
         return;
     }
     for pf in pub_fns(f) {
-        if !pf.ret.contains("-> f64") {
-            continue;
-        }
-        if f.in_test[pf.line - 1] {
+        if !pf.returns_bare_f64 || f.in_test[pf.line - 1] {
             continue;
         }
         let n = pf.name.as_str();
@@ -379,10 +529,7 @@ fn must_use(f: &SourceFile, out: &mut Vec<Diagnostic>) {
         return;
     }
     for pf in pub_fns(f) {
-        if !pf.ret.contains("-> f64") {
-            continue;
-        }
-        if f.in_test[pf.line - 1] {
+        if !pf.returns_bare_f64 || f.in_test[pf.line - 1] {
             continue;
         }
         let n = pf.name.as_str();
@@ -423,27 +570,37 @@ fn seeded_rng(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if f.path.starts_with("crates/bench/") {
         return;
     }
-    const PATTERNS: [&str; 6] = [
+    const AMBIENT_IDENTS: [&str; 5] = [
         "thread_rng",
         "from_entropy",
-        "rand::random",
         "OsRng",
         "getrandom",
         "from_os_rng",
     ];
-    for (i, line) in f.clean.iter().enumerate() {
-        for pat in PATTERNS {
-            if line.contains(pat) {
-                push(
-                    out,
-                    f,
-                    i + 1,
-                    "seeded-rng",
-                    format!("`{pat}` draws ambient entropy; construct Rng64 from an explicit seed"),
-                );
-                break;
-            }
+    let ts = &f.tokens;
+    let mut flagged_lines: Vec<usize> = Vec::new();
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
         }
+        let pat = if AMBIENT_IDENTS.contains(&t.text.as_str()) {
+            t.text.clone()
+        } else if t.text == "rand" && ts.matches(i + 1, &["::", "random"]) {
+            "rand::random".to_string()
+        } else {
+            continue;
+        };
+        if flagged_lines.contains(&t.line) {
+            continue;
+        }
+        flagged_lines.push(t.line);
+        push(
+            out,
+            f,
+            t.line,
+            "seeded-rng",
+            format!("`{pat}` draws ambient entropy; construct Rng64 from an explicit seed"),
+        );
     }
 }
 
@@ -459,19 +616,21 @@ fn finite_guard(f: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !FINITE_GUARD_FILES.contains(&f.path.as_str()) {
         return;
     }
-    if f.allowed_anywhere("finite-guard") {
-        return;
+    let mut has_all_finite = false;
+    let mut has_debug_assert = false;
+    let mut has_is_finite = false;
+    for t in &f.tokens.tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "debug_assert_all_finite" => has_all_finite = true,
+            "is_finite" => has_is_finite = true,
+            w if w.starts_with("debug_assert") => has_debug_assert = true,
+            _ => {}
+        }
     }
-    // The assertion may be formatted across lines, so test containment over
-    // the whole file rather than per line.
-    let has_all_finite = f
-        .clean
-        .iter()
-        .any(|l| l.contains("debug_assert_all_finite"));
-    let has_guard = has_all_finite
-        || (f.clean.iter().any(|l| l.contains("debug_assert"))
-            && f.clean.iter().any(|l| l.contains("is_finite")));
-    if !has_guard {
+    if !(has_all_finite || (has_debug_assert && has_is_finite)) {
         push(
             out,
             f,
@@ -480,6 +639,370 @@ fn finite_guard(f: &SourceFile, out: &mut Vec<Diagnostic>) {
             "hot numerical kernel lacks debug_assert finiteness guards at stage boundaries"
                 .to_string(),
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ambient-time
+// ---------------------------------------------------------------------------
+
+/// Library code must read time through the pluggable `efficsense_obs` clock
+/// (`ObsRegistry::now_ns`), never ambient sources: a stray `Instant::now`
+/// makes cached replay and logical-clock snapshots nondeterministic. Only
+/// the clock implementations themselves may touch `std::time`.
+fn ambient_time(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_lib_scope(f) || AMBIENT_TIME_EXEMPT.contains(&f.path.as_str()) {
+        return;
+    }
+    let ts = &f.tokens;
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "Instant" if ts.matches(i + 1, &["::", "now"]) => "Instant::now()",
+            "SystemTime" => "SystemTime",
+            _ => continue,
+        };
+        push(
+            out,
+            f,
+            t.line,
+            "ambient-time",
+            format!(
+                "{what} reads the ambient clock; route through the pluggable obs clock \
+                 (ObsRegistry::now_ns) so runs stay replayable"
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+/// Iterating a `HashMap`/`HashSet` yields a different order every process
+/// run (SipHash keying), which silently breaks JSONL persistence,
+/// `PointKey` bit-identity and snapshot comparison the moment the order
+/// reaches an output. The rule flags iteration over bindings declared with
+/// a hash-map type unless the enclosing function also sorts (or collects
+/// into a `BTreeMap`/`BTreeSet`); order-insensitive reductions can carry a
+/// per-line escape.
+fn unordered_iter(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_lib_scope(f) {
+        return;
+    }
+    let ts = &f.tokens;
+    let hash_names = hash_typed_names(ts);
+    if hash_names.is_empty() {
+        return;
+    }
+    const ITER_METHODS: [&str; 7] = [
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "into_iter",
+        "drain",
+    ];
+    const SORT_HINTS: [&str; 7] = [
+        "sort",
+        "sort_unstable",
+        "sort_by",
+        "sort_by_key",
+        "sort_unstable_by_key",
+        "BTreeMap",
+        "BTreeSet",
+    ];
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !hash_names.contains(&t.text) {
+            continue;
+        }
+        // `map.iter()` / `map.keys()` / ... or `for k in &map {`.
+        let method_iter = ts.is_text(i + 1, ".")
+            && ts
+                .tokens
+                .get(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+            && ts.is_text(i + 3, "(");
+        let for_iter = (i > 0 && ts.is_ident(i - 1, "in"))
+            || (i > 1 && ts.is_text(i - 1, "&") && ts.is_ident(i - 2, "in"))
+            || (i > 2
+                && ts.is_ident(i - 1, "mut")
+                && ts.is_text(i - 2, "&")
+                && ts.is_ident(i - 3, "in"));
+        if !(method_iter || for_iter) {
+            continue;
+        }
+        // Escape hatch: the enclosing function sorts the collected order.
+        let sorted_in_fn = ts.fn_body_range(i).is_some_and(|(lo, hi)| {
+            ts.tokens[lo..hi]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && SORT_HINTS.contains(&t.text.as_str()))
+        });
+        if sorted_in_fn {
+            continue;
+        }
+        push(
+            out,
+            f,
+            t.line,
+            "unordered-iter",
+            format!(
+                "iteration over hash-ordered `{}` without a sort in the same function; \
+                 use BTreeMap/BTreeSet or sort before the order can reach an output",
+                t.text
+            ),
+        );
+    }
+}
+
+/// Binding and field names declared with a `HashMap`/`HashSet` as the
+/// outermost type constructor (`x: HashMap<..>`, `let x = HashMap::new()`).
+/// Wrapped declarations (`Vec<Mutex<HashMap<..>>>`) are not collected — the
+/// outer container owns the iteration order there.
+fn hash_typed_names(ts: &TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name : [&] [mut] [std :: collections ::] HashMap`
+        if ts.is_text(i + 1, ":") {
+            let mut j = i + 2;
+            while ts.is_text(j, "&") || ts.is_ident(j, "mut") {
+                j += 1;
+            }
+            if ts.matches(j, &["std", "::", "collections", "::"]) {
+                j += 4;
+            }
+            if ts.is_ident(j, "HashMap") || ts.is_ident(j, "HashSet") {
+                names.push(t.text.clone());
+            }
+        }
+        // `let [mut] name = HashMap::new()` (or with_capacity etc.)
+        if t.text == "let" {
+            let mut j = i + 1;
+            if ts.is_ident(j, "mut") {
+                j += 1;
+            }
+            if ts.tokens.get(j).is_some_and(|n| n.kind == TokenKind::Ident)
+                && ts.is_text(j + 1, "=")
+                && (ts.is_ident(j + 2, "HashMap") || ts.is_ident(j + 2, "HashSet"))
+            {
+                names.push(ts.tokens[j].text.clone());
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+// ---------------------------------------------------------------------------
+// atomic-ordering
+// ---------------------------------------------------------------------------
+
+/// Names that mark an atomic as a plain monotonic counter, where
+/// `Ordering::Relaxed` is always sound (no other memory depends on the
+/// value). Everything else — flags, state machines, published pointers —
+/// needs an explicit `// relaxed: <why>` justification within two lines.
+const COUNTER_HINTS: [&str; 13] = [
+    "count",
+    "counter",
+    "hit",
+    "miss",
+    "total",
+    "next",
+    "done",
+    "bucket",
+    "_ns",
+    "attempt",
+    "evaluation",
+    "tick",
+    "idx",
+];
+
+fn atomic_ordering(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !in_lib_scope(f) {
+        return;
+    }
+    let ts = &f.tokens;
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident
+            && t.text == "Ordering"
+            && ts.matches(i + 1, &["::", "Relaxed"]))
+        {
+            continue;
+        }
+        let receiver = atomic_receiver(ts, i);
+        let counter_like = |name: &str| {
+            let lower = name.to_ascii_lowercase();
+            COUNTER_HINTS.iter().any(|h| lower.contains(h))
+        };
+        if receiver.as_deref().is_some_and(counter_like) {
+            continue;
+        }
+        // Tuple-field receivers (`self.0.fetch_add`) fall back to the
+        // enclosing impl/fn name — `impl Counter` marks its whole body.
+        if ts
+            .enclosing_impl(i)
+            .or_else(|| ts.enclosing_fn(i))
+            .is_some_and(counter_like)
+        {
+            continue;
+        }
+        if f.comment_near(t.line, 2, "relaxed:") {
+            continue;
+        }
+        let recv = receiver.unwrap_or_else(|| "<unknown>".to_string());
+        push(
+            out,
+            f,
+            t.line,
+            "atomic-ordering",
+            format!(
+                "Ordering::Relaxed on non-counter atomic `{recv}`; add a `// relaxed: <why>` \
+                 justification or use Acquire/Release"
+            ),
+        );
+    }
+}
+
+/// The receiver identifier of the atomic method call whose argument list
+/// contains the `Ordering` token at `ord_idx`: walks left to the nearest
+/// `.method(` and resolves the identifier before the dot, skipping one
+/// index/call suffix (`buckets[i].store` → `buckets`).
+fn atomic_receiver(ts: &TokenStream, ord_idx: usize) -> Option<String> {
+    // Find the opening paren of the enclosing call.
+    let mut depth = 0i32;
+    let mut j = ord_idx;
+    let open = loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        match ts.tokens[j].text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" if depth == 0 => break j,
+            "(" | "[" => depth -= 1,
+            _ => {}
+        }
+        if ord_idx - j > 64 {
+            return None;
+        }
+    };
+    // Expect `recv . method (`.
+    if open < 2 || !ts.is_text(open - 2, ".") {
+        return None;
+    }
+    let mut r = open - 3;
+    // Skip one `[...]` or `(...)` suffix on the receiver.
+    while let Some("]" | ")") = ts.tokens.get(r).map(|t| t.text.as_str()) {
+        let close = ts.tokens[r].text.clone();
+        let open_c = if close == "]" { "[" } else { "(" };
+        let mut d = 1i32;
+        while r > 0 && d > 0 {
+            r -= 1;
+            let s = ts.tokens[r].text.as_str();
+            if s == close {
+                d += 1;
+            } else if s == open_c {
+                d -= 1;
+            }
+        }
+        if r == 0 {
+            return None;
+        }
+        r -= 1;
+    }
+    let t = ts.tokens.get(r)?;
+    (t.kind == TokenKind::Ident).then(|| t.text.clone())
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-audit / static-mut
+// ---------------------------------------------------------------------------
+
+/// Every `unsafe` keyword needs a `// SAFETY:` comment on the same or up to
+/// three preceding lines, and `static mut` is banned outright (its aliasing
+/// rules are almost impossible to uphold under the sweep's worker threads).
+/// The workspace denies `unsafe_code` crate-wide today; this rule keeps the
+/// audit trail honest if an exception is ever carved out.
+fn unsafe_audit(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &f.tokens;
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "static" && ts.is_ident(i + 1, "mut") {
+            push(
+                out,
+                f,
+                t.line,
+                "static-mut",
+                "`static mut` is unsynchronisable under worker threads; use an atomic, \
+                 Mutex, or OnceLock"
+                    .to_string(),
+            );
+            continue;
+        }
+        if t.text == "unsafe" && !f.comment_near(t.line, 3, "safety:") {
+            push(
+                out,
+                f,
+                t.line,
+                "unsafe-audit",
+                "`unsafe` without a `// SAFETY:` comment documenting the upheld invariants"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cast-truncation
+// ---------------------------------------------------------------------------
+
+/// Numeric types an `as` cast may silently truncate into. `usize`/`u64`
+/// targets are deliberately not listed: float→usize index math with an
+/// explicit `.floor()`/`.round()` is idiomatic in the kernels, and the
+/// finite guards bound the operands.
+const NARROW_TARGETS: [&str; 7] = ["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
+
+/// In the hot numerical kernels, a bare `as` cast to a narrow type can wrap
+/// or lose precision exactly where a wrong sample index or coefficient is
+/// least visible. Use `try_from` + error handling, widen the type, or carry
+/// a per-line escape with the justification.
+fn cast_truncation(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !FINITE_GUARD_FILES.contains(&f.path.as_str()) {
+        return;
+    }
+    let ts = &f.tokens;
+    for (i, t) in ts.tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || t.text != "as"
+            || f.in_test.get(t.line - 1).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        let Some(target) = ts.tokens.get(i + 1) else {
+            continue;
+        };
+        if target.kind == TokenKind::Ident && NARROW_TARGETS.contains(&target.text.as_str()) {
+            push(
+                out,
+                f,
+                t.line,
+                "cast-truncation",
+                format!(
+                    "bare `as {}` can truncate silently in a hot kernel; use try_from or \
+                     widen the type",
+                    target.text
+                ),
+            );
+        }
     }
 }
 
@@ -570,7 +1093,18 @@ mod tests {
         let fns = pub_fns(&f);
         assert_eq!(fns.len(), 1);
         assert_eq!(fns[0].name, "walden_fom_j_per_step");
-        assert!(fns[0].ret.contains("-> f64"));
+        assert!(fns[0].returns_bare_f64);
+        assert_eq!(fns[0].line, 1);
+    }
+
+    #[test]
+    fn pub_fn_scanner_skips_generics_and_wrapped_returns() {
+        let src = "pub fn pick<T: Ord>(xs: &[T]) -> f64 { 0.0 }\npub fn wrapped() -> Result<f64, E> { Ok(0.0) }\n";
+        let f = SourceFile::parse("crates/power/src/fom.rs", src);
+        let fns = pub_fns(&f);
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].returns_bare_f64);
+        assert!(!fns[1].returns_bare_f64, "Result<f64> is not bare f64");
     }
 
     #[test]
@@ -613,6 +1147,130 @@ mod tests {
             "// lint:allow(float-eq) — definitional zero check\nfn f(v: f64) -> bool { v == 0.0 }\n";
         assert!(lint("crates/ml/src/x.rs", preceding).is_empty());
         let wrong_rule = "fn f(v: f64) -> bool { v == 0.0 } // lint:allow(no-panic)\n";
-        assert_eq!(lint("crates/ml/src/x.rs", wrong_rule).len(), 1);
+        let d = lint("crates/ml/src/x.rs", wrong_rule);
+        assert!(d.iter().any(|d| d.rule == "float-eq"), "{d:?}");
+        assert!(
+            d.iter().any(|d| d.rule == "stale-allow"),
+            "the mismatched escape is itself stale: {d:?}"
+        );
+    }
+
+    #[test]
+    fn ambient_time_flags_instant_and_systemtime_in_lib_code() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let d = lint("crates/core/src/sweep.rs", src);
+        assert!(d.iter().any(|d| d.rule == "ambient-time"), "{d:?}");
+        let sys = "fn f() -> SystemTime { SystemTime::now() }\n";
+        assert!(lint("crates/faults/src/plan.rs", sys)
+            .iter()
+            .any(|d| d.rule == "ambient-time"));
+        // The clock implementations and the bench crate are exempt.
+        assert!(lint("crates/obs/src/clock.rs", src).is_empty());
+        assert!(lint("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_flags_unsorted_hash_iteration() {
+        let src = "use std::collections::HashMap;\nfn dump(m: &HashMap<u32, u32>) {\n    for (k, v) in m.iter() { out(k, v); }\n}\n";
+        let d = lint("crates/core/src/cache.rs", src);
+        assert!(d.iter().any(|d| d.rule == "unordered-iter"), "{d:?}");
+    }
+
+    #[test]
+    fn unordered_iter_accepts_sorted_collection_in_same_fn() {
+        let src = "fn dump(m: &HashMap<u32, u32>) {\n    let mut v: Vec<_> = m.iter().collect();\n    v.sort_unstable();\n}\n";
+        let d = lint("crates/core/src/cache.rs", src);
+        assert!(
+            !d.iter().any(|d| d.rule == "unordered-iter"),
+            "sorting in the same fn clears the rule: {d:?}"
+        );
+    }
+
+    #[test]
+    fn unordered_iter_ignores_wrapped_and_non_hash_bindings() {
+        let src = "fn f(shards: Vec<Mutex<HashMap<u32, u32>>>, v: &Vec<u32>) {\n    for s in shards.iter() {}\n    for x in v.iter() {}\n}\n";
+        assert!(lint("crates/core/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_accepts_counters_and_justified_flags() {
+        let counter = "fn f(hits: &AtomicU64) { hits.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(lint("crates/obs/src/metrics.rs", counter).is_empty());
+        let justified = "fn f(flag: &AtomicBool) {\n    // relaxed: advisory flag, stale reads are harmless\n    flag.store(true, Ordering::Relaxed);\n}\n";
+        assert!(lint("crates/obs/src/registry.rs", justified).is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_flags_unjustified_non_counter() {
+        let src = "fn f(flag: &AtomicBool) { flag.store(true, Ordering::Relaxed); }\n";
+        let d = lint("crates/obs/src/registry.rs", src);
+        assert!(d.iter().any(|d| d.rule == "atomic-ordering"), "{d:?}");
+        assert!(d[0].message.contains("`flag`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn atomic_ordering_resolves_indexed_receivers_and_impl_fallback() {
+        let indexed = "fn f(&self) { self.buckets[i].fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(lint("crates/obs/src/metrics.rs", indexed).is_empty());
+        let tuple =
+            "impl Counter {\n    fn add(&self) { self.0.fetch_add(1, Ordering::Relaxed); }\n}\n";
+        assert!(
+            lint("crates/obs/src/metrics.rs", tuple).is_empty(),
+            "impl Counter marks tuple-field atomics as counters"
+        );
+    }
+
+    #[test]
+    fn unsafe_audit_requires_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let d = lint("crates/cs/src/x.rs", bad);
+        assert!(d.iter().any(|d| d.rule == "unsafe-audit"), "{d:?}");
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        assert!(lint("crates/cs/src/x.rs", good).is_empty());
+        // The deny attribute's `unsafe_code` ident is not the keyword.
+        assert!(lint("crates/cs/src/x.rs", "#![deny(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn static_mut_is_always_flagged() {
+        let src = "static mut GLOBAL: u32 = 0;\n";
+        let d = lint("crates/core/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == "static-mut"), "{d:?}");
+    }
+
+    #[test]
+    fn cast_truncation_flags_narrow_casts_in_kernels_only() {
+        let src = "pub fn f(n: usize) -> u32 { debug_assert!(n.is_finite());\n    n as u32\n}\n";
+        let d = lint("crates/dsp/src/fft.rs", src);
+        assert!(d.iter().any(|d| d.rule == "cast-truncation"), "{d:?}");
+        // Same code outside the kernel list is fine.
+        assert!(lint("crates/dsp/src/window.rs", src).is_empty());
+        // Widening casts are fine even in kernels.
+        let widen =
+            "pub fn f(n: u32) -> f64 { debug_assert!(x.is_finite());\n    f64::from(n)\n}\n";
+        assert!(lint("crates/dsp/src/fft.rs", widen).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_flags_unused_escapes() {
+        let src = "// lint:allow(float-eq)\nfn f(x: u32) -> bool { x == 1 }\n";
+        let d = lint("crates/ml/src/x.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "stale-allow");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn stale_allow_ignores_unknown_rule_names() {
+        // Doc prose like `lint:allow(rule-id)` must not trip the linter on
+        // its own documentation.
+        let src = "// the escape syntax is lint:allow(rule-id)\nfn f() {}\n";
+        assert!(lint("crates/ml/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn used_whole_file_allow_is_not_stale() {
+        let src = "// lint:allow(finite-guard) — validated at the API boundary\npub fn omp() {}\n";
+        assert!(lint("crates/cs/src/recon.rs", src).is_empty());
     }
 }

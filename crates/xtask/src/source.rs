@@ -1,26 +1,36 @@
 //! Lexical preprocessing of Rust source for the lint rules.
 //!
-//! The rules are textual, so before matching we strip everything that is not
-//! code: line and (nested) block comments, string literals (including raw
-//! strings with any number of `#` guards), byte strings, and character
-//! literals. Stripped spans are replaced with spaces so every diagnostic
-//! keeps its original line and column structure.
+//! Before any rule runs, the raw text is split into two aligned views:
+//! *clean* (comments and literals blanked to spaces — what the token engine
+//! lexes) and *comments* (everything except comment text blanked — where
+//! `lint:allow` escapes and justification comments are read from). Both
+//! views keep the original line and column structure, so every diagnostic
+//! points at real source coordinates.
 //!
 //! The preprocessor also computes, per line, whether the line falls inside a
 //! `#[cfg(test)]` item or a `#[test]` function, so rules can exempt test
-//! code, and collects `lint:allow(rule-id)` escape comments.
+//! code. Escape comments are collected as `(line, rule-id)` pairs; because
+//! they are read from the comment view, a `lint:allow(...)` inside a string
+//! literal (e.g. in the linter's own tests) neither suppresses anything nor
+//! counts against the suppression budget.
+
+use crate::tokens::TokenStream;
 
 /// A preprocessed source file.
 pub struct SourceFile {
     /// Workspace-relative path with forward slashes.
     pub path: String,
-    /// Original lines (used for `lint:allow` detection only).
+    /// Original lines (used for attribute lookups such as `#[must_use]`).
     pub raw: Vec<String>,
     /// Lines with comments and literals blanked to spaces.
     pub clean: Vec<String>,
+    /// Lines with everything *except* comment text blanked to spaces.
+    pub comments: Vec<String>,
+    /// Token stream lexed from the clean text, with scope tracking.
+    pub tokens: TokenStream,
     /// `in_test[i]` is true when line `i` is inside test-only code.
     pub in_test: Vec<bool>,
-    /// `(line, rule-id)` pairs from `lint:allow(...)` comments.
+    /// `(line, rule-id)` pairs from `lint:allow(...)` escape comments.
     pub allows: Vec<(usize, String)>,
 }
 
@@ -28,14 +38,18 @@ impl SourceFile {
     /// Preprocesses `text` under the given workspace-relative `path`.
     pub fn parse(path: &str, text: &str) -> Self {
         let raw: Vec<String> = text.lines().map(str::to_string).collect();
-        let clean = strip(text);
+        let (clean, comments) = split(text);
         let clean_lines: Vec<String> = clean.lines().map(str::to_string).collect();
+        let comment_lines: Vec<String> = comments.lines().map(str::to_string).collect();
+        let tokens = TokenStream::lex(&clean);
         let in_test = test_lines(&clean_lines);
-        let allows = collect_allows(&raw);
+        let allows = collect_allows(&comment_lines);
         SourceFile {
             path: path.to_string(),
             raw,
             clean: clean_lines,
+            comments: comment_lines,
+            tokens,
             in_test,
             allows,
         }
@@ -44,28 +58,63 @@ impl SourceFile {
     /// True when a diagnostic for `rule` at 1-based `line` is suppressed by a
     /// `lint:allow(rule)` comment on the same or the preceding line.
     pub fn allowed(&self, rule: &str, line: usize) -> bool {
-        self.allows
-            .iter()
-            .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+        self.allow_index(rule, line).is_some()
     }
 
-    /// True when any line of the file carries `lint:allow(rule)` — used by
-    /// whole-file rules such as `finite-guard`.
+    /// Index into [`SourceFile::allows`] of the escape covering `rule` at
+    /// `line` (same or preceding line), if any.
+    pub fn allow_index(&self, rule: &str, line: usize) -> Option<usize> {
+        self.allows
+            .iter()
+            .position(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+
+    /// True when any line of the file carries `lint:allow(rule)`.
+    ///
+    /// Whole-file placement is only honoured for whole-file rules (currently
+    /// `finite-guard`); for per-line rules a stray allow must sit on the
+    /// offending line, otherwise one escape would suppress every instance in
+    /// the file.
     pub fn allowed_anywhere(&self, rule: &str) -> bool {
-        self.allows.iter().any(|(_, r)| r == rule)
+        self.allow_anywhere_index(rule).is_some()
+    }
+
+    /// Index into [`SourceFile::allows`] of the first whole-file escape for
+    /// `rule`, if `rule` is a whole-file rule and an escape exists.
+    pub fn allow_anywhere_index(&self, rule: &str) -> Option<usize> {
+        if !crate::rules::is_whole_file_rule(rule) {
+            return None;
+        }
+        self.allows.iter().position(|(_, r)| r == rule)
+    }
+
+    /// True when the comment text on `line` (1-based) or up to `above` lines
+    /// before it contains `needle` (case-insensitive). Used by rules that
+    /// accept justification comments (`// relaxed: ...`, `// SAFETY: ...`).
+    pub fn comment_near(&self, line: usize, above: usize, needle: &str) -> bool {
+        let lo = line.saturating_sub(above + 1);
+        let hi = line.min(self.comments.len());
+        self.comments[lo..hi].iter().any(|l| {
+            l.to_ascii_lowercase()
+                .contains(&needle.to_ascii_lowercase())
+        })
     }
 }
 
-/// Replaces comments and literals with spaces, preserving line structure.
-fn strip(text: &str) -> String {
+/// Splits `text` into (clean, comments): the first with comments and
+/// literals blanked, the second with only comment text preserved. Both keep
+/// line structure.
+fn split(text: &str) -> (String, String) {
     let b: Vec<char> = text.chars().collect();
-    let mut out = String::with_capacity(text.len());
+    let mut code = String::with_capacity(text.len());
+    let mut com = String::with_capacity(text.len());
     let n = b.len();
     let mut i = 0;
 
-    // Emits `c` verbatim for newlines (to keep line numbers) else a space.
-    fn blank(out: &mut String, c: char) {
-        out.push(if c == '\n' { '\n' } else { ' ' });
+    // Emits `c` into `keep` and a space (or newline) into `drop`.
+    fn emit(keep: &mut String, drop: &mut String, c: char) {
+        keep.push(c);
+        drop.push(if c == '\n' { '\n' } else { ' ' });
     }
 
     while i < n {
@@ -73,7 +122,7 @@ fn strip(text: &str) -> String {
         // Line comment.
         if c == '/' && i + 1 < n && b[i + 1] == '/' {
             while i < n && b[i] != '\n' {
-                blank(&mut out, b[i]);
+                emit(&mut com, &mut code, b[i]);
                 i += 1;
             }
             continue;
@@ -81,22 +130,22 @@ fn strip(text: &str) -> String {
         // Block comment (Rust block comments nest).
         if c == '/' && i + 1 < n && b[i + 1] == '*' {
             let mut depth = 1usize;
-            blank(&mut out, b[i]);
-            blank(&mut out, b[i + 1]);
+            emit(&mut com, &mut code, b[i]);
+            emit(&mut com, &mut code, b[i + 1]);
             i += 2;
             while i < n && depth > 0 {
                 if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
                     depth += 1;
-                    blank(&mut out, b[i]);
-                    blank(&mut out, b[i + 1]);
+                    emit(&mut com, &mut code, b[i]);
+                    emit(&mut com, &mut code, b[i + 1]);
                     i += 2;
                 } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
                     depth -= 1;
-                    blank(&mut out, b[i]);
-                    blank(&mut out, b[i + 1]);
+                    emit(&mut com, &mut code, b[i]);
+                    emit(&mut com, &mut code, b[i + 1]);
                     i += 2;
                 } else {
-                    blank(&mut out, b[i]);
+                    emit(&mut com, &mut code, b[i]);
                     i += 1;
                 }
             }
@@ -139,7 +188,7 @@ fn strip(text: &str) -> String {
                 j += 1;
             }
             while i < j.min(n) {
-                blank(&mut out, b[i]);
+                blank_both(&mut code, &mut com, b[i]);
                 i += 1;
             }
             continue;
@@ -147,20 +196,20 @@ fn strip(text: &str) -> String {
         // Ordinary string literal (and byte string).
         if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"' && !prev_is_ident(&b, i)) {
             if c == 'b' {
-                blank(&mut out, b[i]);
+                blank_both(&mut code, &mut com, b[i]);
                 i += 1;
             }
-            blank(&mut out, b[i]);
+            blank_both(&mut code, &mut com, b[i]);
             i += 1;
             while i < n {
                 if b[i] == '\\' && i + 1 < n {
-                    blank(&mut out, b[i]);
-                    blank(&mut out, b[i + 1]);
+                    blank_both(&mut code, &mut com, b[i]);
+                    blank_both(&mut code, &mut com, b[i + 1]);
                     i += 2;
                     continue;
                 }
                 let done = b[i] == '"';
-                blank(&mut out, b[i]);
+                blank_both(&mut code, &mut com, b[i]);
                 i += 1;
                 if done {
                     break;
@@ -171,17 +220,17 @@ fn strip(text: &str) -> String {
         // Char literal vs lifetime.
         if c == '\'' {
             if is_char_literal(&b, i) {
-                blank(&mut out, b[i]);
+                blank_both(&mut code, &mut com, b[i]);
                 i += 1;
                 while i < n {
                     if b[i] == '\\' && i + 1 < n {
-                        blank(&mut out, b[i]);
-                        blank(&mut out, b[i + 1]);
+                        blank_both(&mut code, &mut com, b[i]);
+                        blank_both(&mut code, &mut com, b[i + 1]);
                         i += 2;
                         continue;
                     }
                     let done = b[i] == '\'';
-                    blank(&mut out, b[i]);
+                    blank_both(&mut code, &mut com, b[i]);
                     i += 1;
                     if done {
                         break;
@@ -189,15 +238,22 @@ fn strip(text: &str) -> String {
                 }
             } else {
                 // Lifetime: keep the tick so generic syntax stays intact.
-                out.push('\'');
+                emit(&mut code, &mut com, '\'');
                 i += 1;
             }
             continue;
         }
-        out.push(c);
+        emit(&mut code, &mut com, c);
         i += 1;
     }
-    out
+    (code, com)
+}
+
+/// Blanks `c` in both views (string/char literal content).
+fn blank_both(code: &mut String, com: &mut String, c: char) {
+    let out = if c == '\n' { '\n' } else { ' ' };
+    code.push(out);
+    com.push(out);
 }
 
 fn prev_is_ident(b: &[char], i: usize) -> bool {
@@ -263,10 +319,11 @@ fn test_lines(clean: &[String]) -> Vec<bool> {
     marks
 }
 
-/// Collects `(line, rule)` pairs from `lint:allow(rule[, rule...])` comments.
-fn collect_allows(raw: &[String]) -> Vec<(usize, String)> {
+/// Collects `(line, rule)` pairs from `lint:allow(rule[, rule...])` escapes
+/// in the comment view.
+fn collect_allows(comments: &[String]) -> Vec<(usize, String)> {
     let mut out = Vec::new();
-    for (i, line) in raw.iter().enumerate() {
+    for (i, line) in comments.iter().enumerate() {
         let mut rest = line.as_str();
         while let Some(pos) = rest.find("lint:allow(") {
             let after = &rest[pos + "lint:allow(".len()..];
@@ -302,6 +359,16 @@ mod tests {
     }
 
     #[test]
+    fn comment_view_is_the_inverse_of_clean() {
+        let src = "let x = 1; // trailing note\n/* block */ let y = 2;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.comments[0].contains("// trailing note"));
+        assert!(!f.comments[0].contains("let x"));
+        assert!(f.comments[1].contains("/* block */"));
+        assert!(!f.comments[1].contains("let y"));
+    }
+
+    #[test]
     fn strips_raw_and_byte_strings() {
         let src = "let a = r#\"x == 1.0\"#;\nlet b = br\"y != 2.0\";\nlet c = b\"z == 3.0\";\n";
         let f = SourceFile::parse("t.rs", src);
@@ -311,6 +378,20 @@ mod tests {
                 "leaked literal: {l}"
             );
         }
+    }
+
+    #[test]
+    fn raw_strings_with_hash_guards_contain_quotes_and_hashes() {
+        // `r##"..."##` may contain `"#` sequences without terminating; the
+        // code after the literal must survive unblanked.
+        let src = "let a = r##\"inner \"# quote == 1.0\"##; let live = 2;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.clean[0].contains("=="), "literal leaked: {}", f.clean[0]);
+        assert!(
+            f.clean[0].contains("let live = 2;"),
+            "code after raw string lost: {}",
+            f.clean[0]
+        );
     }
 
     #[test]
@@ -326,11 +407,38 @@ mod tests {
     }
 
     #[test]
+    fn char_literals_containing_quote_and_slash_do_not_derail() {
+        // A '"' char must not open a string; a '/' char must not start a
+        // comment even when doubled across two literals.
+        let src = "let q = '\"'; let s1 = '/'; let s2 = '/'; let live = 1.0 == x;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(
+            f.clean[0].contains("=="),
+            "code after char literals was swallowed: {}",
+            f.clean[0]
+        );
+        assert!(!f.clean[0].contains('"'), "quote leaked: {}", f.clean[0]);
+        // An escaped quote char literal '\"' takes the escape path.
+        let src2 = "let e = '\\\"'; let live = 2;\n";
+        let f2 = SourceFile::parse("t.rs", src2);
+        assert!(f2.clean[0].contains("let live = 2;"));
+    }
+
+    #[test]
     fn nested_block_comments() {
         let src = "/* outer /* inner == */ still != comment */ let q = 1;\n";
         let f = SourceFile::parse("t.rs", src);
         assert!(!f.clean[0].contains("!="));
         assert!(f.clean[0].contains("let q = 1;"));
+        assert!(f.comments[0].contains("inner =="));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_close_at_the_right_depth() {
+        let src = "/* a /* b /* c */ b */ a */ let x = 1; /* tail */\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.clean[0].contains("let x = 1;"), "{}", f.clean[0]);
+        assert!(!f.clean[0].contains('a'), "comment leaked: {}", f.clean[0]);
     }
 
     #[test]
@@ -338,6 +446,14 @@ mod tests {
         let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
         let f = SourceFile::parse("t.rs", src);
         assert_eq!(f.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_span_ends_at_matching_brace_not_first_close() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn a() { if true {} }\n    fn b() {}\n}\nfn lib() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.in_test, vec![true, true, true, true, true, false]);
     }
 
     #[test]
@@ -358,7 +474,36 @@ mod tests {
         );
         assert!(!f.allowed("float-eq", 30));
         assert!(f.allowed("no-panic", 3));
-        assert!(f.allowed_anywhere("no-panic"));
-        assert!(!f.allowed_anywhere("seeded-rng"));
+    }
+
+    #[test]
+    fn allows_inside_string_literals_are_ignored() {
+        let src = "let s = \"lint:allow(float-eq)\";\nlet x = 0.0 == y;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allows.is_empty(), "{:?}", f.allows);
+        assert!(!f.allowed("float-eq", 2));
+    }
+
+    #[test]
+    fn allowed_anywhere_only_applies_to_whole_file_rules() {
+        let src = "// lint:allow(finite-guard)\n// lint:allow(no-panic)\nfn f() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.allowed_anywhere("finite-guard"));
+        assert!(
+            !f.allowed_anywhere("no-panic"),
+            "per-line rules must not be suppressed file-wide"
+        );
+        // The per-line escape still works through `allowed`.
+        assert!(f.allowed("no-panic", 2));
+    }
+
+    #[test]
+    fn comment_near_finds_justifications() {
+        let src = "// relaxed: monotonic counter\nlet x = 1;\nlet y = 2;\nlet z = 3;\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(f.comment_near(1, 0, "relaxed:"));
+        assert!(f.comment_near(2, 1, "relaxed:"));
+        assert!(f.comment_near(3, 2, "RELAXED:"), "case-insensitive");
+        assert!(!f.comment_near(4, 1, "relaxed:"));
     }
 }

@@ -1,0 +1,559 @@
+//! Zero-dependency token stream over preprocessed Rust source.
+//!
+//! [`crate::source::SourceFile`] blanks comments and literals while keeping
+//! line structure; this module lexes that *clean* text into a stream of
+//! identifiers, numbers, lifetimes and (multi-char aware) punctuation, each
+//! tagged with its 1-based line and column. On top of the raw stream a
+//! lightweight scope tracker records the enclosing `fn` / `impl` / `mod` /
+//! `trait` item for every token, so rules can ask "which function am I in"
+//! instead of guessing from indentation.
+//!
+//! The lexer is deliberately not a full Rust parser: it only needs to be
+//! right about token boundaries and brace nesting, which is what the lint
+//! rules match on. Generic angle brackets are not tracked as delimiters —
+//! rules that skip generics do so locally.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// `'a`-style lifetime (char literals are blanked before lexing).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u64`, `1.5e-3`).
+    Number {
+        /// `true` for decimal/exponent/float-suffixed literals.
+        is_float: bool,
+    },
+    /// Punctuation; multi-char operators (`::`, `->`, `==`, ...) are one
+    /// token.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in chars).
+    pub col: usize,
+}
+
+/// Item scope classification for the scope tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// File root (scope id 0).
+    Root,
+    /// `fn` body.
+    Fn,
+    /// `impl` block.
+    Impl,
+    /// Inline `mod` body.
+    Mod,
+    /// `trait` body.
+    Trait,
+    /// Any other brace pair (blocks, struct bodies, match arms, ...).
+    Block,
+}
+
+/// A node in the scope tree.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// What introduced this scope.
+    pub kind: ScopeKind,
+    /// Item name (`fn foo` → `foo`; empty for blocks and the root).
+    pub name: String,
+    /// Parent scope id (the root is its own parent).
+    pub parent: usize,
+}
+
+/// A lexed file: tokens plus the scope tree and a per-token scope id.
+#[derive(Debug)]
+pub struct TokenStream {
+    /// The tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Scope table; index 0 is the file root.
+    pub scopes: Vec<Scope>,
+    /// `scope_of[i]` is the scope id enclosing `tokens[i]`.
+    pub scope_of: Vec<usize>,
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const MULTI_PUNCT: [&str; 17] = [
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=",
+    "<<", ">>",
+];
+
+impl TokenStream {
+    /// Lexes preprocessed (comment/literal-blanked) source text.
+    #[must_use]
+    pub fn lex(clean: &str) -> Self {
+        let chars: Vec<char> = clean.chars().collect();
+        let mut tokens = Vec::new();
+        let mut line = 1usize;
+        let mut col = 1usize;
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                line += 1;
+                col = 1;
+                i += 1;
+                continue;
+            }
+            if c.is_whitespace() {
+                col += 1;
+                i += 1;
+                continue;
+            }
+            let start_col = col;
+            // Lifetime (char literals are already blanked, so a surviving
+            // tick always introduces a lifetime or a label).
+            if c == '\'' {
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                col += j - i;
+                i = j;
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col: start_col,
+                });
+                continue;
+            }
+            // Identifier / keyword (including raw identifiers `r#type`).
+            if c.is_alphabetic() || c == '_' {
+                let mut j = i;
+                if c == 'r' && i + 1 < chars.len() && chars[i + 1] == '#' {
+                    j += 2; // raw identifier prefix
+                }
+                let word_start = j;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j == word_start {
+                    // `r#` not followed by an identifier: lex `r` alone.
+                    j = i + 1;
+                }
+                let text: String = chars[word_start.min(j)..j].iter().collect();
+                col += j - i;
+                i = j;
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col: start_col,
+                });
+                continue;
+            }
+            // Number literal.
+            if c.is_ascii_digit() {
+                let (j, is_float) = lex_number(&chars, i);
+                let text: String = chars[i..j].iter().collect();
+                col += j - i;
+                i = j;
+                tokens.push(Token {
+                    kind: TokenKind::Number { is_float },
+                    text,
+                    line,
+                    col: start_col,
+                });
+                continue;
+            }
+            // Punctuation, multi-char operators first.
+            let rest: String = chars[i..(i + 3).min(chars.len())].iter().collect();
+            let mut matched = None;
+            for op in MULTI_PUNCT {
+                if rest.starts_with(op) {
+                    // `..=` vs `..`: ranges like `0..10` must not eat `=`.
+                    matched = Some(op);
+                    break;
+                }
+            }
+            let text = matched.map_or_else(|| c.to_string(), str::to_string);
+            let len = text.chars().count();
+            col += len;
+            i += len;
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text,
+                line,
+                col: start_col,
+            });
+        }
+        let (scopes, scope_of) = build_scopes(&tokens);
+        TokenStream {
+            tokens,
+            scopes,
+            scope_of,
+        }
+    }
+
+    /// The nearest enclosing `fn` scope's name for `tokens[idx]`, if any.
+    #[must_use]
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&str> {
+        self.enclosing(idx, ScopeKind::Fn)
+    }
+
+    /// The nearest enclosing `impl` scope's name for `tokens[idx]`, if any.
+    #[must_use]
+    pub fn enclosing_impl(&self, idx: usize) -> Option<&str> {
+        self.enclosing(idx, ScopeKind::Impl)
+    }
+
+    fn enclosing(&self, idx: usize, kind: ScopeKind) -> Option<&str> {
+        let mut s = *self.scope_of.get(idx)?;
+        loop {
+            let scope = &self.scopes[s];
+            if scope.kind == kind {
+                return Some(&scope.name);
+            }
+            if s == 0 {
+                return None;
+            }
+            s = scope.parent;
+        }
+    }
+
+    /// Token index range `[start, end)` of the function body containing
+    /// `tokens[idx]`, or `None` when the token sits outside any `fn`.
+    #[must_use]
+    pub fn fn_body_range(&self, idx: usize) -> Option<(usize, usize)> {
+        let mut s = *self.scope_of.get(idx)?;
+        let fn_scope = loop {
+            if self.scopes[s].kind == ScopeKind::Fn {
+                break s;
+            }
+            if s == 0 {
+                return None;
+            }
+            s = self.scopes[s].parent;
+        };
+        // The fn scope covers every token whose scope chain includes it.
+        let start = self
+            .scope_of
+            .iter()
+            .position(|&t| self.chains_to(t, fn_scope))?;
+        let end = self
+            .scope_of
+            .iter()
+            .rposition(|&t| self.chains_to(t, fn_scope))
+            .map_or(start, |e| e + 1);
+        Some((start, end))
+    }
+
+    fn chains_to(&self, mut s: usize, target: usize) -> bool {
+        loop {
+            if s == target {
+                return true;
+            }
+            if s == 0 {
+                return false;
+            }
+            s = self.scopes[s].parent;
+        }
+    }
+
+    /// `true` when the token at `idx` is an identifier with exactly `text`.
+    #[must_use]
+    pub fn is_ident(&self, idx: usize, text: &str) -> bool {
+        self.tokens
+            .get(idx)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+    }
+
+    /// `true` when the token at `idx` has exactly `text` (any kind).
+    #[must_use]
+    pub fn is_text(&self, idx: usize, text: &str) -> bool {
+        self.tokens.get(idx).is_some_and(|t| t.text == text)
+    }
+
+    /// `true` when `pat` matches the token texts starting at `idx`.
+    #[must_use]
+    pub fn matches(&self, idx: usize, pat: &[&str]) -> bool {
+        pat.iter()
+            .enumerate()
+            .all(|(k, p)| self.is_text(idx + k, p))
+    }
+}
+
+/// Lexes one number starting at `chars[i]`; returns (end, is_float).
+fn lex_number(chars: &[char], i: usize) -> (usize, bool) {
+    let n = chars.len();
+    let mut j = i;
+    let hex = j + 1 < n && chars[j] == '0' && matches!(chars[j + 1], 'x' | 'X' | 'b' | 'o');
+    let mut is_float = false;
+    // Integer part (also consumes type suffixes and hex digits).
+    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+        // Exponent sign: `1e-6` — consume the sign when sandwiched between
+        // an e/E and a digit, unless this is a hex/binary literal.
+        if !hex
+            && matches!(chars[j], 'e' | 'E')
+            && j + 1 < n
+            && matches!(chars[j + 1], '+' | '-')
+            && j + 2 < n
+            && chars[j + 2].is_ascii_digit()
+        {
+            is_float = true;
+            j += 2;
+            continue;
+        }
+        if !hex && matches!(chars[j], 'e' | 'E') && j + 1 < n && chars[j + 1].is_ascii_digit() {
+            is_float = true;
+        }
+        j += 1;
+    }
+    // Fractional part: `.` followed by a digit (so `0..10` stays a range).
+    if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+        is_float = true;
+        j += 1;
+        while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+            if !hex
+                && matches!(chars[j], 'e' | 'E')
+                && j + 1 < n
+                && matches!(chars[j + 1], '+' | '-')
+                && j + 2 < n
+                && chars[j + 2].is_ascii_digit()
+            {
+                j += 2;
+                continue;
+            }
+            j += 1;
+        }
+    }
+    let text: String = chars[i..j].iter().collect();
+    if text.ends_with("f32") || text.ends_with("f64") {
+        is_float = true;
+    }
+    (j, is_float)
+}
+
+/// Builds the scope tree by walking brace nesting and item keywords.
+fn build_scopes(tokens: &[Token]) -> (Vec<Scope>, Vec<usize>) {
+    let mut scopes = vec![Scope {
+        kind: ScopeKind::Root,
+        name: String::new(),
+        parent: 0,
+    }];
+    let mut stack = vec![0usize];
+    let mut scope_of = Vec::with_capacity(tokens.len());
+    // An item header seen but whose `{` has not arrived yet.
+    let mut pending: Option<(ScopeKind, String)> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        let current = *stack.last().unwrap_or(&0);
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident, "fn") => {
+                let name = tokens
+                    .get(i + 1)
+                    .filter(|n| n.kind == TokenKind::Ident)
+                    .map(|n| n.text.clone())
+                    .unwrap_or_default();
+                pending = Some((ScopeKind::Fn, name));
+            }
+            (TokenKind::Ident, "impl") => {
+                pending = Some((ScopeKind::Impl, impl_name(tokens, i)));
+            }
+            (TokenKind::Ident, "mod" | "trait") => {
+                let kind = if t.text == "mod" {
+                    ScopeKind::Mod
+                } else {
+                    ScopeKind::Trait
+                };
+                let name = tokens
+                    .get(i + 1)
+                    .filter(|n| n.kind == TokenKind::Ident)
+                    .map(|n| n.text.clone())
+                    .unwrap_or_default();
+                pending = Some((kind, name));
+            }
+            (TokenKind::Punct, "{") => {
+                let (kind, name) = pending.take().unwrap_or((ScopeKind::Block, String::new()));
+                scopes.push(Scope {
+                    kind,
+                    name,
+                    parent: current,
+                });
+                stack.push(scopes.len() - 1);
+            }
+            (TokenKind::Punct, "}") => {
+                scope_of.push(current);
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+                continue;
+            }
+            (TokenKind::Punct, ";") => {
+                // Headerless declaration (`mod x;`, trait fn signature).
+                pending = None;
+            }
+            _ => {}
+        }
+        scope_of.push(*stack.last().unwrap_or(&0));
+    }
+    (scopes, scope_of)
+}
+
+/// Name for an `impl` scope: the implemented-on type (`impl Trait for Type`
+/// → `Type`; `impl Type` → `Type`), skipping generic parameter lists.
+fn impl_name(tokens: &[Token], impl_idx: usize) -> String {
+    let mut last_ident = String::new();
+    let mut angle = 0i32;
+    let mut saw_for = false;
+    let mut for_ident = String::new();
+    for t in tokens.iter().skip(impl_idx + 1) {
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "{") if angle <= 0 => break,
+            (TokenKind::Punct, "<") => angle += 1,
+            (TokenKind::Punct, ">") => angle -= 1,
+            (TokenKind::Punct, ">>") => angle -= 2,
+            (TokenKind::Ident, "for") if angle <= 0 => saw_for = true,
+            (TokenKind::Ident, "where") if angle <= 0 => break,
+            (TokenKind::Ident, w) if angle <= 0 => {
+                if saw_for {
+                    if for_ident.is_empty() {
+                        for_ident = w.to_string();
+                    }
+                } else {
+                    last_ident = w.to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    if saw_for && !for_ident.is_empty() {
+        for_ident
+    } else {
+        last_ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(ts: &TokenStream) -> Vec<&str> {
+        ts.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_and_operators() {
+        let ts = TokenStream::lex("let x = a.power_w == 1.0e-3 && n != 10;");
+        assert_eq!(
+            texts(&ts),
+            vec!["let", "x", "=", "a", ".", "power_w", "==", "1.0e-3", "&&", "n", "!=", "10", ";"]
+        );
+        let float = ts.tokens.iter().find(|t| t.text == "1.0e-3").unwrap();
+        assert_eq!(float.kind, TokenKind::Number { is_float: true });
+        let int = ts.tokens.iter().find(|t| t.text == "10").unwrap();
+        assert_eq!(int.kind, TokenKind::Number { is_float: false });
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let ts = TokenStream::lex("for i in 0..10 {}");
+        assert_eq!(
+            texts(&ts),
+            vec!["for", "i", "in", "0", "..", "10", "{", "}"]
+        );
+        assert!(ts
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Number { .. }))
+            .all(|t| t.kind == TokenKind::Number { is_float: false }));
+    }
+
+    #[test]
+    fn suffixed_and_exponent_literals_classify_as_float() {
+        for lit in ["2f64", "1e6", "1E-9", "3.5f32", "1_000.25"] {
+            let src = format!("let v = {lit};");
+            let ts = TokenStream::lex(&src);
+            let t = ts.tokens.iter().find(|t| t.text == lit).unwrap_or_else(|| {
+                panic!("token {lit} not found in {:?}", texts(&ts));
+            });
+            assert_eq!(t.kind, TokenKind::Number { is_float: true }, "{lit}");
+        }
+        // Hex literals never classify as floats, even with an `e` digit.
+        let ts = TokenStream::lex("let v = 0x1e3;");
+        let t = ts.tokens.iter().find(|t| t.text == "0x1e3").unwrap();
+        assert_eq!(t.kind, TokenKind::Number { is_float: false });
+    }
+
+    #[test]
+    fn lines_and_columns_are_one_based() {
+        let ts = TokenStream::lex("fn a() {}\n  fn b() {}\n");
+        let b = ts.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!((b.line, b.col), (2, 6));
+    }
+
+    #[test]
+    fn scope_tracker_names_enclosing_fn() {
+        let src = "fn outer() { let x = 1; { inner_marker; } }\nfn later() { other_marker; }\n";
+        let ts = TokenStream::lex(src);
+        let at = |text: &str| ts.tokens.iter().position(|t| t.text == text).unwrap();
+        assert_eq!(ts.enclosing_fn(at("inner_marker")), Some("outer"));
+        assert_eq!(ts.enclosing_fn(at("other_marker")), Some("later"));
+        assert_eq!(ts.enclosing_fn(at("later")), None, "fn keyword is outside");
+    }
+
+    #[test]
+    fn scope_tracker_names_enclosing_impl() {
+        let src = "impl Clock for MonotonicClock { fn now(&self) { marker; } }\n\
+                   impl<K: Ord> Store<K> { fn get(&self) { marker2; } }\n";
+        let ts = TokenStream::lex(src);
+        let at = |text: &str| ts.tokens.iter().position(|t| t.text == text).unwrap();
+        assert_eq!(ts.enclosing_impl(at("marker")), Some("MonotonicClock"));
+        assert_eq!(ts.enclosing_fn(at("marker")), Some("now"));
+        assert_eq!(ts.enclosing_impl(at("marker2")), Some("Store"));
+    }
+
+    #[test]
+    fn mod_and_trait_scopes_are_tracked() {
+        let src = "mod tests { fn t() { m; } }\ntrait T { fn d(&self) { n; } }\nmod decl;\n";
+        let ts = TokenStream::lex(src);
+        let at = |text: &str| ts.tokens.iter().position(|t| t.text == text).unwrap();
+        let m_scope = ts.scope_of[at("m")];
+        assert_eq!(ts.scopes[m_scope].kind, ScopeKind::Fn);
+        assert_eq!(ts.scopes[ts.scopes[m_scope].parent].kind, ScopeKind::Mod);
+        assert_eq!(ts.enclosing_fn(at("n")), Some("d"));
+        // `mod decl;` never opens a scope.
+        assert_eq!(ts.scope_of[at("decl")], 0);
+    }
+
+    #[test]
+    fn fn_body_range_covers_the_whole_function() {
+        let src = "fn f() { first; { nested; } last; }\nfn g() { outside; }\n";
+        let ts = TokenStream::lex(src);
+        let at = |text: &str| ts.tokens.iter().position(|t| t.text == text).unwrap();
+        let (start, end) = ts.fn_body_range(at("nested")).unwrap();
+        let covered: Vec<&str> = ts.tokens[start..end]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(covered.contains(&"first"));
+        assert!(covered.contains(&"last"));
+        assert!(!covered.contains(&"outside"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_without_the_prefix() {
+        let ts = TokenStream::lex("let r#type = 1;");
+        assert_eq!(texts(&ts), vec!["let", "type", "=", "1", ";"]);
+    }
+
+    #[test]
+    fn unsafe_code_attribute_is_one_ident() {
+        // Token-level matching must not confuse `unsafe_code` (an attribute
+        // argument) with the `unsafe` keyword.
+        let ts = TokenStream::lex("#![deny(unsafe_code)]");
+        assert!(ts.tokens.iter().any(|t| t.text == "unsafe_code"));
+        assert!(!ts.tokens.iter().any(|t| t.text == "unsafe"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Round-trip tests for the machine-readable lint output: fixture findings
+//! are rendered with `--format json` / `--format sarif` emitters and parsed
+//! back with the workspace JSON parser, proving CI consumers can rely on the
+//! documents without serde on either side.
+
+use efficsense_obs::json::Json;
+use std::collections::BTreeMap;
+use xtask::emit::{render_json, render_sarif};
+use xtask::{lint_source, LintReport};
+
+fn fixture_report() -> LintReport {
+    let mut diagnostics = Vec::new();
+    diagnostics.extend(lint_source(
+        "crates/dsp/src/fake.rs",
+        include_str!("fixtures/float_eq.rs"),
+    ));
+    diagnostics.extend(lint_source(
+        "crates/core/src/fake.rs",
+        include_str!("fixtures/ambient_time.rs"),
+    ));
+    diagnostics.extend(lint_source(
+        "crates/obs/src/fake.rs",
+        include_str!("fixtures/atomic_ordering.rs"),
+    ));
+    assert!(!diagnostics.is_empty(), "fixtures must produce findings");
+    LintReport {
+        diagnostics,
+        allow_counts: BTreeMap::from([
+            ("float-eq".to_string(), 1),
+            ("ambient-time".to_string(), 1),
+            ("atomic-ordering".to_string(), 1),
+        ]),
+    }
+}
+
+#[test]
+fn json_round_trips_fixture_findings() {
+    let report = fixture_report();
+    let doc = render_json(&report);
+    let json = Json::parse(&doc).expect("emitted JSON must parse");
+    let diags = json.get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert_eq!(diags.len(), report.diagnostics.len());
+    for (got, want) in diags.iter().zip(&report.diagnostics) {
+        assert_eq!(
+            got.get("path").and_then(Json::as_str),
+            Some(want.path.as_str())
+        );
+        assert_eq!(
+            got.get("line").and_then(Json::as_u64),
+            Some(want.line as u64)
+        );
+        assert_eq!(got.get("rule").and_then(Json::as_str), Some(want.rule));
+        assert_eq!(
+            got.get("message").and_then(Json::as_str),
+            Some(want.message.as_str())
+        );
+    }
+    assert_eq!(json.get("total_allows").and_then(Json::as_u64), Some(3));
+    let allows = json.get("allows").and_then(Json::as_obj).unwrap();
+    assert_eq!(allows.len(), 3);
+}
+
+#[test]
+fn sarif_round_trips_fixture_findings() {
+    let report = fixture_report();
+    let doc = render_sarif(&report.diagnostics);
+    let json = Json::parse(&doc).expect("emitted SARIF must parse");
+    assert_eq!(json.get("version").and_then(Json::as_str), Some("2.1.0"));
+    let run = &json.get("runs").and_then(Json::as_arr).unwrap()[0];
+    let driver = run.get("tool").and_then(|t| t.get("driver")).unwrap();
+    assert_eq!(
+        driver.get("name").and_then(Json::as_str),
+        Some("xtask-lint")
+    );
+    let rules = driver.get("rules").and_then(Json::as_arr).unwrap();
+    assert_eq!(rules.len(), xtask::rules::RULES.len());
+    let results = run.get("results").and_then(Json::as_arr).unwrap();
+    assert_eq!(results.len(), report.diagnostics.len());
+    for (got, want) in results.iter().zip(&report.diagnostics) {
+        assert_eq!(got.get("ruleId").and_then(Json::as_str), Some(want.rule));
+        let loc = &got.get("locations").and_then(Json::as_arr).unwrap()[0];
+        let phys = loc.get("physicalLocation").unwrap();
+        assert_eq!(
+            phys.get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Json::as_str),
+            Some(want.path.as_str())
+        );
+        assert_eq!(
+            phys.get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Json::as_u64),
+            Some(want.line as u64)
+        );
+        // Every result's ruleIndex points at its catalogue entry.
+        let idx = got.get("ruleIndex").and_then(Json::as_u64).unwrap() as usize;
+        assert_eq!(xtask::rules::RULES[idx].id, want.rule);
+    }
+}
+
+#[test]
+fn workspace_budget_file_parses_and_covers_the_live_census() {
+    // The committed budget must parse, and the real workspace's escape
+    // census must fit inside it — the same check `cargo xtask lint`
+    // enforces, run here so `cargo test` catches drift too.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root");
+    let text = std::fs::read_to_string(root.join("lint-budget.toml"))
+        .expect("lint-budget.toml is committed at the workspace root");
+    let budget = xtask::budget::parse(&text).expect("budget file parses");
+    let report = xtask::lint_workspace_report(root).expect("walk workspace");
+    let over = xtask::budget::check(&budget, &report.allow_counts);
+    assert!(
+        over.is_empty(),
+        "suppression budget exceeded:\n{}",
+        over.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,19 @@
+// Fixture: ambient-time violations (linted under a library crate path).
+
+pub fn stamp() -> u64 {
+    let t = Instant::now(); // VIOLATION line 4
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn wall_secs() -> u64 {
+    let now = SystemTime::now(); // VIOLATION line 9
+    now.duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs())
+}
+
+pub fn suppressed() -> Instant {
+    Instant::now() // lint:allow(ambient-time) — startup banner, not simulation
+}
+
+pub fn through_the_clock(reg: &ObsRegistry) -> u64 {
+    reg.now_ns() // clean: pluggable clock
+}

@@ -1,0 +1,23 @@
+// Fixture: atomic-ordering violations (Relaxed on non-counter atomics).
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed); // VIOLATION line 4
+}
+
+pub fn state_machine(phase: &AtomicU8) -> u8 {
+    phase.load(Ordering::Relaxed) // VIOLATION line 8
+}
+
+pub fn justified(ready: &AtomicBool) {
+    // relaxed: advisory flag; a stale read only delays one poll cycle
+    ready.store(true, Ordering::Relaxed); // clean: justified above
+}
+
+pub fn suppressed(gate: &AtomicBool) {
+    gate.store(true, Ordering::Relaxed); // lint:allow(atomic-ordering)
+}
+
+pub fn counters(hits: &AtomicU64, evaluation_count: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed); // clean: monotonic counter
+    evaluation_count.fetch_add(1, Ordering::Relaxed); // clean: counter name
+}

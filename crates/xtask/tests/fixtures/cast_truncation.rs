@@ -1,0 +1,19 @@
+// Fixture: cast-truncation violations (linted under a hot-kernel path).
+
+pub fn bit_reverse(n: usize) -> Vec<u32> {
+    debug_assert!(n.is_power_of_two(), "fft sizes are powers of two");
+    (0..n).map(|i| i as u32).collect() // VIOLATION line 5
+}
+
+pub fn quantize(x: f64) -> f32 {
+    debug_assert!(x.is_finite(), "quantizer input finite");
+    x as f32 // VIOLATION line 10
+}
+
+pub fn suppressed(x: f64) -> i16 {
+    x as i16 // lint:allow(cast-truncation) — range clamped by the caller
+}
+
+pub fn widening(i: u32, x: f32) -> (usize, f64) {
+    (i as usize, f64::from(x)) // clean: widening casts only
+}

@@ -1,0 +1,13 @@
+// Fixture: stale-allow — escapes that suppress nothing are errors.
+
+// lint:allow(float-eq) — VIOLATION line 3: nothing to suppress below
+pub fn integers_only(n: usize) -> bool {
+    n == 10
+}
+
+pub fn real_escape(x: f64) -> bool {
+    x == 0.5 // lint:allow(float-eq) — clean: this escape earns its keep
+}
+
+// The escape syntax is documented as lint:allow(rule-id); an unknown rule
+// name like that placeholder is ignored rather than counted as stale.

@@ -1,0 +1,27 @@
+// Fixture: unordered-iter violations (hash iteration without a sort).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn dump(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect() // VIOLATION line 6
+}
+
+pub fn visit(set: &HashSet<u32>) {
+    for v in set { // VIOLATION line 10
+        observe(v);
+    }
+}
+
+pub fn suppressed(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum() // lint:allow(unordered-iter) — order-insensitive reduction
+}
+
+pub fn sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys // clean: order fixed before it can reach an output
+}
+
+pub fn not_a_hash(v: &Vec<u32>) -> u32 {
+    v.iter().sum() // clean: Vec iteration is ordered
+}

@@ -1,0 +1,17 @@
+// Fixture: unsafe-audit and static-mut violations. Never compiled (the
+// workspace denies unsafe_code); the linter only ever sees it as tokens.
+
+pub fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p } // VIOLATION line 5
+}
+
+static mut GLOBAL_SCRATCH: u64 = 0; // VIOLATION line 8 (static-mut)
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller contract guarantees p outlives the call and is aligned
+    unsafe { *p } // clean: SAFETY comment within three lines
+}
+
+pub fn suppressed(p: *const u8) -> u8 {
+    unsafe { *p } // lint:allow(unsafe-audit) — audited in review
+}
