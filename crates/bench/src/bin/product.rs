@@ -251,7 +251,12 @@ fn main() {
     );
     for name in [
         "stage.simulate",
+        "sim.analog",
+        "sim.encode",
         "stage.reconstruct",
+        "recon.batch",
+        "recon.cholup",
+        "recon.gram",
         "stage.power",
         "stage.detect",
     ] {
@@ -266,10 +271,18 @@ fn main() {
             );
         }
     }
+    // The decode kernels are children of `stage.reconstruct` (and, for the
+    // few training decodes, of `detect.train`), so their self times are part
+    // of the per-point accounting identity.
     let stage_sum_s = self_s("sweep.point")
         + self_s("stage.simulate")
+        + self_s("sim.analog")
+        + self_s("sim.encode")
         + self_s("stage.detect")
         + self_s("stage.reconstruct")
+        + self_s("recon.batch")
+        + self_s("recon.cholup")
+        + self_s("recon.gram")
         + self_s("stage.power");
     let stage_ratio = stage_sum_s / (point.total_ns as f64 / 1e9).max(1e-12);
     assert!(

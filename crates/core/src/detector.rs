@@ -83,28 +83,34 @@ impl SeizureDetector {
             let eff =
                 efficsense_cs::charge_sharing::effective_matrix(&phi, cfg.c_sample_f, cfg.c_hold_f);
             let dict = eff.matmul(&cfg.basis.matrix(cfg.n_phi));
+            // Gram/ridge artifacts route the training decodes through the
+            // fast batched OMP kernel (mean_row_w2 is unused here).
+            let art =
+                efficsense_cs::memo::DictionaryArtifacts::from_dictionary(dict, cfg.basis, 0.0);
             let omp = efficsense_cs::recon::OmpConfig {
                 sparsity: 2 * cfg.m / 5,
                 residual_tol: 1e-4,
             };
-            (cfg, eff, dict, omp)
+            (cfg, eff, art, omp)
         };
         let pipelines: Vec<_> = [75usize, 150].iter().map(|&m| make_pipeline(m)).collect();
         let cs_recon = |clean: &[f64],
                         p: &(
             crate::config::CsConfig,
             efficsense_cs::Matrix,
-            efficsense_cs::Matrix,
+            efficsense_cs::memo::DictionaryArtifacts,
             efficsense_cs::recon::OmpConfig,
         )|
          -> Vec<f64> {
-            let (cfg, eff, dict, omp) = p;
+            let (cfg, eff, art, omp) = p;
+            let frames: Vec<Vec<f64>> = clean
+                .chunks_exact(cfg.n_phi)
+                .map(|frame| eff.matvec(frame))
+                .collect();
+            let cfgs = vec![omp.clone(); frames.len()];
             let mut out = Vec::with_capacity(clean.len());
-            for frame in clean.chunks_exact(cfg.n_phi) {
-                let meas = eff.matvec(frame);
-                out.extend(efficsense_cs::recon::reconstruct_with_dictionary(
-                    dict, &meas, cfg.basis, omp,
-                ));
+            for xh in efficsense_cs::decode::reconstruct_batch(art, &frames, &cfgs, 1) {
+                out.extend(xh);
             }
             out
         };

@@ -2,9 +2,10 @@
 
 use crate::config::{ConfigError, CsConfig, SystemConfig};
 use efficsense_blocks::{ChargeSharingEncoder, Lna, Sampler, SarAdc, Transmitter};
+use efficsense_cs::decode::reconstruct_batch;
 use efficsense_cs::matrix::SensingMatrix;
 use efficsense_cs::memo::{self, DictionaryArtifacts, DictionaryParams};
-use efficsense_cs::recon::{reconstruct_with_artifacts, OmpConfig};
+use efficsense_cs::recon::OmpConfig;
 use efficsense_dsp::resample::{resample_linear, sample_at};
 use efficsense_dsp::stats::rms;
 use efficsense_faults::{FaultPlan, LinkStats};
@@ -71,6 +72,11 @@ pub struct Simulator {
     /// Injected fault plan; `None` (and clean plans) leave every block's
     /// behaviour bit-identical to the unfaulted simulator.
     plan: Option<FaultPlan>,
+    /// Worker threads for the batched per-record OMP decode (`<= 1` decodes
+    /// inline). Not part of [`SystemConfig`]: thread count never changes
+    /// results (the batch decoder is bit-identical across counts), so it
+    /// must not perturb cache keys.
+    decode_threads: usize,
 }
 
 /// Architecture-specific precomputed state. Splitting this out of
@@ -144,7 +150,15 @@ impl Simulator {
             cfg,
             arch,
             plan: None,
+            decode_threads: 1,
         })
+    }
+
+    /// Sets the decode fan-out for subsequent [`Simulator::run`] calls.
+    /// Sweeps already parallelise across points, so the default (inline)
+    /// is right unless a single point is being evaluated in isolation.
+    pub fn set_decode_threads(&mut self, threads: usize) {
+        self.decode_threads = threads.max(1);
     }
 
     /// Builds a simulator with a fault plan injected from the start.
@@ -214,21 +228,25 @@ impl Simulator {
         let cfg = &self.cfg;
         let f_ct = cfg.f_ct_hz();
         let f_s = cfg.design.f_sample_hz();
-        // Step 1: continuous-time proxy.
-        let ct = resample_linear(input, fs_in, f_ct);
-        // Step 2: LNA (fresh instance; noise varies with the record).
-        let mut lna = Lna::from_design(
-            &cfg.design,
-            cfg.lna.gain,
-            cfg.lna.noise_floor_vrms,
-            cfg.lna.k3,
-            f_ct,
-            cfg.seed ^ noise_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        if let Some(plan) = &self.plan {
-            lna.inject_rail_fault(plan.lna, plan.stream(record_salt(SALT_LNA, noise_seed)));
-        }
-        let amplified = lna.process_buffer(&ct);
+        // Steps 1–2 under their own span so per-stage telemetry separates the
+        // analog front end (resample + LNA) from acquisition and decode.
+        let amplified = {
+            let _analog_span = efficsense_obs::span!("sim.analog");
+            let ct = resample_linear(input, fs_in, f_ct);
+            // LNA: fresh instance; noise varies with the record.
+            let mut lna = Lna::from_design(
+                &cfg.design,
+                cfg.lna.gain,
+                cfg.lna.noise_floor_vrms,
+                cfg.lna.k3,
+                f_ct,
+                cfg.seed ^ noise_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            if let Some(plan) = &self.plan {
+                lna.inject_rail_fault(plan.lna, plan.stream(record_salt(SALT_LNA, noise_seed)));
+            }
+            lna.process_buffer(&ct)
+        };
         efficsense_dsp::approx::debug_assert_all_finite(&amplified, "simulate: LNA output");
         // Step 3: architecture-specific acquisition.
         let (acquired, words, adc_in_rms, link) = match &self.arch {
@@ -422,6 +440,13 @@ impl Simulator {
         let mut rms_acc = 0.0;
         let mut rms_n = 0usize;
         let mut link_stats: Option<LinkStats> = None;
+        // Front-end pass: encode and digitise every frame first (the encoder
+        // and ADC are stateful, so their sample order is unchanged), then
+        // hand the whole record to the batched decoder in one call.
+        let n_frames = n_samples / cs.n_phi;
+        let mut frames: Vec<Vec<f64>> = Vec::with_capacity(n_frames);
+        let mut omp_cfgs: Vec<OmpConfig> = Vec::with_capacity(n_frames);
+        let encode_span = efficsense_obs::span!("sim.encode");
         for frame in sampled.chunks_exact(cs.n_phi) {
             let measurements = encoder.encode_frame(frame);
             // Digitise the measurements.
@@ -446,21 +471,22 @@ impl Simulator {
                     .accumulate(&stats);
             }
             let y_norm = efficsense_cs::linalg::norm2(&digitised).max(1e-300);
-            let omp = OmpConfig {
+            omp_cfgs.push(OmpConfig {
                 sparsity: cs.omp_sparsity,
                 residual_tol: (noise_norm / y_norm).clamp(1e-4, 0.9),
-            };
-            // Decode with the nominal dictionary (the decoder does not know
-            // the mismatch/kTC realisation).
+            });
+            frames.push(digitised);
+        }
+        drop(encode_span);
+        // Decode with the nominal dictionary (the decoder does not know the
+        // mismatch/kTC realisation). All frames of the record go through the
+        // Gram-cached batch decoder in one call.
+        {
             let _recon_span = efficsense_obs::span!("stage.reconstruct");
-            let xh = reconstruct_with_artifacts(
-                &art.dictionary,
-                &art.col_norms,
-                &digitised,
-                cs.basis,
-                &omp,
-            );
-            out.extend(xh);
+            let decoded = reconstruct_batch(art, &frames, &omp_cfgs, self.decode_threads);
+            for xh in decoded {
+                out.extend(xh);
+            }
         }
         let adc_in_rms = if rms_n > 0 {
             (rms_acc / rms_n as f64).sqrt()

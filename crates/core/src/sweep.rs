@@ -137,6 +137,11 @@ pub struct SweepConfig {
     pub failure_policy: FailurePolicy,
     /// Fault plan injected into every evaluated point (`None` = clean sweep).
     pub fault_plan: Option<FaultPlan>,
+    /// Worker threads for the batched per-record OMP decode inside each
+    /// point evaluation (`<= 1` decodes inline). Sweeps already parallelise
+    /// across points, so the default keeps decode inline; results are
+    /// bit-identical for every value.
+    pub decode_threads: usize,
 }
 
 impl Default for SweepConfig {
@@ -148,6 +153,7 @@ impl Default for SweepConfig {
             epoch_s: 2.0,
             failure_policy: FailurePolicy::Abort,
             fault_plan: None,
+            decode_threads: 1,
         }
     }
 }
@@ -277,6 +283,7 @@ impl Sweep {
         let goal_ref: &(dyn GoalFunction + Sync) = goal.as_ref();
         let policy = self.config.failure_policy;
         let plan = self.config.fault_plan.as_ref();
+        let decode_threads = self.config.decode_threads;
         let max_retries = match policy {
             FailurePolicy::Retry(n) => n,
             _ => 0,
@@ -352,6 +359,7 @@ impl Sweep {
                                                 attempt_goal,
                                                 plan,
                                                 salt,
+                                                decode_threads,
                                             )
                                         }))
                                         .unwrap_or_else(|payload| {
@@ -502,7 +510,7 @@ pub fn evaluate_point(
     goal: &(dyn GoalFunction + Sync),
     plan: Option<&FaultPlan>,
 ) -> Result<SweepResult, PointError> {
-    evaluate_point_salted(point, space, dataset, goal, plan, 0)
+    evaluate_point_salted(point, space, dataset, goal, plan, 0, 1)
 }
 
 /// Derives a retry seed: salt 0 is the identity (the canonical seed), each
@@ -523,6 +531,8 @@ pub fn salted_seed(base: u64, salt: u64) -> u64 {
 /// canonical evaluation (the only one the result cache stores); positive
 /// salts re-derive every per-record noise seed via [`salted_seed`], giving
 /// [`FailurePolicy::Retry`] a genuinely fresh realisation per attempt.
+/// `decode_threads` sets the per-record OMP decode fan-out (`<= 1` inline);
+/// it never changes the result, only the wall clock.
 ///
 /// # Errors
 ///
@@ -534,10 +544,12 @@ pub fn evaluate_point_salted(
     goal: &(dyn GoalFunction + Sync),
     plan: Option<&FaultPlan>,
     noise_salt: u64,
+    decode_threads: usize,
 ) -> Result<SweepResult, PointError> {
     let cfg = point.to_config(&space.template);
     let mut sim = Simulator::new(cfg).map_err(PointError::Config)?;
     sim.set_fault_plan(plan.cloned());
+    sim.set_decode_threads(decode_threads);
     let outputs: Vec<(SimOutput, usize)> = {
         let _sim_span = efficsense_obs::span!("stage.simulate");
         dataset
@@ -966,11 +978,19 @@ mod tests {
         let goal = SnrGoal;
         let canonical =
             evaluate_point(point, &space, &ds, &goal, None).expect("canonical evaluation");
-        let salt0 =
-            evaluate_point_salted(point, &space, &ds, &goal, None, 0).expect("salt-0 evaluation");
+        let salt0 = evaluate_point_salted(point, &space, &ds, &goal, None, 0, 1)
+            .expect("salt-0 evaluation");
         assert_eq!(canonical, salt0, "salt 0 must be the canonical evaluation");
-        let salt1 =
-            evaluate_point_salted(point, &space, &ds, &goal, None, 1).expect("salt-1 evaluation");
+        // Decode fan-out is pure mechanism: a different thread count must
+        // reproduce the canonical result bit for bit.
+        let salt0_mt = evaluate_point_salted(point, &space, &ds, &goal, None, 0, 4)
+            .expect("salt-0 evaluation with pooled decode");
+        assert_eq!(
+            canonical, salt0_mt,
+            "decode threads must not change results"
+        );
+        let salt1 = evaluate_point_salted(point, &space, &ds, &goal, None, 1, 1)
+            .expect("salt-1 evaluation");
         assert!(salt1.metric.is_finite());
         assert_ne!(
             canonical.metric.to_bits(),

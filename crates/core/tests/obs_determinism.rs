@@ -98,6 +98,67 @@ fn logical_clock_snapshot_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn decode_pool_snapshot_is_identical_across_thread_counts() {
+    use efficsense_cs::basis::Basis;
+    use efficsense_cs::decode::reconstruct_batch;
+    use efficsense_cs::matrix::SensingMatrix;
+    use efficsense_cs::memo::DictionaryArtifacts;
+    use efficsense_cs::recon::OmpConfig;
+
+    let _guard = obs_lock();
+    let obs = efficsense_obs::global();
+
+    let m = 32;
+    let n = 96;
+    let phi = SensingMatrix::srbm(m, n, 2, 0xDEC0DE).to_dense();
+    let dict = phi.matmul(&Basis::Dct.matrix(n));
+    let art = DictionaryArtifacts::from_dictionary(dict, Basis::Dct, 1.0);
+    let frames: Vec<Vec<f64>> = (0..10u64)
+        .map(|f| {
+            let mut s = vec![0.0; n];
+            s[(7 * f as usize + 3) % n] = 1.0;
+            s[(31 * f as usize + 11) % n] += -0.5;
+            let x = Basis::Dct.synthesize(&s);
+            art.dictionary.matvec(&x)
+        })
+        .collect();
+    let cfgs = vec![OmpConfig::with_sparsity(5); frames.len()];
+
+    obs.set_sink(None);
+    obs.set_clock(Arc::new(LogicalClock::new(1_000)));
+
+    // Inline decode (threads = 1) nests the per-frame spans under the batch
+    // span on the caller thread, so its *snapshot* legitimately differs from
+    // the pooled runs — only its results take part in the bit-identity check.
+    obs.reset();
+    let inline = reconstruct_batch(&art, &frames, &cfgs, 1);
+
+    obs.reset();
+    let two = reconstruct_batch(&art, &frames, &cfgs, 2);
+    let snap_two = obs.snapshot();
+
+    obs.reset();
+    let four = reconstruct_batch(&art, &frames, &cfgs, 4);
+    let snap_four = obs.snapshot();
+
+    obs.set_clock(Arc::new(efficsense_obs::MonotonicClock::default()));
+
+    // Decoded frames are bit-identical for every fan-out, and under the
+    // logical clock the pooled telemetry is a pure function of the work:
+    // dynamic work stealing between 2 and 4 workers must not move a single
+    // histogram bucket.
+    assert_eq!(inline, two);
+    assert_eq!(two, four);
+    assert_eq!(snap_two, snap_four);
+
+    let batch = snap_two.span("recon.batch").expect("batch span recorded");
+    assert_eq!(batch.count, 1);
+    let cholup = snap_two.span("recon.cholup").expect("cholup span recorded");
+    assert_eq!(cholup.count as usize, frames.len());
+    assert!(cholup.total_ns > 0, "logical clock must advance in workers");
+}
+
+#[test]
 fn jsonl_trace_round_trips_through_the_parser() {
     let _guard = obs_lock();
     let obs = efficsense_obs::global();

@@ -26,6 +26,7 @@
 
 pub mod basis;
 pub mod charge_sharing;
+pub mod decode;
 pub mod diagnostics;
 pub mod linalg;
 pub mod matrix;

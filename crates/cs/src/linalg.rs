@@ -80,6 +80,55 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
+    /// Euclidean norm of every column, in one row-major pass.
+    ///
+    /// Equivalent to `(0..cols).map(|c| norm2(&self.col(c)))` but without
+    /// the per-column `Vec` allocation and the strided column walks: the
+    /// squared sums accumulate across rows (ascending, so each column's
+    /// summation order matches the column-copy path bit for bit).
+    pub fn col_norms(&self) -> Vec<f64> {
+        let mut sq = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (acc, &v) in sq.iter_mut().zip(self.row(r)) {
+                *acc += v * v;
+            }
+        }
+        for v in &mut sq {
+            *v = v.sqrt();
+        }
+        sq
+    }
+
+    /// Gram matrix `AᵀA` (`cols × cols`, symmetric positive semi-definite).
+    ///
+    /// Accumulates rank-one row outer products into the upper triangle and
+    /// mirrors it, so the whole pass runs on contiguous row slices. This is
+    /// the decoder-side precomputation that lets OMP update correlations as
+    /// `Aᵀr = Aᵀy − G[:,S]·x_S` without touching `A` again.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for j in 0..n {
+                let v = row[j];
+                if is_zero(v) {
+                    continue;
+                }
+                let grow = &mut g.data[j * n..(j + 1) * n];
+                for (k, &rk) in row[j..].iter().enumerate() {
+                    grow[j + k] += v * rk;
+                }
+            }
+        }
+        for r in 1..n {
+            for c in 0..r {
+                g.data[r * n + c] = g.data[c * n + r];
+            }
+        }
+        g
+    }
+
     /// Matrix–vector product `A·x`.
     ///
     /// # Panics
@@ -115,18 +164,29 @@ impl Matrix {
     pub fn matmul(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.cols, b.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, b.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if is_zero(aik) {
-                    continue;
-                }
-                let brow = b.row(k);
+        // Blocked over the inner dimension so one panel of `b` rows stays
+        // cache-resident while every output row accumulates against it. For
+        // each output element the `k` order is still strictly ascending and
+        // exact-zero `a[i,k]` terms are still skipped, so the result is
+        // bit-identical to the naive i-k-j triple loop.
+        const KB: usize = 64;
+        let mut k0 = 0;
+        while k0 < self.cols {
+            let k1 = (k0 + KB).min(self.cols);
+            for i in 0..self.rows {
+                let apanel = &self.data[i * self.cols + k0..i * self.cols + k1];
                 let orow = out.row_mut(i);
-                for (j, &bkj) in brow.iter().enumerate() {
-                    orow[j] += aik * bkj;
+                for (dk, &aik) in apanel.iter().enumerate() {
+                    if is_zero(aik) {
+                        continue;
+                    }
+                    let brow = b.row(k0 + dk);
+                    for (j, &bkj) in brow.iter().enumerate() {
+                        orow[j] += aik * bkj;
+                    }
                 }
             }
+            k0 = k1;
         }
         out
     }
@@ -211,7 +271,25 @@ impl fmt::Display for Matrix {
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    // Four independent accumulators break the serial add dependency so the
+    // loop can keep multiple FMAs in flight; the lanes are folded pairwise
+    // at the end. This changes the summation order relative to a serial
+    // fold, which is fine — callers rely on determinism, not on one
+    // particular rounding schedule.
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        s0 += ca[0] * cb[0];
+        s1 += ca[1] * cb[1];
+        s2 += ca[2] * cb[2];
+        s3 += ca[3] * cb[3];
+    }
+    let mut tail = 0.0;
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// Euclidean norm.
@@ -313,6 +391,136 @@ pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
     }
     efficsense_dsp::approx::debug_assert_all_finite(&atb, "least_squares normal-equation rhs");
     cholesky_solve(&ata, &atb)
+}
+
+/// Incrementally grown Cholesky factor of a ridge-regularised Gram matrix
+/// `G_S + ridge·I`, where the support `S` gains one atom per OMP iteration.
+///
+/// Appending atom `k` costs O(k²) (one forward solve against the existing
+/// factor) instead of the O(k³) full refactorisation that
+/// [`cholesky_solve`] performs, and a solve against the current factor
+/// costs O(k²). The pivot acceptance test is the same `> 1e-300` threshold
+/// as [`cholesky_solve`], so a degenerate (linearly dependent) atom is
+/// rejected at exactly the same point in exact arithmetic.
+#[derive(Debug, Clone)]
+pub struct GrowingCholesky {
+    cap: usize,
+    dim: usize,
+    ridge: f64,
+    /// Row-major `cap × cap` storage; row `i` holds `L[i, 0..=i]`.
+    l: Vec<f64>,
+    /// Scratch for the forward solve of an appended column.
+    w: Vec<f64>,
+}
+
+impl GrowingCholesky {
+    /// Empty factor able to grow to `cap` atoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn new(cap: usize, ridge: f64) -> Self {
+        assert!(cap > 0, "capacity must be positive");
+        Self {
+            cap,
+            dim: 0,
+            ridge,
+            l: vec![0.0; cap * cap],
+            w: vec![0.0; cap],
+        }
+    }
+
+    /// Drops all appended atoms and installs a new ridge, keeping the
+    /// allocated storage for reuse across decodes.
+    pub fn reset(&mut self, ridge: f64) {
+        self.dim = 0;
+        self.ridge = ridge;
+    }
+
+    /// Number of atoms currently factored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dim
+    }
+
+    /// Maximum number of atoms this factor can grow to.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether no atoms have been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dim == 0
+    }
+
+    /// Appends one atom: `cross` holds `G[S, j]` (one entry per atom already
+    /// in the factor, in append order) and `diag` is `G[j, j]`.
+    ///
+    /// On success the factor covers the enlarged support. On error (the new
+    /// pivot is not positive, i.e. the atom is numerically dependent on the
+    /// current support even after the ridge) the factor is left unchanged,
+    /// mirroring the reference path's rejection of a singular refit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] with the same "non-positive pivot" message as
+    /// [`cholesky_solve`] when the appended pivot is `<= 1e-300`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cross.len()` differs from [`len`](Self::len) or the factor
+    /// is already at capacity.
+    pub fn try_append(&mut self, cross: &[f64], diag: f64) -> Result<(), SolveError> {
+        let k = self.dim;
+        assert_eq!(cross.len(), k, "one cross term per factored atom");
+        assert!(k < self.cap, "factor is at capacity");
+        // Forward solve L·w = cross against the existing factor.
+        for (i, &ci) in cross.iter().enumerate() {
+            let lrow = &self.l[i * self.cap..i * self.cap + i];
+            let s = ci - dot(lrow, &self.w[..i]);
+            self.w[i] = s / self.l[i * self.cap + i];
+        }
+        let pivot = diag + self.ridge - dot(&self.w[..k], &self.w[..k]);
+        if pivot <= 1e-300 {
+            return Err(SolveError::new(format!("non-positive pivot at {k}")));
+        }
+        let row = &mut self.l[k * self.cap..k * self.cap + k];
+        row.copy_from_slice(&self.w[..k]);
+        self.l[k * self.cap + k] = pivot.sqrt();
+        self.dim = k + 1;
+        Ok(())
+    }
+
+    /// Solves `(L·Lᵀ)·x = b` for the current support, writing the solution
+    /// into `x` (resized to [`len`](Self::len)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from [`len`](Self::len).
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) {
+        let k = self.dim;
+        assert_eq!(b.len(), k, "rhs length must match factored dimension");
+        x.clear();
+        x.resize(k, 0.0);
+        // Forward substitution L·y = b (y stored in x).
+        for i in 0..k {
+            let lrow = &self.l[i * self.cap..i * self.cap + i];
+            let s = b[i] - dot(lrow, &x[..i]);
+            x[i] = s / self.l[i * self.cap + i];
+        }
+        // Backward substitution Lᵀ·x = y.
+        for i in (0..k).rev() {
+            let mut s = x[i];
+            for (t, &xt) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[t * self.cap + i] * xt;
+            }
+            x[i] = s / self.l[i * self.cap + i];
+        }
+        efficsense_dsp::approx::debug_assert_all_finite(x, "growing-cholesky solution");
+    }
 }
 
 #[cfg(test)]

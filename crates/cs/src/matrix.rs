@@ -20,8 +20,11 @@ pub enum SensingMatrix {
         n: usize,
         /// Ones per column.
         s: usize,
-        /// `cols[j]` lists the `s` destination rows of sample `j`.
-        cols: Vec<Vec<usize>>,
+        /// Destination rows, flattened with stride `s`: column `j` owns
+        /// `rows[j*s .. (j+1)*s]`, sorted ascending. One contiguous
+        /// allocation keeps the encoder's per-column scatter loops on a
+        /// single streamed buffer instead of `n` separate heap blocks.
+        rows: Vec<usize>,
     },
     /// Dense matrix (Gaussian or Bernoulli entries).
     Dense(Matrix),
@@ -47,21 +50,19 @@ impl SensingMatrix {
         assert!(s > 0 && s <= m, "need 0 < s <= m (s={s}, m={m})");
         assert!(m <= n, "compressive sensing requires m <= n (m={m}, n={n})");
         let mut rng = Rng64::new(seed);
-        let cols = (0..n)
-            .map(|_| {
-                // Sample s distinct rows (reservoir-free: m is small).
-                let mut rows: Vec<usize> = Vec::with_capacity(s);
-                while rows.len() < s {
-                    let r = rng.index(m);
-                    if !rows.contains(&r) {
-                        rows.push(r);
-                    }
+        let mut rows: Vec<usize> = Vec::with_capacity(n * s);
+        for _ in 0..n {
+            // Sample s distinct rows (reservoir-free: m is small).
+            let start = rows.len();
+            while rows.len() < start + s {
+                let r = rng.index(m);
+                if !rows[start..].contains(&r) {
+                    rows.push(r);
                 }
-                rows.sort_unstable();
-                rows
-            })
-            .collect();
-        Self::SparseBinary { m, n, s, cols }
+            }
+            rows[start..].sort_unstable();
+        }
+        Self::SparseBinary { m, n, s, rows }
     }
 
     /// Generates a dense `m × n` matrix with i.i.d. `N(0, 1/m)` entries.
@@ -123,7 +124,7 @@ impl SensingMatrix {
     /// Panics for dense matrices or `j >= n`.
     pub fn column_rows(&self, j: usize) -> &[usize] {
         match self {
-            Self::SparseBinary { cols, .. } => &cols[j],
+            Self::SparseBinary { s, rows, .. } => &rows[j * s..(j + 1) * s],
             // lint:allow(no-panic) — documented API precondition, like index out of bounds.
             Self::Dense(_) => panic!("column_rows is only defined for sparse binary matrices"),
         }
@@ -137,11 +138,11 @@ impl SensingMatrix {
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n(), "input frame length must equal N");
         match self {
-            Self::SparseBinary { m, cols, .. } => {
+            Self::SparseBinary { m, s, rows, .. } => {
                 let mut y = vec![0.0; *m];
-                for (j, rows) in cols.iter().enumerate() {
-                    for &r in rows {
-                        y[r] += x[j];
+                for (chunk, &xj) in rows.chunks_exact(*s).zip(x) {
+                    for &r in chunk {
+                        y[r] += xj;
                     }
                 }
                 y
@@ -153,10 +154,10 @@ impl SensingMatrix {
     /// Dense `M × N` representation.
     pub fn to_dense(&self) -> Matrix {
         match self {
-            Self::SparseBinary { m, n, cols, .. } => {
+            Self::SparseBinary { m, n, s, rows } => {
                 let mut mat = Matrix::zeros(*m, *n);
-                for (j, rows) in cols.iter().enumerate() {
-                    for &r in rows {
+                for (j, chunk) in rows.chunks_exact(*s).enumerate() {
+                    for &r in chunk {
                         mat[(r, j)] = 1.0;
                     }
                 }

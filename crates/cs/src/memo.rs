@@ -16,7 +16,7 @@
 //! only when they would produce bit-identical artifacts.
 
 use crate::basis::Basis;
-use crate::linalg::{norm2, Matrix};
+use crate::linalg::Matrix;
 use crate::matrix::SensingMatrix;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -193,6 +193,24 @@ pub struct DictionaryArtifacts {
     /// `‖A·,j‖₂.max(1e-300)` per column — the normalised-correlation
     /// denominators OMP would otherwise recompute per frame.
     pub col_norms: Vec<f64>,
+    /// Gram matrix `G = AᵀA`, built once per design point so the fast OMP
+    /// path can update correlations as `Aᵀr = Aᵀy − G[:,S]·x_S` and grow a
+    /// support Cholesky factor without ever rebuilding `A_S`.
+    pub gram: Matrix,
+    /// Ridge added to the support Gram diagonal by the fast decoder, fixed
+    /// per dictionary with the same scale rule as
+    /// [`least_squares`](crate::linalg::least_squares):
+    /// `1e-12·(‖G‖_F / n).max(1e-300)`.
+    pub ridge: f64,
+    /// Transposed dictionary `Aᵀ` — row `j` is atom `j`, contiguous, so the
+    /// fast decoder's `Aᵀy` dots and residual axpys stream cache lines
+    /// instead of walking `A` with an `n`-element stride.
+    pub dict_t: Matrix,
+    /// Transposed synthesis operator `Ψᵀ` — row `k` is basis atom `k`. The
+    /// fast decoder synthesizes `x̂ = Σ_k ŝ_k·Ψ[:,k]` over the ≤`k` nonzero
+    /// coefficients (O(k·n)) instead of running the dense O(n²) transform
+    /// (which for the DCT also pays a `cos()` per matrix element, per frame).
+    pub synth_t: Matrix,
     /// Mean over rows of `Σ_j w_rj²` of the effective matrix.
     pub mean_row_w2: f64,
 }
@@ -257,12 +275,33 @@ impl DictionaryArtifacts {
             / eff.rows() as f64;
         let psi = basis_matrix(p.basis, p.n_phi);
         let dictionary = eff.matmul(&psi);
-        let col_norms = (0..dictionary.cols())
-            .map(|c| norm2(&dictionary.col(c)).max(1e-300))
+        Self::from_dictionary(dictionary, p.basis, mean_row_w2)
+    }
+
+    /// Derives the decoder-side precomputations (column norms, Gram matrix,
+    /// ridge, transposed operators) for an already-built dictionary. This is
+    /// the constructor every fast-decode call site shares — the detector
+    /// trainer builds dictionaries outside the memo store and still needs the
+    /// same artifacts.
+    #[must_use]
+    pub fn from_dictionary(dictionary: Matrix, basis: Basis, mean_row_w2: f64) -> Self {
+        let col_norms: Vec<f64> = dictionary
+            .col_norms()
+            .into_iter()
+            .map(|n| n.max(1e-300))
             .collect();
+        let _gram_span = efficsense_obs::span!("recon.gram");
+        let gram = dictionary.gram();
+        let ridge = 1e-12 * (gram.frobenius_norm() / gram.rows() as f64).max(1e-300);
+        let dict_t = dictionary.transpose();
+        let synth_t = basis_matrix(basis, dictionary.cols()).transpose();
         Self {
             dictionary,
             col_norms,
+            gram,
+            ridge,
+            dict_t,
+            synth_t,
             mean_row_w2,
         }
     }

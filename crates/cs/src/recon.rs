@@ -50,10 +50,9 @@ impl Default for OmpConfig {
 ///
 /// Panics if `y.len() != a.rows()` or the config sparsity is 0.
 pub fn omp(a: &Matrix, y: &[f64], cfg: &OmpConfig) -> Vec<f64> {
-    // Precompute column norms for normalised correlation.
-    let col_norms: Vec<f64> = (0..a.cols())
-        .map(|c| norm2(&a.col(c)).max(1e-300))
-        .collect();
+    // Precompute column norms for normalised correlation (one strided pass,
+    // no per-column copies — same computation `DictionaryArtifacts` caches).
+    let col_norms: Vec<f64> = a.col_norms().into_iter().map(|n| n.max(1e-300)).collect();
     omp_with_col_norms(a, &col_norms, y, cfg)
 }
 
@@ -84,12 +83,15 @@ pub fn omp_with_col_norms(a: &Matrix, col_norms: &[f64], y: &[f64], cfg: &OmpCon
         return vec![0.0; n];
     }
     let mut support: Vec<usize> = Vec::with_capacity(k_max);
+    // Membership mask: O(1) per candidate instead of the former O(k)
+    // `support.contains` scan inside the argmax (same set, same selection).
+    let mut in_support = vec![false; n];
     let mut residual = y.to_vec();
     let mut coeffs_on_support: Vec<f64> = Vec::new();
     for _ in 0..k_max {
         // Select the column most correlated with the residual.
         let corr = a.matvec_t(&residual);
-        let best = (0..n).filter(|j| !support.contains(j)).max_by(|&i, &j| {
+        let best = (0..n).filter(|&j| !in_support[j]).max_by(|&i, &j| {
             (corr[i].abs() / col_norms[i]).total_cmp(&(corr[j].abs() / col_norms[j]))
         });
         let Some(j_star) = best else { break };
@@ -97,6 +99,7 @@ pub fn omp_with_col_norms(a: &Matrix, col_norms: &[f64], y: &[f64], cfg: &OmpCon
             break;
         }
         support.push(j_star);
+        in_support[j_star] = true;
         // Least squares on the current support.
         let mut a_s = Matrix::zeros(a.rows(), support.len());
         for (c, &j) in support.iter().enumerate() {

@@ -8,7 +8,7 @@
 //! figures and CI runs are bit-identical across machines. This crate is the
 //! single source of randomness: a std-only xoshiro256++ generator seeded
 //! through SplitMix64, plus the handful of derived draws the workspace needs
-//! (uniform ranges, Box–Muller normals, Fisher–Yates shuffles).
+//! (uniform ranges, ziggurat normals, Fisher–Yates shuffles).
 //!
 //! By construction there is **no** `thread_rng`/`from_entropy`-style
 //! OS-entropy constructor: the only way to obtain a [`Rng64`] is from a seed.
@@ -130,12 +130,43 @@ impl Rng64 {
         self.f64() < p
     }
 
-    /// A standard-normal draw (Box–Muller; one spare is *not* cached so the
-    /// draw count stays a pure function of call count).
+    /// A standard-normal draw via the Marsaglia–Tsang ziggurat (128 layers).
+    ///
+    /// The common case (≈98.9% of draws) consumes one raw `u64` and performs
+    /// a table lookup, a multiply and a compare — roughly an order of
+    /// magnitude cheaper than Box–Muller's `ln`/`sqrt`/`cos` per sample,
+    /// which dominated the simulator's analog front end. Edge layers fall
+    /// back to an exact rejection test and the `|x| > r` tail uses
+    /// Marsaglia's exponential-rejection scheme, so the distribution is
+    /// exact, not truncated. Draws stay bit-reproducible per seed, but the
+    /// number of raw `u64`s consumed per call varies (rejection sampling).
     pub fn normal(&mut self) -> f64 {
-        let u1 = self.open01();
-        let u2 = self.f64();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        let t = zig_tables();
+        loop {
+            let z = self.next_u64();
+            let i = (z & 0x7F) as usize;
+            // Uniform in [-1, 1) from the top 53 bits; the low 7 bits pick
+            // the layer, so the two are independent.
+            let u = 2.0 * ((z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) - 1.0;
+            let x = u * t.x[i];
+            if x.abs() < t.x[i + 1] {
+                return x; // strictly inside the layer: accept immediately
+            }
+            if i == 0 {
+                // Base layer overflow: sample the analytic tail beyond r.
+                loop {
+                    let xt = -self.open01().ln() * (1.0 / ZIG_R);
+                    let yt = -self.open01().ln();
+                    if yt + yt >= xt * xt {
+                        return if u < 0.0 { -(ZIG_R + xt) } else { ZIG_R + xt };
+                    }
+                }
+            }
+            // Wedge between the layer boundary and the density curve.
+            if t.y[i + 1] + (t.y[i] - t.y[i + 1]) * self.f64() < (-0.5 * x * x).exp() {
+                return x;
+            }
+        }
     }
 
     /// Fisher–Yates shuffle of `xs` in place.
@@ -145,6 +176,44 @@ impl Rng64 {
             xs.swap(i, j);
         }
     }
+}
+
+/// Number of ziggurat layers; the layer index consumes the low 7 bits of a
+/// raw draw.
+const ZIG_N: usize = 128;
+/// Rightmost layer edge `r` for the 128-layer standard-normal ziggurat.
+const ZIG_R: f64 = 3.442_619_855_899;
+/// Common layer area `v` for the 128-layer standard-normal ziggurat.
+const ZIG_V: f64 = 9.912_563_035_262_17e-3;
+
+/// Precomputed layer edges `x[i]` (decreasing) and densities `y[i] =
+/// exp(-x[i]²/2)` for [`Rng64::normal`]. `x[0]` is the *virtual* width of the
+/// base layer (area `v` includes the tail), `x[ZIG_N] = 0` caps the top.
+struct ZigTables {
+    x: [f64; ZIG_N + 1],
+    y: [f64; ZIG_N + 1],
+}
+
+fn zig_tables() -> &'static ZigTables {
+    static TABLES: std::sync::OnceLock<ZigTables> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let f = |x: f64| (-0.5 * x * x).exp();
+        let mut x = [0.0; ZIG_N + 1];
+        let mut y = [0.0; ZIG_N + 1];
+        x[0] = ZIG_V / f(ZIG_R);
+        y[0] = 1.0; // layer 0 never runs the wedge test (tail instead)
+        x[1] = ZIG_R;
+        y[1] = f(ZIG_R);
+        // Each layer has area v: f(x[i]) = f(x[i-1]) + v/x[i-1].
+        for i in 2..ZIG_N {
+            let fy = y[i - 1] + ZIG_V / x[i - 1];
+            x[i] = (-2.0 * fy.ln()).sqrt();
+            y[i] = fy;
+        }
+        x[ZIG_N] = 0.0;
+        y[ZIG_N] = 1.0;
+        ZigTables { x, y }
+    })
 }
 
 #[cfg(test)]
@@ -239,6 +308,32 @@ mod tests {
         let var = sumsq / n as f64 - mean * mean;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_reaches_the_tail_both_sides() {
+        // The ziggurat tail path (|x| > r ≈ 3.44) must be reachable and
+        // signed; ~5.8e-4 of draws land there, so 100k draws see ~60.
+        let mut g = Rng64::new(12);
+        let (mut lo, mut hi) = (0.0f64, 0.0f64);
+        for _ in 0..100_000 {
+            let v = g.normal();
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(hi > ZIG_R, "max draw {hi} never escaped the layers");
+        assert!(lo < -ZIG_R, "min draw {lo} never escaped the layers");
+    }
+
+    #[test]
+    fn normal_tail_mass_matches_the_gaussian() {
+        // P(|X| > 2) = 2Φ(-2) ≈ 0.0455 — a wedge/tail bookkeeping error
+        // (e.g. a mis-built table) would skew this immediately.
+        let mut g = Rng64::new(13);
+        let n = 200_000;
+        let beyond = (0..n).filter(|_| g.normal().abs() > 2.0).count();
+        let frac = beyond as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.004, "P(|X|>2) ≈ {frac}");
     }
 
     #[test]

@@ -2,11 +2,10 @@
 
 use efficsense_rng::Rng64;
 
-/// A seeded Gaussian sample source (Box–Muller over a [`Rng64`]).
+/// A seeded Gaussian sample source ([`Rng64::normal`] ziggurat draws).
 #[derive(Debug, Clone)]
 pub struct Gaussian {
     rng: Rng64,
-    spare: Option<f64>,
 }
 
 impl Gaussian {
@@ -14,22 +13,12 @@ impl Gaussian {
     pub fn new(seed: u64) -> Self {
         Self {
             rng: Rng64::new(seed),
-            spare: None,
         }
     }
 
     /// Draws one standard-normal sample.
     pub fn sample(&mut self) -> f64 {
-        if let Some(v) = self.spare.take() {
-            return v;
-        }
-        // Box–Muller: two uniforms -> two normals.
-        let u1: f64 = self.rng.open01();
-        let u2: f64 = self.rng.f64();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
+        self.rng.normal()
     }
 
     /// Draws one `N(0, sigma²)` sample.

@@ -55,6 +55,17 @@ impl BenchDiff {
     pub fn regressed(&self, tolerance: f64) -> bool {
         self.gated.regressed(tolerance)
     }
+
+    /// `true` when the gated metric sits below an absolute floor.
+    ///
+    /// The relative gate in [`BenchDiff::regressed`] only catches *drift*
+    /// between two summaries; once a baseline is refreshed after a large
+    /// speedup, the floor pins the minimum acceptable throughput so the
+    /// win cannot silently erode across a series of within-tolerance dips.
+    #[must_use]
+    pub fn below_floor(&self, floor: f64) -> bool {
+        self.gated.current < floor
+    }
 }
 
 /// Parses one benchmark summary and pulls a named float out of the top-level
@@ -162,6 +173,26 @@ mod tests {
         let diff =
             compare(&summary(10.0, 1.0), &summary(6.9, 1.0)).expect("valid summaries compare");
         assert!(diff.regressed(DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn floor_gates_on_the_current_value_only() {
+        // Current 13.0 ≥ floor 12.11: passes even though the baseline is higher.
+        let diff =
+            compare(&summary(34.5, 1.0), &summary(13.0, 1.0)).expect("valid summaries compare");
+        assert!(!diff.below_floor(12.11));
+        // Current below the floor fails regardless of the relative tolerance.
+        let diff =
+            compare(&summary(12.2, 1.0), &summary(12.0, 1.0)).expect("valid summaries compare");
+        assert!(!diff.regressed(DEFAULT_TOLERANCE));
+        assert!(diff.below_floor(12.11));
+    }
+
+    #[test]
+    fn floor_boundary_is_strictly_below() {
+        let diff =
+            compare(&summary(12.11, 1.0), &summary(12.11, 1.0)).expect("valid summaries compare");
+        assert!(!diff.below_floor(12.11));
     }
 
     #[test]

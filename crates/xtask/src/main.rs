@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo xtask lint [--root <dir>] [--format text|json|sarif]
-//! cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>]
+//! cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>] [--min <rate>]
 //! ```
 //!
 //! `lint` runs the domain-aware lint pass over every `.rs` file in the
@@ -15,13 +15,15 @@
 //! `bench-diff` compares two `BENCH_sweep.json` summaries (both default to
 //! the workspace copy, so at least one path is normally given) and exits
 //! non-zero when uncached sweep throughput regressed by more than the
-//! tolerance (default 0.3, i.e. 30%).
+//! tolerance (default 0.3, i.e. 30%). `--min` additionally pins an absolute
+//! throughput floor on the current summary, so a refreshed baseline cannot
+//! erode back below a hard-won speedup one within-tolerance dip at a time.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use xtask::bench_diff;
 
-const USAGE: &str = "usage: cargo xtask lint [--root <dir>] [--format text|json|sarif]\n       cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>]";
+const USAGE: &str = "usage: cargo xtask lint [--root <dir>] [--format text|json|sarif]\n       cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>] [--min <rate>]";
 
 /// Output mode for `cargo xtask lint`.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -145,6 +147,7 @@ fn bench_diff_cmd(args: &[String]) -> ExitCode {
     let mut baseline = default_summary.clone();
     let mut current = default_summary;
     let mut tolerance = bench_diff::DEFAULT_TOLERANCE;
+    let mut min: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match (a.as_str(), it.next()) {
@@ -157,7 +160,14 @@ fn bench_diff_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            (opt @ ("--baseline" | "--current" | "--tolerance"), None) => {
+            ("--min", Some(v)) => match v.parse::<f64>() {
+                Ok(f) if f.is_finite() && f > 0.0 => min = Some(f),
+                _ => {
+                    eprintln!("--min must be a positive throughput in points/s, got `{v}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            (opt @ ("--baseline" | "--current" | "--tolerance" | "--min"), None) => {
                 eprintln!("{opt} requires an argument");
                 return ExitCode::FAILURE;
             }
@@ -176,8 +186,9 @@ fn bench_diff_cmd(args: &[String]) -> ExitCode {
         .and_then(|(b, c)| bench_diff::compare(&b, &c));
     match diff {
         Ok(diff) => {
+            let floor_note = min.map_or(String::new(), |f| format!(", floor {f} points/s"));
             println!(
-                "bench-diff: {} vs {} (tolerance {:.0}%)",
+                "bench-diff: {} vs {} (tolerance {:.0}%{floor_note})",
                 baseline.display(),
                 current.display(),
                 tolerance * 100.0
@@ -191,6 +202,13 @@ fn bench_diff_cmd(args: &[String]) -> ExitCode {
                     "bench-diff: FAIL — {} regressed beyond {:.0}% tolerance",
                     bench_diff::GATED_METRIC,
                     tolerance * 100.0
+                );
+                ExitCode::FAILURE
+            } else if let Some(floor) = min.filter(|&f| diff.below_floor(f)) {
+                println!(
+                    "bench-diff: FAIL — {} = {:.4} is below the absolute floor {floor}",
+                    bench_diff::GATED_METRIC,
+                    diff.gated.current
                 );
                 ExitCode::FAILURE
             } else {
