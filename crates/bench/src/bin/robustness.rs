@@ -1,89 +1,36 @@
-//! Degradation curves: detection accuracy (and SNR) vs fault severity.
+//! Degradation curves from full-space Pareto fronts: detection accuracy vs
+//! fault severity, per fault kind and architecture.
 //!
-//! For every fault kind of the [`efficsense_faults`] taxonomy, a
-//! representative design point of each architecture is re-simulated across a
-//! severity grid and scored with the Fig. 7b detection goal. The output CSV
-//! (`target/figures/robustness_<scale>.csv`) carries one row per
-//! `(fault, severity, architecture)` triple, ready for degradation-curve
-//! plotting; the binary also reports which kinds degrade monotonically on
-//! their native architecture.
+//! For every `(fault kind, severity)` cell, the *entire* design space is
+//! swept through the product-sweep engine under that cell's fault plan,
+//! and the per-architecture accuracy/power Pareto front is extracted. The
+//! degradation curve of a fault kind is then the best front accuracy per
+//! severity — how much headroom the whole design space retains, not how
+//! one hand-picked representative point suffers. Severity-0 cells share
+//! one clean evaluation per design point through the L1 sweep cache
+//! (every clean plan canonicalises to the same key).
+//!
+//! The output CSV (`target/figures/robustness_<scale>.csv`) carries one
+//! row per `(fault, severity, architecture)` with the front size and the
+//! best point on the front; failed cells quarantine to a
+//! `robustness_<scale>_quarantine.csv` sibling instead of aborting the
+//! grid, mirroring the `product` sweep's scheme.
 //!
 //! Run: `cargo run --release -p efficsense-bench --bin robustness`
 //! (`EFFICSENSE_SCALE=medium|full` widens the severity grid and workload;
 //! `--trace <path>.jsonl` / `--metrics <path>.json` stream telemetry.)
-//!
-//! Failed cells are quarantined to a `robustness_<scale>_quarantine.csv`
-//! sibling of the results CSV (the same scheme `product` uses) instead of
-//! aborting the whole grid.
 
 use efficsense_bench::{
     dataset_config, design_space, obs_from_args, persist_quarantine, save_figure, scale, Scale,
 };
-use efficsense_core::goal::{DetectionGoal, SnrGoal};
+use efficsense_core::cache::SweepCache;
 use efficsense_core::prelude::*;
-use efficsense_core::simulate::SimOutput;
-use efficsense_core::sweep::{panic_message, PointError, QuarantinedPoint, SweepReport};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use efficsense_core::sweep::{FailurePolicy, Metric, QuarantinedPoint, SweepReport};
+use std::sync::Arc;
 
 /// Master seed of every injected fault stream (kept fixed so reruns are
 /// bit-identical).
 const FAULT_SEED: u64 = 0xFA_017;
-
-/// One evaluated `(fault, severity, architecture)` cell.
-struct Cell {
-    kind: FaultKind,
-    severity: f64,
-    point: DesignPoint,
-    accuracy: f64,
-    snr_db: f64,
-    power_uw: f64,
-    delivery_ratio: Option<f64>,
-}
-
-/// `(accuracy, snr_db, power_uw, delivery_ratio)` for one evaluated cell.
-type Scores = (f64, f64, f64, Option<f64>);
-
-/// Runs one architecture's representative chain under `plan` over the whole
-/// dataset and scores it with both goals. The whole evaluation runs behind a
-/// panic boundary and inside a per-architecture span so the grid survives a
-/// misbehaving model and the obs registry can report per-architecture
-/// throughput afterwards.
-fn evaluate(
-    point: &DesignPoint,
-    template: &SystemConfig,
-    dataset: &EegDataset,
-    detection: &DetectionGoal,
-    plan: &FaultPlan,
-) -> Result<Scores, PointError> {
-    let _arch_span = match point.architecture {
-        Architecture::Baseline => efficsense_obs::span!("robustness.arch.baseline"),
-        Architecture::CompressiveSensing => efficsense_obs::span!("robustness.arch.cs"),
-    };
-    catch_unwind(AssertUnwindSafe(|| -> Result<Scores, PointError> {
-        let cfg = point.to_config(template);
-        let mut sim = Simulator::new(cfg).map_err(PointError::Config)?;
-        sim.set_fault_plan(Some(plan.clone()));
-        let outputs: Vec<(SimOutput, usize)> = dataset
-            .records
-            .iter()
-            .map(|rec| {
-                let out = sim.run(&rec.samples, rec.fs, rec.id as u64 + 1);
-                (out, rec.label())
-            })
-            .collect();
-        let accuracy = detection.evaluate(&outputs);
-        let snr_db = SnrGoal.evaluate(&outputs);
-        let power_uw = outputs[0].0.power.total().value() * 1e6;
-        if !accuracy.is_finite() || !power_uw.is_finite() {
-            return Err(PointError::NonFinite(format!(
-                "accuracy={accuracy}, power_uw={power_uw}"
-            )));
-        }
-        let delivery_ratio = outputs[0].0.link.as_ref().map(|l| l.delivery_ratio());
-        Ok((accuracy, snr_db, power_uw, delivery_ratio))
-    }))
-    .unwrap_or_else(|payload| Err(PointError::Panicked(panic_message(payload.as_ref()))))
-}
 
 /// The architecture a fault kind natively lives on (used for the
 /// monotonicity report; both architectures are swept regardless).
@@ -94,6 +41,44 @@ fn native_architecture(kind: FaultKind) -> Architecture {
     }
 }
 
+/// The best (highest-accuracy) point of one architecture's Pareto front
+/// in one severity cell.
+struct FrontRow {
+    kind: FaultKind,
+    severity: f64,
+    architecture: Architecture,
+    front_size: usize,
+    best_accuracy: f64,
+    best_power_uw: f64,
+    best_area_units: f64,
+}
+
+/// Extracts one architecture's accuracy/power Pareto front from a cell's
+/// sweep results and summarises its best point.
+fn front_row(
+    kind: FaultKind,
+    severity: f64,
+    architecture: Architecture,
+    results: &[SweepResult],
+) -> Option<FrontRow> {
+    let arch: Vec<SweepResult> = results
+        .iter()
+        .filter(|r| r.point.architecture == architecture)
+        .cloned()
+        .collect();
+    let front = pareto_front(&arch, Objective::MaximizeMetric);
+    let best = front.iter().max_by(|a, b| a.metric.total_cmp(&b.metric))?;
+    Some(FrontRow {
+        kind,
+        severity,
+        architecture,
+        front_size: front.len(),
+        best_accuracy: best.metric,
+        best_power_uw: best.power_w * 1e6,
+        best_area_units: best.area_units,
+    })
+}
+
 fn main() {
     let obs_session = obs_from_args();
     let severities: &[f64] = match scale() {
@@ -102,111 +87,74 @@ fn main() {
     };
     let dataset = EegDataset::generate(&dataset_config());
     let space = design_space();
-    let template = &space.template;
-
-    // Representative points: the template's own defaults on each chain.
-    let representatives = [
-        DesignPoint {
-            architecture: Architecture::Baseline,
-            lna_noise_vrms: template.lna.noise_floor_vrms,
-            n_bits: template.design.n_bits,
-            m: None,
-            s: None,
-            c_hold_f: None,
-        },
-        DesignPoint {
-            architecture: Architecture::CompressiveSensing,
-            lna_noise_vrms: template.lna.noise_floor_vrms,
-            n_bits: template.design.n_bits,
-            m: None, // to_config falls back to the template's CS defaults
-            s: None,
-            c_hold_f: None,
-        },
-    ];
+    let points_per_cell = space.points().len();
+    let cache = Arc::new(SweepCache::new());
 
     println!(
-        "=== Robustness: {} fault kinds x {} severities x 2 architectures over {} records ===",
+        "=== Robustness: {} fault kinds x {} severities, full {}-point space over {} records ===",
         FaultKind::ALL.len(),
         severities.len(),
+        points_per_cell,
         dataset.len()
     );
-    let fs = template.design.f_sample_hz();
-    let detector = SeizureDetector::train_epoched(&dataset, fs, 2.0, 0xD0D0);
-    let detection = DetectionGoal::new(detector);
 
-    // Severity 0 is the same clean plan for every kind — evaluate it once
-    // per architecture and share the row across kinds.
-    let clean: Vec<Result<Scores, PointError>> = representatives
-        .iter()
-        .map(|p| {
-            evaluate(
-                p,
-                template,
-                &dataset,
-                &detection,
-                &FaultPlan::clean(FAULT_SEED),
-            )
+    let sweep_cell = |plan: Option<FaultPlan>| -> SweepReport {
+        let _cell_span = efficsense_obs::span!("robustness.cell");
+        Sweep::new(SweepConfig {
+            metric: Metric::DetectionAccuracy,
+            failure_policy: FailurePolicy::Skip,
+            fault_plan: plan,
+            ..Default::default()
         })
-        .collect();
+        .with_cache(Arc::clone(&cache))
+        .run_report(&space, &dataset)
+    };
 
-    let total_cells = FaultKind::ALL.len() * severities.len() * representatives.len();
+    let mut rows: Vec<FrontRow> = Vec::new();
     let mut quarantine: Vec<QuarantinedPoint> = Vec::new();
     let mut cell_index = 0usize;
-    let mut cells: Vec<Cell> = Vec::new();
     for kind in FaultKind::ALL {
         for &severity in severities {
-            for (p, clean_scores) in representatives.iter().zip(&clean) {
-                let scores = if severity > 0.0 {
-                    let plan = FaultPlan::single(kind, severity, FAULT_SEED);
-                    evaluate(p, template, &dataset, &detection, &plan)
-                } else {
-                    clean_scores.clone()
-                };
-                match scores {
-                    Ok((accuracy, snr_db, power_uw, delivery_ratio)) => cells.push(Cell {
-                        kind,
-                        severity,
-                        point: p.clone(),
-                        accuracy,
-                        snr_db,
-                        power_uw,
-                        delivery_ratio,
-                    }),
-                    Err(error) => quarantine.push(QuarantinedPoint {
-                        index: cell_index,
-                        point: p.clone(),
-                        error,
-                        retries: 0,
-                    }),
-                }
-                cell_index += 1;
+            // Severity 0 is the clean plan for every kind; the shared cache
+            // collapses those cells onto one evaluation per design point.
+            let plan = (severity > 0.0).then(|| FaultPlan::single(kind, severity, FAULT_SEED));
+            let report = sweep_cell(plan);
+            for mut q in report.quarantine {
+                // Re-index into the cell grid so quarantine rows from
+                // different cells stay distinguishable.
+                q.index += cell_index * points_per_cell;
+                quarantine.push(q);
             }
+            for architecture in [Architecture::Baseline, Architecture::CompressiveSensing] {
+                rows.extend(front_row(kind, severity, architecture, &report.results));
+            }
+            cell_index += 1;
         }
-        let shown: Vec<String> = cells
+        let native = native_architecture(kind);
+        let shown: Vec<String> = rows
             .iter()
-            .filter(|c| c.kind == kind && c.point.architecture == native_architecture(kind))
-            .map(|c| format!("{:.0}%@{:.2}", c.accuracy * 100.0, c.severity))
+            .filter(|r| r.kind == kind && r.architecture == native)
+            .map(|r| format!("{:.0}%@{:.2}", r.best_accuracy * 100.0, r.severity))
             .collect();
         println!(
-            "  {kind:<16} ({}): accuracy {}",
-            native_architecture(kind),
+            "  {kind:<16} ({native}): best front accuracy {}",
             shown.join(" -> ")
         );
     }
 
-    let mut csv =
-        String::from("fault,severity,architecture,accuracy,snr_db,power_uw,delivery_ratio\n");
-    for c in &cells {
+    let mut csv = String::from(
+        "fault,severity,architecture,front_size,best_accuracy,best_power_uw,best_area_units\n",
+    );
+    for r in &rows {
         csv.push_str(&format!(
-            "{},{:.2},{},{:.6},{:.4},{:.4},{}\n",
-            c.kind,
-            c.severity,
-            c.point.architecture,
-            c.accuracy,
-            c.snr_db,
-            c.power_uw,
-            c.delivery_ratio
-                .map_or(String::new(), |r| format!("{r:.6}")),
+            "{},{:.2},{},{},{:.6},{:.4},{:.1}\n",
+            r.kind,
+            r.severity,
+            r.architecture,
+            r.front_size,
+            r.best_accuracy,
+            r.best_power_uw,
+            r.best_area_units,
         ));
     }
     let results_name = format!("robustness_{}.csv", scale().name());
@@ -214,6 +162,7 @@ fn main() {
 
     // Persist the quarantine next to the results CSV (header-only when every
     // cell evaluated), mirroring the product sweep's scheme.
+    let total_cells = FaultKind::ALL.len() * severities.len() * points_per_cell;
     let report = SweepReport {
         results: Vec::new(),
         quarantine,
@@ -221,18 +170,19 @@ fn main() {
     };
     persist_quarantine(&results_name, &report);
 
-    // Monotonicity report: on its native architecture, accuracy should never
-    // improve as severity rises (small tolerance for detector granularity —
-    // one flipped record on a reduced workload moves accuracy by 1/len).
+    // Monotonicity report: on its native architecture, the best achievable
+    // accuracy should never improve as severity rises (small tolerance for
+    // detector granularity — one flipped record on a reduced workload moves
+    // accuracy by 1/len).
     let tolerance = 1.0 / dataset.len() as f64 + 1e-9;
     let mut monotone = 0usize;
     println!();
     for kind in FaultKind::ALL {
         let native = native_architecture(kind);
-        let curve: Vec<f64> = cells
+        let curve: Vec<f64> = rows
             .iter()
-            .filter(|c| c.kind == kind && c.point.architecture == native)
-            .map(|c| c.accuracy)
+            .filter(|r| r.kind == kind && r.architecture == native)
+            .map(|r| r.best_accuracy)
             .collect();
         let ok = curve.windows(2).all(|w| w[1] <= w[0] + tolerance);
         let degrades = curve.last().copied().unwrap_or(1.0)
@@ -247,26 +197,29 @@ fn main() {
     }
     println!();
     println!(
-        "{monotone}/{} fault kinds degrade accuracy monotonically on their native architecture",
+        "{monotone}/{} fault kinds degrade best-front accuracy monotonically on their native architecture",
         FaultKind::ALL.len()
     );
 
-    // Per-architecture throughput straight from the obs registry: each
-    // `evaluate` call is one point timed under its architecture's span.
-    let snap = obs_session.finish();
+    // Cache effectiveness (severity-0 dedupe across kinds) and per-cell
+    // throughput straight from the obs registry.
+    let stats = cache.stats();
     println!();
-    for (span_name, label) in [
-        ("robustness.arch.baseline", "baseline"),
-        ("robustness.arch.cs", "compressive-sensing"),
-    ] {
-        if let Some(s) = snap.span(span_name) {
-            let secs = s.total_ns as f64 / 1e9;
-            println!(
-                "  {label:<20} {} points in {secs:.2}s ({:.2} points/s)",
-                s.count,
-                s.count as f64 / secs.max(1e-9)
-            );
-        }
+    println!(
+        "  L1 cache: {} entries, {} hits / {} misses ({:.0}% hit rate)",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    let snap = obs_session.finish();
+    if let Some(s) = snap.span("robustness.cell") {
+        let secs = s.total_ns as f64 / 1e9;
+        println!(
+            "  {} severity cells in {secs:.2}s ({:.2} cells/s)",
+            s.count,
+            s.count as f64 / secs.max(1e-9)
+        );
     }
 
     assert!(

@@ -103,6 +103,34 @@ impl Lna {
         });
     }
 
+    /// Installs a railing fault unconditionally — even a currently-noop
+    /// parameterisation — creating its private stream at `fault_seed`.
+    ///
+    /// Unlike [`Lna::inject_rail_fault`], a noop fault still consumes one
+    /// draw from its private stream per sample, so a time-varying plan that
+    /// starts at severity 0 keeps a chunk-invariant stream position: the
+    /// fault realisation after severity ramps up depends only on how many
+    /// samples have passed, never on how the input was chunked. A
+    /// zero-severity installed fault is still bit-identical to the clean
+    /// path (`chance(0)` never fires and the rails stay at nominal).
+    pub fn install_rail_fault(&mut self, fault: LnaRailFault, fault_seed: u64) {
+        self.rail = Some(RailState {
+            fault,
+            rng: Rng64::new(fault_seed),
+            remaining: 0,
+        });
+    }
+
+    /// Updates an installed railing fault's parameters in place, preserving
+    /// the private stream position and any in-progress episode. Does
+    /// nothing when no fault is installed — severity profiles must
+    /// [`Lna::install_rail_fault`] first.
+    pub fn set_rail_fault_params(&mut self, fault: LnaRailFault) {
+        if let Some(rail) = &mut self.rail {
+            rail.fault = fault;
+        }
+    }
+
     /// Builds the LNA from the paper's design parameters:
     /// bandwidth `3·BW_in`, clipping at `V_dd/2`.
     pub fn from_design(
@@ -342,6 +370,64 @@ mod tests {
         let railed = y.iter().filter(|&&v| (v - 0.5).abs() < 1e-12).count();
         assert!(railed > 1000, "railed {railed} of {}", y.len());
         assert!(peak(&y) <= 0.5 + 1e-12, "rails must sag to 0.5");
+    }
+
+    #[test]
+    fn installed_zero_severity_fault_is_bit_identical_to_clean() {
+        use efficsense_faults::LnaRailFault;
+        let x = sine(4096, F_CT, 50.0, 1e-3, 0.0);
+        let mut clean = Lna::new(100.0, 2e-6, 768.0, 0.01, 1.0, F_CT, 5);
+        let mut armed = Lna::new(100.0, 2e-6, 768.0, 0.01, 1.0, F_CT, 5);
+        armed.install_rail_fault(
+            LnaRailFault {
+                rail_prob: 0.0,
+                episode_len: 64,
+                v_clip_factor: 1.0,
+            },
+            99,
+        );
+        assert_eq!(clean.process_buffer(&x), armed.process_buffer(&x));
+    }
+
+    #[test]
+    fn set_rail_fault_params_preserves_stream_position() {
+        use efficsense_faults::LnaRailFault;
+        let noop = LnaRailFault {
+            rail_prob: 0.0,
+            episode_len: 64,
+            v_clip_factor: 1.0,
+        };
+        let hot = LnaRailFault {
+            rail_prob: 0.05,
+            episode_len: 16,
+            v_clip_factor: 0.5,
+        };
+        let x = sine(8192, F_CT, 50.0, 1e-3, 0.0);
+        // Two amplifiers take the same path — armed noop, params flipped at
+        // the same sample index — in different chunkings; outputs match.
+        let mut whole = Lna::new(100.0, 2e-6, 768.0, 0.0, 1.0, F_CT, 5);
+        whole.install_rail_fault(noop, 7);
+        let mut y_whole = whole.process_buffer(&x[..4096]);
+        whole.set_rail_fault_params(hot);
+        y_whole.extend(whole.process_buffer(&x[4096..]));
+
+        let mut chunked = Lna::new(100.0, 2e-6, 768.0, 0.0, 1.0, F_CT, 5);
+        chunked.install_rail_fault(noop, 7);
+        let mut y_chunked = Vec::new();
+        for c in x[..4096].chunks(100) {
+            y_chunked.extend(chunked.process_buffer(c));
+        }
+        chunked.set_rail_fault_params(hot);
+        for c in x[4096..].chunks(333) {
+            y_chunked.extend(chunked.process_buffer(c));
+        }
+        assert_eq!(y_whole, y_chunked);
+        // And the hot phase actually rails.
+        let railed = y_whole[4096..]
+            .iter()
+            .filter(|&&v| (v - 0.5).abs() < 1e-12)
+            .count();
+        assert!(railed > 100, "railed {railed}");
     }
 
     #[test]

@@ -62,9 +62,69 @@ impl Sampler {
         });
     }
 
+    /// Installs a sample-clock fault unconditionally — even a currently-noop
+    /// parameterisation — creating its private streams at `fault_seed`.
+    ///
+    /// Unlike [`Sampler::inject_clock_fault`], an installed noop fault still
+    /// consumes one drop-decision draw per conversion, so a time-varying
+    /// plan that starts at severity 0 keeps chunk-invariant stream
+    /// positions. A zero-severity installed fault is bit-identical to the
+    /// clean path (`chance(0)` never fires, zero jitter draws nothing).
+    pub fn install_clock_fault(&mut self, fault: ClockFault, fault_seed: u64) {
+        self.clock = Some(ClockState {
+            fault,
+            jitter_rng: Gaussian::new(fault_seed ^ 0x0C10_CC00),
+            drop_rng: Rng64::new(fault_seed ^ 0x0D20_9ED5),
+        });
+    }
+
+    /// Updates an installed clock fault's parameters in place, preserving
+    /// both private stream positions. Does nothing when no fault is
+    /// installed — severity profiles must [`Sampler::install_clock_fault`]
+    /// first.
+    pub fn set_clock_fault_params(&mut self, fault: ClockFault) {
+        if let Some(clock) = &mut self.clock {
+            clock.fault = fault;
+        }
+    }
+
     /// kT/C noise standard deviation (V) of one sample.
     pub fn ktc_sigma(&self) -> f64 {
         (kt() / self.c_sample_f).sqrt()
+    }
+
+    /// Decides the acquisition instant for output sample `i`, consuming
+    /// exactly the random draws the batch [`Sampler::sample`] path makes
+    /// for that sample: the intrinsic aperture-jitter draw, the fault
+    /// jitter draw, and the drop decision, in that order. Returns `None`
+    /// when the conversion is dropped — the caller conceals the dropout by
+    /// holding the last acquired value. The returned instant is *not*
+    /// clamped to the record start; callers interpolate at `t.max(0.0)`.
+    pub fn acquisition_instant(&mut self, i: u64) -> Option<f64> {
+        let mut t = i as f64 / self.fs;
+        if self.jitter_s > 0.0 {
+            t += self.noise.sample_scaled(self.jitter_s);
+        }
+        if let Some(clock) = &mut self.clock {
+            if clock.fault.jitter_periods > 0.0 {
+                let sigma_t = clock.fault.jitter_periods / self.fs;
+                t += clock.jitter_rng.sample_scaled(sigma_t);
+            }
+            if clock.drop_rng.chance(clock.fault.drop_prob) {
+                return None;
+            }
+        }
+        Some(t)
+    }
+
+    /// Completes one acquisition: adds the kT/C thermal-noise draw to an
+    /// interpolated proxy value `v`. Split from [`Sampler::acquisition_instant`]
+    /// so a streaming caller can decide the instant first, wait until the
+    /// proxy data covering it arrives, then acquire — the noise draw
+    /// happens only once the value is computed, preserving batch draw
+    /// order.
+    pub fn acquire(&mut self, v: f64) -> f64 {
+        v + self.noise.sample_scaled(self.ktc_sigma())
     }
 
     /// Samples a continuous-time proxy record (`x` at rate `f_ct`) at this
@@ -73,25 +133,12 @@ impl Sampler {
         assert!(f_ct > 0.0, "proxy rate must be positive");
         let duration = x.len() as f64 / f_ct;
         let n_out = (duration * self.fs).floor() as usize;
-        let sigma = self.ktc_sigma();
         let mut out = Vec::with_capacity(n_out);
         let mut held = 0.0;
         for i in 0..n_out {
-            let mut t = i as f64 / self.fs;
-            if self.jitter_s > 0.0 {
-                t += self.noise.sample_scaled(self.jitter_s);
+            if let Some(t) = self.acquisition_instant(i as u64) {
+                held = self.acquire(sample_at(x, f_ct, t.max(0.0)));
             }
-            if let Some(clock) = &mut self.clock {
-                if clock.fault.jitter_periods > 0.0 {
-                    let sigma_t = clock.fault.jitter_periods / self.fs;
-                    t += clock.jitter_rng.sample_scaled(sigma_t);
-                }
-                if clock.drop_rng.chance(clock.fault.drop_prob) {
-                    out.push(held);
-                    continue;
-                }
-            }
-            held = sample_at(x, f_ct, t.max(0.0)) + self.noise.sample_scaled(sigma);
             out.push(held);
         }
         out
@@ -279,6 +326,84 @@ mod tests {
             (measured / predicted - 1.0).abs() < 0.4,
             "{measured} vs {predicted}"
         );
+    }
+
+    #[test]
+    fn installed_zero_severity_clock_fault_is_bit_identical_to_clean() {
+        let x = sine(8192, 8192.0, 20.0, 1.0, 0.0);
+        let mut clean = Sampler::new(537.6, 1e-12, 1e-6, 11);
+        let mut armed = Sampler::new(537.6, 1e-12, 1e-6, 11);
+        armed.install_clock_fault(
+            ClockFault {
+                jitter_periods: 0.0,
+                drop_prob: 0.0,
+            },
+            99,
+        );
+        assert_eq!(clean.sample(&x, 8192.0), armed.sample(&x, 8192.0));
+    }
+
+    #[test]
+    fn set_clock_fault_params_preserves_stream_positions() {
+        let noop = ClockFault {
+            jitter_periods: 0.0,
+            drop_prob: 0.0,
+        };
+        let hot = ClockFault {
+            jitter_periods: 0.1,
+            drop_prob: 0.3,
+        };
+        let x = sine(16384, 8192.0, 20.0, 1.0, 0.0);
+        // Whole-buffer and split paths flip params at the same output
+        // sample; outputs must match bit-exactly.
+        let mut whole = Sampler::new(537.6, 1e-12, 0.0, 11);
+        whole.install_clock_fault(noop, 42);
+        let mut y_whole = whole.sample(&x[..8192], 8192.0);
+        whole.set_clock_fault_params(hot);
+        y_whole.extend(whole.sample(&x[8192..], 8192.0));
+
+        let mut split = Sampler::new(537.6, 1e-12, 0.0, 11);
+        split.install_clock_fault(noop, 42);
+        let mut y_split = split.sample(&x[..8192], 8192.0);
+        split.set_clock_fault_params(hot);
+        y_split.extend(split.sample(&x[8192..], 8192.0));
+        assert_eq!(y_whole, y_split);
+        // The hot phase actually drops conversions (held repeats appear).
+        let repeats = y_whole[537..].windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > 50, "held samples visible: {repeats}");
+    }
+
+    #[test]
+    fn split_acquisition_matches_batch_sample() {
+        use efficsense_dsp::resample::sample_at;
+        let x = sine(16384, 8192.0, 20.0, 1.0, 0.0);
+        let mut batch = Sampler::new(537.6, 1e-12, 1e-6, 11);
+        batch.inject_clock_fault(
+            Some(ClockFault {
+                jitter_periods: 0.1,
+                drop_prob: 0.2,
+            }),
+            42,
+        );
+        let y_batch = batch.sample(&x, 8192.0);
+
+        let mut split = Sampler::new(537.6, 1e-12, 1e-6, 11);
+        split.inject_clock_fault(
+            Some(ClockFault {
+                jitter_periods: 0.1,
+                drop_prob: 0.2,
+            }),
+            42,
+        );
+        let mut y_split = Vec::new();
+        let mut held = 0.0;
+        for i in 0..y_batch.len() {
+            if let Some(t) = split.acquisition_instant(i as u64) {
+                held = split.acquire(sample_at(&x, 8192.0, t.max(0.0)));
+            }
+            y_split.push(held);
+        }
+        assert_eq!(y_batch, y_split);
     }
 
     #[test]

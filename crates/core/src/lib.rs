@@ -44,6 +44,7 @@ pub mod pareto;
 pub mod report;
 pub mod simulate;
 pub mod space;
+pub mod stream;
 pub mod sweep;
 
 /// Convenience re-exports for framework users.
@@ -57,10 +58,11 @@ pub mod prelude {
     pub use crate::pareto::{pareto_front, Objective};
     pub use crate::simulate::{SimOutput, Simulator};
     pub use crate::space::{DesignPoint, DesignSpace};
+    pub use crate::stream::{StreamChunk, StreamSimulator, StreamSummary};
     pub use crate::sweep::{
         FailurePolicy, PointError, QuarantinedPoint, Sweep, SweepConfig, SweepReport, SweepResult,
     };
-    pub use efficsense_faults::{FaultKind, FaultPlan};
+    pub use efficsense_faults::{CompoundPlan, FaultKind, FaultPlan, SeverityProfile};
     pub use efficsense_power::{BlockKind, DesignParams, PowerBreakdown, TechnologyParams};
     pub use efficsense_signals::{DatasetConfig, EegDataset, Record};
 }

@@ -18,13 +18,13 @@ use std::sync::Arc;
 
 /// Per-block fault-stream salts (see [`FaultPlan::stream`]); spaced so the
 /// per-record mix `salt + 256·noise_seed` stays injective.
-const SALT_LNA: u64 = 1;
-const SALT_CLOCK: u64 = 2;
-const SALT_LINK: u64 = 3;
+pub(crate) const SALT_LNA: u64 = 1;
+pub(crate) const SALT_CLOCK: u64 = 2;
+pub(crate) const SALT_LINK: u64 = 3;
 
 /// Mixes a block salt with the record's noise seed so every record sees a
 /// fresh fault realisation while staying reproducible.
-fn record_salt(salt: u64, noise_seed: u64) -> u64 {
+pub(crate) fn record_salt(salt: u64, noise_seed: u64) -> u64 {
     salt.wrapping_add(noise_seed.wrapping_mul(256))
 }
 
@@ -67,23 +67,23 @@ impl SimOutput {
 /// noise.
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    cfg: SystemConfig,
-    arch: ArchState,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) arch: ArchState,
     /// Injected fault plan; `None` (and clean plans) leave every block's
     /// behaviour bit-identical to the unfaulted simulator.
-    plan: Option<FaultPlan>,
+    pub(crate) plan: Option<FaultPlan>,
     /// Worker threads for the batched per-record OMP decode (`<= 1` decodes
     /// inline). Not part of [`SystemConfig`]: thread count never changes
     /// results (the batch decoder is bit-identical across counts), so it
     /// must not perturb cache keys.
-    decode_threads: usize,
+    pub(crate) decode_threads: usize,
 }
 
 /// Architecture-specific precomputed state. Splitting this out of
 /// [`Simulator`] (instead of a trio of `Option`s) lets the CS paths borrow
 /// their state without `expect`-style unwrapping.
 #[derive(Debug, Clone)]
-enum ArchState {
+pub(crate) enum ArchState {
     /// Nyquist baseline: nothing to precompute per design point.
     Baseline,
     /// Compressive sensing: sensing schedule and decoder dictionary.
@@ -91,17 +91,17 @@ enum ArchState {
 }
 
 #[derive(Debug, Clone)]
-struct CsState {
+pub(crate) struct CsState {
     /// The CS design variables (copied out of the config so the CS paths
     /// never have to re-unwrap `cfg.cs`).
-    cs: CsConfig,
+    pub(crate) cs: CsConfig,
     /// The sensing schedule, shared process-wide across simulators with the
     /// same `(M, N_Φ, s, seed)` via [`efficsense_cs::memo`].
-    phi: Arc<SensingMatrix>,
+    pub(crate) phi: Arc<SensingMatrix>,
     /// Decoder dictionary `A = Φ_eff·Ψ`, its OMP column norms, and the
     /// mean row energy of the effective matrix (the per-measurement noise
     /// gain of the discrepancy stopping rule) — likewise memoized.
-    art: Arc<DictionaryArtifacts>,
+    pub(crate) art: Arc<DictionaryArtifacts>,
 }
 
 impl Simulator {
@@ -190,7 +190,7 @@ impl Simulator {
 
     /// Baseline S&H capacitor (F): the kT/C bound clamped to the technology
     /// minimum — at biomedical resolutions matching, not noise, sets the cap.
-    fn sh_cap_f(&self) -> f64 {
+    pub(crate) fn sh_cap_f(&self) -> f64 {
         self.cfg
             .design
             .c_sample_bound()

@@ -27,8 +27,10 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod compound;
 pub mod link;
 pub mod plan;
 
+pub use compound::{CompoundPlan, SeverityProfile};
 pub use link::{LinkFault, LinkStats};
 pub use plan::{AdcStuckBitFault, CapLeakageFault, ClockFault, FaultKind, FaultPlan, LnaRailFault};

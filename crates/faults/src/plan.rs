@@ -240,15 +240,60 @@ impl FaultPlan {
     /// Clean plans are bit-identical to running with no plan at all (the
     /// simulator drops them), so *every* clean plan — whatever its seed or
     /// noop parameterisation — canonicalises to `"clean"`. Active plans
-    /// render their full field set *including the seed*, because the seed
-    /// picks the fault realisation and therefore the result.
+    /// encode compound membership explicitly: each *active* (non-noop)
+    /// fault renders its kind name and full parameter set in shortest
+    /// round-trip float form, plus the seed (the seed picks the fault
+    /// realisation and therefore the result). Noop members are omitted —
+    /// they cannot perturb the simulation, so `Some(noop)` and `None`
+    /// must share a key. Time-varying severity lives one level up in
+    /// [`crate::CompoundPlan::canonical_key`], whose `compound;`-prefixed
+    /// keys can never alias these static `plan;`-prefixed ones.
     #[must_use]
     pub fn canonical_key(&self) -> String {
         if self.is_clean() {
-            "clean".to_string()
-        } else {
-            format!("{self:?}")
+            return "clean".to_string();
         }
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(f) = self.lna.filter(|f| !f.is_noop()) {
+            parts.push(format!(
+                "{}{{rail_prob={:?},episode_len={},v_clip_factor={:?}}}",
+                FaultKind::LnaRail.name(),
+                f.rail_prob,
+                f.episode_len,
+                f.v_clip_factor
+            ));
+        }
+        if let Some(f) = self.adc {
+            parts.push(format!(
+                "{}{{bit={},stuck_high={}}}",
+                FaultKind::AdcStuckBit.name(),
+                f.bit,
+                f.stuck_high
+            ));
+        }
+        if let Some(f) = self.leakage.filter(|f| !f.is_noop()) {
+            parts.push(format!(
+                "{}{{leak_multiplier={:?}}}",
+                FaultKind::CapLeakage.name(),
+                f.leak_multiplier
+            ));
+        }
+        if let Some(c) = self.clock.filter(|c| !c.is_noop()) {
+            parts.push(format!(
+                "clock{{jitter_periods={:?},drop_prob={:?}}}",
+                c.jitter_periods, c.drop_prob
+            ));
+        }
+        if let Some(l) = self.link.filter(|l| !l.is_noop()) {
+            parts.push(format!(
+                "{}{{loss_prob={:?},max_retries={},packet_words={}}}",
+                FaultKind::PacketLoss.name(),
+                l.loss_prob,
+                l.max_retries,
+                l.packet_words
+            ));
+        }
+        format!("plan;seed={};{}", self.seed, parts.join(";"))
     }
 
     /// Short stable label of the active fault kinds, e.g.
