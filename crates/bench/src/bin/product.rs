@@ -6,10 +6,15 @@
 //! all four produce bit-identical results, and emits `BENCH_sweep.json`
 //! (points/sec, cache hit rate, wall times) for CI trend tracking.
 //!
-//! Two cache levels are measured:
+//! Three cache levels are measured:
 //! * **Level 2** (`efficsense_cs::memo`): sensing matrices and dictionary
 //!   precomputations shared per `(m, n, seed, kind)` — measured by running
 //!   one sweep with a cleared memo store and again with a warm one.
+//! * **Level 3** (`efficsense_core::prefix`): stage-prefix artifacts
+//!   (resampled records, LNA output, clean-clock samplings, references,
+//!   whole acquired front-ends) shared across sweep points — measured as a
+//!   store-off pass vs the headline uncached pass, plus an uncached
+//!   thread-scaling section at 1/2/4 workers.
 //! * **Level 1** (`efficsense_core::cache`): whole `evaluate_point` results
 //!   keyed by content ([`efficsense_core::cache::point_key`]) — measured
 //!   across the product passes. Severity-0 cells canonicalise to the clean
@@ -25,6 +30,7 @@
 use efficsense_bench::{dataset_config, design_space, figures_dir, obs_from_args, scale, Scale};
 use efficsense_core::cache::SweepCache;
 use efficsense_core::pareto::{pareto_front, Objective};
+use efficsense_core::prefix::PrefixStore;
 use efficsense_core::prelude::*;
 use efficsense_core::sweep::Metric;
 use efficsense_cs::memo;
@@ -75,12 +81,15 @@ fn cells() -> Vec<Cell> {
     out
 }
 
-/// Runs the whole product once, optionally through a shared cache.
+/// Runs the whole product once, optionally through a shared L1 result cache
+/// and/or L3 prefix store, with `threads` sweep workers (0 = all cores).
 fn run_product(
     cells: &[Cell],
     space: &DesignSpace,
     dataset: &EegDataset,
     cache: Option<&Arc<SweepCache>>,
+    prefix: Option<&Arc<PrefixStore>>,
+    threads: usize,
 ) -> (Vec<SweepReport>, Duration) {
     let t0 = Instant::now();
     let reports = cells
@@ -88,12 +97,16 @@ fn run_product(
         .map(|cell| {
             let mut sweep = Sweep::new(SweepConfig {
                 metric: Metric::DetectionAccuracy,
+                threads,
                 failure_policy: FailurePolicy::Skip,
                 fault_plan: Some(cell.plan.clone()),
                 ..Default::default()
             });
             if let Some(c) = cache {
                 sweep = sweep.with_cache(Arc::clone(c));
+            }
+            if let Some(p) = prefix {
+                sweep = sweep.with_prefix_store(Arc::clone(p));
             }
             sweep.run_report(space, dataset)
         })
@@ -164,12 +177,73 @@ fn main() {
         artifact_speedup
     );
 
-    // ---- Level 1: the product, three ways.
-    println!("  pass A: uncached…");
-    let (pass_a, t_uncached) = run_product(&cells, &space, &dataset, None);
+    // ---- Level 3: the prefix store, off vs on. The store-off pass is the
+    // pre-L3 baseline; pass A (a fresh store, no L1 cache) is the headline
+    // "uncached" number — it measures what one product pass costs when
+    // sweep points share front-end artifacts but no whole results.
+    println!("  pass A0: prefix store off…");
+    let (pass_off, t_prefix_off) = run_product(&cells, &space, &dataset, None, None, 0);
+    println!("  pass A: uncached (fresh prefix store)…");
+    let prefix_a = Arc::new(PrefixStore::new());
+    let (pass_a, t_uncached) = run_product(&cells, &space, &dataset, None, Some(&prefix_a), 0);
+    assert_identical(&pass_off, &pass_a, "prefix-store pass");
+    let prefix_speedup = secs(t_prefix_off) / secs(t_uncached).max(1e-9);
+    let pstats = prefix_a.stats();
+    println!(
+        "    store off {:.2}s | on {:.2}s ({:.2}×) — analog {}h/{}m, sampled {}h/{}m, \
+         reference {}h/{}m, acquired {}h/{}m",
+        secs(t_prefix_off),
+        secs(t_uncached),
+        prefix_speedup,
+        pstats.analog.hits,
+        pstats.analog.misses,
+        pstats.sampled.hits,
+        pstats.sampled.misses,
+        pstats.reference.hits,
+        pstats.reference.misses,
+        pstats.acquired.hits,
+        pstats.acquired.misses,
+    );
+
+    // ---- Thread scaling: the same uncached workload at fixed worker
+    // counts, each with its own fresh store (so every pass does the same
+    // work). The first CI evidence that the sweep worker pool scales.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut threads_scaling: Vec<(usize, f64)> = Vec::new();
+    println!("  thread scaling (uncached, fresh store per pass):");
+    for threads in [1usize, 2, 4] {
+        let store = Arc::new(PrefixStore::new());
+        let (pass_t, t) = run_product(&cells, &space, &dataset, None, Some(&store), threads);
+        assert_identical(&pass_a, &pass_t, "thread-scaling pass");
+        println!(
+            "    {} thread(s): {:.2}s ({:.1} points/s)",
+            threads,
+            secs(t),
+            points_per_pass as f64 / secs(t).max(1e-9)
+        );
+        threads_scaling.push((threads, secs(t)));
+    }
+    let t1 = threads_scaling[0].1;
+    let t4 = threads_scaling[2].1;
+    let scaling_4t = t1 / t4.max(1e-9);
+    if cores >= 4 {
+        assert!(
+            scaling_4t >= 1.8,
+            "4 workers must be ≥1.8× faster than 1 on a ≥4-core host \
+             (got {scaling_4t:.2}× on {cores} cores)"
+        );
+    } else {
+        println!("    ({cores}-core host: 4-thread ≥1.8× assert skipped)");
+    }
+
+    // ---- Level 1: the product through the result cache. Passes B–D share
+    // one L3 store — the service configuration, where a long-running server
+    // holds both levels open across jobs.
     println!("  pass B: cold cache…");
     let cache = Arc::new(SweepCache::new());
-    let (pass_b, t_cold) = run_product(&cells, &space, &dataset, Some(&cache));
+    let prefix_svc = Arc::new(PrefixStore::new());
+    let (pass_b, t_cold) =
+        run_product(&cells, &space, &dataset, Some(&cache), Some(&prefix_svc), 0);
     assert_identical(&pass_a, &pass_b, "cold-cache pass");
     let cold_stats = cache.stats();
     println!(
@@ -180,7 +254,8 @@ fn main() {
     );
     println!("  pass C: warm cache…");
     cache.reset_stats();
-    let (pass_c, t_warm) = run_product(&cells, &space, &dataset, Some(&cache));
+    let (pass_c, t_warm) =
+        run_product(&cells, &space, &dataset, Some(&cache), Some(&prefix_svc), 0);
     assert_identical(&pass_a, &pass_c, "warm-cache pass");
     let warm_stats = cache.stats();
     assert_eq!(
@@ -212,7 +287,14 @@ fn main() {
         cache.len(),
         cache_path.display()
     );
-    let (pass_d, t_reload) = run_product(&cells, &space, &dataset, Some(&reloaded));
+    let (pass_d, t_reload) = run_product(
+        &cells,
+        &space,
+        &dataset,
+        Some(&reloaded),
+        Some(&prefix_svc),
+        0,
+    );
     assert_identical(&pass_a, &pass_d, "reloaded-cache pass");
     assert_eq!(
         reloaded.stats().misses,
@@ -292,20 +374,41 @@ fn main() {
     );
     println!("    stage self-time sum / point wall time = {stage_ratio:.4}");
 
-    // ---- BENCH_sweep.json for CI.
+    // ---- BENCH_sweep.json for CI. `uncached_*` is the fresh-prefix-store
+    // pass A (the gated headline); `prefix_off_s` documents the pre-L3 cost.
+    let scaling_json = threads_scaling
+        .iter()
+        .map(|(threads, s)| {
+            format!(
+                "{{ \"threads\": {}, \"seconds\": {:?}, \"points_per_s\": {:?} }}",
+                threads,
+                s,
+                points_per_pass as f64 / s.max(1e-9)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"scale\": \"{}\",\n  \"cells\": {},\n  \"points_per_pass\": {},\n  \
-         \"records\": {},\n  \"uncached_s\": {:?},\n  \"cold_s\": {:?},\n  \"warm_s\": {:?},\n  \
+         \"records\": {},\n  \"uncached_s\": {:?},\n  \"prefix_off_s\": {:?},\n  \
+         \"prefix_speedup\": {:?},\n  \"cold_s\": {:?},\n  \"warm_s\": {:?},\n  \
          \"reload_s\": {:?},\n  \"cold_speedup\": {:?},\n  \"warm_speedup\": {:?},\n  \
          \"uncached_points_per_s\": {:?},\n  \"warm_points_per_s\": {:?},\n  \
+         \"threads_scaling\": [{}],\n  \"scaling_4t\": {:?},\n  \
          \"cache_entries\": {},\n  \"cold_hits\": {},\n  \"cold_misses\": {},\n  \
-         \"warm_hit_rate\": {:?},\n  \"artifact_memo\": {{\n    \"cold_s\": {:?},\n    \
+         \"warm_hit_rate\": {:?},\n  \"prefix_store\": {{\n    \"analog_hits\": {},\n    \
+         \"analog_misses\": {},\n    \"sampled_hits\": {},\n    \"sampled_misses\": {},\n    \
+         \"reference_hits\": {},\n    \"reference_misses\": {},\n    \"acquired_hits\": {},\n    \
+         \"acquired_misses\": {},\n    \"evictions\": {}\n  }},\n  \
+         \"artifact_memo\": {{\n    \"cold_s\": {:?},\n    \
          \"warm_s\": {:?},\n    \"speedup\": {:?},\n    \"dictionary_builds\": {},\n    \"dictionary_hits\": {}\n  }},\n  \"obs\": {}\n}}\n",
         sc.name(),
         cells.len(),
         points_per_pass,
         dataset.len(),
         secs(t_uncached),
+        secs(t_prefix_off),
+        prefix_speedup,
         secs(t_cold),
         secs(t_warm),
         secs(t_reload),
@@ -313,10 +416,21 @@ fn main() {
         warm_speedup,
         points_per_pass as f64 / secs(t_uncached).max(1e-9),
         points_per_pass as f64 / secs(t_warm).max(1e-9),
+        scaling_json,
+        scaling_4t,
         cache.len(),
         cold_stats.hits,
         cold_stats.misses,
         warm_stats.hit_rate(),
+        pstats.analog.hits,
+        pstats.analog.misses,
+        pstats.sampled.hits,
+        pstats.sampled.misses,
+        pstats.reference.hits,
+        pstats.reference.misses,
+        pstats.acquired.hits,
+        pstats.acquired.misses,
+        pstats.evictions(),
         secs(t_memo_cold),
         secs(t_memo_warm),
         artifact_speedup,

@@ -79,18 +79,20 @@ impl PointKey {
     }
 }
 
-/// Incremental FNV-1a-128 hasher over byte strings.
-struct KeyHasher(u128);
+/// Incremental FNV-1a-128 hasher over byte strings. Shared with the
+/// Level-3 prefix store ([`crate::prefix`]), whose keys use the same
+/// length-prefixed field discipline under a disjoint version tag.
+pub(crate) struct KeyHasher(u128);
 
 impl KeyHasher {
     const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
     const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(Self::OFFSET)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u128::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
@@ -99,10 +101,22 @@ impl KeyHasher {
 
     /// Writes a length-prefixed field, so adjacent fields cannot alias by
     /// shifting bytes across the boundary.
-    fn field(&mut self, tag: &str, value: &str) {
+    pub(crate) fn field(&mut self, tag: &str, value: &str) {
         self.write(tag.as_bytes());
         self.write(&(value.len() as u64).to_le_bytes());
         self.write(value.as_bytes());
+    }
+
+    /// Writes a length-prefixed field holding a raw little-endian `u64`
+    /// (seeds, lengths, IEEE-754 bit patterns) without a decimal rendering.
+    pub(crate) fn field_u64(&mut self, tag: &str, value: u64) {
+        self.write(tag.as_bytes());
+        self.write(&8u64.to_le_bytes());
+        self.write(&value.to_le_bytes());
+    }
+
+    pub(crate) fn digest(self) -> u128 {
+        self.0
     }
 
     fn finish(self) -> PointKey {

@@ -41,6 +41,7 @@ pub mod config;
 pub mod detector;
 pub mod goal;
 pub mod pareto;
+pub mod prefix;
 pub mod report;
 pub mod simulate;
 pub mod space;
@@ -56,6 +57,7 @@ pub mod prelude {
     pub use crate::detector::SeizureDetector;
     pub use crate::goal::GoalFunction;
     pub use crate::pareto::{pareto_front, Objective};
+    pub use crate::prefix::{PrefixBudgets, PrefixStats, PrefixStore};
     pub use crate::simulate::{SimOutput, Simulator};
     pub use crate::space::{DesignPoint, DesignSpace};
     pub use crate::stream::{StreamChunk, StreamSimulator, StreamSummary};

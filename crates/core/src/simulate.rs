@@ -1,13 +1,13 @@
 //! End-to-end system simulation (functional + power, simultaneously).
 
 use crate::config::{ConfigError, CsConfig, SystemConfig};
+use crate::prefix::{self, AcquiredPrefix, AnalogParams, PrefixKey, PrefixStore};
 use efficsense_blocks::{ChargeSharingEncoder, Lna, Sampler, SarAdc, Transmitter};
 use efficsense_cs::decode::reconstruct_batch;
 use efficsense_cs::matrix::SensingMatrix;
 use efficsense_cs::memo::{self, DictionaryArtifacts, DictionaryParams};
 use efficsense_cs::recon::OmpConfig;
 use efficsense_dsp::resample::{resample_linear, sample_at};
-use efficsense_dsp::stats::rms;
 use efficsense_faults::{FaultPlan, LinkStats};
 use efficsense_power::area::AreaModel;
 use efficsense_power::models::SampleHoldModel;
@@ -77,6 +77,80 @@ pub struct Simulator {
     /// results (the batch decoder is bit-identical across counts), so it
     /// must not perturb cache keys.
     pub(crate) decode_threads: usize,
+    /// Attached Level-3 prefix store ([`crate::prefix`]); `None` runs every
+    /// stage from scratch. Like `decode_threads`, the store never changes
+    /// results — artifacts are derived from their keys — so it is not part
+    /// of any cache key.
+    pub(crate) prefix: Option<Arc<PrefixStore>>,
+    /// Full configuration rendering, computed once per simulator; the
+    /// config axis of the `acquired` prefix key.
+    pub(crate) cfg_key: Arc<str>,
+    /// Canonical fault-plan rendering (`"clean"` when no active plan); the
+    /// plan axis of the `acquired` prefix key. Kept in lockstep with `plan`
+    /// by [`Simulator::set_fault_plan`].
+    pub(crate) plan_key: Arc<str>,
+}
+
+/// Reusable per-thread simulation buffers. A sweep worker holds one scratch
+/// for its whole run: [`Simulator::run_with_scratch`] draws output buffers
+/// from the pool instead of allocating, and the worker returns them with
+/// [`SimScratch::reclaim_output`] once the goal function has consumed the
+/// [`SimOutput`]. Purely an allocation-traffic optimisation — every buffer
+/// is cleared before reuse, so results are bit-identical with or without
+/// scratch reuse.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    pool: Vec<Vec<f64>>,
+}
+
+impl SimScratch {
+    /// An empty scratch pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pops a cleared buffer with at least `capacity` reserved.
+    fn take(&mut self, capacity: usize) -> Vec<f64> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(capacity);
+        v
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn reclaim(&mut self, v: Vec<f64>) {
+        // Cap the pool so a scratch held across heterogeneous workloads
+        // cannot accumulate buffers without bound.
+        if self.pool.len() < 8 {
+            self.pool.push(v);
+        }
+    }
+
+    /// Returns a consumed output's signal buffers to the pool.
+    pub fn reclaim_output(&mut self, out: SimOutput) {
+        self.reclaim(out.input_referred);
+        self.reclaim(out.reference);
+    }
+}
+
+/// A signal buffer that is either shared out of the prefix store or owned
+/// by this run; both deref to the same slice, keeping the downstream
+/// pipeline agnostic of where its input came from.
+enum Buf {
+    Shared(Arc<Vec<f64>>),
+    Owned(Vec<f64>),
+}
+
+impl std::ops::Deref for Buf {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        match self {
+            Buf::Shared(v) => v,
+            Buf::Owned(v) => v,
+        }
+    }
 }
 
 /// Architecture-specific precomputed state. Splitting this out of
@@ -146,11 +220,18 @@ impl Simulator {
         } else {
             ArchState::Baseline
         };
+        // The full `Debug` rendering covers every configuration field — the
+        // same sufficiency argument as the L1 point key — and is computed
+        // once here rather than per record.
+        let cfg_key = Arc::from(format!("{cfg:?}"));
         Ok(Self {
             cfg,
             arch,
             plan: None,
             decode_threads: 1,
+            prefix: None,
+            cfg_key,
+            plan_key: Arc::from("clean"),
         })
     }
 
@@ -176,6 +257,18 @@ impl Simulator {
     /// calls. Clean plans are dropped so the clean path stays bit-identical.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.plan = plan.filter(|p| !p.is_clean());
+        self.plan_key = match &self.plan {
+            Some(p) => Arc::from(p.canonical_key()),
+            None => Arc::from("clean"),
+        };
+    }
+
+    /// Attaches (or detaches) a Level-3 prefix store. Attaching a store
+    /// never changes any output bit — see [`crate::prefix`] — it only lets
+    /// records reuse front-end artifacts built by earlier runs, including
+    /// runs of other simulators sharing the same store.
+    pub fn set_prefix_store(&mut self, store: Option<Arc<PrefixStore>>) {
+        self.prefix = store;
     }
 
     /// The installed fault plan, if any.
@@ -214,6 +307,23 @@ impl Simulator {
     /// Panics if `input` is empty, `fs_in <= 0`, or (CS only) the record is
     /// shorter than one `N_Φ`-sample frame at `f_sample`.
     pub fn run(&self, input: &[f64], fs_in: f64, noise_seed: u64) -> SimOutput {
+        self.run_with_scratch(input, fs_in, noise_seed, &mut SimScratch::new())
+    }
+
+    /// [`Simulator::run`] drawing its output buffers from a caller-held
+    /// scratch pool; sweep workers keep one per thread so steady-state
+    /// evaluation stops allocating per record.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_with_scratch(
+        &self,
+        input: &[f64],
+        fs_in: f64,
+        noise_seed: u64,
+        scratch: &mut SimScratch,
+    ) -> SimOutput {
         assert!(!input.is_empty(), "cannot simulate an empty record");
         assert!(fs_in > 0.0, "input rate must be positive");
         if let ArchState::Cs(state) = &self.arch {
@@ -228,42 +338,125 @@ impl Simulator {
         let cfg = &self.cfg;
         let f_ct = cfg.f_ct_hz();
         let f_s = cfg.design.f_sample_hz();
-        // Steps 1–2 under their own span so per-stage telemetry separates the
-        // analog front end (resample + LNA) from acquisition and decode.
-        let amplified = {
-            let _analog_span = efficsense_obs::span!("sim.analog");
-            let ct = resample_linear(input, fs_in, f_ct);
-            // LNA: fresh instance; noise varies with the record.
-            let mut lna = Lna::from_design(
-                &cfg.design,
-                cfg.lna.gain,
-                cfg.lna.noise_floor_vrms,
-                cfg.lna.k3,
-                f_ct,
-                cfg.seed ^ noise_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            if let Some(plan) = &self.plan {
-                lna.inject_rail_fault(plan.lna, plan.stream(record_salt(SALT_LNA, noise_seed)));
+        // L3: fingerprint the record once per run; every prefix key hangs
+        // off it. `None` keeps the store-less path allocation-for-allocation
+        // identical to before the store existed.
+        let store = self.prefix.as_deref().map(|s| {
+            let fp = prefix::record_fingerprint(input);
+            (s, fp)
+        });
+        // Deepest prefix first: a whole acquired front-end output makes the
+        // resample/LNA/encode/decode chain unnecessary.
+        let acquired_key = store.map(|(s, fp)| {
+            (
+                s,
+                prefix::acquired_key(&self.cfg_key, &self.plan_key, fp, fs_in, noise_seed),
+            )
+        });
+        if let Some((s, key)) = acquired_key {
+            if let Some(acq) = s.get_acquired(key) {
+                let mut input_referred = scratch.take(acq.input_referred.len());
+                input_referred.extend_from_slice(&acq.input_referred);
+                let reference =
+                    self.reference_signal(input, fs_in, f_s, input_referred.len(), store, scratch);
+                let power = {
+                    let _power_span = efficsense_obs::span!("stage.power");
+                    self.power_breakdown(acq.adc_in_rms)
+                };
+                return SimOutput {
+                    input_referred,
+                    reference,
+                    fs_out: f_s,
+                    power,
+                    area_units: self.area_units(),
+                    words: acq.words,
+                    link: acq.link,
+                };
             }
-            lna.process_buffer(&ct)
+        }
+        // Steps 1–2 under their own span so per-stage telemetry separates the
+        // analog front end (resample + LNA) from acquisition and decode. The
+        // analog key is derived from the exact LNA constructor inputs and
+        // fault stream, so two runs sharing a key are bit-identical by
+        // construction.
+        let lna_seed = cfg.seed ^ noise_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let lna_fault = self.plan.as_ref().and_then(|plan| {
+            plan.lna
+                .filter(|f| !f.is_noop())
+                .map(|f| (f, plan.stream(record_salt(SALT_LNA, noise_seed))))
+        });
+        let analog_key = store.map(|(s, fp)| {
+            (
+                s,
+                prefix::analog_key(&AnalogParams {
+                    record_fp: fp,
+                    fs_in,
+                    f_ct,
+                    gain: cfg.lna.gain,
+                    noise_floor_vrms: cfg.lna.noise_floor_vrms,
+                    bandwidth_hz: cfg.design.bw_lna_hz(),
+                    k3: cfg.lna.k3,
+                    v_clip: cfg.design.v_dd / 2.0,
+                    lna_seed,
+                    fault: lna_fault,
+                }),
+            )
+        });
+        let amplified: Buf = {
+            let _analog_span = efficsense_obs::span!("sim.analog");
+            match analog_key.and_then(|(s, key)| s.get_analog(key)) {
+                Some(hit) => Buf::Shared(hit),
+                None => {
+                    let ct = self.ct_signal(input, fs_in, f_ct, store);
+                    // LNA: fresh instance; noise varies with the record.
+                    let mut lna = Lna::from_design(
+                        &cfg.design,
+                        cfg.lna.gain,
+                        cfg.lna.noise_floor_vrms,
+                        cfg.lna.k3,
+                        f_ct,
+                        lna_seed,
+                    );
+                    if let Some((fault, stream_seed)) = lna_fault {
+                        lna.inject_rail_fault(Some(fault), stream_seed);
+                    }
+                    let built = lna.process_buffer(&ct);
+                    match analog_key {
+                        Some((s, key)) => Buf::Shared(s.insert_analog(key, built)),
+                        None => Buf::Owned(built),
+                    }
+                }
+            }
         };
         efficsense_dsp::approx::debug_assert_all_finite(&amplified, "simulate: LNA output");
         // Step 3: architecture-specific acquisition.
         let (acquired, words, adc_in_rms, link) = match &self.arch {
             ArchState::Baseline => self.acquire_baseline(&amplified, f_ct, noise_seed),
-            ArchState::Cs(state) => self.acquire_cs(state, &amplified, f_ct, noise_seed),
+            ArchState::Cs(state) => {
+                self.acquire_cs(state, &amplified, f_ct, noise_seed, analog_key)
+            }
         };
         // Refer back to the sensor input.
-        let input_referred: Vec<f64> = acquired.iter().map(|v| v / cfg.lna.gain).collect();
+        let mut input_referred = scratch.take(acquired.len());
+        input_referred.extend(acquired.iter().map(|v| v / cfg.lna.gain));
         efficsense_dsp::approx::debug_assert_all_finite(
             &input_referred,
             "simulate: input-referred output",
         );
-        // Reference: clean input at f_sample, trimmed to the output length.
-        let mut reference: Vec<f64> = (0..input_referred.len())
-            .map(|i| sample_at(input, fs_in, i as f64 / f_s))
-            .collect();
-        reference.truncate(input_referred.len());
+        scratch.reclaim(acquired);
+        if let Some((s, key)) = acquired_key {
+            s.insert_acquired(
+                key,
+                AcquiredPrefix {
+                    input_referred: input_referred.clone(),
+                    words,
+                    adc_in_rms,
+                    link,
+                },
+            );
+        }
+        let reference =
+            self.reference_signal(input, fs_in, f_s, input_referred.len(), store, scratch);
         let power = {
             let _power_span = efficsense_obs::span!("stage.power");
             self.power_breakdown(adc_in_rms)
@@ -278,6 +471,60 @@ impl Simulator {
             words,
             link,
         }
+    }
+
+    /// The resampled continuous-time record — via the prefix store when one
+    /// is attached (the artifact is fault-free and config-independent, so it
+    /// is shared across every sweep point touching this record).
+    fn ct_signal(
+        &self,
+        input: &[f64],
+        fs_in: f64,
+        f_ct: f64,
+        store: Option<(&PrefixStore, u64)>,
+    ) -> Buf {
+        match store {
+            Some((s, fp)) => {
+                let key = prefix::ct_key(fp, fs_in, f_ct);
+                match s.get_ct(key) {
+                    Some(hit) => Buf::Shared(hit),
+                    None => Buf::Shared(s.insert_ct(key, resample_linear(input, fs_in, f_ct))),
+                }
+            }
+            None => Buf::Owned(resample_linear(input, fs_in, f_ct)),
+        }
+    }
+
+    /// The clean reference signal (input at `f_sample`, exactly `len`
+    /// samples), memoized per record when a store is attached. The collect
+    /// covers `0..len` exactly, so no trailing truncation is needed.
+    fn reference_signal(
+        &self,
+        input: &[f64],
+        fs_in: f64,
+        f_s: f64,
+        len: usize,
+        store: Option<(&PrefixStore, u64)>,
+        scratch: &mut SimScratch,
+    ) -> Vec<f64> {
+        let build = |out: &mut Vec<f64>| {
+            out.extend((0..len).map(|i| sample_at(input, fs_in, i as f64 / f_s)));
+        };
+        let mut reference = scratch.take(len);
+        match store {
+            Some((s, fp)) => {
+                let key = prefix::reference_key(fp, fs_in, f_s, len);
+                match s.get_reference(key) {
+                    Some(hit) => reference.extend_from_slice(&hit),
+                    None => {
+                        build(&mut reference);
+                        s.insert_reference(key, reference.clone());
+                    }
+                }
+            }
+            None => build(&mut reference),
+        }
+        reference
     }
 
     /// Simulates the lossy link over a word stream, concealing undelivered
@@ -329,10 +576,19 @@ impl Simulator {
         if let Some(plan) = &self.plan {
             adc.inject_stuck_bit(plan.adc);
         }
-        let shifted_rms = rms(&sampled
-            .iter()
-            .map(|v| v + cfg.design.v_fs / 2.0)
-            .collect::<Vec<_>>());
+        // Shifted RMS as a running fold — the same sequential square/sum/
+        // sqrt order as `dsp::stats::rms` over a shifted copy (bit-identical)
+        // without materialising the copy.
+        let mut shifted_sq = 0.0;
+        for v in &sampled {
+            let s = v + cfg.design.v_fs / 2.0;
+            shifted_sq += s * s;
+        }
+        let shifted_rms = if sampled.is_empty() {
+            0.0
+        } else {
+            (shifted_sq / sampled.len() as f64).sqrt()
+        };
         let mut out = adc.process_buffer(&sampled);
         let words = out.len() as u64;
         let link = self.apply_link_hold(&mut out, noise_seed);
@@ -345,6 +601,7 @@ impl Simulator {
         amplified: &[f64],
         f_ct: f64,
         noise_seed: u64,
+        sampled_ctx: Option<(&PrefixStore, PrefixKey)>,
     ) -> (Vec<f64>, u64, f64, Option<LinkStats>) {
         let cfg = &self.cfg;
         let cs = &state.cs;
@@ -359,9 +616,10 @@ impl Simulator {
             .plan
             .as_ref()
             .and_then(|p| p.clock.filter(|c| !c.is_noop()));
-        let sampled: Vec<f64> = if let Some(c) = clock {
+        let sampled: Buf = if let Some(c) = clock {
             // Mirrors Sampler's fault path: a failed acquisition holds the
-            // previous sample-cap charge.
+            // previous sample-cap charge. (Not memoized: clock faults are a
+            // per-plan stream, so sharing would buy nothing.)
             let seed = self
                 .plan
                 .as_ref()
@@ -382,11 +640,24 @@ impl Simulator {
                 held = sample_at(amplified, f_ct, t.max(0.0));
                 out.push(held);
             }
-            out
+            Buf::Owned(out)
         } else {
-            (0..n_samples)
-                .map(|i| sample_at(amplified, f_ct, i as f64 / f_s))
-                .collect()
+            // Clean-clock sampling is a pure function of the amplified
+            // buffer, so its memo key composes the analog key.
+            let key =
+                sampled_ctx.map(|(s, analog)| (s, prefix::sampled_key(analog, f_s, n_samples)));
+            match key.and_then(|(s, k)| s.get_sampled(k)) {
+                Some(hit) => Buf::Shared(hit),
+                None => {
+                    let built: Vec<f64> = (0..n_samples)
+                        .map(|i| sample_at(amplified, f_ct, i as f64 / f_s))
+                        .collect();
+                    match key {
+                        Some((s, k)) => Buf::Shared(s.insert_sampled(k, built)),
+                        None => Buf::Owned(built),
+                    }
+                }
+            }
         };
         let mut encoder = ChargeSharingEncoder::new(
             phi.clone(),

@@ -179,6 +179,8 @@ pub struct Sweep {
     config: SweepConfig,
     /// Optional content-addressed result cache (see [`crate::cache`]).
     cache: Option<std::sync::Arc<crate::cache::SweepCache>>,
+    /// Optional Level-3 prefix store (see [`crate::prefix`]).
+    prefix: Option<std::sync::Arc<crate::prefix::PrefixStore>>,
 }
 
 impl Sweep {
@@ -187,6 +189,7 @@ impl Sweep {
         Self {
             config,
             cache: None,
+            prefix: None,
         }
     }
 
@@ -200,6 +203,18 @@ impl Sweep {
     #[must_use]
     pub fn with_cache(mut self, cache: std::sync::Arc<crate::cache::SweepCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a shared Level-3 prefix store ([`crate::prefix`]): every
+    /// point evaluation reuses stage-prefix artifacts (resampled records,
+    /// LNA output, reference signals, whole acquired front-ends) built by
+    /// any other point — in this sweep or any other sweep sharing the
+    /// store. Artifacts are derived deterministically from their keys, so
+    /// attaching a store never changes sweep output, only cost.
+    #[must_use]
+    pub fn with_prefix_store(mut self, store: std::sync::Arc<crate::prefix::PrefixStore>) -> Self {
+        self.prefix = Some(store);
         self
     }
 
@@ -270,6 +285,8 @@ impl Sweep {
             dataset_fingerprint: crate::cache::dataset_fingerprint(dataset),
         });
         let cache = self.cache.as_deref();
+        let prefix = self.prefix.as_ref();
+        let cache_attached = self.cache.is_some();
         let points = space.points();
         let n_threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
@@ -302,6 +319,10 @@ impl Sweep {
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local: Vec<(usize, Outcome)> = Vec::new();
+                        // One scratch pool per worker: steady-state point
+                        // evaluation reuses output buffers instead of
+                        // allocating per record.
+                        let mut scratch = crate::simulate::SimScratch::new();
                         loop {
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= points.len() {
@@ -352,7 +373,7 @@ impl Sweep {
                                         // up on one point must not take down
                                         // the sweep.
                                         let attempt = catch_unwind(AssertUnwindSafe(|| {
-                                            evaluate_point_salted(
+                                            evaluate_point_prefixed(
                                                 point,
                                                 space,
                                                 dataset,
@@ -360,6 +381,8 @@ impl Sweep {
                                                 plan,
                                                 salt,
                                                 decode_threads,
+                                                prefix.cloned(),
+                                                &mut scratch,
                                             )
                                         }))
                                         .unwrap_or_else(|payload| {
@@ -403,7 +426,7 @@ impl Sweep {
                             // reads must not perturb span durations.
                             let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                             if n.is_multiple_of(heartbeat_every) || n == total {
-                                progress_heartbeat(n, total, sweep_start_ns);
+                                progress_heartbeat(n, total, sweep_start_ns, cache_attached);
                             }
                         }
                         local
@@ -448,8 +471,10 @@ impl Sweep {
 
 /// Emits sweep progress: a heartbeat counter tick, a trace event when a
 /// sink is installed, and — only once a sweep has run long enough to be
-/// worth watching — a stderr progress line.
-fn progress_heartbeat(done: usize, total: usize, sweep_start_ns: u64) {
+/// worth watching — a stderr progress line. `cache_attached` gates the
+/// `cache_hits` field: a cacheless sweep has no hit count to report, and a
+/// hard-coded 0 would read as "cache attached but cold".
+fn progress_heartbeat(done: usize, total: usize, sweep_start_ns: u64, cache_attached: bool) {
     efficsense_obs::counter!("sweep.heartbeat").incr();
     let obs = efficsense_obs::global();
     let now_ns = obs.now_ns();
@@ -460,13 +485,15 @@ fn progress_heartbeat(done: usize, total: usize, sweep_start_ns: u64) {
         0
     };
     if obs.sink_enabled() {
-        let hits = efficsense_obs::counter!("cache.l1.hit").get();
-        let ev = efficsense_obs::TraceEvent::new(now_ns, "heartbeat", "sweep.progress")
+        let mut ev = efficsense_obs::TraceEvent::new(now_ns, "heartbeat", "sweep.progress")
             .field("done", efficsense_obs::FieldValue::U64(done as u64))
             .field("total", efficsense_obs::FieldValue::U64(total as u64))
             .field("elapsed_ns", efficsense_obs::FieldValue::U64(elapsed_ns))
-            .field("eta_ns", efficsense_obs::FieldValue::U64(eta_ns))
-            .field("cache_hits", efficsense_obs::FieldValue::U64(hits));
+            .field("eta_ns", efficsense_obs::FieldValue::U64(eta_ns));
+        if cache_attached {
+            let hits = efficsense_obs::counter!("cache.l1.hit").get();
+            ev = ev.field("cache_hits", efficsense_obs::FieldValue::U64(hits));
+        }
         obs.emit(&ev);
     }
     // Quiet sweeps (tests, smoke runs) stay quiet; overnight runs report.
@@ -546,10 +573,45 @@ pub fn evaluate_point_salted(
     noise_salt: u64,
     decode_threads: usize,
 ) -> Result<SweepResult, PointError> {
+    evaluate_point_prefixed(
+        point,
+        space,
+        dataset,
+        goal,
+        plan,
+        noise_salt,
+        decode_threads,
+        None,
+        &mut crate::simulate::SimScratch::new(),
+    )
+}
+
+/// [`evaluate_point_salted`] with an optional Level-3 prefix store and a
+/// caller-held scratch pool (sweep workers keep one per thread and pass it
+/// across points). Both are pure cost levers: the store shares front-end
+/// artifacts across evaluations and the scratch recycles output buffers,
+/// neither changes a single result bit.
+///
+/// # Errors
+///
+/// As [`evaluate_point`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_point_prefixed(
+    point: &DesignPoint,
+    space: &DesignSpace,
+    dataset: &EegDataset,
+    goal: &(dyn GoalFunction + Sync),
+    plan: Option<&FaultPlan>,
+    noise_salt: u64,
+    decode_threads: usize,
+    prefix: Option<std::sync::Arc<crate::prefix::PrefixStore>>,
+    scratch: &mut crate::simulate::SimScratch,
+) -> Result<SweepResult, PointError> {
     let cfg = point.to_config(&space.template);
     let mut sim = Simulator::new(cfg).map_err(PointError::Config)?;
     sim.set_fault_plan(plan.cloned());
     sim.set_decode_threads(decode_threads);
+    sim.set_prefix_store(prefix);
     let outputs: Vec<(SimOutput, usize)> = {
         let _sim_span = efficsense_obs::span!("stage.simulate");
         dataset
@@ -557,7 +619,7 @@ pub fn evaluate_point_salted(
             .iter()
             .map(|rec| {
                 let seed = salted_seed(rec.id as u64 + 1, noise_salt);
-                let out = sim.run(&rec.samples, rec.fs, seed);
+                let out = sim.run_with_scratch(&rec.samples, rec.fs, seed, scratch);
                 (out, rec.label())
             })
             .collect()
@@ -569,6 +631,11 @@ pub fn evaluate_point_salted(
     let breakdown = outputs[0].0.power.clone();
     let area_units = outputs[0].0.area_units;
     let power_w = breakdown.total().value();
+    // The goal has consumed the outputs; their signal buffers feed the next
+    // point's acquisitions instead of the allocator.
+    for (out, _) in outputs {
+        scratch.reclaim_output(out);
+    }
     if !metric.is_finite() || !power_w.is_finite() {
         return Err(PointError::NonFinite(format!(
             "metric {metric}, power {power_w} W"

@@ -181,13 +181,14 @@ const AMBIENT_TIME_EXEMPT: [&str; 1] = ["crates/obs/src/clock.rs"];
 
 /// Numerical kernels that must guard stage boundaries against non-finite
 /// values, and in which bare narrowing casts are banned.
-const FINITE_GUARD_FILES: [&str; 6] = [
+const FINITE_GUARD_FILES: [&str; 7] = [
     "crates/cs/src/linalg.rs",
     "crates/cs/src/recon.rs",
     "crates/cs/src/decode.rs",
     "crates/dsp/src/fft.rs",
     "crates/core/src/simulate.rs",
     "crates/core/src/stream.rs",
+    "crates/core/src/prefix.rs",
 ];
 
 /// Runs every rule against one file, applies `lint:allow` suppression, and
