@@ -437,15 +437,16 @@ fn main() {
             d.monotone_snr
         ));
     }
+    let snap = obs_session.finish();
     let json = format!(
-        "{{\n  \"scale\": \"{}\",\n  \"replay_seconds\": {seconds:?},\n  \"windows\": {WINDOWS},\n  \"kinds\": {{\n{}\n  }},\n  \"monotone_kinds\": {monotone},\n  \"gauntlet\": {{\n    \"baseline_ok\": {base_ok},\n    \"baseline_samples\": {base_n},\n    \"cs_ok\": {cs_ok},\n    \"cs_samples\": {cs_n}\n  }}\n}}\n",
+        "{{\n  \"scale\": \"{}\",\n  \"replay_seconds\": {seconds:?},\n  \"windows\": {WINDOWS},\n  \"kinds\": {{\n{}\n  }},\n  \"monotone_kinds\": {monotone},\n  \"gauntlet\": {{\n    \"baseline_ok\": {base_ok},\n    \"baseline_samples\": {base_n},\n    \"cs_ok\": {cs_ok},\n    \"cs_samples\": {cs_n}\n  }},\n  \"profile\": {}\n}}\n",
         scale().name(),
-        kinds_json.join(",\n")
+        kinds_json.join(",\n"),
+        efficsense_bench::profile_summary_json(&snap)
     );
     std::fs::write("BENCH_longevity.json", &json).expect("can write BENCH_longevity.json");
     println!("  wrote BENCH_longevity.json");
 
-    let snap = obs_session.finish();
     if let Some(s) = snap.span("longevity.kind") {
         let secs = s.total_ns as f64 / 1e9;
         println!(

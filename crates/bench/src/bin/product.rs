@@ -334,13 +334,18 @@ fn main() {
     for name in [
         "stage.simulate",
         "sim.analog",
+        "sim.analog.build",
+        "sim.sample.build",
+        "sim.reference.build",
         "sim.encode",
         "stage.reconstruct",
         "recon.batch",
+        "recon.bmat",
         "recon.cholup",
         "recon.gram",
         "stage.power",
         "stage.detect",
+        "detect.infer",
     ] {
         if let Some(s) = snap.span(name) {
             println!(
@@ -359,10 +364,15 @@ fn main() {
     let stage_sum_s = self_s("sweep.point")
         + self_s("stage.simulate")
         + self_s("sim.analog")
+        + self_s("sim.analog.build")
+        + self_s("sim.sample.build")
+        + self_s("sim.reference.build")
         + self_s("sim.encode")
         + self_s("stage.detect")
+        + self_s("detect.infer")
         + self_s("stage.reconstruct")
         + self_s("recon.batch")
+        + self_s("recon.bmat")
         + self_s("recon.cholup")
         + self_s("recon.gram")
         + self_s("stage.power");
@@ -401,7 +411,7 @@ fn main() {
          \"reference_hits\": {},\n    \"reference_misses\": {},\n    \"acquired_hits\": {},\n    \
          \"acquired_misses\": {},\n    \"evictions\": {}\n  }},\n  \
          \"artifact_memo\": {{\n    \"cold_s\": {:?},\n    \
-         \"warm_s\": {:?},\n    \"speedup\": {:?},\n    \"dictionary_builds\": {},\n    \"dictionary_hits\": {}\n  }},\n  \"obs\": {}\n}}\n",
+         \"warm_s\": {:?},\n    \"speedup\": {:?},\n    \"dictionary_builds\": {},\n    \"dictionary_hits\": {}\n  }},\n  \"profile\": {},\n  \"obs\": {}\n}}\n",
         sc.name(),
         cells.len(),
         points_per_pass,
@@ -436,6 +446,7 @@ fn main() {
         artifact_speedup,
         dict_builds,
         dict_hits_within_sweep,
+        efficsense_bench::profile_summary_json(&snap),
         snap.to_json()
     );
     std::fs::write("BENCH_sweep.json", &json).expect("can write BENCH_sweep.json");

@@ -222,6 +222,26 @@ fn main() {
         );
     }
 
+    // BENCH_robustness.json: the matrix verdicts plus the per-stage
+    // profile, mirroring the product/longevity summaries for CI trends.
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"fault_kinds\": {},\n  \"severity_steps\": {},\n  \
+         \"points_per_cell\": {},\n  \"monotone_kinds\": {monotone},\n  \
+         \"quarantined\": {},\n  \"l1_entries\": {},\n  \"l1_hits\": {},\n  \
+         \"l1_misses\": {},\n  \"profile\": {}\n}}\n",
+        scale().name(),
+        FaultKind::ALL.len(),
+        severities.len(),
+        points_per_cell,
+        report.quarantine.len(),
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        efficsense_bench::profile_summary_json(&snap)
+    );
+    std::fs::write("BENCH_robustness.json", &json).expect("can write BENCH_robustness.json");
+    println!("  wrote BENCH_robustness.json");
+
     assert!(
         monotone >= 3,
         "expected at least 3 monotone-degrading fault kinds, got {monotone}"

@@ -118,9 +118,12 @@ pub struct ObsSession {
 }
 
 /// Wires the global [`efficsense_obs`] registry from the process arguments:
-/// `--trace <path>` installs a buffered JSONL trace sink, `--metrics <path>`
-/// marks where [`ObsSession::finish`] writes the final snapshot JSON.
-/// Without either flag this is free — no sink, no snapshot file.
+/// `--trace <path>` installs a buffered JSONL trace sink, `--trace-sample
+/// <n>` keeps only every nth span *tree* in that trace (whole trees, so
+/// lineage never dangles; histograms still see everything), and
+/// `--metrics <path>` marks where [`ObsSession::finish`] writes the final
+/// snapshot JSON. Without any flag this is free — no sink, no snapshot
+/// file.
 pub fn obs_from_args() -> ObsSession {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| {
@@ -138,15 +141,28 @@ pub fn obs_from_args() -> ObsSession {
             Err(e) => eprintln!("warning: cannot open trace file {path}: {e}"),
         }
     }
+    if let Some(every) = flag("--trace-sample") {
+        match every.parse::<u64>() {
+            Ok(n) if n >= 1 => {
+                efficsense_obs::global().set_trace_sampling(n);
+                if n > 1 {
+                    println!("  trace sampling: every {n}th span tree");
+                }
+            }
+            _ => eprintln!("warning: --trace-sample expects a positive integer, got `{every}`"),
+        }
+    }
     ObsSession {
         metrics_path: flag("--metrics").map(PathBuf::from),
     }
 }
 
 impl ObsSession {
-    /// Flushes the trace sink and freezes the registry. When the session
-    /// was started with `--metrics <path>`, the snapshot JSON is written
-    /// there too.
+    /// Emits the registry's closing counter totals into the trace (so an
+    /// offline profile can join cache counters with span durations),
+    /// flushes the sink and freezes the registry. When the session was
+    /// started with `--metrics <path>`, the snapshot JSON is written there
+    /// too.
     ///
     /// # Panics
     ///
@@ -154,6 +170,7 @@ impl ObsSession {
     /// bench output.
     pub fn finish(&self) -> efficsense_obs::Snapshot {
         let obs = efficsense_obs::global();
+        obs.emit_counters();
         obs.flush();
         let snap = obs.snapshot();
         if let Some(path) = &self.metrics_path {
@@ -162,6 +179,44 @@ impl ObsSession {
         }
         snap
     }
+}
+
+/// Renders a compact per-stage profile block for a `BENCH_*.json` summary:
+/// the top stages by self time with their share of total self time, plus
+/// per-occurrence quantile upper bounds from the histogram buckets. Embeds
+/// verbatim as the value of a `"profile"` key.
+#[must_use]
+pub fn profile_summary_json(snap: &efficsense_obs::Snapshot) -> String {
+    let mut rows: Vec<(&String, &efficsense_obs::HistogramSnapshot)> =
+        snap.spans.iter().map(|(n, s)| (n, s)).collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then_with(|| a.0.cmp(b.0)));
+    let total_self: u64 = rows.iter().map(|(_, s)| s.self_ns).sum();
+    let stages = rows
+        .iter()
+        .take(8)
+        .map(|(name, s)| {
+            let share = if total_self == 0 {
+                0.0
+            } else {
+                s.self_ns as f64 / total_self as f64
+            };
+            format!(
+                "{{ \"stage\": \"{name}\", \"count\": {}, \"self_s\": {:?}, \
+                 \"self_share\": {:?}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {} }}",
+                s.count,
+                s.self_ns as f64 / 1e9,
+                share,
+                s.p50_us(),
+                s.p95_us(),
+                s.p99_us()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{ \"total_self_s\": {:?}, \"stages\": [{stages}] }}",
+        total_self as f64 / 1e9
+    )
 }
 
 /// Runs (or loads from the figure cache) the main design-space sweep used by

@@ -115,6 +115,9 @@ impl GoalFunction for DetectionGoal {
             .map(|(o, label)| (o.input_referred.clone(), *label))
             .collect();
         let fs = outputs[0].0.fs_out;
+        // Separates inference proper from the pair-assembly above in the
+        // per-stage profile.
+        let _infer_span = efficsense_obs::span!("detect.infer");
         self.detector.accuracy(&pairs, fs)
     }
 }

@@ -407,6 +407,9 @@ impl Simulator {
             match analog_key.and_then(|(s, key)| s.get_analog(key)) {
                 Some(hit) => Buf::Shared(hit),
                 None => {
+                    // Priced by the L3 cache-efficacy report: this span is
+                    // exactly the work an `memo.analog` hit avoids.
+                    let _build_span = efficsense_obs::span!("sim.analog.build");
                     let ct = self.ct_signal(input, fs_in, f_ct, store);
                     // LNA: fresh instance; noise varies with the record.
                     let mut lna = Lna::from_design(
@@ -508,6 +511,8 @@ impl Simulator {
         scratch: &mut SimScratch,
     ) -> Vec<f64> {
         let build = |out: &mut Vec<f64>| {
+            // Priced by the L3 cache-efficacy report (memo.reference).
+            let _build_span = efficsense_obs::span!("sim.reference.build");
             out.extend((0..len).map(|i| sample_at(input, fs_in, i as f64 / f_s)));
         };
         let mut reference = scratch.take(len);
@@ -649,6 +654,8 @@ impl Simulator {
             match key.and_then(|(s, k)| s.get_sampled(k)) {
                 Some(hit) => Buf::Shared(hit),
                 None => {
+                    // Priced by the L3 cache-efficacy report (memo.sampled).
+                    let _build_span = efficsense_obs::span!("sim.sample.build");
                     let built: Vec<f64> = (0..n_samples)
                         .map(|i| sample_at(amplified, f_ct, i as f64 / f_s))
                         .collect();

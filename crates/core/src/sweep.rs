@@ -287,6 +287,7 @@ impl Sweep {
         let cache = self.cache.as_deref();
         let prefix = self.prefix.as_ref();
         let cache_attached = self.cache.is_some();
+        let prefix_attached = self.prefix.is_some();
         let points = space.points();
         let n_threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
@@ -386,6 +387,12 @@ impl Sweep {
                                             )
                                         }))
                                         .unwrap_or_else(|payload| {
+                                            // A panicking point may die with
+                                            // buffered trace lines; flush so
+                                            // the trace shows the spans that
+                                            // led up to the blow-up even if
+                                            // the process aborts next.
+                                            efficsense_obs::global().flush();
                                             Err(PointError::Panicked(panic_message(
                                                 payload.as_ref(),
                                             )))
@@ -426,7 +433,13 @@ impl Sweep {
                             // reads must not perturb span durations.
                             let n = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
                             if n.is_multiple_of(heartbeat_every) || n == total {
-                                progress_heartbeat(n, total, sweep_start_ns, cache_attached);
+                                progress_heartbeat(
+                                    n,
+                                    total,
+                                    sweep_start_ns,
+                                    cache_attached,
+                                    prefix_attached,
+                                );
                             }
                         }
                         local
@@ -473,8 +486,17 @@ impl Sweep {
 /// sink is installed, and — only once a sweep has run long enough to be
 /// worth watching — a stderr progress line. `cache_attached` gates the
 /// `cache_hits` field: a cacheless sweep has no hit count to report, and a
-/// hard-coded 0 would read as "cache attached but cold".
-fn progress_heartbeat(done: usize, total: usize, sweep_start_ns: u64, cache_attached: bool) {
+/// hard-coded 0 would read as "cache attached but cold". `prefix_attached`
+/// gates the L3 prefix-store fields the same way: `l3_hits`/`l3_misses`
+/// sum the per-class prefix counters so a long sweep's heartbeats show
+/// the store warming up alongside the L1 line.
+fn progress_heartbeat(
+    done: usize,
+    total: usize,
+    sweep_start_ns: u64,
+    cache_attached: bool,
+    prefix_attached: bool,
+) {
     efficsense_obs::counter!("sweep.heartbeat").incr();
     let obs = efficsense_obs::global();
     let now_ns = obs.now_ns();
@@ -493,6 +515,17 @@ fn progress_heartbeat(done: usize, total: usize, sweep_start_ns: u64, cache_atta
         if cache_attached {
             let hits = efficsense_obs::counter!("cache.l1.hit").get();
             ev = ev.field("cache_hits", efficsense_obs::FieldValue::U64(hits));
+        }
+        if prefix_attached {
+            let sum = |field: &str| {
+                ["ct", "analog", "reference", "sampled", "acquired"]
+                    .iter()
+                    .map(|class| obs.counter(&format!("memo.{class}.{field}")).get())
+                    .fold(0u64, u64::saturating_add)
+            };
+            ev = ev
+                .field("l3_hits", efficsense_obs::FieldValue::U64(sum("hit")))
+                .field("l3_misses", efficsense_obs::FieldValue::U64(sum("miss")));
         }
         obs.emit(&ev);
     }

@@ -202,3 +202,216 @@ fn jsonl_trace_round_trips_through_the_parser() {
 
     std::fs::remove_file(&path).ok();
 }
+
+/// Runs one traced sweep under the logical clock and returns the trace
+/// text plus the registry snapshot taken after the sink was detached.
+fn traced_sweep(
+    threads: usize,
+    ds: &EegDataset,
+    space: &DesignSpace,
+    file_tag: &str,
+) -> (String, efficsense_obs::Snapshot) {
+    let obs = efficsense_obs::global();
+    let dir = std::env::temp_dir().join("efficsense_obs_profile_test");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let path = dir.join(format!("trace_{file_tag}.jsonl"));
+
+    obs.set_clock(Arc::new(LogicalClock::new(1_000)));
+    obs.reset();
+    let file = std::fs::File::create(&path).expect("trace file is creatable");
+    obs.set_sink(Some(Box::new(std::io::BufWriter::new(file))));
+    run_sweep(threads, ds, space);
+    obs.set_sink(None); // flushes, appends the closing counters event
+    obs.set_clock(Arc::new(efficsense_obs::MonotonicClock::default()));
+    let snap = obs.snapshot();
+
+    let text = std::fs::read_to_string(&path).expect("trace file is readable");
+    std::fs::remove_file(&path).ok();
+    (text, snap)
+}
+
+#[test]
+fn reconstructed_profile_is_identical_across_thread_counts() {
+    use efficsense_obs::profile::Profile;
+
+    let _guard = obs_lock();
+    let ds = tiny_dataset();
+    let space = tiny_space();
+
+    // Warm-up: populate process-wide memo stores so both measured runs see
+    // identical hit/miss traffic.
+    run_sweep(1, &ds, &space);
+
+    let (text_one, snap_one) = traced_sweep(1, &ds, &space, "1t");
+    let (text_four, snap_four) = traced_sweep(4, &ds, &space, "4t");
+
+    let prof_one = Profile::from_trace(&text_one);
+    let prof_four = Profile::from_trace(&text_four);
+
+    // Span ids, thread ordinals and timestamps differ between the runs, but
+    // the reconstructed profile aggregates over *names* only — under the
+    // logical clock it is bit-identical across worker-thread counts.
+    assert_eq!(snap_one, snap_four);
+    assert_eq!(prof_one, prof_four);
+    assert_eq!(prof_one.to_json(), prof_four.to_json());
+
+    // Every parent link resolves and every line parses.
+    assert_eq!(prof_one.skipped_lines, 0);
+    assert_eq!(prof_one.orphans, 0);
+
+    // The trace-derived per-stage stats agree exactly with the registry
+    // histograms (same recorded values, different transport) — well inside
+    // the 10% agreement the profiler promises for sampled traces.
+    for (name, hist) in &snap_one.spans {
+        if hist.count == 0 {
+            // Zero-count histograms are warm-up leftovers (reset keeps the
+            // entry): they emit no trace events, so no profile stage.
+            assert!(!prof_one.stages.contains_key(name), "{name} ghost stage");
+            continue;
+        }
+        let stage = prof_one
+            .stages
+            .get(name)
+            .unwrap_or_else(|| panic!("stage {name} missing from profile"));
+        assert_eq!(stage.count, hist.count, "{name} count");
+        assert_eq!(stage.total_ns, hist.total_ns, "{name} total");
+        assert_eq!(stage.self_ns, hist.self_ns, "{name} self");
+        assert!(stage.p50_ns <= stage.p95_ns && stage.p95_ns <= stage.p99_ns);
+    }
+
+    // The closing counters event carried the registry counters into the
+    // profile, and the forest reconstructed real multi-level call paths.
+    for (name, value) in &snap_one.counters {
+        assert_eq!(prof_one.counters.get(name), Some(value), "{name}");
+    }
+    assert!(
+        prof_one
+            .stacks
+            .keys()
+            .any(|path| path.starts_with("sweep.point;stage.simulate;")),
+        "expected nested stacks under sweep.point, got: {:?}",
+        prof_one.stacks.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn heartbeats_report_l3_prefix_counters_when_a_store_is_attached() {
+    use efficsense_core::prefix::PrefixStore;
+    use efficsense_obs::FieldValue;
+
+    let _guard = obs_lock();
+    let obs = efficsense_obs::global();
+    let ds = tiny_dataset();
+    let space = tiny_space();
+
+    let dir = std::env::temp_dir().join("efficsense_obs_profile_test");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let path = dir.join("trace_heartbeat_l3.jsonl");
+
+    obs.set_clock(Arc::new(LogicalClock::new(1_000)));
+    obs.reset();
+    let file = std::fs::File::create(&path).expect("trace file is creatable");
+    obs.set_sink(Some(Box::new(std::io::BufWriter::new(file))));
+    Sweep::new(SweepConfig {
+        metric: Metric::Snr,
+        threads: 2,
+        detector_seed: 0,
+        ..Default::default()
+    })
+    .with_prefix_store(Arc::new(PrefixStore::new()))
+    .run(&space, &ds);
+    obs.set_sink(None);
+    obs.set_clock(Arc::new(efficsense_obs::MonotonicClock::default()));
+
+    let text = std::fs::read_to_string(&path).expect("trace file is readable");
+    std::fs::remove_file(&path).ok();
+    let heartbeats: Vec<TraceEvent> = text
+        .lines()
+        .filter_map(TraceEvent::parse)
+        .filter(|e| e.kind == "heartbeat" && e.name == "sweep.progress")
+        .collect();
+    assert!(!heartbeats.is_empty(), "sweep completion emits a heartbeat");
+    for hb in &heartbeats {
+        let l3 = |k: &str| match hb.get(k) {
+            Some(FieldValue::U64(v)) => *v,
+            other => panic!("heartbeat {k} must be a U64 field, got {other:?}"),
+        };
+        // The store starts cold: every lookup so far is classified, so the
+        // level totals are live by the first heartbeat.
+        assert!(
+            l3("l3_hits") + l3("l3_misses") > 0,
+            "attached prefix store must show L3 traffic"
+        );
+    }
+}
+
+#[test]
+fn panicking_point_flushes_the_trace_before_quarantine() {
+    let _guard = obs_lock();
+    let obs = efficsense_obs::global();
+    let ds = tiny_dataset();
+    // The NaN-noise baseline point passes validation but trips the LNA
+    // constructor's assertion mid-evaluation — a genuine panic, caught at
+    // the sweep's per-point boundary.
+    let space = DesignSpace {
+        lna_noise_vrms: vec![2e-6, f64::NAN],
+        n_bits: vec![8],
+        cs_m: vec![96],
+        cs_s: vec![2],
+        cs_c_hold_f: vec![1e-12],
+        ..DesignSpace::paper_defaults()
+    };
+
+    let dir = std::env::temp_dir().join("efficsense_obs_profile_test");
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    let path = dir.join("trace_panic_flush.jsonl");
+
+    obs.set_clock(Arc::new(LogicalClock::new(1_000)));
+    obs.reset();
+    let file = std::fs::File::create(&path).expect("trace file is creatable");
+    // A buffer far larger than the whole trace: nothing reaches the file
+    // unless something explicitly flushes.
+    obs.set_sink(Some(Box::new(std::io::BufWriter::with_capacity(
+        1 << 22,
+        file,
+    ))));
+    let report = Sweep::new(SweepConfig {
+        metric: Metric::Snr,
+        threads: 1,
+        detector_seed: 0,
+        failure_policy: FailurePolicy::Skip,
+        ..Default::default()
+    })
+    .run_report(&space, &ds);
+    assert!(
+        report
+            .quarantine
+            .iter()
+            .any(|q| matches!(&q.error, PointError::Panicked(_))),
+        "the sick point must panic: {:?}",
+        report
+            .quarantine
+            .iter()
+            .map(|q| &q.error)
+            .collect::<Vec<_>>()
+    );
+
+    // Read the file *before* detaching the sink (detaching flushes too):
+    // only the panic-path flush can have pushed the buffered lines out.
+    let text = std::fs::read_to_string(&path).expect("trace file is readable");
+    assert!(
+        !text.trim().is_empty(),
+        "panic path must flush buffered trace lines"
+    );
+    let parsed = text.lines().filter(|l| !l.is_empty()).count();
+    let parse_ok = text
+        .lines()
+        .filter(|l| !l.is_empty())
+        .filter_map(TraceEvent::parse)
+        .count();
+    assert_eq!(parse_ok, parsed, "flushed lines are whole JSONL events");
+
+    obs.set_sink(None);
+    obs.set_clock(Arc::new(efficsense_obs::MonotonicClock::default()));
+    std::fs::remove_file(&path).ok();
+}

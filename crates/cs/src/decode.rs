@@ -311,10 +311,13 @@ pub fn reconstruct_batch(
     // the same contiguous `dot` the single-frame path computes, so the two
     // entry points agree bit for bit.
     let mut bmat = Matrix::zeros(frames.len(), n);
-    for c in 0..n {
-        let atom = at.row(c);
-        for (r, frame) in frames.iter().enumerate() {
-            bmat[(r, c)] = dot(atom, frame);
+    {
+        let _bmat_span = efficsense_obs::span!("recon.bmat");
+        for c in 0..n {
+            let atom = at.row(c);
+            for (r, frame) in frames.iter().enumerate() {
+                bmat[(r, c)] = dot(atom, frame);
+            }
         }
     }
     let decode = |r: usize, ws: &mut OmpScratch| -> Vec<f64> {

@@ -286,7 +286,14 @@ impl Parser<'_> {
         if let Ok(v) = tok.parse::<u64>() {
             return Some(Json::Int(v));
         }
-        tok.parse::<f64>().ok().map(Json::Float)
+        // Everything else must parse as a *finite* float: no writer of
+        // ours emits non-finite numbers (they render as null), and a
+        // token like "1e999" silently rounding to infinity would poison
+        // downstream arithmetic.
+        tok.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
+            .map(Json::Float)
     }
 }
 
@@ -332,5 +339,67 @@ mod tests {
         let encoded = format!("\"{}\"", escape(original));
         let parsed = Json::parse(&encoded).expect("parses");
         assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected() {
+        // Prefixes of a valid line, as left behind by a torn write.
+        let full = r#"{"ts_ns":12,"kind":"span","name":"sweep.point","fields":{"total_ns":9}}"#;
+        assert!(Json::parse(full).is_some());
+        for cut in 1..full.len() {
+            assert_eq!(
+                Json::parse(&full[..cut]),
+                None,
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode_and_surrogates_are_rejected() {
+        // \u escapes decode to their scalar values, mixed freely with
+        // literal multi-byte UTF-8 after the first escape.
+        assert_eq!(
+            Json::parse("\"caf\\u00e9\"").and_then(|v| v.as_str().map(String::from)),
+            Some("caf\u{e9}".to_string())
+        );
+        assert_eq!(
+            Json::parse("\"A\\u6f22\u{6c49}\"").and_then(|v| v.as_str().map(String::from)),
+            Some("A\u{6f22}\u{6c49}".to_string())
+        );
+        // Surrogate code points (D800-DFFF) are not scalar values; lone
+        // and paired surrogate escapes are rejected (the codec never
+        // emits them -- non-BMP chars pass through as raw UTF-8, which
+        // still parses).
+        assert_eq!(Json::parse("\"\\ud800\""), None);
+        assert_eq!(Json::parse("\"\\udfff\""), None);
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\""), None);
+        assert_eq!(
+            Json::parse("\"\u{1f600}\"").and_then(|v| v.as_str().map(String::from)),
+            Some("\u{1f600}".to_string())
+        );
+        // Truncated and non-hex escapes fail cleanly too.
+        assert_eq!(Json::parse("\"\\u00\""), None);
+        assert_eq!(Json::parse("\"\\uzzzz\""), None);
+    }
+
+    #[test]
+    fn huge_integers_overflow_to_float_not_garbage() {
+        // u64::MAX parses exactly; one past it no longer fits and falls
+        // through to the (lossy but finite) float path.
+        let v = Json::parse("18446744073709551615").expect("u64::MAX parses");
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v = Json::parse("18446744073709551616").expect("2^64 parses as float");
+        assert_eq!(v.as_u64(), None);
+        assert!(matches!(v, Json::Float(f) if f.is_finite()));
+    }
+
+    #[test]
+    fn non_finite_number_tokens_are_rejected() {
+        for bad in ["1e999", "-1e999", "1e+400", "nan", "inf", "-inf"] {
+            assert_eq!(Json::parse(bad), None, "{bad:?} must not parse");
+        }
+        // The finite edge of the exponent range still parses.
+        assert!(matches!(Json::parse("1e308"), Some(Json::Float(_))));
     }
 }

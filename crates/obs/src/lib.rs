@@ -17,8 +17,12 @@
 //!   directly nested spans), so per-stage totals are disjoint and sum to
 //!   the enclosing span.
 //! * **Trace events** ([`TraceEvent`]) — optional JSON-lines stream of
-//!   span closings, warnings and heartbeats to a sink installed with
-//!   [`ObsRegistry::set_sink`]; disabled (and free) by default.
+//!   span begin/end events (with `span`/`parent`/`thread` causal lineage),
+//!   warnings and heartbeats to a sink installed with
+//!   [`ObsRegistry::set_sink`]; disabled (and free) by default. A
+//!   deterministic tree-level sampler
+//!   ([`ObsRegistry::set_trace_sampling`]) keeps every Nth span *tree*
+//!   whole, so sampled traces still reconstruct.
 //!
 //! Timing comes from a pluggable [`Clock`]: the default
 //! [`MonotonicClock`] reads wall time, while [`LogicalClock`] advances a
@@ -29,15 +33,24 @@
 //! [`ObsRegistry::snapshot`] freezes everything into an ordered
 //! name → value map ([`Snapshot`]) that serialises to JSON via the same
 //! hand-rolled [`json`] module the trace parser uses.
+//!
+//! The [`profile`] module closes the loop offline: it rebuilds the span
+//! forest from a JSONL trace and aggregates it into a deterministic
+//! [`Profile`] — per-stage self/total time with exact p50/p95/p99,
+//! folded-stack flamegraph text, cache-efficacy estimates, and a
+//! per-stage [`profile::diff`] that attributes a throughput change to
+//! the stages responsible.
 
 pub mod clock;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod trace;
 
 pub use clock::{Clock, LogicalClock, MonotonicClock};
 pub use metrics::{bucket_floor_us, bucket_index, Counter, Histogram, HistogramSnapshot, BUCKETS};
+pub use profile::{Profile, ProfileBuilder, ProfileDiff, StageStats};
 pub use registry::{global, ObsRegistry, Snapshot, SpanGuard};
 pub use trace::{FieldValue, TraceEvent};
 

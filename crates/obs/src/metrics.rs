@@ -27,6 +27,18 @@ pub fn bucket_floor_us(index: usize) -> u64 {
     }
 }
 
+/// Exclusive upper bound of a bucket in microseconds. The overflow bucket
+/// has no true upper bound; it reports twice its floor (`2^25` µs ≈ 33.6 s)
+/// as a saturated estimate so quantiles stay finite.
+#[must_use]
+pub fn bucket_ceiling_us(index: usize) -> u64 {
+    if index >= BUCKETS - 1 {
+        1u64 << 25
+    } else {
+        bucket_floor_us(index + 1)
+    }
+}
+
 /// A monotonically increasing atomic event counter.
 ///
 /// All operations are `Relaxed`: counters are statistics, not
@@ -142,6 +154,46 @@ impl HistogramSnapshot {
             self.total_ns as f64 / self.count as f64
         }
     }
+
+    /// Nearest-rank quantile **upper bound** in microseconds, derived
+    /// from the power-of-two bucket geometry: the ceiling of the bucket
+    /// holding the `q`-quantile occurrence. Exact per-occurrence
+    /// durations are not retained, so this bounds the true quantile from
+    /// above by at most 2x (one bucket width). 0 when empty.
+    #[must_use]
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(*b);
+            if seen >= rank {
+                return bucket_ceiling_us(i);
+            }
+        }
+        bucket_ceiling_us(BUCKETS - 1)
+    }
+
+    /// Median upper bound in microseconds (bucket geometry).
+    #[must_use]
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_upper_us(0.50)
+    }
+
+    /// 95th-percentile upper bound in microseconds (bucket geometry).
+    #[must_use]
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_upper_us(0.95)
+    }
+
+    /// 99th-percentile upper bound in microseconds (bucket geometry).
+    #[must_use]
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_upper_us(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +219,45 @@ mod tests {
         assert_eq!(bucket_floor_us(BUCKETS - 1), 1 << 24);
         // Out-of-range indices clamp to the overflow bucket.
         assert_eq!(bucket_floor_us(BUCKETS + 7), 1 << 24);
+    }
+
+    #[test]
+    fn bucket_ceilings_cap_the_floors() {
+        assert_eq!(bucket_ceiling_us(0), 1);
+        assert_eq!(bucket_ceiling_us(1), 2);
+        assert_eq!(bucket_ceiling_us(5), 32);
+        assert_eq!(bucket_ceiling_us(BUCKETS - 2), 1 << 24);
+        // The overflow bucket saturates at twice its floor.
+        assert_eq!(bucket_ceiling_us(BUCKETS - 1), 1 << 25);
+        assert_eq!(bucket_ceiling_us(BUCKETS + 3), 1 << 25);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_follow_bucket_geometry() {
+        let h = Histogram::new();
+        // 90 fast spans at ~1.5 µs (bucket 1, ceiling 2 µs) and 10 slow
+        // ones at ~100 µs (bucket 7, ceiling 128 µs).
+        for _ in 0..90 {
+            h.record(1_500, 1_500);
+        }
+        for _ in 0..10 {
+            h.record(100_000, 100_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50_us(), 2);
+        assert_eq!(s.quantile_upper_us(0.90), 2);
+        assert_eq!(s.p95_us(), 128);
+        assert_eq!(s.p99_us(), 128);
+        // q clamps: 0 maps to the first occupied bucket, 1 to the last.
+        assert_eq!(s.quantile_upper_us(-1.0), 2);
+        assert_eq!(s.quantile_upper_us(2.0), 128);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50_us(), 0);
+        assert_eq!(s.p99_us(), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::clock::{Clock, MonotonicClock};
@@ -12,11 +12,46 @@ use crate::json::escape;
 use crate::metrics::{Counter, Histogram, HistogramSnapshot};
 use crate::trace::{FieldValue, TraceEvent};
 
+/// One open span on a thread's stack: the child-time accumulator for
+/// self-time accounting, the span's lineage id, and whether the span's
+/// tree was selected by the trace sampler.
+struct Frame {
+    child_ns: u64,
+    span_id: u64,
+    traced: bool,
+}
+
+/// Per-thread span bookkeeping: the open-frame stack, the id sequence,
+/// the root-span sampling counter, and the lazily assigned thread
+/// ordinal (`NEXT_THREAD_ORDINAL` hands each OS thread a distinct small
+/// integer on its first span).
+struct ThreadSpans {
+    frames: Vec<Frame>,
+    next_seq: u32,
+    roots: u64,
+    ordinal: Option<u32>,
+}
+
+impl ThreadSpans {
+    fn ordinal(&mut self) -> u32 {
+        *self.ordinal.get_or_insert_with(|| {
+            // relaxed: ordinals only need to be distinct, not ordered
+            NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed)
+        })
+    }
+}
+
+static NEXT_THREAD_ORDINAL: AtomicU32 = AtomicU32::new(0);
+
 thread_local! {
-    /// Per-thread stack of child-time accumulators for self-time
-    /// accounting. Opening a span pushes a 0; a closing child adds its
-    /// total into the new top, which is the parent's accumulator.
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread stack of open spans. Opening a span pushes a frame with
+    /// a zeroed child-time accumulator; a closing child adds its total
+    /// into the new top, which is the parent's accumulator. Frames also
+    /// carry the lineage id (`thread ordinal << 32 | per-thread seq`) and
+    /// the sampling decision children inherit from their root.
+    static SPAN_STATE: RefCell<ThreadSpans> = const {
+        RefCell::new(ThreadSpans { frames: Vec::new(), next_seq: 0, roots: 0, ordinal: None })
+    };
 }
 
 fn recover<T>(r: Result<T, PoisonError<T>>) -> T {
@@ -35,6 +70,7 @@ pub struct ObsRegistry {
     clock: Mutex<Arc<dyn Clock>>,
     sink: Mutex<Option<Box<dyn Write + Send>>>,
     sink_enabled: AtomicBool,
+    trace_sample: AtomicU64,
     run_id: Mutex<String>,
 }
 
@@ -78,6 +114,7 @@ impl ObsRegistry {
             clock: Mutex::new(Arc::new(MonotonicClock::new())),
             sink: Mutex::new(None),
             sink_enabled: AtomicBool::new(false),
+            trace_sample: AtomicU64::new(1),
             run_id: Mutex::new(default_run_id()),
         }
     }
@@ -131,18 +168,35 @@ impl ObsRegistry {
 
     /// Installs a JSONL trace sink (e.g. a buffered file); `None` removes
     /// it. While no sink is installed, event emission short-circuits on a
-    /// relaxed atomic load.
+    /// relaxed atomic load. The outgoing sink, if any, receives a closing
+    /// `"counters"` event and a flush so its trace is self-contained.
     pub fn set_sink(&self, sink: Option<Box<dyn Write + Send>>) {
         let enabled = sink.is_some();
+        self.finalize_sink();
         let mut slot = recover(self.sink.lock());
-        // Flush the outgoing sink so its tail is not lost on replacement.
-        if let Some(old) = slot.as_mut() {
-            let _ = old.flush();
-        }
         *slot = sink;
         // relaxed: advisory fast-path flag; the sink itself is behind the
         // mutex, so a stale read only costs one wasted event build.
         self.sink_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Sets the trace sampling stride: 1 (the default) traces every span
+    /// tree, `n` traces every n-th *root* span per thread. Children
+    /// inherit their root's decision, so a sampled trace keeps whole span
+    /// trees and parent links never dangle. Histograms and counters
+    /// always record every span — sampling bounds only the JSONL event
+    /// volume.
+    pub fn set_trace_sampling(&self, every: u64) {
+        // relaxed: advisory configuration knob, read once per root span
+        self.trace_sample.store(every.max(1), Ordering::Relaxed);
+    }
+
+    /// The current trace sampling stride (see
+    /// [`ObsRegistry::set_trace_sampling`]).
+    #[must_use]
+    pub fn trace_sampling(&self) -> u64 {
+        // relaxed: advisory configuration knob
+        self.trace_sample.load(Ordering::Relaxed)
     }
 
     /// Whether a trace sink is installed. Callers pay for event
@@ -182,6 +236,46 @@ impl ObsRegistry {
         }
     }
 
+    /// Emits a `"counters"` trace event carrying every counter's current
+    /// value, making the trace file self-contained for offline analysis
+    /// (the profiler's cache-efficacy report joins these with span
+    /// durations). The last such event in a trace wins.
+    pub fn emit_counters(&self) {
+        if !self.sink_enabled() {
+            return;
+        }
+        let ev = self.counters_event();
+        self.emit(&ev);
+    }
+
+    fn counters_event(&self) -> TraceEvent {
+        let mut ev = TraceEvent::new(self.now_ns(), "counters", "registry.counters");
+        for (k, v) in recover(self.counters.lock()).iter() {
+            ev = ev.field(k, FieldValue::U64(v.get()));
+        }
+        ev
+    }
+
+    /// Writes a closing `"counters"` event into the current sink and
+    /// flushes it. Called when the sink is detached — replacement via
+    /// [`ObsRegistry::set_sink`] or registry teardown — so a buffered
+    /// tail and the final counter totals are never silently lost.
+    fn finalize_sink(&self) {
+        if !self.sink_enabled() {
+            return;
+        }
+        let mut line = self
+            .counters_event()
+            .field("run", FieldValue::Str(self.run_id()))
+            .to_json_line();
+        line.push('\n');
+        let mut slot = recover(self.sink.lock());
+        if let Some(sink) = slot.as_mut() {
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.flush();
+        }
+    }
+
     /// Opens a span against an already-resolved histogram handle (the
     /// [`span!`] macro's fast path). `name` is only used for the trace
     /// event on close.
@@ -189,12 +283,55 @@ impl ObsRegistry {
     /// [`span!`]: crate::span!
     #[must_use]
     pub fn span_on<'a>(&'a self, hist: &Arc<Histogram>, name: &'static str) -> SpanGuard<'a> {
-        SPAN_STACK.with(|s| s.borrow_mut().push(0));
+        let sink_on = self.sink_enabled();
+        let sample = if sink_on {
+            self.trace_sampling().max(1)
+        } else {
+            1
+        };
+        let (span_id, parent_id, thread, traced) = SPAN_STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            let thread = st.ordinal();
+            st.next_seq = st.next_seq.wrapping_add(1);
+            let span_id = (u64::from(thread) << 32) | u64::from(st.next_seq);
+            let parent_id = st.frames.last().map(|f| f.span_id);
+            // Tree-level sampling: a root span draws from the per-thread
+            // root counter; children inherit, so sampled traces keep
+            // whole trees and parent links never dangle.
+            let traced = sink_on
+                && match st.frames.last() {
+                    Some(parent) => parent.traced,
+                    None => {
+                        let n = st.roots;
+                        st.roots += 1;
+                        n % sample == 0
+                    }
+                };
+            st.frames.push(Frame {
+                child_ns: 0,
+                span_id,
+                traced,
+            });
+            (span_id, parent_id, thread, traced)
+        });
+        let start_ns = self.now_ns();
+        if traced {
+            let mut ev =
+                TraceEvent::new(start_ns, "begin", name).field("span", FieldValue::U64(span_id));
+            if let Some(p) = parent_id {
+                ev = ev.field("parent", FieldValue::U64(p));
+            }
+            self.emit(&ev.field("thread", FieldValue::U64(u64::from(thread))));
+        }
         SpanGuard {
             registry: self,
             hist: Arc::clone(hist),
             name,
-            start_ns: self.now_ns(),
+            start_ns,
+            span_id,
+            parent_id,
+            thread,
+            traced,
         }
     }
 
@@ -246,33 +383,69 @@ impl ObsRegistry {
     }
 }
 
+impl Drop for ObsRegistry {
+    fn drop(&mut self) {
+        // Teardown flush: a buffered sink dropped with the registry would
+        // otherwise lose its tail silently, truncating the trace. (The
+        // process-wide [`global`] registry lives in a `OnceLock` and never
+        // drops — long-lived binaries flush through
+        // [`ObsRegistry::flush`] / [`ObsRegistry::set_sink`] instead.)
+        self.finalize_sink();
+    }
+}
+
 /// RAII guard for an open span; records into the histogram and emits a
-/// trace event (when a sink is installed) on drop.
+/// trace event with full lineage (when a sink is installed and the
+/// span's tree is sampled) on drop.
 #[derive(Debug)]
 pub struct SpanGuard<'a> {
     registry: &'a ObsRegistry,
     hist: Arc<Histogram>,
     name: &'static str,
     start_ns: u64,
+    span_id: u64,
+    parent_id: Option<u64>,
+    thread: u32,
+    traced: bool,
+}
+
+impl SpanGuard<'_> {
+    /// This span's lineage id (`thread ordinal << 32 | per-thread seq`).
+    #[must_use]
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// The enclosing span's id, if this span is not a root.
+    #[must_use]
+    pub fn parent_id(&self) -> Option<u64> {
+        self.parent_id
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let end_ns = self.registry.now_ns();
         let total = end_ns.saturating_sub(self.start_ns);
-        let child = SPAN_STACK.with(|s| {
-            let mut stack = s.borrow_mut();
-            let child = stack.pop().unwrap_or(0);
+        let child = SPAN_STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            let child = st.frames.pop().map_or(0, |f| f.child_ns);
             // Propagate this span's total into the parent's accumulator.
-            if let Some(parent) = stack.last_mut() {
-                *parent = parent.saturating_add(total);
+            if let Some(parent) = st.frames.last_mut() {
+                parent.child_ns = parent.child_ns.saturating_add(total);
             }
             child
         });
         let self_ns = total.saturating_sub(child);
         self.hist.record(total, self_ns);
-        if self.registry.sink_enabled() {
-            let ev = TraceEvent::new(end_ns, "span", self.name)
+        if self.traced {
+            let mut ev = TraceEvent::new(end_ns, "span", self.name)
+                .field("span", FieldValue::U64(self.span_id));
+            if let Some(p) = self.parent_id {
+                ev = ev.field("parent", FieldValue::U64(p));
+            }
+            let ev = ev
+                .field("thread", FieldValue::U64(u64::from(self.thread)))
                 .field("total_ns", FieldValue::U64(total))
                 .field("self_ns", FieldValue::U64(self_ns));
             self.registry.emit(&ev);
@@ -311,8 +484,12 @@ impl Snapshot {
     /// ```json
     /// {"counters":{"cache.l1.hit":12},
     ///  "spans":{"sweep.point":{"count":96,"total_ns":1,"self_ns":1,
-    ///           "mean_ns":0.01,"buckets":[0,...]}}}
+    ///           "mean_ns":0.01,"p50_us":1,"p95_us":2,"p99_us":2,
+    ///           "buckets":[0,...]}}}
     /// ```
+    ///
+    /// The `p*_us` values are bucket-geometry quantile *upper bounds*
+    /// (see [`HistogramSnapshot::quantile_upper_us`]).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
@@ -328,12 +505,16 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"total_ns\":{},\"self_ns\":{},\"mean_ns\":{:?},\"buckets\":[",
+                "\"{}\":{{\"count\":{},\"total_ns\":{},\"self_ns\":{},\"mean_ns\":{:?},\
+                 \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"buckets\":[",
                 escape(k),
                 s.count,
                 s.total_ns,
                 s.self_ns,
-                s.mean_ns()
+                s.mean_ns(),
+                s.p50_us(),
+                s.p95_us(),
+                s.p99_us()
             ));
             for (j, b) in s.buckets.iter().enumerate() {
                 if j > 0 {
@@ -499,14 +680,165 @@ mod tests {
             .lines()
             .map(|l| TraceEvent::parse(l).expect("every sink line parses"))
             .collect();
-        assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0].kind, "span");
-        assert_eq!(lines[0].get("total_ns"), Some(&FieldValue::U64(10)));
-        assert_eq!(lines[1].kind, "warn");
-        assert_eq!(lines[1].get("count"), Some(&FieldValue::U64(2)));
-        assert_eq!(lines[2].kind, "heartbeat");
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].kind, "begin");
+        assert_eq!(lines[1].kind, "span");
+        assert_eq!(lines[1].get("total_ns"), Some(&FieldValue::U64(10)));
+        assert_eq!(lines[2].kind, "warn");
+        assert_eq!(lines[2].get("count"), Some(&FieldValue::U64(2)));
+        assert_eq!(lines[3].kind, "heartbeat");
         reg.set_sink(None);
         assert!(!reg.sink_enabled());
+    }
+
+    #[test]
+    fn span_events_carry_parent_linked_lineage() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(10)));
+        let buf = SharedBuf::default();
+        reg.set_sink(Some(Box::new(buf.clone())));
+        {
+            let outer = reg.span("outer");
+            let inner = reg.span("inner");
+            assert_eq!(inner.parent_id(), Some(outer.span_id()));
+            assert!(outer.parent_id().is_none(), "outer is a root");
+        }
+        reg.flush();
+        let events: Vec<TraceEvent> = buf
+            .contents()
+            .lines()
+            .map(|l| TraceEvent::parse(l).expect("parses"))
+            .collect();
+        // begin(outer), begin(inner), span(inner), span(outer)
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, "begin");
+        assert_eq!(events[0].name, "outer");
+        let outer_id = match events[0].get("span") {
+            Some(&FieldValue::U64(id)) => id,
+            other => panic!("outer begin lacks span id: {other:?}"),
+        };
+        assert_eq!(events[0].get("parent"), None, "roots omit parent");
+        assert_eq!(events[1].name, "inner");
+        assert_eq!(events[1].get("parent"), Some(&FieldValue::U64(outer_id)));
+        assert_eq!(events[2].kind, "span");
+        assert_eq!(events[2].name, "inner");
+        assert_eq!(events[2].get("parent"), Some(&FieldValue::U64(outer_id)));
+        assert_eq!(events[3].name, "outer");
+        assert_eq!(events[3].get("span"), Some(&FieldValue::U64(outer_id)));
+        assert!(events[3].get("thread").is_some(), "events carry the thread");
+    }
+
+    #[test]
+    fn tree_sampling_keeps_whole_trees_and_all_histogram_records() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(10)));
+        reg.set_trace_sampling(2);
+        assert_eq!(reg.trace_sampling(), 2);
+        let buf = SharedBuf::default();
+        reg.set_sink(Some(Box::new(buf.clone())));
+        for _ in 0..4 {
+            let _root = reg.span("root");
+            drop(reg.span("leaf"));
+        }
+        reg.flush();
+        let events: Vec<TraceEvent> = buf
+            .contents()
+            .lines()
+            .map(|l| TraceEvent::parse(l).expect("parses"))
+            .collect();
+        // Roots 0 and 2 are sampled; each tree emits 2 begins + 2 ends.
+        let span_ends = events.iter().filter(|e| e.kind == "span").count();
+        let begins = events.iter().filter(|e| e.kind == "begin").count();
+        assert_eq!(span_ends, 4);
+        assert_eq!(begins, 4);
+        // Every sampled end event's parent (if any) has a begin event, so
+        // lineage never dangles under sampling.
+        for e in events.iter().filter(|e| e.kind == "span") {
+            if let Some(&FieldValue::U64(p)) = e.get("parent") {
+                assert!(
+                    events
+                        .iter()
+                        .any(|b| b.kind == "begin" && b.get("span") == Some(&FieldValue::U64(p))),
+                    "dangling parent {p}"
+                );
+            }
+        }
+        // Histograms are unaffected by sampling.
+        let snap = reg.snapshot();
+        assert_eq!(snap.span("root").expect("root").count, 4);
+        assert_eq!(snap.span("leaf").expect("leaf").count, 4);
+        reg.set_trace_sampling(0); // clamps to 1
+        assert_eq!(reg.trace_sampling(), 1);
+    }
+
+    /// A sink that buffers writes and only publishes them on `flush`, to
+    /// pin down the teardown-flush guarantees.
+    #[derive(Clone, Default)]
+    struct FlushGated {
+        pending: Arc<Mutex<Vec<u8>>>,
+        visible: Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl FlushGated {
+        fn visible(&self) -> String {
+            String::from_utf8(recover(self.visible.lock()).clone()).expect("utf8")
+        }
+    }
+
+    impl Write for FlushGated {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            recover(self.pending.lock()).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            let mut pending = recover(self.pending.lock());
+            recover(self.visible.lock()).extend_from_slice(&pending);
+            pending.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn registry_teardown_flushes_the_sink_and_appends_counters() {
+        let buf = FlushGated::default();
+        {
+            let reg = ObsRegistry::new();
+            reg.set_clock(Arc::new(LogicalClock::new(10)));
+            reg.set_sink(Some(Box::new(buf.clone())));
+            reg.counter("work.done").add(3);
+            drop(reg.span("s"));
+            assert_eq!(buf.visible(), "", "nothing published before flush");
+        } // registry drops here
+        let events: Vec<TraceEvent> = buf
+            .visible()
+            .lines()
+            .map(|l| TraceEvent::parse(l).expect("parses"))
+            .collect();
+        assert!(
+            events.iter().any(|e| e.kind == "span"),
+            "buffered span flushed on teardown"
+        );
+        let counters = events
+            .last()
+            .expect("teardown appends a closing counters event");
+        assert_eq!(counters.kind, "counters");
+        assert_eq!(counters.get("work.done"), Some(&FieldValue::U64(3)));
+    }
+
+    #[test]
+    fn emit_counters_writes_current_values() {
+        let reg = ObsRegistry::new();
+        reg.set_clock(Arc::new(LogicalClock::new(10)));
+        let buf = SharedBuf::default();
+        reg.set_sink(Some(Box::new(buf.clone())));
+        reg.counter("a.hit").add(5);
+        reg.emit_counters();
+        reg.flush();
+        let ev = TraceEvent::parse(buf.contents().lines().next().expect("one line"))
+            .expect("counters event parses");
+        assert_eq!(ev.kind, "counters");
+        assert_eq!(ev.name, "registry.counters");
+        assert_eq!(ev.get("a.hit"), Some(&FieldValue::U64(5)));
     }
 
     #[test]

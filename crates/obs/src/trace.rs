@@ -184,6 +184,56 @@ mod tests {
     }
 
     #[test]
+    fn truncated_lines_do_not_parse() {
+        let full = TraceEvent::new(9, "span", "stage.detect")
+            .field("total_ns", FieldValue::U64(1234))
+            .field("note", FieldValue::Str("mid\u{6c49}point".to_string()))
+            .to_json_line();
+        for cut in 1..full.len() {
+            // Byte-boundary prefixes only: mid-UTF-8 cuts are not valid
+            // &str slices in the first place.
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            assert_eq!(
+                TraceEvent::parse(&full[..cut]),
+                None,
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_integer_fields_round_trip_exactly() {
+        let line = format!(
+            "{{\"ts_ns\":{max},\"kind\":\"span\",\"name\":\"n\",\"fields\":{{\"v\":{max}}}}}",
+            max = u64::MAX
+        );
+        let ev = TraceEvent::parse(&line).expect("parses");
+        assert_eq!(ev.ts_ns, u64::MAX);
+        assert_eq!(ev.get("v"), Some(&FieldValue::U64(u64::MAX)));
+        assert_eq!(ev.to_json_line(), line);
+        // Past u64 range the value falls to float; as a ts_ns it no
+        // longer satisfies the schema and the line is rejected.
+        let over = "{\"ts_ns\":18446744073709551616,\"kind\":\"k\",\"name\":\"n\",\"fields\":{}}";
+        assert_eq!(TraceEvent::parse(over), None);
+    }
+
+    #[test]
+    fn surrogate_escapes_and_nonfinite_numbers_reject_the_line() {
+        let lone = "{\"ts_ns\":1,\"kind\":\"warn\",\"name\":\"n\",\"fields\":{\"t\":\"\\ud800\"}}";
+        assert_eq!(TraceEvent::parse(lone), None);
+        let huge_exp = "{\"ts_ns\":1,\"kind\":\"span\",\"name\":\"n\",\"fields\":{\"v\":1e999}}";
+        assert_eq!(TraceEvent::parse(huge_exp), None);
+        // Escaped unicode in a field survives the trip.
+        let ev = TraceEvent::parse(
+            "{\"ts_ns\":1,\"kind\":\"warn\",\"name\":\"n\",\"fields\":{\"t\":\"\\u00e9\"}}",
+        )
+        .expect("parses");
+        assert_eq!(ev.get("t"), Some(&FieldValue::Str("\u{e9}".to_string())));
+    }
+
+    #[test]
     fn empty_fields_render_as_empty_object() {
         let ev = TraceEvent::new(7, "heartbeat", "sweep.progress");
         assert_eq!(

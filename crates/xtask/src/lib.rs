@@ -9,7 +9,10 @@
 //!   in [`rules`], machine-readable output in [`emit`], and the escape-count
 //!   cap in [`budget`]; see DESIGN.md §"Token-level determinism auditing";
 //! - the perf-trend gate (`cargo xtask bench-diff`) comparing sweep
-//!   benchmark summaries — see [`bench_diff`].
+//!   benchmark summaries — see [`bench_diff`];
+//! - the causal trace analyser (`cargo xtask trace report|diff`) turning
+//!   JSONL span traces into per-stage profiles, flamegraphs and
+//!   regression attributions — see [`trace_cmd`].
 
 pub mod bench_diff;
 pub mod budget;
@@ -17,6 +20,7 @@ pub mod emit;
 pub mod rules;
 pub mod source;
 pub mod tokens;
+pub mod trace_cmd;
 
 use rules::Diagnostic;
 use source::SourceFile;

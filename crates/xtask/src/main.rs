@@ -1,8 +1,10 @@
-//! `cargo xtask` — workspace automation. Two subcommands:
+//! `cargo xtask` — workspace automation. Three subcommands:
 //!
 //! ```text
 //! cargo xtask lint [--root <dir>] [--format text|json|sarif]
 //! cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>] [--min <rate>]
+//! cargo xtask trace report --input <trace.jsonl> [--profile-out <path>] [--folded-out <path>]
+//! cargo xtask trace diff <old.prof> <new.prof> [--tolerance <frac>]
 //! ```
 //!
 //! `lint` runs the domain-aware lint pass over every `.rs` file in the
@@ -18,12 +20,19 @@
 //! tolerance (default 0.3, i.e. 30%). `--min` additionally pins an absolute
 //! throughput floor on the current summary, so a refreshed baseline cannot
 //! erode back below a hard-won speedup one within-tolerance dip at a time.
+//!
+//! `trace report` reconstructs the causal span forest from a JSONL trace
+//! and prints per-stage wall/self-time (exact p50/p95/p99) plus the
+//! cache-efficacy join, optionally persisting the deterministic profile
+//! JSON and a folded-stack flamegraph. `trace diff` compares two
+//! persisted profiles, attributes the per-point cost change to stages,
+//! and exits non-zero on a regression beyond the tolerance.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::bench_diff;
+use xtask::{bench_diff, trace_cmd};
 
-const USAGE: &str = "usage: cargo xtask lint [--root <dir>] [--format text|json|sarif]\n       cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>] [--min <rate>]";
+const USAGE: &str = "usage: cargo xtask lint [--root <dir>] [--format text|json|sarif]\n       cargo xtask bench-diff [--baseline <path>] [--current <path>] [--tolerance <frac>] [--min <rate>]\n       cargo xtask trace report --input <trace.jsonl> [--profile-out <path>] [--folded-out <path>]\n       cargo xtask trace diff <old.prof> <new.prof> [--tolerance <frac>]";
 
 /// Output mode for `cargo xtask lint`.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -38,6 +47,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("bench-diff") => bench_diff_cmd(&args[1..]),
+        Some("trace") => trace(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
@@ -218,6 +228,43 @@ fn bench_diff_cmd(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("bench-diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn trace(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            match trace_cmd::parse_report_args(&args[1..]).and_then(|a| trace_cmd::run_report(&a)) {
+                Ok(rendered) => {
+                    print!("{rendered}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("trace report: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("diff") => {
+            match trace_cmd::parse_diff_args(&args[1..]).and_then(|a| trace_cmd::run_diff(&a)) {
+                Ok((rendered, regressed)) => {
+                    print!("{rendered}");
+                    if regressed {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("trace diff: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("trace requires a `report` or `diff` subcommand\n\n{USAGE}");
             ExitCode::FAILURE
         }
     }
